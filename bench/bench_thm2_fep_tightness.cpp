@@ -1,0 +1,159 @@
+// E4 — Theorem 2: |Fneu - Flambda| <= Fep for any per-layer error
+// distribution, and the bound is tight (equality cases: aligned maximal
+// weights, linear-regime activations, capacity-saturating errors).
+//
+// Three panels:
+//   1. validity: random trained networks x random fault loads x strong
+//      adversaries — measured/bound ratio never exceeds 1;
+//   2. tightness: engineered worst-case chains (hard sigmoid in its linear
+//      band, uniform max weights) drive the ratio to ~1 at every depth;
+//   3. ablation: w_m including vs excluding bias weights (design choice 2
+//      in DESIGN.md) — both valid, exclude-bias is sharper for neuron
+//      faults because the bias synapse carries no error.
+#include <cmath>
+#include <cstdio>
+
+#include "bench/common.hpp"
+#include "core/fep.hpp"
+#include "fault/campaign.hpp"
+#include "fault/injector.hpp"
+
+namespace {
+
+/// Depth-D unit-width chain in the hard sigmoid's linear band: the
+/// Theorem-2 equality case made executable.
+wnf::nn::FeedForwardNetwork worst_case_chain(std::size_t depth, double k,
+                                             double w) {
+  std::vector<wnf::nn::DenseLayer> layers;
+  for (std::size_t l = 0; l < depth; ++l) {
+    wnf::nn::DenseLayer layer(1, 1);
+    layer.weights()(0, 0) = w;
+    layer.bias()[0] = l == 0 ? 0.0 : -w * 0.5;  // keep s centred in the band
+    layers.push_back(std::move(layer));
+  }
+  return wnf::nn::FeedForwardNetwork(
+      1, std::move(layers), {w}, 0.0,
+      wnf::nn::Activation(wnf::nn::ActivationKind::kHardSigmoid, k));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace wnf;
+  CliArgs args(argc, argv);
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 31));
+  const auto rounds = static_cast<std::size_t>(args.get_int("rounds", 40));
+  args.reject_unknown();
+
+  bench::bench_header(
+      "E4 / Theorem 2 — Fep validity and tightness",
+      "measured error <= Fep always; engineered worst cases reach the bound");
+
+  // Panel 1: validity sweep over trained networks.
+  print_banner(std::cout, "panel 1 — validity (trained nets, strong adversaries)");
+  const auto target = data::make_sine_ridge(2);
+  theory::FepOptions options;
+  options.mode = theory::FailureMode::kByzantine;
+  options.capacity = 1.0;
+  options.weight_convention = nn::WeightMaxConvention::kExcludeBias;
+
+  Table validity({"architecture", "attack", "max measured/bound", "violations"});
+  const std::vector<bench::NetSpec> specs{
+      {"[12]", {12}}, {"[10,8]", {10, 8}}, {"[8,8,8]", {8, 8, 8}}};
+  for (const auto& spec : specs) {
+    const auto trained = bench::train_network(spec, target, seed);
+    const auto prof = theory::profile(trained.net, options);
+    Rng rng(seed + 17);
+    fault::Injector injector(trained.net);
+    for (auto attack : {fault::AttackKind::kRandomByzantine,
+                        fault::AttackKind::kGradientByzantine}) {
+      double worst_ratio = 0.0;
+      std::size_t violations = 0;
+      for (std::size_t round = 0; round < rounds; ++round) {
+        std::vector<std::size_t> counts(trained.net.layer_count());
+        for (std::size_t l = 1; l <= trained.net.layer_count(); ++l) {
+          counts[l - 1] = rng.uniform_index(trained.net.layer_width(l));
+        }
+        const double bound =
+            theory::forward_error_propagation(prof, counts, options);
+        if (bound == 0.0) continue;
+        const auto x_vec = bench::probe_inputs(1, 2, rng);
+        const auto& x = x_vec.front();
+        fault::FaultPlan plan;
+        if (attack == fault::AttackKind::kRandomByzantine) {
+          plan = fault::random_byzantine_plan(trained.net, counts,
+                                              options.capacity, rng);
+        } else {
+          plan = fault::gradient_directed_byzantine_plan(
+              trained.net, counts, options.capacity, x);
+        }
+        const double ratio = injector.output_error(plan, x) / bound;
+        worst_ratio = std::max(worst_ratio, ratio);
+        violations += ratio > 1.0 + 1e-9;
+      }
+      validity.add_row({spec.name,
+                        attack == fault::AttackKind::kRandomByzantine
+                            ? "random Byzantine"
+                            : "gradient-directed",
+                        Table::num(worst_ratio, 4),
+                        std::to_string(violations)});
+    }
+  }
+  validity.print(std::cout);
+
+  // Panel 2: tightness on engineered chains.
+  print_banner(std::cout, "panel 2 — tightness on worst-case chains");
+  Table tightness({"depth L", "K", "w", "Fep", "measured", "ratio"});
+  bool tight = true;
+  for (std::size_t depth : {1u, 2u, 3u, 4u}) {
+    for (double k : {0.5, 1.0}) {
+      const double w = 0.9;
+      const auto chain = worst_case_chain(depth, k, w);
+      const double c = 0.01;  // stays inside the linear band at any depth
+      theory::FepOptions chain_options;
+      chain_options.mode = theory::FailureMode::kByzantine;
+      chain_options.capacity = c;
+      chain_options.weight_convention = nn::WeightMaxConvention::kExcludeBias;
+      const auto prof = theory::profile(chain, chain_options);
+      std::vector<std::size_t> counts(depth, 0);
+      counts[0] = 1;
+      const double bound =
+          theory::forward_error_propagation(prof, counts, chain_options);
+      fault::FaultPlan plan;
+      plan.neurons = {{1, 0, fault::NeuronFaultKind::kByzantine, c}};
+      fault::Injector injector(chain);
+      const std::vector<double> x{0.5};
+      const double measured = injector.output_error(plan, x);
+      const double ratio = measured / bound;
+      tight = tight && ratio > 0.999 && ratio <= 1.0 + 1e-9;
+      tightness.add_row({std::to_string(depth), Table::num(k, 3),
+                         Table::num(w, 3), Table::sci(bound, 3),
+                         Table::sci(measured, 3), Table::num(ratio, 6)});
+    }
+  }
+  tightness.print(std::cout);
+
+  // Panel 3: weight-max convention ablation.
+  print_banner(std::cout, "panel 3 — w_m convention ablation (bias in/out)");
+  Table ablation({"architecture", "bound (incl. bias)", "bound (excl. bias)",
+                  "sharpening"});
+  for (const auto& spec : specs) {
+    const auto trained = bench::train_network(spec, target, seed + 3);
+    std::vector<std::size_t> counts(trained.net.layer_count(), 1);
+    theory::FepOptions incl = options;
+    incl.weight_convention = nn::WeightMaxConvention::kIncludeBias;
+    theory::FepOptions excl = options;
+    const double bound_incl = theory::forward_error_propagation(
+        theory::profile(trained.net, incl), counts, incl);
+    const double bound_excl = theory::forward_error_propagation(
+        theory::profile(trained.net, excl), counts, excl);
+    ablation.add_row({spec.name, Table::sci(bound_incl, 3),
+                      Table::sci(bound_excl, 3),
+                      Table::num(bound_incl / bound_excl, 3) + "x"});
+  }
+  ablation.print(std::cout);
+
+  std::printf("\nresult: validity holds; worst-case chains reach ratio %s\n",
+              tight ? ">= 0.999 (bound tight)" : "< 0.999 (NOT tight?)");
+  return tight ? 0 : 1;
+}

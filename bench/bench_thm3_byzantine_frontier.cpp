@@ -1,0 +1,109 @@
+// E5 — Theorem 3: a network tolerates the Byzantine distribution (f_l) iff
+// Fep(f) <= eps - eps'. Two consequences to exhibit:
+//   (a) the tolerance is a *frontier over distributions*, not a single
+//       number — the same total fault count passes or fails depending on
+//       which layers it lands in;
+//   (b) with K > 1 deeper layers are cheaper (K^{L-l} amplification of
+//       shallow faults); with K < 1 the ordering flips.
+// Empirical check: for every distribution on the frontier, strong attacks
+// stay within eps; for distributions just beyond, the *bound* fails (and
+// the attack error exceeds the slack in the engineered worst cases of E4 —
+// here we report measured error alongside for calibration).
+#include <cmath>
+#include <cstdio>
+
+#include "bench/common.hpp"
+#include "core/tolerance.hpp"
+#include "fault/campaign.hpp"
+
+int main(int argc, char** argv) {
+  using namespace wnf;
+  CliArgs args(argc, argv);
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 37));
+  args.reject_unknown();
+
+  bench::bench_header(
+      "E5 / Theorem 3 — per-layer Byzantine tolerance frontier",
+      "tolerance is a distribution (f_l), gated by Fep(f) <= eps - eps'");
+
+  const auto target = data::make_gaussian_bump(2);
+  bench::NetSpec spec{"[10,10]", {10, 10}};
+  spec.weight_decay = 1e-3;
+  spec.epochs = 120;
+  const auto trained = bench::train_network(spec, target, seed);
+  const auto& net = trained.net;
+
+  theory::FepOptions options;
+  options.mode = theory::FailureMode::kByzantine;
+  options.capacity = 0.25;
+  options.weight_convention = nn::WeightMaxConvention::kExcludeBias;
+  const auto prof = theory::profile(net, options);
+
+  // Budget sized so the frontier is non-trivial in both layers.
+  std::vector<std::size_t> one{1, 0};
+  const double cost_l1 =
+      theory::forward_error_propagation(prof, one, options);
+  one = {0, 1};
+  const double cost_l2 =
+      theory::forward_error_propagation(prof, one, options);
+  const double slack = 4.0 * std::min(cost_l1, cost_l2);
+  const theory::ErrorBudget budget{trained.epsilon_prime + slack,
+                                   trained.epsilon_prime};
+  std::printf("eps'=%.4f  slack=%.4f  per-fault cost: layer1=%.4f layer2=%.4f\n",
+              trained.epsilon_prime, slack, cost_l1, cost_l2);
+
+  // Panel (a): the (f_1, f_2) frontier with measured errors.
+  print_banner(std::cout, "frontier over (f_1, f_2)");
+  Table frontier({"f_1", "f_2", "Fep", "tolerated (Thm 3)",
+                  "measured worst err", "within slack"});
+  for (std::size_t f1 = 0; f1 <= 4; ++f1) {
+    for (std::size_t f2 = 0; f2 <= 4; f2 += 2) {
+      const std::vector<std::size_t> counts{f1, f2};
+      const double fep =
+          theory::forward_error_propagation(prof, counts, options);
+      const bool tolerated =
+          theory::theorem3_tolerates(prof, counts, budget, options);
+      fault::CampaignConfig campaign;
+      campaign.attack = fault::AttackKind::kGradientByzantine;
+      campaign.capacity = options.capacity;
+      campaign.trials = 12;
+      campaign.probes_per_trial = 12;
+      campaign.seed = seed + f1 * 10 + f2;
+      const auto result = fault::run_campaign(net, counts, campaign, options);
+      frontier.add_row({std::to_string(f1), std::to_string(f2),
+                        Table::num(fep, 4), tolerated ? "yes" : "no",
+                        Table::num(result.observed_max, 4),
+                        result.observed_max <= slack + 1e-9 ? "yes" : "NO"});
+    }
+  }
+  frontier.print(std::cout);
+
+  // Panel (b): depth ordering as a function of K.
+  print_banner(std::cout, "depth ordering: cost of one fault per layer vs K");
+  Table depth_table({"K", "cost @ layer 1", "cost @ layer 2", "cost @ layer 3",
+                     "cheapest layer"});
+  bench::NetSpec deep_spec{"[8,8,8]", {8, 8, 8}};
+  deep_spec.weight_decay = 1e-3;
+  for (double k : {0.25, 0.5, 1.0, 2.0, 4.0}) {
+    deep_spec.k = k;
+    const auto deep = bench::train_network(deep_spec, target, seed + 5);
+    const auto deep_prof = theory::profile(deep.net, options);
+    std::vector<double> costs;
+    for (std::size_t l = 1; l <= 3; ++l) {
+      std::vector<std::size_t> counts(3, 0);
+      counts[l - 1] = 1;
+      costs.push_back(
+          theory::forward_error_propagation(deep_prof, counts, options));
+    }
+    const std::size_t cheapest =
+        1 + (std::min_element(costs.begin(), costs.end()) - costs.begin());
+    depth_table.add_row({Table::num(k, 3), Table::sci(costs[0], 2),
+                         Table::sci(costs[1], 2), Table::sci(costs[2], 2),
+                         std::to_string(cheapest)});
+  }
+  depth_table.print(std::cout);
+  std::printf(
+      "\nresult: tolerated distributions keep measured error within slack;\n"
+      "fault placement matters — large K punishes shallow faults (K^(L-l)).\n");
+  return 0;
+}

@@ -1,0 +1,105 @@
+// E7 — Theorem 5 / Section V-A: reducing per-neuron computational precision
+// degrades output accuracy by at most sum_l K^{L-l} lambda_l prod N w — the
+// first theoretical account of the Proteus-style [31] memory/accuracy
+// trade-off rows reproduced here.
+//
+// Panels: (1) uniform bit sweep — bound vs measured degradation vs memory;
+// (2) per-layer sensitivity — shallow layers need more bits when K*N*w > 1
+// (the K^{L-l} factor), shown by spending the same bit budget in different
+// layers; (3) rounding-mode ablation (nearest vs truncate: lambda doubles).
+#include <cmath>
+#include <cstdio>
+
+#include "bench/common.hpp"
+#include "quant/memory_model.hpp"
+#include "quant/quantized_network.hpp"
+
+int main(int argc, char** argv) {
+  using namespace wnf;
+  CliArgs args(argc, argv);
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 43));
+  args.reject_unknown();
+
+  bench::bench_header(
+      "E7 / Theorem 5 + Section V-A — precision vs accuracy vs memory",
+      "output degradation <= sum_l K^{L-l} lambda_l prod(N w); memory scales "
+      "with bits");
+
+  const auto target = data::make_gaussian_bump(2);
+  bench::NetSpec spec{"[16,12]", {16, 12}};
+  spec.epochs = 150;
+  const auto trained = bench::train_network(spec, target, seed);
+  const auto& net = trained.net;
+  const auto grid = data::sample_grid(target, 33);
+  theory::FepOptions options;
+  nn::Workspace ws;
+
+  auto measure = [&](const quant::PrecisionScheme& scheme) {
+    double worst = 0.0;
+    for (std::size_t n = 0; n < grid.size(); ++n) {
+      const auto& x = grid.inputs[n];
+      worst = std::max(worst,
+                       std::fabs(net.evaluate(x, ws) -
+                                 quant::evaluate_quantized(net, x, scheme, ws)));
+    }
+    return worst;
+  };
+
+  // Panel 1: uniform activation bits, Proteus-style rows.
+  print_banner(std::cout, "panel 1 — uniform activation precision sweep");
+  const auto baseline = quant::baseline_footprint(net);
+  Table sweep({"bits/activation", "Theorem-5 bound", "measured degradation",
+               "ratio", "memory (KiB)", "vs float64"});
+  bool sound = true;
+  for (std::size_t bits : {2u, 4u, 6u, 8u, 10u, 12u, 16u}) {
+    quant::PrecisionScheme scheme;
+    scheme.bits = {bits, bits};
+    const double bound = quant::quantization_error_bound(net, scheme, options);
+    const double measured = measure(scheme);
+    sound = sound && measured <= bound + 1e-12;
+    const auto memory = quant::memory_footprint(net, bits, scheme.bits);
+    sweep.add_row(
+        {std::to_string(bits), Table::sci(bound, 3), Table::sci(measured, 3),
+         Table::num(measured / bound, 3), Table::num(memory.total_kib(), 4),
+         Table::num(static_cast<double>(baseline.total_bits()) /
+                        static_cast<double>(memory.total_bits()), 3) + "x"});
+  }
+  sweep.print(std::cout);
+
+  // Panel 2: where to spend a fixed bit budget (K^{L-l} sensitivity).
+  print_banner(std::cout, "panel 2 — layer sensitivity at equal bit budget");
+  Table split({"allocation (b_1, b_2)", "Theorem-5 bound", "measured"});
+  for (const auto& bits : std::vector<std::vector<std::size_t>>{
+           {4, 12}, {8, 8}, {12, 4}}) {
+    quant::PrecisionScheme scheme;
+    scheme.bits = bits;
+    split.add_row({"(" + std::to_string(bits[0]) + ", " +
+                       std::to_string(bits[1]) + ")",
+                   Table::sci(quant::quantization_error_bound(net, scheme,
+                                                              options), 3),
+                   Table::sci(measure(scheme), 3)});
+  }
+  split.print(std::cout);
+  std::printf("(the bound names the layer whose lambda_l carries the largest\n"
+              " K^(L-l) prod N w factor — spend bits there first)\n");
+
+  // Panel 3: rounding-mode ablation.
+  print_banner(std::cout, "panel 3 — rounding ablation (nearest vs truncate)");
+  Table rounding({"mode", "lambda per 6-bit value", "bound", "measured"});
+  for (auto mode : {quant::Rounding::kNearest, quant::Rounding::kTruncate}) {
+    quant::PrecisionScheme scheme;
+    scheme.bits = {6, 6};
+    scheme.rounding = mode;
+    rounding.add_row(
+        {mode == quant::Rounding::kNearest ? "round-to-nearest" : "truncate",
+         Table::sci(scheme.lambdas()[0], 2),
+         Table::sci(quant::quantization_error_bound(net, scheme, options), 3),
+         Table::sci(measure(scheme), 3)});
+  }
+  rounding.print(std::cout);
+
+  std::printf("\nresult: %s\n",
+              sound ? "measured degradation never exceeded the Theorem-5 bound"
+                    : "VIOLATION — investigate");
+  return sound ? 0 : 1;
+}

@@ -1,0 +1,88 @@
+// Shared fixtures for the bench harness: trained-network factories, probe
+// sets, and uniform reporting helpers. Every bench is deterministic under
+// its seed and prints paper-style rows via util/table.
+#pragma once
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "data/dataset.hpp"
+#include "util/cli.hpp"
+#include "nn/builder.hpp"
+#include "nn/loss.hpp"
+#include "nn/train.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+namespace wnf::bench {
+
+/// Architecture + training recipe for one experimental network.
+struct NetSpec {
+  std::string name;
+  std::vector<std::size_t> widths;
+  double k = 1.0;
+  nn::ActivationKind kind = nn::ActivationKind::kSigmoid;
+  std::size_t epochs = 80;
+  double learning_rate = 0.02;
+  double weight_decay = 0.0;
+  double dropout = 0.0;
+  double fep_lambda = 0.0;
+  double fep_p = 8.0;
+};
+
+/// A trained network plus its measured epsilon' on an evaluation grid.
+struct TrainedNet {
+  nn::FeedForwardNetwork net;
+  double epsilon_prime = 0.0;
+  std::size_t epochs_run = 0;
+};
+
+/// Trains `spec` on `target` with a fixed-size uniform sample.
+inline TrainedNet train_network(const NetSpec& spec,
+                                const data::TargetFunction& target,
+                                std::uint64_t seed,
+                                std::size_t train_samples = 192,
+                                std::size_t grid_points = 17) {
+  Rng rng(seed);
+  const auto train_set = data::sample_uniform(target, train_samples, rng);
+  auto net = nn::NetworkBuilder(target.dim())
+                 .activation(spec.kind, spec.k)
+                 .hidden_layers(spec.widths)
+                 .init(nn::InitKind::kScaledUniform, 1.0)
+                 .build(rng);
+  nn::TrainConfig config;
+  config.epochs = spec.epochs;
+  config.learning_rate = spec.learning_rate;
+  config.weight_decay = spec.weight_decay;
+  config.dropout = spec.dropout;
+  config.fep_lambda = spec.fep_lambda;
+  config.fep_p = spec.fep_p;
+  const auto result = nn::train(net, train_set, config, rng);
+  const auto grid = data::sample_grid(target, grid_points);
+  const double epsilon_prime = nn::sup_error(net, grid);
+  return {std::move(net), epsilon_prime, result.epochs_run};
+}
+
+/// `count` uniform probe inputs of dimension `dim`.
+inline std::vector<std::vector<double>> probe_inputs(std::size_t count,
+                                                     std::size_t dim,
+                                                     Rng& rng) {
+  std::vector<std::vector<double>> probes(count);
+  for (auto& probe : probes) {
+    probe.resize(dim);
+    for (double& c : probe) c = rng.uniform();
+  }
+  return probes;
+}
+
+/// Standard bench header: what is being reproduced and from where.
+inline void bench_header(const char* experiment_id, const char* claim) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", experiment_id);
+  std::printf("paper claim: %s\n", claim);
+  std::printf("==============================================================\n");
+}
+
+}  // namespace wnf::bench

@@ -1,0 +1,182 @@
+// Flight-control certification scenario (the paper's motivating critical
+// application [8]: "stopping a neural network and recovering its failures
+// through a new learning phase is not an option").
+//
+// A neural controller approximates a pitch-trim law u(alpha, q, V): given
+// normalized angle of attack, pitch rate and airspeed, produce a normalized
+// elevator command. Mission rules:
+//   * the deployed controller must stay within EPSILON of the reference law
+//     even if up to TARGET_FAULTS neurons crash mid-flight (no retraining);
+//   * certification must be analytic (Theorem 3) — exhaustively testing all
+//     fault configurations is combinatorially impossible (Section I).
+//
+// The example (a) trains the controller, (b) shows the as-trained network
+// fails certification, (c) applies Corollary 1 via the replication
+// transform until certification passes, and (d) validates with a
+// fault-injection campaign, including the key-neuron adversary.
+//
+// Run: ./flight_control [seed=N] [target_faults=N]
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+
+#include "core/certificate.hpp"
+#include "core/overprovision.hpp"
+#include "core/reliability.hpp"
+#include "data/dataset.hpp"
+#include "fault/campaign.hpp"
+#include "nn/builder.hpp"
+#include "nn/loss.hpp"
+#include "nn/train.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+/// Reference pitch-trim law: a smooth blend of restoring terms, normalized
+/// into [0,1]^3 -> [0,1]. (Synthetic but shaped like a real trim schedule:
+/// monotone in alpha, damped by q, gain-scheduled by dynamic pressure.)
+wnf::data::TargetFunction pitch_trim_law() {
+  return wnf::data::TargetFunction(
+      "pitch_trim", 3, [](std::span<const double> x) {
+        const double alpha = x[0];  // angle of attack, normalized
+        const double q = x[1];      // pitch rate, normalized
+        const double airspeed = x[2];
+        const double gain = 0.4 + 0.6 * airspeed * airspeed;
+        const double restoring = std::tanh(2.0 * (alpha - 0.5));
+        const double damping = 0.3 * (q - 0.5);
+        return std::clamp(0.5 + 0.5 * gain * (restoring - damping), 0.0, 1.0);
+      });
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace wnf;
+  CliArgs args(argc, argv);
+  Rng rng(static_cast<std::uint64_t>(args.get_int("seed", 7)));
+  const auto target_faults =
+      static_cast<std::size_t>(args.get_int("target_faults", 6));
+  args.reject_unknown();
+
+  print_banner(std::cout, "flight-control certification");
+
+  // ---- train the controller -------------------------------------------
+  const auto law = pitch_trim_law();
+  const auto train_set = data::sample_uniform(law, 512, rng);
+  auto controller = nn::NetworkBuilder(3)
+                        .activation(nn::ActivationKind::kSigmoid, 1.0)
+                        .hidden(20)
+                        .hidden(16)
+                        .init(nn::InitKind::kScaledUniform, 1.0)
+                        .build(rng);
+  nn::TrainConfig config;
+  config.epochs = 250;
+  config.learning_rate = 0.015;
+  config.weight_decay = 1e-3;  // keep weights small: robustness by design
+  config.fep_lambda = 0.01;    // Section VI: minimize Fep while learning
+  nn::train(controller, train_set, config, rng);
+
+  const auto grid = data::sample_grid(law, 13);  // 2197 flight conditions
+  const double epsilon_prime = nn::sup_error(controller, grid);
+  std::printf("controller accuracy epsilon' = %.4f over %zu conditions\n",
+              epsilon_prime, grid.size());
+
+  // ---- mission budget ---------------------------------------------------
+  theory::FepOptions options;
+  options.mode = theory::FailureMode::kCrash;
+  // Crash victims are real neurons; the constant-bias synapse can neither
+  // crash nor relay error, so w_m legitimately excludes it here (see
+  // DESIGN.md's convention ablation).
+  options.weight_convention = nn::WeightMaxConvention::kExcludeBias;
+  const double epsilon = epsilon_prime + 0.25;  // allowed in-flight error
+  const theory::ErrorBudget budget{epsilon, epsilon_prime};
+  std::printf("mission: tolerate %zu crashed neurons within epsilon=%.4f\n",
+              target_faults, epsilon);
+
+  // ---- certification loop (Corollary 1 via replication) -----------------
+  Table table({"replication r", "neurons", "certified faults", "verdict"});
+  std::size_t chosen_r = 0;
+  for (std::size_t r = 1; r <= 12; ++r) {
+    const auto candidate = theory::replicate_neurons(controller, r);
+    const auto cert = theory::certify(candidate, budget, options);
+    const bool pass = cert.greedy_total >= target_faults;
+    table.add_row({std::to_string(r), std::to_string(candidate.neuron_count()),
+                   std::to_string(cert.greedy_total),
+                   pass ? "CERTIFIED" : "insufficient"});
+    if (pass && chosen_r == 0) chosen_r = r;
+    if (pass) break;
+  }
+  table.print(std::cout);
+  if (chosen_r == 0) {
+    std::printf("no replication factor <= 12 certifies the mission\n");
+    return 1;
+  }
+
+  const auto deployed = theory::replicate_neurons(controller, chosen_r);
+  const auto cert = theory::certify(deployed, budget, options);
+  std::printf(
+      "\ndeploying r=%zu replica controller (%zu neurons, identical "
+      "function: sup diff = %.2e)\n",
+      chosen_r, deployed.neuron_count(),
+      nn::sup_error(deployed, grid) - epsilon_prime);
+  theory::print_certificate(cert, std::cout);
+
+  // ---- validation campaign ----------------------------------------------
+  // The point of Theorem 3 is that this experiment is *redundant* — but a
+  // certification authority will run it anyway.
+  fault::CampaignConfig campaign;
+  campaign.attack = fault::AttackKind::kRandomCrash;
+  campaign.trials = 60;
+  campaign.probes_per_trial = 24;
+  campaign.seed = 2027;
+  const auto random_result =
+      fault::run_campaign(deployed, cert.greedy_distribution, campaign, options);
+  campaign.attack = fault::AttackKind::kTopWeightCrash;
+  campaign.trials = 1;  // deterministic adversary
+  const auto key_result =
+      fault::run_campaign(deployed, cert.greedy_distribution, campaign, options);
+
+  Table validation({"adversary", "worst |Fneu-Ffail|", "Fep bound",
+                    "slack eps-eps'", "within budget"});
+  const auto row = [&](const char* name, const fault::CampaignResult& r) {
+    validation.add_row({name, Table::num(r.observed_max, 4),
+                        Table::num(r.fep_bound, 4),
+                        Table::num(budget.slack(), 4),
+                        r.observed_max <= budget.slack() ? "yes" : "NO"});
+  };
+  row("random crashes", random_result);
+  row("key neurons (top weight)", key_result);
+  validation.print(std::cout);
+
+  const bool ok = random_result.observed_max <= budget.slack() + 1e-9 &&
+                  key_result.observed_max <= budget.slack() + 1e-9;
+  std::printf("\ncertification %s\n", ok ? "VALIDATED" : "FAILED");
+
+  // ---- mission reliability ----------------------------------------------
+  // The certificate bounds worst-case damage for the budgeted fault shape;
+  // the reliability layer says how likely that shape is to be exceeded for
+  // a given per-neuron failure probability over the mission.
+  print_banner(std::cout, "mission reliability");
+  // Re-allocate the certified budget for reliability (spreading margin
+  // across layers) rather than raw fault count, then price the mission.
+  auto mission_cert = cert;
+  mission_cert.greedy_distribution = theory::max_reliability_distribution(
+      mission_cert.network, budget, options, 1e-3);
+  std::printf("reliability-allocated budget per layer:");
+  for (std::size_t f : mission_cert.greedy_distribution) {
+    std::printf(" %zu", f);
+  }
+  std::printf("\n");
+  Table reliability({"per-neuron failure prob p", "P(budget exceeded)"});
+  for (double p : {1e-5, 1e-4, 1e-3}) {
+    reliability.add_row(
+        {Table::sci(p, 0),
+         Table::sci(
+             theory::certificate_violation_probability(mission_cert, p), 2)});
+  }
+  reliability.print(std::cout);
+  std::printf("largest p with P(exceeded) <= 1e-6: %.2e\n",
+              theory::max_failure_rate(mission_cert, 1e-6));
+  return ok ? 0 : 1;
+}

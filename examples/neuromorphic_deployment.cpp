@@ -1,0 +1,123 @@
+// Neuromorphic deployment scenario (Section V-A + the TrueNorth-style
+// motivation [18,19]: milliwatt hardware with reduced local precision).
+//
+// Task: deploy a trained network on a fixed-point substrate. The deployment
+// budget allows the output to degrade by at most DELTA from the float64
+// reference. Theorem 5 turns that budget into per-layer bit widths
+// *analytically*: we allocate bits greedily — repeatedly take a bit from
+// the layer whose lambda_l has the least bound impact — until the Theorem-5
+// bound would exceed DELTA. Then we verify empirically and report the
+// memory saved versus the float64 baseline (the Proteus-style trade-off
+// [31] the paper explains theoretically).
+//
+// Run: ./neuromorphic_deployment [seed=N] [delta=0.02]
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+
+#include "data/dataset.hpp"
+#include "nn/builder.hpp"
+#include "nn/loss.hpp"
+#include "nn/train.hpp"
+#include "quant/memory_model.hpp"
+#include "quant/quantized_network.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace wnf;
+  CliArgs args(argc, argv);
+  Rng rng(static_cast<std::uint64_t>(args.get_int("seed", 11)));
+  const double delta = args.get_double("delta", 0.02);
+  args.reject_unknown();
+
+  print_banner(std::cout, "neuromorphic deployment (Theorem 5)");
+
+  // Train the network to be deployed.
+  const auto target = data::make_gaussian_bump(2);
+  const auto train_set = data::sample_uniform(target, 256, rng);
+  auto net = nn::NetworkBuilder(2)
+                 .activation(nn::ActivationKind::kSigmoid, 1.0)
+                 .hidden(24)
+                 .hidden(16)
+                 .init(nn::InitKind::kScaledUniform, 1.0)
+                 .build(rng);
+  nn::TrainConfig config;
+  config.epochs = 200;
+  config.learning_rate = 0.02;
+  nn::train(net, train_set, config, rng);
+  const auto grid = data::sample_grid(target, 41);
+  std::printf("float64 reference accuracy: sup error %.4f, memory %.1f KiB\n",
+              nn::sup_error(net, grid),
+              quant::baseline_footprint(net).total_kib());
+
+  // Greedy bit allocation under the Theorem-5 budget.
+  theory::FepOptions options;
+  quant::PrecisionScheme scheme;
+  scheme.bits.assign(net.layer_count(), 24);  // generous start
+  for (;;) {
+    // Try to shave one bit from the layer that hurts the bound least.
+    double best_bound = -1.0;
+    std::size_t best_layer = net.layer_count();
+    for (std::size_t l = 0; l < net.layer_count(); ++l) {
+      if (scheme.bits[l] <= 2) continue;
+      --scheme.bits[l];
+      const double bound = quant::quantization_error_bound(net, scheme, options);
+      ++scheme.bits[l];
+      if (bound <= delta && (best_layer == net.layer_count() ||
+                             bound < best_bound || best_bound < 0.0)) {
+        best_bound = bound;
+        best_layer = l;
+      }
+    }
+    if (best_layer == net.layer_count()) break;  // no shave fits the budget
+    --scheme.bits[best_layer];
+  }
+
+  const double analytic_bound =
+      quant::quantization_error_bound(net, scheme, options);
+  std::printf("\nallocated activation bits under Theorem-5 budget %.3f:\n",
+              delta);
+  Table alloc({"layer", "width N_l", "bits b_l", "lambda_l = 2^-(b+1)"});
+  const auto lambdas = scheme.lambdas();
+  for (std::size_t l = 0; l < net.layer_count(); ++l) {
+    alloc.add_row({std::to_string(l + 1),
+                   std::to_string(net.layer_width(l + 1)),
+                   std::to_string(scheme.bits[l]), Table::sci(lambdas[l], 2)});
+  }
+  alloc.print(std::cout);
+
+  // Empirical validation over the grid.
+  nn::Workspace ws;
+  double measured = 0.0;
+  for (std::size_t n = 0; n < grid.size(); ++n) {
+    const auto& x = grid.inputs[n];
+    measured = std::max(measured,
+                        std::fabs(net.evaluate(x, ws) -
+                                  quant::evaluate_quantized(net, x, scheme, ws)));
+  }
+
+  // Memory accounting: weights at 16 bits (validated separately below),
+  // activations per the allocation.
+  const auto reduced = quant::memory_footprint(net, 16, scheme.bits);
+  const auto baseline = quant::baseline_footprint(net);
+  const auto quantized_weights = quant::quantize_weights(net, 16);
+  const double weight_quant_cost =
+      nn::sup_error(quantized_weights, grid) - nn::sup_error(net, grid);
+
+  Table report({"quantity", "value"});
+  report.add_row({"Theorem-5 bound", Table::sci(analytic_bound, 3)});
+  report.add_row({"measured degradation", Table::sci(measured, 3)});
+  report.add_row({"bound respected", measured <= analytic_bound ? "yes" : "NO"});
+  report.add_row({"memory float64", Table::num(baseline.total_kib(), 4) + " KiB"});
+  report.add_row({"memory reduced", Table::num(reduced.total_kib(), 4) + " KiB"});
+  report.add_row(
+      {"compression",
+       Table::num(static_cast<double>(baseline.total_bits()) /
+                      static_cast<double>(reduced.total_bits()), 3) + "x"});
+  report.add_row({"16-bit weight sup-error cost",
+                  Table::sci(std::max(0.0, weight_quant_cost), 2)});
+  report.print(std::cout);
+
+  return measured <= analytic_bound ? 0 : 1;
+}

@@ -1,0 +1,93 @@
+// Quickstart: the library's core loop in ~80 lines.
+//
+//   1. train a feed-forward network on a continuous target F (Eq. 1-3)
+//   2. measure epsilon' — the over-provisioned accuracy (Definition 1)
+//   3. certify a fault budget analytically with Theorem 3 (no experiments)
+//   4. injure the network with the certified fault distribution and verify
+//      the epsilon-approximation survives (Definition 3)
+//
+// Run: ./quickstart [seed=N]
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+
+#include "core/certificate.hpp"
+#include "data/dataset.hpp"
+#include "fault/adversary.hpp"
+#include "fault/injector.hpp"
+#include "nn/builder.hpp"
+#include "nn/loss.hpp"
+#include "nn/train.hpp"
+#include "util/cli.hpp"
+
+int main(int argc, char** argv) {
+  using namespace wnf;
+  CliArgs args(argc, argv);
+  Rng rng(static_cast<std::uint64_t>(args.get_int("seed", 42)));
+  args.reject_unknown();
+
+  // 1. Learn a target function F : [0,1]^2 -> [0,1].
+  const auto target = data::make_sine_ridge(2);
+  const auto train_set = data::sample_uniform(target, 256, rng);
+  auto net = nn::NetworkBuilder(2)
+                 .activation(nn::ActivationKind::kSigmoid, /*K=*/1.0)
+                 .hidden(16)
+                 .hidden(12)
+                 .init(nn::InitKind::kScaledUniform, 1.0)
+                 .build(rng);
+  nn::TrainConfig train_config;
+  train_config.epochs = 300;
+  train_config.learning_rate = 0.02;
+  train_config.target_mse = 5e-4;
+  const auto train_result = nn::train(net, train_set, train_config, rng);
+
+  // 2. epsilon' over a dense evaluation grid.
+  const auto grid = data::sample_grid(target, 31);
+  const double epsilon_prime = nn::sup_error(net, grid);
+  std::printf("trained %zu epochs, mse=%.2e, epsilon'=%.4f\n",
+              train_result.epochs_run, train_result.final_mse, epsilon_prime);
+
+  // 3. Certify: how many crashed neurons does Theorem 3 allow if we are
+  //    willing to degrade from epsilon' to epsilon?
+  theory::FepOptions options;
+  options.mode = theory::FailureMode::kCrash;
+  options.weight_convention = nn::WeightMaxConvention::kExcludeBias;
+  const auto prof = theory::profile(net, options);
+  // Pick epsilon so at least a handful of faults fit (see the certificate
+  // for what the network's own sensitivities demand).
+  std::vector<std::size_t> one(prof.depth, 0);
+  one[prof.depth - 1] = 1;
+  const double cheapest =
+      theory::forward_error_propagation(prof, one, options);
+  const theory::ErrorBudget budget{epsilon_prime + 4.0 * cheapest,
+                                   epsilon_prime};
+  const auto cert = theory::certify(net, budget, options);
+  theory::print_certificate(cert, std::cout);
+
+  // 4. Injure the network with the certified distribution — random victims
+  //    AND the paper's "key neurons" adversary — and verify Definition 3.
+  fault::Injector injector(net);
+  double worst = 0.0;
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto plan =
+        fault::random_crash_plan(net, cert.greedy_distribution, rng);
+    for (std::size_t n = 0; n < grid.size(); n += 9) {
+      const auto& x = grid.inputs[n];
+      const double damaged = injector.damaged(plan, x);
+      worst = std::max(worst, std::fabs(damaged - grid.labels[n]));
+    }
+  }
+  const auto key_plan = fault::top_weight_crash_plan(net, cert.greedy_distribution);
+  for (std::size_t n = 0; n < grid.size(); ++n) {
+    const auto& x = grid.inputs[n];
+    worst = std::max(worst,
+                     std::fabs(injector.damaged(key_plan, x) - grid.labels[n]));
+  }
+  std::printf(
+      "\nafter %zu certified crashes: worst |F - Ffail| = %.4f <= epsilon = "
+      "%.4f  -> %s\n",
+      cert.greedy_total, worst, budget.epsilon,
+      worst <= budget.epsilon ? "epsilon-approximation PRESERVED"
+                              : "VIOLATED (bug!)");
+  return worst <= budget.epsilon ? 0 : 1;
+}

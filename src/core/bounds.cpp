@@ -1,0 +1,54 @@
+#include "core/bounds.hpp"
+
+#include <cmath>
+
+#include "util/contract.hpp"
+
+namespace wnf::theory {
+
+double ErrorBudget::slack() const {
+  WNF_EXPECTS(epsilon_prime > 0.0);
+  WNF_EXPECTS(epsilon_prime <= epsilon);
+  return epsilon - epsilon_prime;
+}
+
+std::size_t theorem1_max_crashes(const ErrorBudget& budget, double w_m) {
+  WNF_EXPECTS(w_m > 0.0);
+  const double bound = budget.slack() / w_m;
+  // floor with a tiny forgiveness so slack == k * w_m counts k, not k-1,
+  // despite rounding in the division.
+  return static_cast<std::size_t>(std::floor(bound + 1e-12));
+}
+
+bool theorem3_tolerates(const NetworkProfile& net,
+                        std::span<const std::size_t> faults,
+                        const ErrorBudget& budget, const FepOptions& options) {
+  WNF_EXPECTS(faults.size() == net.depth);
+  for (std::size_t l = 1; l <= net.depth; ++l) {
+    if (faults[l - 1] >= net.width(l)) return false;  // Theorem 3: f_l < N_l
+  }
+  return forward_error_propagation(net, faults, options) <=
+         budget.slack() + 1e-12;
+}
+
+bool theorem4_tolerates_synapses(const NetworkProfile& net,
+                                 std::span<const std::size_t> synapse_faults,
+                                 const ErrorBudget& budget,
+                                 const FepOptions& options) {
+  return synapse_error_bound(net, synapse_faults, options) <=
+         budget.slack() + 1e-12;
+}
+
+double lemma1_breaking_value(double nominal_output, double nominal_y_i,
+                             double w_out_i, double margin) {
+  WNF_EXPECTS(w_out_i != 0.0);
+  WNF_EXPECTS(margin > 0.0);
+  // Want |damaged - nominal| > margin where
+  // damaged = nominal + w_out_i * (v - nominal_y_i). Solve for v with a
+  // 2x safety factor; any larger |v| works too, which is exactly why
+  // unbounded transmission is fatal (Lemma 1).
+  (void)nominal_output;
+  return nominal_y_i + 2.0 * margin / w_out_i;
+}
+
+}  // namespace wnf::theory

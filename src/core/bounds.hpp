@@ -1,0 +1,51 @@
+// The tolerance theorems built on Fep: Theorem 1 (single-layer crash bound),
+// Theorem 3 (Byzantine per-layer distributions), Theorem 4 (synapses), and
+// Lemma 1 (impossibility under unbounded transmission).
+#pragma once
+
+#include <optional>
+#include <span>
+
+#include "core/fep.hpp"
+
+namespace wnf::theory {
+
+/// The approximation budget of Definition 3: the network realises an
+/// epsilon'-approximation and must keep realising an epsilon-approximation
+/// under failures, so faults may consume at most epsilon - epsilon'.
+struct ErrorBudget {
+  double epsilon = 0.0;        ///< required accuracy after failures
+  double epsilon_prime = 0.0;  ///< achieved (over-provisioned) accuracy
+
+  /// epsilon - epsilon'; requires 0 < epsilon' <= epsilon.
+  double slack() const;
+};
+
+/// Theorem 1: largest number of crashed neurons a single-layer network
+/// tolerates: floor(slack / w_m) with w_m = max |w^(2)_i|. Tight.
+std::size_t theorem1_max_crashes(const ErrorBudget& budget, double w_m);
+
+/// Theorem 3: does the network tolerate the per-layer Byzantine/crash
+/// distribution `faults` (size L)? True iff every f_l < N_l and
+/// Fep(faults) <= slack.
+bool theorem3_tolerates(const NetworkProfile& net,
+                        std::span<const std::size_t> faults,
+                        const ErrorBudget& budget, const FepOptions& options);
+
+/// Theorem 4: does the network tolerate `synapse_faults` (size L+1,
+/// counting Byzantine synapses into each layer and into the output)?
+bool theorem4_tolerates_synapses(const NetworkProfile& net,
+                                 std::span<const std::size_t> synapse_faults,
+                                 const ErrorBudget& budget,
+                                 const FepOptions& options);
+
+/// Lemma 1: under unbounded transmission a single Byzantine neuron at
+/// layer L can break any epsilon-approximation. Returns the value that
+/// neuron `i` (with output weight `w_out_i` != 0) must transmit so the
+/// damaged output misses `nominal_output` by more than `margin`
+/// (= epsilon + |F - Fneu| headroom). Demonstrates the impossibility
+/// constructively; also the C -> infinity limit of Theorem 3.
+double lemma1_breaking_value(double nominal_output, double nominal_y_i,
+                             double w_out_i, double margin);
+
+}  // namespace wnf::theory

@@ -1,0 +1,62 @@
+#include "core/certificate.hpp"
+
+#include <ostream>
+
+#include "util/table.hpp"
+
+namespace wnf::theory {
+
+RobustnessCertificate certify(const nn::FeedForwardNetwork& net,
+                              const ErrorBudget& budget,
+                              const FepOptions& options) {
+  RobustnessCertificate cert;
+  cert.budget = budget;
+  cert.options = options;
+  cert.network = profile(net, options);
+  cert.per_layer_max.reserve(cert.network.depth);
+  for (std::size_t l = 1; l <= cert.network.depth; ++l) {
+    cert.per_layer_max.push_back(
+        max_faults_single_layer(cert.network, l, budget, options));
+  }
+  cert.uniform_max = max_uniform_faults(cert.network, budget, options);
+  cert.greedy_distribution =
+      greedy_max_distribution(cert.network, budget, options);
+  cert.greedy_total = total_faults(cert.greedy_distribution);
+  cert.greedy_fep = forward_error_propagation(
+      cert.network, cert.greedy_distribution, options);
+  cert.boosting_wait.reserve(cert.network.depth);
+  for (std::size_t l = 1; l <= cert.network.depth; ++l) {
+    cert.boosting_wait.push_back(
+        boosting_wait_count(cert.network, l, cert.greedy_distribution));
+  }
+  return cert;
+}
+
+void print_certificate(const RobustnessCertificate& cert, std::ostream& os) {
+  const char* mode =
+      cert.options.mode == FailureMode::kCrash ? "crash" : "Byzantine";
+  print_banner(os, "robustness certificate");
+  os << "mode: " << mode << "  K=" << cert.network.lipschitz
+     << "  capacity C=" << effective_capacity(cert.network, cert.options)
+     << "\n";
+  os << "budget: epsilon=" << cert.budget.epsilon
+     << "  epsilon'=" << cert.budget.epsilon_prime
+     << "  slack=" << cert.budget.slack() << "\n";
+  os << "uniform tolerance: f=" << cert.uniform_max
+     << " faults per layer;  greedy total: " << cert.greedy_total
+     << " faults (Fep=" << cert.greedy_fep << ")\n";
+  Table table({"layer l", "N_l", "w_m^(l)", "max f_l (alone)", "greedy f_l",
+               "wait count (Cor.2)"});
+  for (std::size_t l = 1; l <= cert.network.depth; ++l) {
+    table.add_row({std::to_string(l), std::to_string(cert.network.width(l)),
+                   Table::num(cert.network.wmax(l), 4),
+                   std::to_string(cert.per_layer_max[l - 1]),
+                   std::to_string(cert.greedy_distribution[l - 1]),
+                   std::to_string(cert.boosting_wait[l - 1])});
+  }
+  table.print(os);
+  os << "output synapse set: w_m^(L+1)="
+     << Table::num(cert.network.wmax(cert.network.depth + 1), 4) << "\n";
+}
+
+}  // namespace wnf::theory

@@ -1,0 +1,42 @@
+// Robustness certificates: the deployable artifact of the theory. Given a
+// trained network and an (epsilon, epsilon') budget, a certificate records
+// everything an operator needs: per-layer single-layer tolerances, the
+// uniform and greedy frontiers, and the Corollary-2 wait counts — all from
+// topology alone, no fault experiment required.
+#pragma once
+
+#include <iosfwd>
+#include <vector>
+
+#include "core/tolerance.hpp"
+
+namespace wnf::theory {
+
+struct RobustnessCertificate {
+  ErrorBudget budget;
+  FepOptions options;
+  NetworkProfile network;
+  /// Largest tolerated fault count when failures concentrate at layer l
+  /// (index l-1); deeper layers tolerate fewer (the K^{L-l} effect).
+  std::vector<std::size_t> per_layer_max;
+  /// Largest f with (f, .., f) tolerated.
+  std::size_t uniform_max = 0;
+  /// A maximal greedy distribution and its total.
+  std::vector<std::size_t> greedy_distribution;
+  std::size_t greedy_total = 0;
+  /// Fep of the greedy distribution (<= slack by construction).
+  double greedy_fep = 0.0;
+  /// Corollary 2: signals to wait for per layer under the greedy
+  /// distribution (crash mode), size L: entry l-1 is N_l - f_l.
+  std::vector<std::size_t> boosting_wait;
+};
+
+/// Computes the full certificate for `net` under `budget`/`options`.
+RobustnessCertificate certify(const nn::FeedForwardNetwork& net,
+                              const ErrorBudget& budget,
+                              const FepOptions& options);
+
+/// Human-readable report (used by examples and the flight-control demo).
+void print_certificate(const RobustnessCertificate& cert, std::ostream& os);
+
+}  // namespace wnf::theory

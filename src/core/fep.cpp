@@ -1,0 +1,189 @@
+#include "core/fep.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/contract.hpp"
+
+namespace wnf::theory {
+
+std::size_t NetworkProfile::width(std::size_t l) const {
+  WNF_EXPECTS(l >= 1 && l <= depth);
+  return widths[l - 1];
+}
+
+double NetworkProfile::wmax(std::size_t l) const {
+  WNF_EXPECTS(l >= 1 && l <= depth + 1);
+  return weight_max[l - 1];
+}
+
+std::size_t NetworkProfile::receptive(std::size_t l) const {
+  WNF_EXPECTS(l >= 1 && l <= depth);
+  return fan_in[l - 1];
+}
+
+NetworkProfile profile(const nn::FeedForwardNetwork& net,
+                       const FepOptions& options) {
+  NetworkProfile p;
+  p.input_dim = net.input_dim();
+  p.depth = net.layer_count();
+  p.widths = net.layer_widths();
+  p.weight_max = net.weight_maxima(options.weight_convention);
+  p.fan_in.reserve(p.depth);
+  for (std::size_t l = 1; l <= p.depth; ++l) {
+    p.fan_in.push_back(net.layer(l).receptive_field());
+  }
+  p.lipschitz = net.activation().lipschitz();
+  p.activation_sup = net.activation().sup_value();
+  return p;
+}
+
+double effective_capacity(const NetworkProfile& net,
+                          const FepOptions& options) {
+  if (options.mode == FailureMode::kCrash) {
+    // Section IV-B: for crashes, C can be replaced by the activation's
+    // maximum — the largest value a correct neuron could have sent.
+    return net.activation_sup;
+  }
+  WNF_EXPECTS(options.capacity > 0.0);
+  switch (options.convention) {
+    case CapacityConvention::kPerturbationBound:
+      return options.capacity;
+    case CapacityConvention::kTransmittedValueBound:
+      return options.capacity + net.activation_sup;
+  }
+  WNF_ASSERT(false);
+  return 0.0;
+}
+
+namespace {
+
+/// Product over the propagation chain from a carrier set at layer `l`
+/// (carrying `initial_carriers` erroneous signals) to the output:
+/// for each hop into layer m = l+1..L+1, multiply by w^(m)_m and the
+/// number of erroneous sources a neuron of layer m can hear (capped by
+/// R(m) when the conv-aware option is on), and by K for each hidden
+/// activation traversed.
+double propagation_product(const NetworkProfile& net, std::size_t l,
+                           double initial_carriers,
+                           std::span<const std::size_t> faults,
+                           const FepOptions& options) {
+  double product = 1.0;
+  double carriers = initial_carriers;
+  for (std::size_t m = l + 1; m <= net.depth + 1; ++m) {
+    double count = carriers;
+    if (options.use_receptive_field && m <= net.depth) {
+      count = std::min(count, static_cast<double>(net.receptive(m)));
+    }
+    product *= count * net.wmax(m);
+    if (m <= net.depth) {
+      product *= net.lipschitz;
+      const double correct = static_cast<double>(net.width(m)) -
+                             static_cast<double>(faults[m - 1]);
+      carriers = std::max(0.0, correct);
+    } else {
+      carriers = 1.0;  // the single (correct) output node
+    }
+  }
+  return product;
+}
+
+}  // namespace
+
+double fep_layer_contribution(const NetworkProfile& net, std::size_t l,
+                              std::span<const std::size_t> faults,
+                              const FepOptions& options) {
+  WNF_EXPECTS(l >= 1 && l <= net.depth);
+  WNF_EXPECTS(faults.size() == net.depth);
+  const double f_l = static_cast<double>(faults[l - 1]);
+  if (f_l == 0.0) return 0.0;
+  return effective_capacity(net, options) *
+         propagation_product(net, l, f_l, faults, options);
+}
+
+double forward_error_propagation(const NetworkProfile& net,
+                                 std::span<const std::size_t> faults,
+                                 const FepOptions& options) {
+  WNF_EXPECTS(faults.size() == net.depth);
+  for (std::size_t l = 1; l <= net.depth; ++l) {
+    WNF_EXPECTS(faults[l - 1] <= net.width(l));
+  }
+  double total = 0.0;
+  for (std::size_t l = 1; l <= net.depth; ++l) {
+    total += fep_layer_contribution(net, l, faults, options);
+  }
+  return total;
+}
+
+double forward_error_propagation(const nn::FeedForwardNetwork& net,
+                                 std::span<const std::size_t> faults,
+                                 const FepOptions& options) {
+  return forward_error_propagation(profile(net, options), faults, options);
+}
+
+double precision_error_bound(const NetworkProfile& net,
+                             std::span<const double> lambda,
+                             const FepOptions& options) {
+  WNF_EXPECTS(lambda.size() == net.depth);
+  // Theorem 5: every neuron of layer l errs by <= lambda_l (post
+  // activation), all neurons relay (no crashed subset), so the chain factor
+  // for the hop out of layer l' is N_l' * w^(l'+1)_m and one K per
+  // subsequent activation.
+  double total = 0.0;
+  for (std::size_t l = 1; l <= net.depth; ++l) {
+    if (lambda[l - 1] == 0.0) continue;
+    double term = lambda[l - 1];
+    for (std::size_t lp = l; lp <= net.depth; ++lp) {
+      double count = static_cast<double>(net.width(lp));
+      if (options.use_receptive_field) {
+        const std::size_t next = lp + 1;
+        if (next <= net.depth) {
+          count = std::min(count, static_cast<double>(net.receptive(next)));
+        }
+      }
+      term *= count * net.wmax(lp + 1);
+    }
+    term *= std::pow(net.lipschitz,
+                     static_cast<double>(net.depth - l));
+    total += term;
+  }
+  return total;
+}
+
+double synapse_error_bound(const NetworkProfile& net,
+                           std::span<const std::size_t> synapse_faults,
+                           const FepOptions& options) {
+  WNF_EXPECTS(synapse_faults.size() == net.depth + 1);
+  const double cap = effective_capacity(net, options);
+  const std::vector<std::size_t> no_neuron_faults(net.depth, 0);
+  double total = 0.0;
+  for (std::size_t l = 1; l <= net.depth + 1; ++l) {
+    const double f_l = static_cast<double>(synapse_faults[l - 1]);
+    if (f_l == 0.0) continue;
+    // A faulty synapse into layer l applies its weight to a corrupted
+    // incoming value: the pre-activation of its receiving neuron j is
+    // perturbed by at most w^(l)_m * C, so (Lemma 2) neuron j's output
+    // errs by at most K * w^(l)_m * C. The f_l injured neurons then act
+    // as error carriers at layer l with full relay counts downstream.
+    // For l = L+1 the linear output node absorbs w^(L+1)_m * C directly.
+    double term = 0.0;
+    if (l <= net.depth) {
+      term = cap * net.lipschitz * net.wmax(l) *
+             propagation_product(net, l, f_l, no_neuron_faults, options);
+    } else {
+      term = cap * f_l * net.wmax(l);
+    }
+    total += term;
+  }
+  return total;
+}
+
+double lemma2_equivalent_neuron_error(const NetworkProfile& net,
+                                      std::size_t l,
+                                      const FepOptions& options) {
+  WNF_EXPECTS(l >= 1 && l <= net.depth);
+  return effective_capacity(net, options) * net.lipschitz * net.wmax(l);
+}
+
+}  // namespace wnf::theory

@@ -1,0 +1,115 @@
+// Forward Error Propagation — the paper's central quantity (Theorem 2):
+//
+//   Fep(f) = C * sum_{l=1..L} f_l K^{L-l} prod_{l'=l+1..L+1} (N_l' - f_l') w^(l')_m
+//
+// with the output-node convention N_{L+1} = 1, f_{L+1} = 0. Computing Fep
+// needs only the topology (widths, per-layer weight maxima, K, capacity) —
+// never a forward pass — which is the paper's selling point versus the
+// combinatorial explosion of exhaustive fault testing.
+//
+// Also here: Theorem 5's reduced-precision bound and Theorem 4's synapse
+// bound (via Lemma 2), plus the conv-aware variant of Section VI that caps
+// fan-in by each layer's receptive field R(l).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "nn/network.hpp"
+
+namespace wnf::theory {
+
+/// Which failure semantics a bound should assume.
+enum class FailureMode {
+  kCrash,      ///< neuron stops; peers read 0 (Definition 2)
+  kByzantine,  ///< neuron sends arbitrary values within capacity
+};
+
+/// How Assumption 1's capacity C constrains a Byzantine value (see
+/// DESIGN.md "Capacity convention"): the paper's proofs use the perturbation
+/// reading; the transmitted-value reading adds sup(phi) = 1 of slack.
+enum class CapacityConvention {
+  kPerturbationBound,     ///< |y_faulty - y_nominal| <= C
+  kTransmittedValueBound, ///< |y_faulty| <= C (bounds use C + sup phi)
+};
+
+/// Parameters shared by every bound computation.
+struct FepOptions {
+  FailureMode mode = FailureMode::kByzantine;
+  double capacity = 1.0;  ///< C of Assumption 1 (ignored for kCrash)
+  CapacityConvention convention = CapacityConvention::kPerturbationBound;
+  nn::WeightMaxConvention weight_convention =
+      nn::WeightMaxConvention::kIncludeBias;
+  /// Section VI: cap propagation fan-in by each layer's receptive field.
+  /// Off by default (the paper's dense Theorem 2 formula).
+  bool use_receptive_field = false;
+};
+
+/// Structural summary of a network: everything the bounds need, extracted
+/// once. Layer indices are the paper's (1-based; entry 0 of `weight_max`
+/// is w^(1)_m).
+struct NetworkProfile {
+  std::size_t input_dim = 0;
+  std::size_t depth = 0;                  ///< L
+  std::vector<std::size_t> widths;        ///< N_1..N_L (size L)
+  std::vector<double> weight_max;         ///< w^(1)_m..w^(L+1)_m (size L+1)
+  std::vector<std::size_t> fan_in;        ///< R(1)..R(L) (size L)
+  double lipschitz = 0.0;                 ///< K
+  double activation_sup = 1.0;            ///< sup phi (crash capacity)
+
+  std::size_t width(std::size_t l) const;      ///< N_l, l in 1..L
+  double wmax(std::size_t l) const;            ///< w^(l)_m, l in 1..L+1
+  std::size_t receptive(std::size_t l) const;  ///< R(l), l in 1..L
+};
+
+/// Extracts the profile of `net` under `options`' weight convention.
+NetworkProfile profile(const nn::FeedForwardNetwork& net,
+                       const FepOptions& options);
+
+/// The per-failing-unit error magnitude a bound must assume:
+/// crash -> sup phi; Byzantine perturbation -> C; transmitted -> C + sup phi.
+double effective_capacity(const NetworkProfile& net, const FepOptions& options);
+
+/// Theorem 2. `faults[l-1]` = f_l, size L, each f_l <= N_l.
+double forward_error_propagation(const NetworkProfile& net,
+                                 std::span<const std::size_t> faults,
+                                 const FepOptions& options);
+
+/// Convenience overload computing the profile on the fly.
+double forward_error_propagation(const nn::FeedForwardNetwork& net,
+                                 std::span<const std::size_t> faults,
+                                 const FepOptions& options);
+
+/// Contribution of layer l's faults alone (the summand of Theorem 2);
+/// useful for per-layer sensitivity reports. f_other supplies the relay
+/// reduction (N_l' - f_l') factors.
+double fep_layer_contribution(const NetworkProfile& net, std::size_t l,
+                              std::span<const std::size_t> faults,
+                              const FepOptions& options);
+
+/// Theorem 5: per-neuron post-activation implementation errors bounded by
+/// lambda[l-1] at layer l. Returns
+///   sum_l K^{L-l} lambda_l prod_{l'=l..L} N_l' w^(l'+1)_m.
+double precision_error_bound(const NetworkProfile& net,
+                             std::span<const double> lambda,
+                             const FepOptions& options);
+
+/// Theorem 4 (via Lemma 2): `synapse_faults[l-1]` = number of Byzantine
+/// synapses into layer l, l = 1..L+1 (size L+1; index L is the output
+/// synapse set). Implementation note (documented deviation): the paper's
+/// display reduces relay counts by the synapse fault counts, which would
+/// incorrectly zero the product when an output synapse fails; we keep the
+/// provably-valid full relay counts (N_l').
+double synapse_error_bound(const NetworkProfile& net,
+                           std::span<const std::size_t> synapse_faults,
+                           const FepOptions& options);
+
+/// Lemma 2 as a number: worst-case output error of the *receiving neuron*
+/// caused by one synapse fault into layer l (C * K * w^(l)_m under the
+/// weight-application model; see DESIGN.md).
+double lemma2_equivalent_neuron_error(const NetworkProfile& net,
+                                      std::size_t l,
+                                      const FepOptions& options);
+
+}  // namespace wnf::theory

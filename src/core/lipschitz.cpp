@@ -1,0 +1,59 @@
+#include "core/lipschitz.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/contract.hpp"
+
+namespace wnf::theory {
+
+double empirical_activation_lipschitz(const nn::Activation& phi, double lo,
+                                      double hi, std::size_t samples) {
+  WNF_EXPECTS(lo < hi);
+  WNF_EXPECTS(samples >= 2);
+  const double h = (hi - lo) / static_cast<double>(samples);
+  double best = 0.0;
+  for (std::size_t i = 0; i < samples; ++i) {
+    const double x = lo + static_cast<double>(i) * h;
+    const double slope = std::fabs(phi.value(x + h) - phi.value(x)) / h;
+    best = std::max(best, slope);
+  }
+  return best;
+}
+
+double network_lipschitz_bound(const NetworkProfile& net) {
+  double bound = static_cast<double>(net.width(net.depth)) *
+                 net.wmax(net.depth + 1);
+  std::size_t prev = net.input_dim;
+  for (std::size_t l = 1; l <= net.depth; ++l) {
+    bound *= net.lipschitz * static_cast<double>(prev) * net.wmax(l);
+    prev = net.width(l);
+  }
+  return bound;
+}
+
+double empirical_network_lipschitz(const nn::FeedForwardNetwork& net,
+                                   std::size_t pairs, Rng& rng) {
+  WNF_EXPECTS(pairs > 0);
+  nn::Workspace ws;
+  std::vector<double> x(net.input_dim());
+  std::vector<double> y(net.input_dim());
+  double best = 0.0;
+  for (std::size_t n = 0; n < pairs; ++n) {
+    double distance = 0.0;
+    for (std::size_t i = 0; i < net.input_dim(); ++i) {
+      x[i] = rng.uniform();
+      // Local probing (small perturbations) finds steeper slopes than
+      // far-apart pairs on smooth functions.
+      y[i] = std::clamp(x[i] + rng.uniform(-0.05, 0.05), 0.0, 1.0);
+      distance = std::max(distance, std::fabs(x[i] - y[i]));
+    }
+    if (distance == 0.0) continue;
+    const double fx = net.evaluate({x.data(), x.size()}, ws);
+    const double fy = net.evaluate({y.data(), y.size()}, ws);
+    best = std::max(best, std::fabs(fx - fy) / distance);
+  }
+  return best;
+}
+
+}  // namespace wnf::theory

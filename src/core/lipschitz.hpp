@@ -1,0 +1,29 @@
+// Lipschitz analysis: analytic constants for the K-tuned activations, plus
+// empirical estimators that validate them (Figure 2 underpins every bound,
+// so the library can check that phi really is K-Lipschitz, and how tight
+// the whole-network product bound is).
+#pragma once
+
+#include "core/fep.hpp"
+#include "nn/activation.hpp"
+#include "util/rng.hpp"
+
+namespace wnf::theory {
+
+/// Empirical Lipschitz constant of `phi` over [lo, hi]: max finite-difference
+/// slope over `samples` evenly spaced probe pairs (step h). Converges to K
+/// from below as samples grows.
+double empirical_activation_lipschitz(const nn::Activation& phi, double lo,
+                                      double hi, std::size_t samples);
+
+/// Product upper bound on the Lipschitz constant of the whole network
+/// function w.r.t. the sup-norm on inputs:
+///   N_L w^(L+1)_m * prod_{l=1..L} K N_{l-1} w^(l)_m  (N_0 = d).
+double network_lipschitz_bound(const NetworkProfile& net);
+
+/// Empirical estimate: max over `pairs` random input pairs of
+/// |F(x) - F(y)| / ||x - y||_inf. Lower-bounds the true constant.
+double empirical_network_lipschitz(const nn::FeedForwardNetwork& net,
+                                   std::size_t pairs, Rng& rng);
+
+}  // namespace wnf::theory

@@ -1,0 +1,105 @@
+#include "core/overprovision.hpp"
+
+#include "core/tolerance.hpp"
+#include "util/contract.hpp"
+
+namespace wnf::theory {
+
+nn::FeedForwardNetwork replicate_neurons(const nn::FeedForwardNetwork& net,
+                                         std::size_t r) {
+  WNF_EXPECTS(r >= 1);
+  std::vector<nn::DenseLayer> hidden;
+  hidden.reserve(net.layer_count());
+  std::size_t prev_in = net.input_dim();
+  std::size_t prev_replication = 1;  // the input layer is not replicated
+  for (std::size_t l = 1; l <= net.layer_count(); ++l) {
+    const auto& src = net.layer(l);
+    nn::DenseLayer dst(src.out_size() * r, prev_in);
+    // Copy c of neuron j listens to every copy c' of neuron i with weight
+    // w_ji / prev_replication, so the incoming sum reproduces s_j exactly.
+    const double in_scale = 1.0 / static_cast<double>(prev_replication);
+    for (std::size_t j = 0; j < src.out_size(); ++j) {
+      for (std::size_t c = 0; c < r; ++c) {
+        const std::size_t jj = j * r + c;
+        for (std::size_t i = 0; i < src.in_size(); ++i) {
+          const std::size_t copies =
+              prev_replication;  // copies of sender i
+          for (std::size_t cp = 0; cp < copies; ++cp) {
+            dst.weights()(jj, i * copies + cp) =
+                src.weights()(j, i) * in_scale;
+          }
+        }
+        dst.bias()[jj] = src.bias()[j];
+      }
+    }
+    hidden.push_back(std::move(dst));
+    prev_in = src.out_size() * r;
+    prev_replication = r;
+  }
+  std::vector<double> output_weights(net.output_weights().size() * r);
+  const double out_scale = 1.0 / static_cast<double>(prev_replication);
+  for (std::size_t i = 0; i < net.output_weights().size(); ++i) {
+    for (std::size_t c = 0; c < r; ++c) {
+      output_weights[i * r + c] = net.output_weights()[i] * out_scale;
+    }
+  }
+  return nn::FeedForwardNetwork(net.input_dim(), std::move(hidden),
+                                std::move(output_weights), net.output_bias(),
+                                net.activation());
+}
+
+nn::FeedForwardNetwork pad_layer(const nn::FeedForwardNetwork& net,
+                                 std::size_t l, std::size_t extra,
+                                 double scale, Rng& rng) {
+  WNF_EXPECTS(l >= 1 && l <= net.layer_count());
+  WNF_EXPECTS(scale >= 0.0);
+  std::vector<nn::DenseLayer> hidden;
+  hidden.reserve(net.layer_count());
+  for (std::size_t layer_index = 1; layer_index <= net.layer_count();
+       ++layer_index) {
+    const auto& src = net.layer(layer_index);
+    const std::size_t out_extra = layer_index == l ? extra : 0;
+    const std::size_t in_extra = layer_index == l + 1 ? extra : 0;
+    nn::DenseLayer dst(src.out_size() + out_extra, src.in_size() + in_extra);
+    for (std::size_t j = 0; j < src.out_size(); ++j) {
+      for (std::size_t i = 0; i < src.in_size(); ++i) {
+        dst.weights()(j, i) = src.weights()(j, i);
+      }
+      dst.bias()[j] = src.bias()[j];
+      // Incoming weights FROM the padded neurons stay zero: they are mute.
+    }
+    for (std::size_t j = src.out_size(); j < dst.out_size(); ++j) {
+      // The padded neurons listen with small random weights but nobody
+      // listens to them (their outgoing weights are zero), so the network
+      // function is unchanged.
+      for (std::size_t i = 0; i < src.in_size(); ++i) {
+        dst.weights()(j, i) = rng.uniform(-scale, scale);
+      }
+      dst.bias()[j] = rng.uniform(-scale, scale);
+    }
+    hidden.push_back(std::move(dst));
+  }
+  std::vector<double> output_weights = net.output_weights();
+  if (l == net.layer_count()) {
+    output_weights.resize(output_weights.size() + extra, 0.0);
+  }
+  return nn::FeedForwardNetwork(net.input_dim(), std::move(hidden),
+                                std::move(output_weights), net.output_bias(),
+                                net.activation());
+}
+
+std::size_t min_replication_for_tolerance(const nn::FeedForwardNetwork& net,
+                                          std::size_t target_total,
+                                          const ErrorBudget& budget,
+                                          const FepOptions& options,
+                                          std::size_t r_max) {
+  for (std::size_t r = 1; r <= r_max; ++r) {
+    const auto replicated = replicate_neurons(net, r);
+    const auto prof = profile(replicated, options);
+    const auto greedy = greedy_max_distribution(prof, budget, options);
+    if (total_faults(greedy) >= target_total) return r;
+  }
+  return 0;
+}
+
+}  // namespace wnf::theory

@@ -1,0 +1,46 @@
+// Over-provisioning made executable (Sections I, II-C, Corollary 1).
+//
+// The paper's thesis: robustness = over-provisioning, and the relation can
+// be made precise. The replication transform below is the constructive
+// witness: replacing every hidden neuron with r exact copies whose outgoing
+// weights are divided by r preserves the network function *exactly* while
+// multiplying the layer widths by r and dividing the downstream weight
+// maxima by r — so Theorem 1/3 tolerances grow ~linearly in r at zero
+// accuracy cost (epsilon' unchanged). This is the relation "never precisely
+// established" before the paper, reproduced by bench_overprovision.
+#pragma once
+
+#include <cstddef>
+
+#include "core/bounds.hpp"
+#include "nn/network.hpp"
+#include "util/rng.hpp"
+
+namespace wnf::theory {
+
+/// Returns the r-fold replication of `net` (r >= 1; r = 1 is a copy).
+/// Postconditions: same input dim; layer widths scaled by r; the network
+/// function is bitwise-identical up to floating-point reassociation
+/// (validated to ~1e-12 in tests).
+nn::FeedForwardNetwork replicate_neurons(const nn::FeedForwardNetwork& net,
+                                         std::size_t r);
+
+/// Adds `extra` fresh neurons to hidden layer `l` with zero outgoing
+/// weights (and small random incoming weights drawn in [-scale, scale]).
+/// Also function-preserving, but note: zero-weight padding does NOT improve
+/// the Theorem-3 bound (w_m is unchanged) — the ablation contrast to
+/// replication, showing the bound rewards weight dilution, not raw width.
+nn::FeedForwardNetwork pad_layer(const nn::FeedForwardNetwork& net,
+                                 std::size_t l, std::size_t extra,
+                                 double scale, Rng& rng);
+
+/// Corollary 1 constructor: smallest replication factor r <= r_max whose
+/// replicated network tolerates `target_total` greedy faults under
+/// `budget`; returns 0 if none does.
+std::size_t min_replication_for_tolerance(const nn::FeedForwardNetwork& net,
+                                          std::size_t target_total,
+                                          const ErrorBudget& budget,
+                                          const FepOptions& options,
+                                          std::size_t r_max);
+
+}  // namespace wnf::theory

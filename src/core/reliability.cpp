@@ -1,0 +1,95 @@
+#include "core/reliability.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/contract.hpp"
+
+namespace wnf::theory {
+
+double binomial_tail_above(std::size_t n, double p, std::size_t k) {
+  WNF_EXPECTS(p >= 0.0 && p <= 1.0);
+  if (k >= n) return 0.0;
+  if (p == 0.0) return 0.0;
+  if (p == 1.0) return 1.0;
+  // P[X > k] = 1 - sum_{i=0..k} C(n,i) p^i (1-p)^(n-i), with the pmf built
+  // multiplicatively in log space to avoid overflow for moderate n.
+  double log_pmf = static_cast<double>(n) * std::log1p(-p);  // i = 0 term
+  double cdf = std::exp(log_pmf);
+  const double log_odds = std::log(p) - std::log1p(-p);
+  for (std::size_t i = 1; i <= k; ++i) {
+    log_pmf += std::log(static_cast<double>(n - i + 1)) -
+               std::log(static_cast<double>(i)) + log_odds;
+    cdf += std::exp(log_pmf);
+  }
+  return std::clamp(1.0 - cdf, 0.0, 1.0);
+}
+
+double violation_probability(const std::vector<std::size_t>& widths,
+                             const std::vector<std::size_t>& faults,
+                             double p) {
+  WNF_EXPECTS(widths.size() == faults.size());
+  double total = 0.0;
+  for (std::size_t l = 0; l < widths.size(); ++l) {
+    total += binomial_tail_above(widths[l], p, faults[l]);
+  }
+  return std::min(1.0, total);
+}
+
+double certificate_violation_probability(const RobustnessCertificate& cert,
+                                         double p) {
+  return violation_probability(cert.network.widths, cert.greedy_distribution,
+                               p);
+}
+
+std::vector<std::size_t> max_reliability_distribution(
+    const NetworkProfile& net, const ErrorBudget& budget,
+    const FepOptions& options, double p) {
+  WNF_EXPECTS(p > 0.0 && p < 1.0);
+  std::vector<std::size_t> faults(net.depth, 0);
+  const double slack = budget.slack();
+  for (;;) {
+    double best_violation = violation_probability(net.widths, faults, p);
+    std::size_t best_layer = 0;  // 0 = stop
+    for (std::size_t l = 1; l <= net.depth; ++l) {
+      if (faults[l - 1] + 1 >= net.width(l)) continue;  // keep f_l < N_l
+      ++faults[l - 1];
+      const bool fits =
+          forward_error_propagation(net, faults, options) <= slack + 1e-12;
+      const double violation =
+          fits ? violation_probability(net.widths, faults, p) : 2.0;
+      --faults[l - 1];
+      // Adding budget can only lower a layer's tail, so strict improvement
+      // is the stopping criterion.
+      if (fits && violation < best_violation) {
+        best_violation = violation;
+        best_layer = l;
+      }
+    }
+    if (best_layer == 0) break;
+    ++faults[best_layer - 1];
+  }
+  return faults;
+}
+
+double max_failure_rate(const RobustnessCertificate& cert,
+                        double target_violation, double tolerance) {
+  WNF_EXPECTS(target_violation > 0.0 && target_violation < 1.0);
+  WNF_EXPECTS(tolerance > 0.0);
+  double lo = 0.0;
+  double hi = 1.0;
+  if (certificate_violation_probability(cert, hi) <= target_violation) {
+    return 1.0;  // even always-failing neurons stay inside the budget
+  }
+  while (hi - lo > tolerance) {
+    const double mid = 0.5 * (lo + hi);
+    if (certificate_violation_probability(cert, mid) <= target_violation) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+}  // namespace wnf::theory

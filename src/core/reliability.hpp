@@ -1,0 +1,55 @@
+// Probabilistic layer over the worst-case theory.
+//
+// Theorems 1/3 are adversarial: they certify a *distribution* (f_l) of
+// failures. A deployment additionally knows (or budgets) a per-neuron
+// failure probability p over a mission. The chance the certified
+// distribution is exceeded is then a union bound over layers of binomial
+// tails:
+//
+//   P(violation) <= sum_l P[ Bin(N_l, p) > f_l ]
+//
+// which converts a Theorem-3 certificate into a mission reliability number
+// — the quantity a flight-control or neuromorphic operator actually signs
+// off on. Exact binomial tails (no normal approximation: the regimes of
+// interest are tiny p, small N).
+#pragma once
+
+#include <vector>
+
+#include "core/certificate.hpp"
+
+namespace wnf::theory {
+
+/// P[Bin(n, p) > k] computed by exact summation (stable for n <= ~10^4).
+double binomial_tail_above(std::size_t n, double p, std::size_t k);
+
+/// Union-bound probability that independent per-neuron failures with
+/// probability `p` exceed the per-layer budget `faults` somewhere.
+/// `widths` are N_1..N_L. Result clamped to [0, 1].
+double violation_probability(const std::vector<std::size_t>& widths,
+                             const std::vector<std::size_t>& faults, double p);
+
+/// Mission view of a certificate: the probability that the greedy
+/// distribution certified in `cert` is exceeded at per-neuron failure
+/// probability `p`.
+double certificate_violation_probability(const RobustnessCertificate& cert,
+                                         double p);
+
+/// Largest per-neuron failure probability (within [0, 1], to `tolerance`)
+/// for which the certificate's violation probability stays below
+/// `target_violation`. Bisection on the monotone map p -> violation.
+double max_failure_rate(const RobustnessCertificate& cert,
+                        double target_violation, double tolerance = 1e-9);
+
+/// Reliability-aware fault-budget allocation. greedy_max_distribution
+/// maximises the *total* tolerated faults, which tends to dump the whole
+/// budget into the cheapest layer and leave the others with zero margin —
+/// any single failure elsewhere then violates. This variant greedily adds
+/// the fault that most reduces the union-bound violation probability at
+/// per-neuron failure rate `p`, subject to the same Theorem-3 gate
+/// Fep(f) <= slack. Returns the distribution (size L).
+std::vector<std::size_t> max_reliability_distribution(
+    const NetworkProfile& net, const ErrorBudget& budget,
+    const FepOptions& options, double p);
+
+}  // namespace wnf::theory

@@ -1,0 +1,76 @@
+#include "core/tolerance.hpp"
+
+#include <numeric>
+
+#include "util/contract.hpp"
+
+namespace wnf::theory {
+
+std::size_t max_faults_single_layer(const NetworkProfile& net, std::size_t l,
+                                    const ErrorBudget& budget,
+                                    const FepOptions& options) {
+  WNF_EXPECTS(l >= 1 && l <= net.depth);
+  std::vector<std::size_t> faults(net.depth, 0);
+  std::size_t best = 0;
+  for (std::size_t f = 1; f < net.width(l); ++f) {
+    faults[l - 1] = f;
+    if (!theorem3_tolerates(net, faults, budget, options)) break;
+    best = f;
+  }
+  return best;
+}
+
+std::size_t max_uniform_faults(const NetworkProfile& net,
+                               const ErrorBudget& budget,
+                               const FepOptions& options) {
+  std::size_t max_width = 0;
+  for (std::size_t w : net.widths) max_width = std::max(max_width, w);
+  std::size_t best = 0;
+  for (std::size_t f = 1; f < max_width; ++f) {
+    std::vector<std::size_t> faults(net.depth);
+    for (std::size_t l = 1; l <= net.depth; ++l) {
+      faults[l - 1] = std::min(f, net.width(l) - 1);
+    }
+    if (!theorem3_tolerates(net, faults, budget, options)) break;
+    best = f;
+  }
+  return best;
+}
+
+std::vector<std::size_t> greedy_max_distribution(const NetworkProfile& net,
+                                                 const ErrorBudget& budget,
+                                                 const FepOptions& options) {
+  std::vector<std::size_t> faults(net.depth, 0);
+  const double slack = budget.slack();
+  for (;;) {
+    double best_fep = slack + 1.0;
+    std::size_t best_layer = 0;  // 0 = none
+    for (std::size_t l = 1; l <= net.depth; ++l) {
+      if (faults[l - 1] + 1 >= net.width(l)) continue;  // keep f_l < N_l
+      ++faults[l - 1];
+      const double fep = forward_error_propagation(net, faults, options);
+      --faults[l - 1];
+      if (fep <= slack + 1e-12 && fep < best_fep) {
+        best_fep = fep;
+        best_layer = l;
+      }
+    }
+    if (best_layer == 0) break;
+    ++faults[best_layer - 1];
+  }
+  return faults;
+}
+
+std::size_t total_faults(const std::vector<std::size_t>& faults) {
+  return std::accumulate(faults.begin(), faults.end(), std::size_t{0});
+}
+
+std::size_t boosting_wait_count(const NetworkProfile& net, std::size_t l,
+                                const std::vector<std::size_t>& faults) {
+  WNF_EXPECTS(l >= 1 && l <= net.depth);
+  WNF_EXPECTS(faults.size() == net.depth);
+  WNF_EXPECTS(faults[l - 1] < net.width(l));
+  return net.width(l) - faults[l - 1];
+}
+
+}  // namespace wnf::theory

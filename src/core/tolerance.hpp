@@ -1,0 +1,41 @@
+// Searching the tolerance frontier: which fault distributions (f_l) satisfy
+// Theorem 3 for a given budget? Fep is monotone increasing in each f_l for
+// that layer's own term but *decreasing* through the (N_l - f_l) relay
+// factors of other layers' terms, so maximal distributions are found by
+// greedy search over exact Fep re-evaluations rather than a closed form.
+#pragma once
+
+#include <vector>
+
+#include "core/bounds.hpp"
+
+namespace wnf::theory {
+
+/// Largest f with faults only at layer `l` (others zero) satisfying
+/// Theorem 3; capped at N_l - 1.
+std::size_t max_faults_single_layer(const NetworkProfile& net, std::size_t l,
+                                    const ErrorBudget& budget,
+                                    const FepOptions& options);
+
+/// Largest f such that the uniform distribution (f, f, .., f) — clamped to
+/// N_l - 1 per layer — satisfies Theorem 3.
+std::size_t max_uniform_faults(const NetworkProfile& net,
+                               const ErrorBudget& budget,
+                               const FepOptions& options);
+
+/// Greedy maximal distribution: repeatedly add one fault at the layer whose
+/// *resulting* Fep stays lowest, while the bound still holds. Returns the
+/// distribution (size L); its sum is the greedy total tolerance.
+std::vector<std::size_t> greedy_max_distribution(const NetworkProfile& net,
+                                                 const ErrorBudget& budget,
+                                                 const FepOptions& options);
+
+/// Total faults in a distribution.
+std::size_t total_faults(const std::vector<std::size_t>& faults);
+
+/// Corollary 2 (boosting): how many signals a neuron of layer l+1 must wait
+/// for from layer l, given a tolerated crash distribution: N_l - f_l.
+std::size_t boosting_wait_count(const NetworkProfile& net, std::size_t l,
+                                const std::vector<std::size_t>& faults);
+
+}  // namespace wnf::theory

@@ -1,0 +1,94 @@
+#include "data/dataset.hpp"
+
+#include <cmath>
+
+#include "util/contract.hpp"
+
+namespace wnf::data {
+
+Dataset sample_uniform(const TargetFunction& target, std::size_t count,
+                       Rng& rng) {
+  Dataset dataset;
+  dataset.dim = target.dim();
+  dataset.inputs.reserve(count);
+  dataset.labels.reserve(count);
+  for (std::size_t n = 0; n < count; ++n) {
+    std::vector<double> x(target.dim());
+    for (auto& coordinate : x) coordinate = rng.uniform();
+    dataset.labels.push_back(target(x));
+    dataset.inputs.push_back(std::move(x));
+  }
+  return dataset;
+}
+
+Dataset sample_grid(const TargetFunction& target,
+                    std::size_t points_per_axis) {
+  WNF_EXPECTS(points_per_axis >= 2);
+  const std::size_t dim = target.dim();
+  std::size_t total = 1;
+  for (std::size_t i = 0; i < dim; ++i) {
+    total *= points_per_axis;
+    WNF_EXPECTS(total <= 2'000'000);  // combinatorial-explosion guard
+  }
+  Dataset dataset;
+  dataset.dim = dim;
+  dataset.inputs.reserve(total);
+  dataset.labels.reserve(total);
+  std::vector<std::size_t> index(dim, 0);
+  for (std::size_t n = 0; n < total; ++n) {
+    std::vector<double> x(dim);
+    for (std::size_t i = 0; i < dim; ++i) {
+      x[i] = static_cast<double>(index[i]) /
+             static_cast<double>(points_per_axis - 1);
+    }
+    dataset.labels.push_back(target(x));
+    dataset.inputs.push_back(std::move(x));
+    // Odometer increment.
+    for (std::size_t i = 0; i < dim; ++i) {
+      if (++index[i] < points_per_axis) break;
+      index[i] = 0;
+    }
+  }
+  return dataset;
+}
+
+Dataset sample_stratified(const TargetFunction& target, std::size_t count,
+                          Rng& rng) {
+  const std::size_t dim = target.dim();
+  Dataset dataset;
+  dataset.dim = dim;
+  dataset.inputs.reserve(count);
+  dataset.labels.reserve(count);
+  // One independent stratified permutation per axis (Latin hypercube).
+  std::vector<std::vector<std::size_t>> axis_perm(dim);
+  for (auto& perm : axis_perm) perm = rng.permutation(count);
+  for (std::size_t n = 0; n < count; ++n) {
+    std::vector<double> x(dim);
+    for (std::size_t i = 0; i < dim; ++i) {
+      x[i] = (static_cast<double>(axis_perm[i][n]) + rng.uniform()) /
+             static_cast<double>(count);
+    }
+    dataset.labels.push_back(target(x));
+    dataset.inputs.push_back(std::move(x));
+  }
+  return dataset;
+}
+
+std::pair<Dataset, Dataset> split(const Dataset& dataset,
+                                  double train_fraction, Rng& rng) {
+  WNF_EXPECTS(train_fraction > 0.0 && train_fraction < 1.0);
+  const auto perm = rng.permutation(dataset.size());
+  const std::size_t train_count = static_cast<std::size_t>(
+      std::round(train_fraction * static_cast<double>(dataset.size())));
+  Dataset train;
+  Dataset test;
+  train.dim = test.dim = dataset.dim;
+  for (std::size_t n = 0; n < perm.size(); ++n) {
+    Dataset& bucket = n < train_count ? train : test;
+    bucket.inputs.push_back(dataset.inputs[perm[n]]);
+    bucket.labels.push_back(dataset.labels[perm[n]]);
+  }
+  return {std::move(train), std::move(test)};
+}
+
+}  // namespace wnf::data

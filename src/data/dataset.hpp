@@ -1,0 +1,42 @@
+// Sampled datasets over [0,1]^d: the learning sets for training networks and
+// the evaluation grids over which sup-errors (the paper's epsilon, epsilon')
+// are estimated.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "data/target_functions.hpp"
+#include "util/rng.hpp"
+
+namespace wnf::data {
+
+/// A supervised regression dataset: inputs in [0,1]^dim, scalar labels.
+struct Dataset {
+  std::size_t dim = 0;
+  std::vector<std::vector<double>> inputs;
+  std::vector<double> labels;
+
+  std::size_t size() const { return inputs.size(); }
+};
+
+/// `count` i.i.d. uniform samples labelled by `target`.
+Dataset sample_uniform(const TargetFunction& target, std::size_t count,
+                       Rng& rng);
+
+/// Full tensor-product grid with `points_per_axis` nodes per axis (use small
+/// dims only: size = points_per_axis^dim), labelled by `target`.
+Dataset sample_grid(const TargetFunction& target, std::size_t points_per_axis);
+
+/// Latin-hypercube-style stratified sample: one point per stratum per axis,
+/// better sup-error coverage than i.i.d. at equal budget.
+Dataset sample_stratified(const TargetFunction& target, std::size_t count,
+                          Rng& rng);
+
+/// Splits `dataset` into (train, test) with `train_fraction` in (0,1); the
+/// split is a seeded permutation, not order-dependent.
+std::pair<Dataset, Dataset> split(const Dataset& dataset,
+                                  double train_fraction, Rng& rng);
+
+}  // namespace wnf::data

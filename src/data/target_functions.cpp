@@ -1,0 +1,92 @@
+#include "data/target_functions.hpp"
+
+#include <cmath>
+
+#include "util/contract.hpp"
+
+namespace wnf::data {
+namespace {
+constexpr double kPi = 3.14159265358979323846;
+}
+
+TargetFunction::TargetFunction(std::string name, std::size_t dim, Fn fn)
+    : name_(std::move(name)), dim_(dim), fn_(std::move(fn)) {
+  WNF_EXPECTS(dim_ > 0);
+  WNF_EXPECTS(fn_ != nullptr);
+}
+
+double TargetFunction::operator()(std::span<const double> x) const {
+  WNF_EXPECTS(x.size() == dim_);
+  const double value = fn_(x);
+  WNF_ENSURES(value >= -1e-9 && value <= 1.0 + 1e-9);
+  return value;
+}
+
+TargetFunction make_sine_ridge(std::size_t dim) {
+  return TargetFunction("sine_ridge", dim, [dim](std::span<const double> x) {
+    double projection = 0.0;
+    for (std::size_t i = 0; i < dim; ++i) {
+      projection += x[i] / static_cast<double>(dim);
+    }
+    return 0.5 + 0.5 * std::sin(2.0 * kPi * projection);
+  });
+}
+
+TargetFunction make_gaussian_bump(std::size_t dim) {
+  return TargetFunction("gaussian_bump", dim, [dim](std::span<const double> x) {
+    double sq = 0.0;
+    for (std::size_t i = 0; i < dim; ++i) {
+      const double centered = x[i] - 0.5;
+      sq += centered * centered;
+    }
+    // Width chosen so the bump decays visibly inside the cube at any d.
+    return std::exp(-8.0 * sq / static_cast<double>(dim));
+  });
+}
+
+TargetFunction make_product(std::size_t dim) {
+  return TargetFunction("product", dim, [dim](std::span<const double> x) {
+    double prod = 1.0;
+    for (std::size_t i = 0; i < dim; ++i) prod *= x[i];
+    return prod;
+  });
+}
+
+TargetFunction make_mean(std::size_t dim) {
+  return TargetFunction("mean", dim, [dim](std::span<const double> x) {
+    double sum = 0.0;
+    for (std::size_t i = 0; i < dim; ++i) sum += x[i];
+    return sum / static_cast<double>(dim);
+  });
+}
+
+TargetFunction make_smooth_step(std::size_t dim) {
+  return TargetFunction("smooth_step", dim, [](std::span<const double> x) {
+    return 1.0 / (1.0 + std::exp(-12.0 * (x[0] - 0.5)));
+  });
+}
+
+TargetFunction make_oscillation(std::size_t dim, double frequency) {
+  WNF_EXPECTS(frequency > 0.0);
+  return TargetFunction(
+      "oscillation", dim, [dim, frequency](std::span<const double> x) {
+        double value = 1.0;
+        for (std::size_t i = 0; i < dim; ++i) {
+          value *= 0.5 + 0.5 * std::cos(2.0 * kPi * frequency * x[i]);
+        }
+        return value;
+      });
+}
+
+std::vector<TargetFunction> standard_catalogue(std::size_t dim) {
+  std::vector<TargetFunction> catalogue;
+  catalogue.push_back(make_mean(dim));
+  catalogue.push_back(make_sine_ridge(dim));
+  catalogue.push_back(make_gaussian_bump(dim));
+  catalogue.push_back(make_product(dim));
+  catalogue.push_back(make_smooth_step(dim));
+  catalogue.push_back(make_oscillation(dim));
+  return catalogue;
+}
+
+}  // namespace wnf::data

@@ -1,0 +1,60 @@
+// Concrete target functions F : [0,1]^d -> [0,1].
+//
+// The paper's Definition 1 approximates a continuous F on the unit cube; the
+// universality theorem guarantees a network exists for any such F. For the
+// experiments we need explicit, cheap, continuous targets of known shape; the
+// catalogue below covers the qualitative families used in fault-tolerance
+// studies (smooth ridge, localized bump, multiplicative interaction,
+// near-linear, oscillatory).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace wnf::data {
+
+/// A continuous scalar field on the unit cube with descriptive metadata.
+class TargetFunction {
+ public:
+  using Fn = std::function<double(std::span<const double>)>;
+
+  /// `name` labels experiment output; `dim` is the input dimension d;
+  /// `fn` must map [0,1]^dim into [0,1].
+  TargetFunction(std::string name, std::size_t dim, Fn fn);
+
+  double operator()(std::span<const double> x) const;
+
+  const std::string& name() const { return name_; }
+  std::size_t dim() const { return dim_; }
+
+ private:
+  std::string name_;
+  std::size_t dim_;
+  Fn fn_;
+};
+
+/// sin-ridge: 0.5 + 0.5 sin(2*pi*<a, x>) rescaled into [0,1].
+TargetFunction make_sine_ridge(std::size_t dim);
+
+/// Gaussian bump centred at the cube midpoint.
+TargetFunction make_gaussian_bump(std::size_t dim);
+
+/// Product interaction: prod_i x_i (already in [0,1]).
+TargetFunction make_product(std::size_t dim);
+
+/// Affine mean: (1/d) sum_i x_i (near-linear easy target).
+TargetFunction make_mean(std::size_t dim);
+
+/// Smooth two-plateau step along the first coordinate (logistic ramp).
+TargetFunction make_smooth_step(std::size_t dim);
+
+/// Oscillatory checkerboard-like target (hardest in the catalogue).
+TargetFunction make_oscillation(std::size_t dim, double frequency = 2.0);
+
+/// The full catalogue at dimension `dim`, in a fixed order.
+std::vector<TargetFunction> standard_catalogue(std::size_t dim);
+
+}  // namespace wnf::data

@@ -1,0 +1,94 @@
+#include "fault/campaign.hpp"
+
+#include <mutex>
+
+#include "util/contract.hpp"
+#include "util/thread_pool.hpp"
+
+namespace wnf::fault {
+namespace {
+
+std::vector<std::vector<double>> random_probes(std::size_t count,
+                                               std::size_t dim, Rng& rng) {
+  std::vector<std::vector<double>> probes(count);
+  for (auto& probe : probes) {
+    probe.resize(dim);
+    for (double& coordinate : probe) coordinate = rng.uniform();
+  }
+  return probes;
+}
+
+}  // namespace
+
+CampaignResult run_campaign(const nn::FeedForwardNetwork& net,
+                            std::span<const std::size_t> counts,
+                            const CampaignConfig& config,
+                            const theory::FepOptions& fep_options) {
+  WNF_EXPECTS(config.trials > 0);
+  WNF_EXPECTS(config.probes_per_trial > 0);
+  const bool synapse_attack =
+      config.attack == AttackKind::kRandomSynapseByzantine;
+  WNF_EXPECTS(counts.size() ==
+              net.layer_count() + (synapse_attack ? 1 : 0));
+
+  const auto prof = theory::profile(net, fep_options);
+  CampaignResult result;
+  result.fep_bound =
+      synapse_attack
+          ? theory::synapse_error_bound(prof, counts, fep_options)
+          : theory::forward_error_propagation(prof, counts, fep_options);
+
+  // Per-trial RNG streams derived from the seed keep trials independent of
+  // thread scheduling.
+  Rng seeder(config.seed);
+  std::vector<Rng> trial_rngs;
+  trial_rngs.reserve(config.trials);
+  for (std::size_t t = 0; t < config.trials; ++t) {
+    trial_rngs.push_back(seeder.split());
+  }
+
+  std::vector<double> trial_errors(config.trials, 0.0);
+  const std::vector<std::size_t> counts_copy(counts.begin(), counts.end());
+  parallel_for(0, config.trials, [&](std::size_t t) {
+    Rng rng = trial_rngs[t];
+    Injector injector(net);
+    const auto probes =
+        random_probes(config.probes_per_trial, net.input_dim(), rng);
+    FaultPlan plan;
+    switch (config.attack) {
+      case AttackKind::kRandomCrash:
+        plan = random_crash_plan(net, counts_copy, rng);
+        break;
+      case AttackKind::kTopWeightCrash:
+        plan = top_weight_crash_plan(net, counts_copy);
+        break;
+      case AttackKind::kGreedyCrash:
+        plan = greedy_worst_crash_plan(net, counts_copy, probes);
+        break;
+      case AttackKind::kRandomByzantine:
+        plan = random_byzantine_plan(net, counts_copy, config.capacity, rng);
+        break;
+      case AttackKind::kGradientByzantine: {
+        // Direct the attack at the first probe; evaluate over all probes.
+        plan = gradient_directed_byzantine_plan(
+            net, counts_copy, config.capacity,
+            {probes.front().data(), probes.front().size()});
+        break;
+      }
+      case AttackKind::kRandomSynapseByzantine:
+        plan = random_synapse_byzantine_plan(net, counts_copy,
+                                             config.capacity, rng);
+        break;
+    }
+    trial_errors[t] = injector.worst_output_error(
+        plan, {probes.data(), probes.size()});
+  });
+
+  Accumulator acc;
+  for (double error : trial_errors) acc.add(error);
+  result.per_trial_worst = acc.summary();
+  result.observed_max = acc.summary().max;
+  return result;
+}
+
+}  // namespace wnf::fault

@@ -1,0 +1,50 @@
+// Monte-Carlo fault-injection campaigns: many independent trials, each with
+// a fresh victim set and probe inputs, summarised against the analytic
+// bound. Trials parallelise over the thread pool; per-trial RNG streams are
+// split from the campaign seed, so results are independent of scheduling.
+#pragma once
+
+#include <functional>
+
+#include "core/fep.hpp"
+#include "fault/adversary.hpp"
+#include "fault/injector.hpp"
+#include "util/stats.hpp"
+
+namespace wnf::fault {
+
+enum class AttackKind {
+  kRandomCrash,
+  kTopWeightCrash,
+  kGreedyCrash,
+  kRandomByzantine,
+  kGradientByzantine,
+  kRandomSynapseByzantine,  ///< counts must then have size L+1
+};
+
+struct CampaignConfig {
+  AttackKind attack = AttackKind::kRandomCrash;
+  std::size_t trials = 100;
+  std::size_t probes_per_trial = 32;  ///< random inputs evaluated per trial
+  double capacity = 1.0;              ///< C for Byzantine attacks
+  std::uint64_t seed = 42;
+};
+
+struct CampaignResult {
+  Summary per_trial_worst;  ///< distribution of each trial's worst |error|
+  double observed_max = 0.0;
+  double fep_bound = 0.0;   ///< Theorem 2/4 bound for the fault counts
+  double tightness() const {
+    return fep_bound > 0.0 ? observed_max / fep_bound : 0.0;
+  }
+};
+
+/// Runs `config.trials` independent trials of `config.attack` with the
+/// per-layer fault `counts` (size L, or L+1 for synapse attacks) against
+/// `net`, and computes the matching analytic bound via `fep_options`.
+CampaignResult run_campaign(const nn::FeedForwardNetwork& net,
+                            std::span<const std::size_t> counts,
+                            const CampaignConfig& config,
+                            const theory::FepOptions& fep_options);
+
+}  // namespace wnf::fault

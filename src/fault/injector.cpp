@@ -1,0 +1,88 @@
+#include "fault/injector.hpp"
+
+#include <cmath>
+
+#include "util/contract.hpp"
+
+namespace wnf::fault {
+
+Injector::Injector(const nn::FeedForwardNetwork& net) : net_(net) {}
+
+double Injector::nominal(std::span<const double> x) {
+  return net_.evaluate(x, workspace_);
+}
+
+double Injector::damaged(const FaultPlan& plan, std::span<const double> x) {
+  if (plan.empty()) return nominal(x);
+
+  // Byzantine neuron perturbations are defined relative to the nominal
+  // activations, so compute the clean trace first when needed.
+  nn::ForwardTrace nominal_trace;
+  const bool needs_trace =
+      plan.has_byzantine_neurons() &&
+      plan.convention == theory::CapacityConvention::kPerturbationBound;
+  if (needs_trace) nominal_trace = net_.forward_trace(x);
+
+  nn::ForwardHooks hooks;
+  hooks.post_activation = [&](std::size_t l, std::span<double> y) {
+    for (const auto& fault : plan.neurons) {
+      if (fault.layer != l) continue;
+      switch (fault.kind) {
+        case NeuronFaultKind::kCrash:
+          y[fault.neuron] = 0.0;  // Definition 2: peers read 0
+          break;
+        case NeuronFaultKind::kByzantine:
+          if (plan.convention ==
+              theory::CapacityConvention::kPerturbationBound) {
+            // activations[l] is y^(l) (index 0 holds the input X).
+            y[fault.neuron] =
+                nominal_trace.activations[l][fault.neuron] + fault.value;
+          } else {
+            y[fault.neuron] = fault.value;
+          }
+          break;
+        case NeuronFaultKind::kStuckAt:
+          y[fault.neuron] = fault.value;  // frozen output
+          break;
+      }
+    }
+  };
+  hooks.pre_activation = [&](std::size_t l, std::span<const double> y_prev,
+                             std::span<double> s) {
+    for (const auto& fault : plan.synapses) {
+      if (fault.layer != l) continue;
+      const double weight =
+          l <= net_.layer_count()
+              ? net_.layer(l).weights()(fault.to, fault.from)
+              : net_.output_weights()[fault.from];
+      switch (fault.kind) {
+        case SynapseFaultKind::kCrash:
+          // Weight-0 view: remove the contribution this synapse delivered.
+          s[fault.to] -= weight * y_prev[fault.from];
+          break;
+        case SynapseFaultKind::kByzantine:
+          // Transmits w * (y + value) instead of w * y.
+          s[fault.to] += weight * fault.value;
+          break;
+      }
+    }
+  };
+  return net_.evaluate_hooked(x, hooks, workspace_);
+}
+
+double Injector::output_error(const FaultPlan& plan,
+                              std::span<const double> x) {
+  return std::fabs(nominal(x) - damaged(plan, x));
+}
+
+double Injector::worst_output_error(
+    const FaultPlan& plan, std::span<const std::vector<double>> inputs) {
+  WNF_EXPECTS(!inputs.empty());
+  double worst = 0.0;
+  for (const auto& x : inputs) {
+    worst = std::max(worst, output_error(plan, {x.data(), x.size()}));
+  }
+  return worst;
+}
+
+}  // namespace wnf::fault

@@ -1,0 +1,40 @@
+// Executes fault plans: turns a FaultPlan into ForwardHooks and evaluates
+// the damaged network. This is the experimental counterpart of Fep — the
+// "costly experiment" path the paper contrasts with its analytic bound.
+#pragma once
+
+#include <span>
+
+#include "fault/plan.hpp"
+#include "nn/network.hpp"
+
+namespace wnf::fault {
+
+/// Stateful evaluator bound to one network. Reusable across plans/inputs;
+/// not thread-safe (one Injector per worker in parallel campaigns).
+class Injector {
+ public:
+  explicit Injector(const nn::FeedForwardNetwork& net);
+
+  /// Nominal (undamaged) output for `x`.
+  double nominal(std::span<const double> x);
+
+  /// Output with `plan`'s faults applied. Byzantine neuron faults under the
+  /// perturbation convention are applied relative to the *nominal* trace
+  /// (the faulty neuron overrides its output; it does not relay upstream
+  /// damage — matching Theorem 2's worst-case model).
+  double damaged(const FaultPlan& plan, std::span<const double> x);
+
+  /// |nominal - damaged| for `x`.
+  double output_error(const FaultPlan& plan, std::span<const double> x);
+
+  /// max over `inputs` of output_error.
+  double worst_output_error(const FaultPlan& plan,
+                            std::span<const std::vector<double>> inputs);
+
+ private:
+  const nn::FeedForwardNetwork& net_;
+  nn::Workspace workspace_;
+};
+
+}  // namespace wnf::fault

@@ -1,0 +1,49 @@
+// Fault taxonomy (paper Definition 2 and Section II-A):
+//   - crashed neuron: stops sending; peers read y = 0
+//   - Byzantine neuron: sends arbitrary values, limited only by the
+//     synaptic transmission capacity C (Assumption 1)
+//   - crashed synapse: stops transmitting; equivalent to weight 0
+//   - Byzantine synapse: applies its weight to a corrupted incoming value
+// The failure of any component is independent of any other.
+#pragma once
+
+#include <cstddef>
+
+namespace wnf::fault {
+
+enum class NeuronFaultKind {
+  kCrash,      ///< stops sending; peers read 0
+  kByzantine,  ///< arbitrary value within capacity
+  kStuckAt,    ///< keeps sending a frozen value in [0, 1] (saturated or
+               ///< latched neuron). Since |stuck - y| <= sup phi = 1, the
+               ///< crash-mode Fep (C = 1) covers stuck-at faults too.
+};
+
+/// One failing neuron. For kByzantine, `value` is interpreted per the
+/// plan's capacity convention: under kPerturbationBound it is the
+/// perturbation lambda added to the nominal output (|value| <= C); under
+/// kTransmittedValueBound it is the absolute transmitted value
+/// (|value| <= C). For kStuckAt it is the frozen output in [0, 1].
+/// Ignored for crashes.
+struct NeuronFault {
+  std::size_t layer = 0;   ///< 1..L (paper indexing; inputs cannot fail)
+  std::size_t neuron = 0;  ///< 0-based index within the layer
+  NeuronFaultKind kind = NeuronFaultKind::kCrash;
+  double value = 0.0;
+};
+
+enum class SynapseFaultKind { kCrash, kByzantine };
+
+/// One failing synapse, identified by its *receiving* layer (1..L+1, where
+/// L+1 is the output synapse set — part of the network per Fig. 1).
+/// Byzantine: the synapse transmits w * (y + value) instead of w * y, with
+/// |value| <= C. Crash: transmits nothing (weight-0 view).
+struct SynapseFault {
+  std::size_t layer = 0;  ///< receiving layer, 1..L+1
+  std::size_t to = 0;     ///< receiving neuron (0 when layer == L+1)
+  std::size_t from = 0;   ///< sending neuron in layer-1
+  SynapseFaultKind kind = SynapseFaultKind::kCrash;
+  double value = 0.0;
+};
+
+}  // namespace wnf::fault

@@ -1,0 +1,61 @@
+#include "fault/refined_bound.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "util/contract.hpp"
+
+namespace wnf::fault {
+
+double interval_error_bound(const nn::FeedForwardNetwork& net,
+                            const FaultPlan& plan,
+                            const theory::FepOptions& options) {
+  WNF_EXPECTS(plan.synapses.empty());
+  validate_plan(plan, net);
+  const auto prof = theory::profile(net, options);
+  const double capacity = theory::effective_capacity(prof, options);
+
+  // Victim mask per layer.
+  std::vector<std::vector<bool>> victim(net.layer_count());
+  for (std::size_t l = 1; l <= net.layer_count(); ++l) {
+    victim[l - 1].assign(net.layer_width(l), false);
+  }
+  for (const auto& fault : plan.neurons) {
+    victim[fault.layer - 1][fault.neuron] = true;
+  }
+
+  const double k = net.activation().lipschitz();
+  std::vector<double> error(net.input_dim(), 0.0);  // inputs are clients
+  std::vector<double> next;
+  for (std::size_t l = 1; l <= net.layer_count(); ++l) {
+    const auto& layer = net.layer(l);
+    next.assign(layer.out_size(), 0.0);
+    for (std::size_t j = 0; j < layer.out_size(); ++j) {
+      if (victim[l - 1][j]) {
+        // A faulty neuron's output error is capped by the capacity; it
+        // does not additionally relay upstream damage (Theorem 2's model).
+        next[j] = capacity;
+        continue;
+      }
+      double incoming = 0.0;
+      for (std::size_t i = 0; i < layer.in_size(); ++i) {
+        incoming += std::fabs(layer.weights()(j, i)) * error[i];
+      }
+      next[j] = k * incoming;
+    }
+    error = next;
+  }
+  double bound = 0.0;
+  for (std::size_t i = 0; i < net.output_weights().size(); ++i) {
+    bound += std::fabs(net.output_weights()[i]) * error[i];
+  }
+  return bound;
+}
+
+double fep_for_plan(const nn::FeedForwardNetwork& net,
+                    const FaultPlan& plan, const theory::FepOptions& options) {
+  const auto counts = plan.neuron_counts(net.layer_count());
+  return theory::forward_error_propagation(theory::profile(net, options), counts, options);
+}
+
+}  // namespace wnf::fault

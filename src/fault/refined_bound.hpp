@@ -1,0 +1,41 @@
+// Victim-specific refined error bound (interval propagation).
+//
+// The paper's introduction stresses that "unlike process failures in
+// traditional distributed computing that all have the same effect, neuron
+// failures do not: they are weighted." Fep (Theorem 2) collapses all
+// weights into per-layer maxima w^(l)_m — the right object for an a-priori
+// certificate over ALL victim sets of a given shape. When the victim set is
+// KNOWN (e.g., diagnosing a concrete deployment, or pricing the loss of a
+// specific component), a sharper bound follows by propagating per-neuron
+// error intervals through the actual |weights|:
+//
+//   e^(l)_j = C                                  if neuron j of layer l fails
+//           = K * sum_i |w^(l)_{ji}| e^(l-1)_i   otherwise
+//   bound   = sum_i |w^(L+1)_i| e^(L)_i
+//
+// This dominates the measured error for the same reasons Theorem 2 does,
+// and never exceeds Fep evaluated at the victim counts (each |w| <= w_m and
+// each sum has at most `carriers` nonzero terms). The gap between the two
+// is the price of the universal quantifier — quantified by
+// bench_interval_refinement.
+#pragma once
+
+#include "core/fep.hpp"
+#include "fault/plan.hpp"
+
+namespace wnf::fault {
+
+/// Refined output-error bound for the concrete victim set in `plan`
+/// (neuron faults only; synapse faults in the plan are rejected —
+/// use synapse_error_bound for those). `options` supplies the failure
+/// mode/capacity exactly as for Fep.
+double interval_error_bound(const nn::FeedForwardNetwork& net,
+                            const FaultPlan& plan,
+                            const theory::FepOptions& options);
+
+/// Convenience: the Fep bound for the same plan's per-layer counts, for
+/// side-by-side reporting.
+double fep_for_plan(const nn::FeedForwardNetwork& net,
+                    const FaultPlan& plan, const theory::FepOptions& options);
+
+}  // namespace wnf::fault

@@ -1,0 +1,67 @@
+#include "nn/batch.hpp"
+
+#include <cmath>
+
+#include "tensor/ops.hpp"
+#include "util/contract.hpp"
+
+namespace wnf::nn {
+
+std::vector<double> evaluate_batch(
+    const FeedForwardNetwork& net,
+    const std::vector<std::vector<double>>& inputs) {
+  if (inputs.empty()) return {};
+  const std::size_t n = inputs.size();
+  // Activations as an n x width matrix, rebuilt layer by layer.
+  Matrix current(n, net.input_dim());
+  for (std::size_t r = 0; r < n; ++r) {
+    WNF_EXPECTS(inputs[r].size() == net.input_dim());
+    for (std::size_t c = 0; c < net.input_dim(); ++c) {
+      current(r, c) = inputs[r][c];
+    }
+  }
+  Matrix pre;
+  for (std::size_t l = 1; l <= net.layer_count(); ++l) {
+    const auto& layer = net.layer(l);
+    // pre = current * W^T  (row r = s^(l) for sample r).
+    gemm(current, layer.weights().transposed(), pre);
+    Matrix next(n, layer.out_size());
+    for (std::size_t r = 0; r < n; ++r) {
+      for (std::size_t j = 0; j < layer.out_size(); ++j) {
+        next(r, j) = net.activation().value(pre(r, j) + layer.bias()[j]);
+      }
+    }
+    current = std::move(next);
+  }
+  std::vector<double> outputs(n);
+  for (std::size_t r = 0; r < n; ++r) {
+    outputs[r] = dot(current.row(r), {net.output_weights().data(),
+                                      net.output_weights().size()}) +
+                 net.output_bias();
+  }
+  return outputs;
+}
+
+double mse_batch(const FeedForwardNetwork& net, const data::Dataset& dataset) {
+  WNF_EXPECTS(dataset.size() > 0);
+  const auto outputs = evaluate_batch(net, dataset.inputs);
+  double total = 0.0;
+  for (std::size_t r = 0; r < outputs.size(); ++r) {
+    const double diff = outputs[r] - dataset.labels[r];
+    total += diff * diff;
+  }
+  return total / static_cast<double>(outputs.size());
+}
+
+double sup_error_batch(const FeedForwardNetwork& net,
+                       const data::Dataset& dataset) {
+  WNF_EXPECTS(dataset.size() > 0);
+  const auto outputs = evaluate_batch(net, dataset.inputs);
+  double worst = 0.0;
+  for (std::size_t r = 0; r < outputs.size(); ++r) {
+    worst = std::max(worst, std::fabs(outputs[r] - dataset.labels[r]));
+  }
+  return worst;
+}
+
+}  // namespace wnf::nn

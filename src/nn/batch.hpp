@@ -1,0 +1,26 @@
+// Batched evaluation: run many inputs through the network as matrix-matrix
+// products (one gemm per layer) instead of per-sample gemv loops. Used by
+// the sup-error estimators and campaigns where the probe set is large; the
+// result is bit-identical in structure to the per-sample path (same
+// summation order per output) and validated against it in tests.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "data/dataset.hpp"
+#include "nn/network.hpp"
+
+namespace wnf::nn {
+
+/// Evaluates `net` on every row of `inputs` (size n x d). Returns n outputs.
+std::vector<double> evaluate_batch(
+    const FeedForwardNetwork& net,
+    const std::vector<std::vector<double>>& inputs);
+
+/// Batched counterpart of loss.hpp's estimators (same semantics).
+double mse_batch(const FeedForwardNetwork& net, const data::Dataset& dataset);
+double sup_error_batch(const FeedForwardNetwork& net,
+                       const data::Dataset& dataset);
+
+}  // namespace wnf::nn

@@ -1,0 +1,52 @@
+#include "nn/builder.hpp"
+
+#include "util/contract.hpp"
+
+namespace wnf::nn {
+
+NetworkBuilder::NetworkBuilder(std::size_t input_dim) : input_dim_(input_dim) {
+  WNF_EXPECTS(input_dim > 0);
+}
+
+NetworkBuilder& NetworkBuilder::hidden(std::size_t width) {
+  WNF_EXPECTS(width > 0);
+  widths_.push_back(width);
+  return *this;
+}
+
+NetworkBuilder& NetworkBuilder::hidden_layers(
+    const std::vector<std::size_t>& widths) {
+  for (std::size_t width : widths) hidden(width);
+  return *this;
+}
+
+NetworkBuilder& NetworkBuilder::activation(ActivationKind kind, double k) {
+  activation_ = Activation(kind, k);
+  return *this;
+}
+
+NetworkBuilder& NetworkBuilder::init(InitKind kind, double scale) {
+  init_kind_ = kind;
+  init_scale_ = scale;
+  return *this;
+}
+
+FeedForwardNetwork NetworkBuilder::build(Rng& rng) const {
+  WNF_EXPECTS(!widths_.empty());
+  std::vector<DenseLayer> hidden;
+  hidden.reserve(widths_.size());
+  std::size_t prev = input_dim_;
+  for (std::size_t width : widths_) {
+    DenseLayer layer(width, prev);
+    initialize(layer, init_kind_, init_scale_, rng);
+    hidden.push_back(std::move(layer));
+    prev = width;
+  }
+  std::vector<double> output_weights(prev);
+  initialize({output_weights.data(), output_weights.size()}, init_kind_,
+             init_scale_, rng);
+  return FeedForwardNetwork(input_dim_, std::move(hidden),
+                            std::move(output_weights), 0.0, activation_);
+}
+
+}  // namespace wnf::nn

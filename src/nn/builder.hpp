@@ -1,0 +1,46 @@
+// Fluent construction of FeedForwardNetwork instances.
+//
+//   auto net = NetworkBuilder(/*input_dim=*/2)
+//                  .activation(ActivationKind::kSigmoid, /*K=*/1.0)
+//                  .hidden(16).hidden(16)
+//                  .init(InitKind::kScaledUniform, 1.0)
+//                  .build(rng);
+#pragma once
+
+#include <vector>
+
+#include "nn/activation.hpp"
+#include "nn/init.hpp"
+#include "nn/network.hpp"
+#include "util/rng.hpp"
+
+namespace wnf::nn {
+
+class NetworkBuilder {
+ public:
+  explicit NetworkBuilder(std::size_t input_dim);
+
+  /// Appends a hidden layer of `width` neurons.
+  NetworkBuilder& hidden(std::size_t width);
+
+  /// Appends several hidden layers at once.
+  NetworkBuilder& hidden_layers(const std::vector<std::size_t>& widths);
+
+  /// Shared activation for all hidden layers (default: sigmoid, K = 1/4).
+  NetworkBuilder& activation(ActivationKind kind, double k);
+
+  /// Weight initialisation scheme (default: kScaledUniform, scale 1).
+  NetworkBuilder& init(InitKind kind, double scale);
+
+  /// Builds the network, drawing weights from `rng`.
+  FeedForwardNetwork build(Rng& rng) const;
+
+ private:
+  std::size_t input_dim_;
+  std::vector<std::size_t> widths_;
+  Activation activation_{ActivationKind::kSigmoid, 0.25};
+  InitKind init_kind_ = InitKind::kScaledUniform;
+  double init_scale_ = 1.0;
+};
+
+}  // namespace wnf::nn

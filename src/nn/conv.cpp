@@ -1,0 +1,69 @@
+#include "nn/conv.hpp"
+
+#include "util/contract.hpp"
+
+namespace wnf::nn {
+
+std::size_t Conv1DSpec::out_size() const {
+  WNF_EXPECTS(valid());
+  return (in_size - kernel) / stride + 1;
+}
+
+bool Conv1DSpec::valid() const {
+  return in_size > 0 && kernel > 0 && kernel <= in_size && stride > 0;
+}
+
+DenseLayer make_conv1d(const Conv1DSpec& spec,
+                       std::span<const double> kernel_values,
+                       double shared_bias) {
+  WNF_EXPECTS(spec.valid());
+  WNF_EXPECTS(kernel_values.size() == spec.kernel);
+  DenseLayer layer(spec.out_size(), spec.in_size);
+  for (std::size_t j = 0; j < spec.out_size(); ++j) {
+    const std::size_t start = j * spec.stride;
+    for (std::size_t k = 0; k < spec.kernel; ++k) {
+      layer.weights()(j, start + k) = kernel_values[k];
+    }
+    layer.bias()[j] = shared_bias;
+  }
+  layer.set_receptive_field(spec.kernel);
+  return layer;
+}
+
+void project_shared_kernel(DenseLayer& layer, const Conv1DSpec& spec) {
+  const auto kernel = extract_kernel(layer, spec);
+  double bias_mean = 0.0;
+  for (std::size_t j = 0; j < spec.out_size(); ++j) {
+    bias_mean += layer.bias()[j];
+  }
+  bias_mean /= static_cast<double>(spec.out_size());
+  // Zero everything, then re-stamp the averaged kernel at each position.
+  for (double& w : layer.weights().flat()) w = 0.0;
+  for (std::size_t j = 0; j < spec.out_size(); ++j) {
+    const std::size_t start = j * spec.stride;
+    for (std::size_t k = 0; k < spec.kernel; ++k) {
+      layer.weights()(j, start + k) = kernel[k];
+    }
+    layer.bias()[j] = bias_mean;
+  }
+}
+
+std::vector<double> extract_kernel(const DenseLayer& layer,
+                                   const Conv1DSpec& spec) {
+  WNF_EXPECTS(spec.valid());
+  WNF_EXPECTS(layer.in_size() == spec.in_size);
+  WNF_EXPECTS(layer.out_size() == spec.out_size());
+  std::vector<double> kernel(spec.kernel, 0.0);
+  for (std::size_t j = 0; j < spec.out_size(); ++j) {
+    const std::size_t start = j * spec.stride;
+    for (std::size_t k = 0; k < spec.kernel; ++k) {
+      kernel[k] += layer.weights()(j, start + k);
+    }
+  }
+  for (double& value : kernel) {
+    value /= static_cast<double>(spec.out_size());
+  }
+  return kernel;
+}
+
+}  // namespace wnf::nn

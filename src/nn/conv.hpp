@@ -1,0 +1,42 @@
+// Convolutional layers in the paper's Section-VI reading: a conv net is a
+// feed-forward net whose synapse block is (a) sparse — zero outside each
+// neuron's receptive field — and (b) weight-shared — the R(l) kernel values
+// repeat across positions. We materialise that block as a DenseLayer with
+// the receptive field recorded, so every theory and fault code path applies
+// unchanged while the conv-aware bound can exploit R(l).
+#pragma once
+
+#include <span>
+
+#include "nn/layer.hpp"
+
+namespace wnf::nn {
+
+/// 1-D convolution description. Output width = (in - kernel)/stride + 1.
+struct Conv1DSpec {
+  std::size_t in_size = 0;
+  std::size_t kernel = 0;
+  std::size_t stride = 1;
+
+  std::size_t out_size() const;
+  bool valid() const;
+};
+
+/// Builds the dense realisation of a 1-D convolution with shared kernel
+/// `kernel_values` (size spec.kernel) and a single shared bias. The returned
+/// layer has receptive_field() == spec.kernel.
+DenseLayer make_conv1d(const Conv1DSpec& spec,
+                       std::span<const double> kernel_values,
+                       double shared_bias);
+
+/// Re-imposes weight sharing on a conv-shaped layer after a gradient step:
+/// every position's kernel slot is reset to the average of that slot across
+/// positions (projected gradient descent onto the shared-weight manifold).
+void project_shared_kernel(DenseLayer& layer, const Conv1DSpec& spec);
+
+/// Extracts the R(l) shared kernel values from a conv-shaped layer (averages
+/// across positions, exact if sharing holds).
+std::vector<double> extract_kernel(const DenseLayer& layer,
+                                   const Conv1DSpec& spec);
+
+}  // namespace wnf::nn

@@ -1,0 +1,99 @@
+#include "nn/conv2d.hpp"
+
+#include "util/contract.hpp"
+
+namespace wnf::nn {
+
+bool Conv2DSpec::valid() const {
+  return in_height > 0 && in_width > 0 && kernel_h > 0 && kernel_w > 0 &&
+         kernel_h <= in_height && kernel_w <= in_width && stride_h > 0 &&
+         stride_w > 0;
+}
+
+std::size_t Conv2DSpec::out_height() const {
+  WNF_EXPECTS(valid());
+  return (in_height - kernel_h) / stride_h + 1;
+}
+
+std::size_t Conv2DSpec::out_width() const {
+  WNF_EXPECTS(valid());
+  return (in_width - kernel_w) / stride_w + 1;
+}
+
+std::size_t Conv2DSpec::in_index(std::size_t r, std::size_t c) const {
+  WNF_ASSERT(r < in_height && c < in_width);
+  return r * in_width + c;
+}
+
+std::size_t Conv2DSpec::out_index(std::size_t r, std::size_t c) const {
+  WNF_ASSERT(r < out_height() && c < out_width());
+  return r * out_width() + c;
+}
+
+DenseLayer make_conv2d(const Conv2DSpec& spec, std::span<const double> kernel,
+                       double shared_bias) {
+  WNF_EXPECTS(spec.valid());
+  WNF_EXPECTS(kernel.size() == spec.receptive_field());
+  DenseLayer layer(spec.out_size(), spec.in_size());
+  for (std::size_t orow = 0; orow < spec.out_height(); ++orow) {
+    for (std::size_t ocol = 0; ocol < spec.out_width(); ++ocol) {
+      const std::size_t j = spec.out_index(orow, ocol);
+      for (std::size_t kr = 0; kr < spec.kernel_h; ++kr) {
+        for (std::size_t kc = 0; kc < spec.kernel_w; ++kc) {
+          const std::size_t i = spec.in_index(orow * spec.stride_h + kr,
+                                              ocol * spec.stride_w + kc);
+          layer.weights()(j, i) = kernel[kr * spec.kernel_w + kc];
+        }
+      }
+      layer.bias()[j] = shared_bias;
+    }
+  }
+  layer.set_receptive_field(spec.receptive_field());
+  return layer;
+}
+
+std::vector<double> extract_kernel2d(const DenseLayer& layer,
+                                     const Conv2DSpec& spec) {
+  WNF_EXPECTS(spec.valid());
+  WNF_EXPECTS(layer.in_size() == spec.in_size());
+  WNF_EXPECTS(layer.out_size() == spec.out_size());
+  std::vector<double> kernel(spec.receptive_field(), 0.0);
+  for (std::size_t orow = 0; orow < spec.out_height(); ++orow) {
+    for (std::size_t ocol = 0; ocol < spec.out_width(); ++ocol) {
+      const std::size_t j = spec.out_index(orow, ocol);
+      for (std::size_t kr = 0; kr < spec.kernel_h; ++kr) {
+        for (std::size_t kc = 0; kc < spec.kernel_w; ++kc) {
+          const std::size_t i = spec.in_index(orow * spec.stride_h + kr,
+                                              ocol * spec.stride_w + kc);
+          kernel[kr * spec.kernel_w + kc] += layer.weights()(j, i);
+        }
+      }
+    }
+  }
+  const double positions = static_cast<double>(spec.out_size());
+  for (double& value : kernel) value /= positions;
+  return kernel;
+}
+
+void project_shared_kernel2d(DenseLayer& layer, const Conv2DSpec& spec) {
+  const auto kernel = extract_kernel2d(layer, spec);
+  double bias_mean = 0.0;
+  for (std::size_t j = 0; j < spec.out_size(); ++j) bias_mean += layer.bias()[j];
+  bias_mean /= static_cast<double>(spec.out_size());
+  for (double& w : layer.weights().flat()) w = 0.0;
+  for (std::size_t orow = 0; orow < spec.out_height(); ++orow) {
+    for (std::size_t ocol = 0; ocol < spec.out_width(); ++ocol) {
+      const std::size_t j = spec.out_index(orow, ocol);
+      for (std::size_t kr = 0; kr < spec.kernel_h; ++kr) {
+        for (std::size_t kc = 0; kc < spec.kernel_w; ++kc) {
+          const std::size_t i = spec.in_index(orow * spec.stride_h + kr,
+                                              ocol * spec.stride_w + kc);
+          layer.weights()(j, i) = kernel[kr * spec.kernel_w + kc];
+        }
+      }
+      layer.bias()[j] = bias_mean;
+    }
+  }
+}
+
+}  // namespace wnf::nn

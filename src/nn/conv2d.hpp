@@ -1,0 +1,52 @@
+// 2-D convolution in the Section-VI reading (the paper names LeCun-style
+// convolutional networks [5] as the motivating special case). As with
+// Conv1D, the layer is materialised as a sparse, weight-shared DenseLayer
+// over a flattened (row-major) HxW input plane, so every bound, injector
+// and simulator code path applies unchanged while the receptive field
+// R(l) = kh*kw powers the conv-aware Fep cap.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "nn/layer.hpp"
+
+namespace wnf::nn {
+
+/// Valid (no-padding) 2-D convolution geometry.
+struct Conv2DSpec {
+  std::size_t in_height = 0;
+  std::size_t in_width = 0;
+  std::size_t kernel_h = 0;
+  std::size_t kernel_w = 0;
+  std::size_t stride_h = 1;
+  std::size_t stride_w = 1;
+
+  bool valid() const;
+  std::size_t out_height() const;
+  std::size_t out_width() const;
+  std::size_t in_size() const { return in_height * in_width; }
+  std::size_t out_size() const { return out_height() * out_width(); }
+  std::size_t receptive_field() const { return kernel_h * kernel_w; }
+
+  /// Flattened input index of plane coordinate (r, c).
+  std::size_t in_index(std::size_t r, std::size_t c) const;
+  /// Flattened output index of plane coordinate (r, c).
+  std::size_t out_index(std::size_t r, std::size_t c) const;
+};
+
+/// Dense realisation of the convolution with shared `kernel` (row-major
+/// kernel_h x kernel_w, size spec.receptive_field()) and one shared bias.
+DenseLayer make_conv2d(const Conv2DSpec& spec, std::span<const double> kernel,
+                       double shared_bias);
+
+/// Extracts the shared kernel (averaged across positions; exact when the
+/// sharing invariant holds).
+std::vector<double> extract_kernel2d(const DenseLayer& layer,
+                                     const Conv2DSpec& spec);
+
+/// Projects a conv2d-shaped layer back onto the shared-kernel manifold
+/// after an unconstrained gradient step.
+void project_shared_kernel2d(DenseLayer& layer, const Conv2DSpec& spec);
+
+}  // namespace wnf::nn

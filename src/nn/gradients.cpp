@@ -1,0 +1,29 @@
+#include "nn/gradients.hpp"
+
+#include "tensor/ops.hpp"
+#include "util/contract.hpp"
+
+namespace wnf::nn {
+
+std::vector<std::vector<double>> output_gradients(
+    const FeedForwardNetwork& net, const ForwardTrace& trace) {
+  const std::size_t depth = net.layer_count();
+  WNF_EXPECTS(trace.preactivations.size() == depth);
+  std::vector<std::vector<double>> g(depth);
+  g[depth - 1] = net.output_weights();  // d(out)/d(y^(L)) = w^(L+1)
+  for (std::size_t l = depth; l-- > 1;) {
+    // d(out)/d(y^(l)_i) = sum_j w^(l+1)_{ji} phi'(s^(l+1)_j) d(out)/d(y^(l+1)_j)
+    const auto& upper = net.layer(l + 1);
+    std::vector<double> scaled(upper.out_size());
+    for (std::size_t j = 0; j < upper.out_size(); ++j) {
+      scaled[j] =
+          g[l][j] * net.activation().derivative(trace.preactivations[l][j]);
+    }
+    g[l - 1].resize(net.layer_width(l));
+    gemv_transposed(upper.weights(), scaled,
+                    {g[l - 1].data(), g[l - 1].size()});
+  }
+  return g;
+}
+
+}  // namespace wnf::nn

@@ -1,0 +1,18 @@
+// Output sensitivities d(Fneu)/d(y^(l)_j): how much the network output moves
+// per unit of perturbation at a given neuron's output. Used by the
+// gradient-directed Byzantine adversary (worst-case sign selection) and by
+// the tightness experiments.
+#pragma once
+
+#include <vector>
+
+#include "nn/network.hpp"
+
+namespace wnf::nn {
+
+/// g[l-1][j] = d(output)/d(y^(l)_j) at the operating point of `trace`,
+/// for l = 1..L. Computed by a reverse sweep through the synapse blocks.
+std::vector<std::vector<double>> output_gradients(
+    const FeedForwardNetwork& net, const ForwardTrace& trace);
+
+}  // namespace wnf::nn

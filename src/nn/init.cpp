@@ -1,0 +1,39 @@
+#include "nn/init.hpp"
+
+#include <cmath>
+
+#include "util/contract.hpp"
+
+namespace wnf::nn {
+namespace {
+
+double draw(InitKind kind, double scale, double fan_in, Rng& rng) {
+  switch (kind) {
+    case InitKind::kUniform:
+      return rng.uniform(-scale, scale);
+    case InitKind::kScaledUniform: {
+      const double s = scale / std::sqrt(fan_in);
+      return rng.uniform(-s, s);
+    }
+    case InitKind::kConstant:
+      return scale;
+  }
+  WNF_ASSERT(false);
+  return 0.0;
+}
+
+}  // namespace
+
+void initialize(DenseLayer& layer, InitKind kind, double scale, Rng& rng) {
+  const double fan_in = static_cast<double>(layer.in_size());
+  for (double& w : layer.weights().flat()) w = draw(kind, scale, fan_in, rng);
+  for (double& b : layer.bias()) b = draw(kind, scale, fan_in, rng);
+}
+
+void initialize(std::span<double> weights, InitKind kind, double scale,
+                Rng& rng) {
+  const double fan_in = static_cast<double>(weights.size());
+  for (double& w : weights) w = draw(kind, scale, fan_in, rng);
+}
+
+}  // namespace wnf::nn

@@ -1,0 +1,22 @@
+// Weight initialisers. All are seeded (deterministic per Rng stream).
+#pragma once
+
+#include "nn/layer.hpp"
+#include "util/rng.hpp"
+
+namespace wnf::nn {
+
+enum class InitKind {
+  kUniform,       ///< U(-scale, scale)
+  kScaledUniform, ///< U(-s, s) with s = scale / sqrt(fan_in) (Xavier-style)
+  kConstant,      ///< every weight = scale (worst-case / tightness fixtures)
+};
+
+/// Fills `layer`'s weights and biases.
+void initialize(DenseLayer& layer, InitKind kind, double scale, Rng& rng);
+
+/// Fills an output-weight vector the same way (fan_in = its length).
+void initialize(std::span<double> weights, InitKind kind, double scale,
+                Rng& rng);
+
+}  // namespace wnf::nn

@@ -1,0 +1,40 @@
+#include "nn/layer.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "tensor/ops.hpp"
+#include "util/contract.hpp"
+
+namespace wnf::nn {
+
+DenseLayer::DenseLayer(std::size_t out_size, std::size_t in_size)
+    : weights_(out_size, in_size),
+      bias_(out_size, 0.0),
+      receptive_field_(in_size) {
+  WNF_EXPECTS(out_size > 0);
+  WNF_EXPECTS(in_size > 0);
+}
+
+void DenseLayer::affine(std::span<const double> y_prev,
+                        std::span<double> s) const {
+  WNF_EXPECTS(y_prev.size() == in_size());
+  WNF_EXPECTS(s.size() == out_size());
+  gemv(weights_, y_prev, s);
+  for (std::size_t j = 0; j < s.size(); ++j) s[j] += bias_[j];
+}
+
+double DenseLayer::weight_max(WeightMaxConvention convention) const {
+  double best = weights_.max_abs();
+  if (convention == WeightMaxConvention::kIncludeBias) {
+    for (double b : bias_) best = std::max(best, std::fabs(b));
+  }
+  return best;
+}
+
+void DenseLayer::set_receptive_field(std::size_t r) {
+  WNF_EXPECTS(r >= 1 && r <= in_size());
+  receptive_field_ = r;
+}
+
+}  // namespace wnf::nn

@@ -1,0 +1,57 @@
+// One hidden layer of the paper's model: the synapse block W^(l) feeding
+// layer l plus the bias realised through the constant-neuron convention
+// (paper footnote 4).
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "tensor/matrix.hpp"
+
+namespace wnf::nn {
+
+/// Whether the paper's w^(l)_m (max |weight| into layer l) should range over
+/// bias weights too. Under the constant-neuron convention the bias *is* a
+/// synapse weight, so kIncludeBias is the faithful reading; kExcludeBias is
+/// provided because several follow-up works read w_m over non-constant
+/// synapses only. Ablated in bench_thm2_fep_tightness.
+enum class WeightMaxConvention { kIncludeBias, kExcludeBias };
+
+/// Dense synapse block: `weights(j, i)` is w^(l)_{ji}, `bias[j]` the weight
+/// from the constant neuron of layer l-1 to neuron j of layer l.
+class DenseLayer {
+ public:
+  DenseLayer() = default;
+
+  /// `out_size` x `in_size` block, zero weights; `fan_in` defaults to the
+  /// full input width (dense). Conv-style layers set fan_in to the receptive
+  /// field size R(l) (paper Section VI).
+  DenseLayer(std::size_t out_size, std::size_t in_size);
+
+  std::size_t in_size() const { return weights_.cols(); }
+  std::size_t out_size() const { return weights_.rows(); }
+
+  Matrix& weights() { return weights_; }
+  const Matrix& weights() const { return weights_; }
+
+  std::span<double> bias() { return {bias_.data(), bias_.size()}; }
+  std::span<const double> bias() const { return {bias_.data(), bias_.size()}; }
+
+  /// s = W y_prev + bias. Sizes must match; `s` may not alias `y_prev`.
+  void affine(std::span<const double> y_prev, std::span<double> s) const;
+
+  /// max |w^(l)_{ji}| under the given convention (paper's w^(l)_m).
+  double weight_max(WeightMaxConvention convention) const;
+
+  /// Number of distinct sending neurons any receiving neuron listens to;
+  /// R(l) in the paper's convolutional remark. in_size() for dense layers.
+  std::size_t receptive_field() const { return receptive_field_; }
+  void set_receptive_field(std::size_t r);
+
+ private:
+  Matrix weights_;
+  std::vector<double> bias_;
+  std::size_t receptive_field_ = 0;
+};
+
+}  // namespace wnf::nn

@@ -1,0 +1,46 @@
+#include "nn/loss.hpp"
+
+#include <cmath>
+
+#include "util/contract.hpp"
+
+namespace wnf::nn {
+
+double mse(const FeedForwardNetwork& net, const data::Dataset& dataset) {
+  WNF_EXPECTS(dataset.size() > 0);
+  Workspace ws;
+  double total = 0.0;
+  for (std::size_t n = 0; n < dataset.size(); ++n) {
+    const double prediction =
+        net.evaluate({dataset.inputs[n].data(), dataset.inputs[n].size()}, ws);
+    const double diff = prediction - dataset.labels[n];
+    total += diff * diff;
+  }
+  return total / static_cast<double>(dataset.size());
+}
+
+double sup_error(const FeedForwardNetwork& net, const data::Dataset& dataset) {
+  WNF_EXPECTS(dataset.size() > 0);
+  Workspace ws;
+  double worst = 0.0;
+  for (std::size_t n = 0; n < dataset.size(); ++n) {
+    const double prediction =
+        net.evaluate({dataset.inputs[n].data(), dataset.inputs[n].size()}, ws);
+    worst = std::max(worst, std::fabs(prediction - dataset.labels[n]));
+  }
+  return worst;
+}
+
+double mae(const FeedForwardNetwork& net, const data::Dataset& dataset) {
+  WNF_EXPECTS(dataset.size() > 0);
+  Workspace ws;
+  double total = 0.0;
+  for (std::size_t n = 0; n < dataset.size(); ++n) {
+    const double prediction =
+        net.evaluate({dataset.inputs[n].data(), dataset.inputs[n].size()}, ws);
+    total += std::fabs(prediction - dataset.labels[n]);
+  }
+  return total / static_cast<double>(dataset.size());
+}
+
+}  // namespace wnf::nn

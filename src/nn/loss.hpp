@@ -1,0 +1,23 @@
+// Losses and approximation-error estimators.
+//
+// The paper's Definition 1 is a sup-norm statement: Fneu epsilon-approximates
+// F iff sup_X |F(X) - Fneu(X)| <= epsilon. `sup_error` estimates that
+// supremum over a dataset (a dense grid or large sample); `mse` is the
+// training objective.
+#pragma once
+
+#include "data/dataset.hpp"
+#include "nn/network.hpp"
+
+namespace wnf::nn {
+
+/// Mean squared error of `net` over `dataset`.
+double mse(const FeedForwardNetwork& net, const data::Dataset& dataset);
+
+/// max_n |label_n - Fneu(x_n)| — the empirical epsilon' of the paper.
+double sup_error(const FeedForwardNetwork& net, const data::Dataset& dataset);
+
+/// Mean absolute error over `dataset`.
+double mae(const FeedForwardNetwork& net, const data::Dataset& dataset);
+
+}  // namespace wnf::nn

@@ -1,0 +1,194 @@
+#include "nn/network.hpp"
+
+#include <cmath>
+
+#include "tensor/ops.hpp"
+#include "util/contract.hpp"
+
+namespace wnf::nn {
+
+FeedForwardNetwork::FeedForwardNetwork(std::size_t input_dim,
+                                       std::vector<DenseLayer> hidden,
+                                       std::vector<double> output_weights,
+                                       double output_bias,
+                                       Activation activation)
+    : input_dim_(input_dim),
+      hidden_(std::move(hidden)),
+      output_weights_(std::move(output_weights)),
+      output_bias_(output_bias),
+      activation_(activation) {
+  WNF_EXPECTS(input_dim_ > 0);
+  WNF_EXPECTS(!hidden_.empty());
+  std::size_t prev = input_dim_;
+  for (const auto& layer : hidden_) {
+    WNF_EXPECTS(layer.in_size() == prev);
+    prev = layer.out_size();
+  }
+  WNF_EXPECTS(output_weights_.size() == prev);
+}
+
+std::size_t FeedForwardNetwork::layer_width(std::size_t l) const {
+  WNF_EXPECTS(l >= 1 && l <= hidden_.size());
+  return hidden_[l - 1].out_size();
+}
+
+std::vector<std::size_t> FeedForwardNetwork::layer_widths() const {
+  std::vector<std::size_t> widths;
+  widths.reserve(hidden_.size());
+  for (const auto& layer : hidden_) widths.push_back(layer.out_size());
+  return widths;
+}
+
+std::size_t FeedForwardNetwork::neuron_count() const {
+  std::size_t total = 0;
+  for (const auto& layer : hidden_) total += layer.out_size();
+  return total;
+}
+
+std::size_t FeedForwardNetwork::synapse_count() const {
+  std::size_t total = output_weights_.size() + 1;  // + output bias
+  for (const auto& layer : hidden_) {
+    total += layer.weights().size() + layer.out_size();
+  }
+  return total;
+}
+
+DenseLayer& FeedForwardNetwork::layer(std::size_t l) {
+  WNF_EXPECTS(l >= 1 && l <= hidden_.size());
+  return hidden_[l - 1];
+}
+
+const DenseLayer& FeedForwardNetwork::layer(std::size_t l) const {
+  WNF_EXPECTS(l >= 1 && l <= hidden_.size());
+  return hidden_[l - 1];
+}
+
+double FeedForwardNetwork::weight_max(std::size_t l,
+                                      WeightMaxConvention convention) const {
+  WNF_EXPECTS(l >= 1 && l <= hidden_.size() + 1);
+  if (l <= hidden_.size()) return hidden_[l - 1].weight_max(convention);
+  double best = max_abs({output_weights_.data(), output_weights_.size()});
+  if (convention == WeightMaxConvention::kIncludeBias) {
+    best = std::max(best, std::fabs(output_bias_));
+  }
+  return best;
+}
+
+std::vector<double> FeedForwardNetwork::weight_maxima(
+    WeightMaxConvention convention) const {
+  std::vector<double> maxima;
+  maxima.reserve(hidden_.size() + 1);
+  for (std::size_t l = 1; l <= hidden_.size() + 1; ++l) {
+    maxima.push_back(weight_max(l, convention));
+  }
+  return maxima;
+}
+
+double FeedForwardNetwork::evaluate(std::span<const double> x,
+                                    Workspace& ws) const {
+  WNF_EXPECTS(x.size() == input_dim_);
+  auto& current = ws.buffer_a();
+  auto& next = ws.buffer_b();
+  current.assign(x.begin(), x.end());
+  for (const auto& layer : hidden_) {
+    next.resize(layer.out_size());
+    layer.affine(current, next);
+    for (double& s : next) s = activation_.value(s);
+    std::swap(current, next);
+  }
+  return dot({current.data(), current.size()},
+             {output_weights_.data(), output_weights_.size()}) +
+         output_bias_;
+}
+
+double FeedForwardNetwork::evaluate(std::span<const double> x) const {
+  Workspace ws;
+  return evaluate(x, ws);
+}
+
+double FeedForwardNetwork::evaluate_hooked(std::span<const double> x,
+                                           const ForwardHooks& hooks,
+                                           Workspace& ws) const {
+  WNF_EXPECTS(x.size() == input_dim_);
+  auto& current = ws.buffer_a();
+  auto& next = ws.buffer_b();
+  current.assign(x.begin(), x.end());
+  for (std::size_t i = 0; i < hidden_.size(); ++i) {
+    const auto& layer = hidden_[i];
+    const std::size_t l = i + 1;  // paper layer index
+    next.resize(layer.out_size());
+    layer.affine(current, next);
+    if (hooks.pre_activation) {
+      hooks.pre_activation(l, {current.data(), current.size()},
+                           {next.data(), next.size()});
+    }
+    for (double& s : next) s = activation_.value(s);
+    if (hooks.post_activation) {
+      hooks.post_activation(l, {next.data(), next.size()});
+    }
+    std::swap(current, next);
+  }
+  double out = dot({current.data(), current.size()},
+                   {output_weights_.data(), output_weights_.size()}) +
+               output_bias_;
+  if (hooks.pre_activation) {
+    std::span<double> out_span{&out, 1};
+    hooks.pre_activation(hidden_.size() + 1, {current.data(), current.size()},
+                         out_span);
+  }
+  return out;
+}
+
+ForwardTrace FeedForwardNetwork::forward_trace(
+    std::span<const double> x) const {
+  WNF_EXPECTS(x.size() == input_dim_);
+  ForwardTrace trace;
+  trace.activations.emplace_back(x.begin(), x.end());
+  for (const auto& layer : hidden_) {
+    std::vector<double> s(layer.out_size());
+    layer.affine(trace.activations.back(), s);
+    std::vector<double> y(s.size());
+    for (std::size_t j = 0; j < s.size(); ++j) y[j] = activation_.value(s[j]);
+    trace.preactivations.push_back(std::move(s));
+    trace.activations.push_back(std::move(y));
+  }
+  trace.output = dot({trace.activations.back().data(),
+                      trace.activations.back().size()},
+                     {output_weights_.data(), output_weights_.size()}) +
+                 output_bias_;
+  return trace;
+}
+
+bool FeedForwardNetwork::approx_equal(const FeedForwardNetwork& other,
+                                      double tol) const {
+  if (input_dim_ != other.input_dim_ ||
+      hidden_.size() != other.hidden_.size() ||
+      output_weights_.size() != other.output_weights_.size() ||
+      activation_.kind() != other.activation_.kind() ||
+      std::fabs(activation_.lipschitz() - other.activation_.lipschitz()) >
+          tol ||
+      std::fabs(output_bias_ - other.output_bias_) > tol) {
+    return false;
+  }
+  for (std::size_t i = 0; i < hidden_.size(); ++i) {
+    if (!hidden_[i].weights().approx_equal(other.hidden_[i].weights(), tol)) {
+      return false;
+    }
+    for (std::size_t j = 0; j < hidden_[i].out_size(); ++j) {
+      if (std::fabs(hidden_[i].bias()[j] - other.hidden_[i].bias()[j]) > tol) {
+        return false;
+      }
+    }
+    if (hidden_[i].receptive_field() != other.hidden_[i].receptive_field()) {
+      return false;
+    }
+  }
+  for (std::size_t i = 0; i < output_weights_.size(); ++i) {
+    if (std::fabs(output_weights_[i] - other.output_weights_[i]) > tol) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace wnf::nn

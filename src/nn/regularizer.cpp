@@ -1,0 +1,69 @@
+#include "nn/regularizer.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "tensor/ops.hpp"
+#include "util/contract.hpp"
+
+namespace wnf::nn {
+
+FepRegularizer::FepRegularizer(double lambda, double p)
+    : lambda_(lambda), p_(p) {
+  WNF_EXPECTS(lambda >= 0.0);
+  WNF_EXPECTS(p >= 2.0);
+}
+
+double FepRegularizer::pnorm(std::span<const double> values) const {
+  const double top = max_abs(values);
+  if (top == 0.0) return 0.0;
+  double sum = 0.0;
+  for (double v : values) sum += std::pow(std::fabs(v) / top, p_);
+  return top * std::pow(sum, 1.0 / p_);
+}
+
+double FepRegularizer::pnorm_gradient(std::span<const double> values,
+                                      std::span<double> grad) const {
+  WNF_EXPECTS(values.size() == grad.size());
+  const double norm = pnorm(values);
+  if (norm == 0.0) {
+    for (double& g : grad) g = 0.0;
+    return 0.0;
+  }
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    const double ratio = std::fabs(values[i]) / norm;
+    const double magnitude = std::pow(ratio, p_ - 1.0);
+    grad[i] = values[i] >= 0.0 ? magnitude : -magnitude;
+  }
+  return norm;
+}
+
+double FepRegularizer::penalty(const FeedForwardNetwork& net) const {
+  double total = 0.0;
+  for (std::size_t l = 1; l <= net.layer_count(); ++l) {
+    total += pnorm(net.layer(l).weights().flat());
+  }
+  total += pnorm({net.output_weights().data(), net.output_weights().size()});
+  return total;
+}
+
+void FepRegularizer::apply_gradient_step(FeedForwardNetwork& net,
+                                         double lr) const {
+  if (lambda_ == 0.0) return;
+  const double step = lr * lambda_;
+  std::vector<double> grad;
+  for (std::size_t l = 1; l <= net.layer_count(); ++l) {
+    auto weights = net.layer(l).weights().flat();
+    grad.resize(weights.size());
+    pnorm_gradient(weights, grad);
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+      weights[i] -= step * grad[i];
+    }
+  }
+  auto& out = net.output_weights();
+  grad.resize(out.size());
+  pnorm_gradient({out.data(), out.size()}, grad);
+  for (std::size_t i = 0; i < out.size(); ++i) out[i] -= step * grad[i];
+}
+
+}  // namespace wnf::nn

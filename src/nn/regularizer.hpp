@@ -1,0 +1,47 @@
+// Robustness-aware regularisation (the paper's concluding remark: "consider
+// a specific learning scheme taking the forward error propagation as an
+// additional minimization target").
+//
+// Fep depends on the per-layer maxima w^(l)_m = max |w|; max is not
+// differentiable, so we minimise the standard smooth surrogate, the p-norm
+// ||W||_p = (sum |w|^p)^(1/p), which upper-bounds the max and converges to it
+// as p -> infinity. The penalty is sum_l lambda * ||W^(l)||_p (output weights
+// included); its gradient is computed in a max-normalised form to avoid
+// overflow at large p.
+#pragma once
+
+#include "nn/network.hpp"
+
+namespace wnf::nn {
+
+/// Smoothed-Fep weight penalty.
+class FepRegularizer {
+ public:
+  /// `lambda` >= 0 scales the penalty; `p` >= 2 controls how closely the
+  /// p-norm tracks the max (the paper's w_m). p = 8 is a good default:
+  /// within ~30% of the max for layers of a few hundred weights.
+  FepRegularizer(double lambda, double p);
+
+  double lambda() const { return lambda_; }
+  double p() const { return p_; }
+
+  /// sum over synapse blocks (hidden + output) of ||W||_p, unscaled.
+  double penalty(const FeedForwardNetwork& net) const;
+
+  /// In-place gradient step: w -= lr * lambda * d(penalty)/dw.
+  /// No-op when lambda == 0.
+  void apply_gradient_step(FeedForwardNetwork& net, double lr) const;
+
+ private:
+  /// ||values||_p computed as M * (sum (|v|/M)^p)^(1/p) for stability.
+  double pnorm(std::span<const double> values) const;
+
+  /// grad[i] = sign(v_i) * (|v_i| / ||v||_p)^(p-1); returns ||v||_p.
+  double pnorm_gradient(std::span<const double> values,
+                        std::span<double> grad) const;
+
+  double lambda_;
+  double p_;
+};
+
+}  // namespace wnf::nn

@@ -1,0 +1,113 @@
+#include "nn/serialize.hpp"
+
+#include <fstream>
+#include <iomanip>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+namespace wnf::nn {
+
+void save_network(const FeedForwardNetwork& net, std::ostream& os) {
+  os << std::setprecision(17);
+  os << "wnf-network v1\n";
+  os << "activation " << net.activation().kind_name() << ' '
+     << net.activation().lipschitz() << '\n';
+  os << "input_dim " << net.input_dim() << '\n';
+  os << "layers " << net.layer_count() << '\n';
+  for (std::size_t l = 1; l <= net.layer_count(); ++l) {
+    const auto& layer = net.layer(l);
+    os << "layer " << layer.out_size() << ' ' << layer.in_size() << ' '
+       << layer.receptive_field() << '\n';
+    for (std::size_t j = 0; j < layer.out_size(); ++j) {
+      for (std::size_t i = 0; i < layer.in_size(); ++i) {
+        os << layer.weights()(j, i) << (i + 1 < layer.in_size() ? ' ' : '\n');
+      }
+    }
+    for (std::size_t j = 0; j < layer.out_size(); ++j) {
+      os << layer.bias()[j] << (j + 1 < layer.out_size() ? ' ' : '\n');
+    }
+  }
+  os << "output " << net.output_weights().size() << '\n';
+  for (std::size_t i = 0; i < net.output_weights().size(); ++i) {
+    os << net.output_weights()[i]
+       << (i + 1 < net.output_weights().size() ? ' ' : '\n');
+  }
+  os << "output_bias " << net.output_bias() << '\n';
+  os << "end\n";
+}
+
+std::optional<FeedForwardNetwork> load_network(std::istream& is) {
+  std::string token;
+  std::string version;
+  if (!(is >> token >> version) || token != "wnf-network" || version != "v1") {
+    return std::nullopt;
+  }
+  std::string kind_name;
+  double k = 0.0;
+  if (!(is >> token >> kind_name >> k) || token != "activation" || k <= 0.0) {
+    return std::nullopt;
+  }
+  std::size_t input_dim = 0;
+  if (!(is >> token >> input_dim) || token != "input_dim" || input_dim == 0) {
+    return std::nullopt;
+  }
+  std::size_t layer_count = 0;
+  if (!(is >> token >> layer_count) || token != "layers" || layer_count == 0) {
+    return std::nullopt;
+  }
+  std::vector<DenseLayer> hidden;
+  hidden.reserve(layer_count);
+  std::size_t prev = input_dim;
+  for (std::size_t l = 0; l < layer_count; ++l) {
+    std::size_t out_size = 0;
+    std::size_t in_size = 0;
+    std::size_t rf = 0;
+    if (!(is >> token >> out_size >> in_size >> rf) || token != "layer" ||
+        out_size == 0 || in_size != prev || rf == 0 || rf > in_size) {
+      return std::nullopt;
+    }
+    DenseLayer layer(out_size, in_size);
+    for (double& w : layer.weights().flat()) {
+      if (!(is >> w)) return std::nullopt;
+    }
+    for (double& b : layer.bias()) {
+      if (!(is >> b)) return std::nullopt;
+    }
+    layer.set_receptive_field(rf);
+    hidden.push_back(std::move(layer));
+    prev = out_size;
+  }
+  std::size_t out_count = 0;
+  if (!(is >> token >> out_count) || token != "output" || out_count != prev) {
+    return std::nullopt;
+  }
+  std::vector<double> output_weights(out_count);
+  for (double& w : output_weights) {
+    if (!(is >> w)) return std::nullopt;
+  }
+  double output_bias = 0.0;
+  if (!(is >> token >> output_bias) || token != "output_bias") {
+    return std::nullopt;
+  }
+  if (!(is >> token) || token != "end") return std::nullopt;
+  return FeedForwardNetwork(input_dim, std::move(hidden),
+                            std::move(output_weights), output_bias,
+                            Activation(Activation::parse_kind(kind_name), k));
+}
+
+bool save_network_file(const FeedForwardNetwork& net,
+                       const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+  save_network(net, out);
+  return static_cast<bool>(out);
+}
+
+std::optional<FeedForwardNetwork> load_network_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return std::nullopt;
+  return load_network(in);
+}
+
+}  // namespace wnf::nn

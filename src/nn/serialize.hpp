@@ -1,0 +1,22 @@
+// Plain-text network persistence (round-trips at full double precision).
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+
+#include "nn/network.hpp"
+
+namespace wnf::nn {
+
+/// Writes `net` to `os` in the `wnf-network v1` text format.
+void save_network(const FeedForwardNetwork& net, std::ostream& os);
+
+/// Parses a network from `is`; returns nullopt on malformed input.
+std::optional<FeedForwardNetwork> load_network(std::istream& is);
+
+/// File-path conveniences. `save_network_file` returns false on I/O failure.
+bool save_network_file(const FeedForwardNetwork& net, const std::string& path);
+std::optional<FeedForwardNetwork> load_network_file(const std::string& path);
+
+}  // namespace wnf::nn

@@ -1,0 +1,56 @@
+// Backpropagation training for the paper's architecture (footnote 8: the
+// weights "are determined by the initial learning phase"; the bounds
+// themselves are learning-scheme independent, but the experiments need
+// trained networks to injure).
+//
+// Supports plain SGD, momentum and Adam, L2 weight decay (the low-weights
+// side of the Section V-C trade-off), inverted dropout (the a-priori
+// robustness scheme the introduction cites [6, 22]) and the Fep regulariser.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "data/dataset.hpp"
+#include "nn/network.hpp"
+#include "nn/regularizer.hpp"
+#include "util/rng.hpp"
+
+namespace wnf::nn {
+
+enum class Optimizer { kSgd, kMomentum, kAdam };
+
+struct TrainConfig {
+  std::size_t epochs = 200;
+  std::size_t batch_size = 16;
+  double learning_rate = 0.05;
+  Optimizer optimizer = Optimizer::kAdam;
+  double momentum = 0.9;        ///< used by kMomentum
+  double adam_beta1 = 0.9;      ///< used by kAdam
+  double adam_beta2 = 0.999;    ///< used by kAdam
+  double adam_epsilon = 1e-8;   ///< used by kAdam
+  double weight_decay = 0.0;    ///< L2 coefficient (robustness trade-off)
+  double dropout = 0.0;         ///< hidden-unit drop probability in [0, 1)
+  double fep_lambda = 0.0;      ///< Fep-regulariser strength (0 = off)
+  double fep_p = 8.0;           ///< p-norm smoothing of w_m
+  double target_mse = 0.0;      ///< early stop when epoch MSE falls below
+  /// Constraint projection applied after every optimiser step (projected
+  /// gradient descent). Used to keep conv layers on the shared-kernel
+  /// manifold (project_shared_kernel / project_shared_kernel2d) or to
+  /// clamp weights; nullptr = unconstrained.
+  std::function<void(FeedForwardNetwork&)> post_step_projection;
+};
+
+struct TrainResult {
+  std::size_t epochs_run = 0;
+  double final_mse = 0.0;
+  bool reached_target = false;
+  std::vector<double> mse_history;  ///< per epoch, post-update
+};
+
+/// Trains `net` in place on `dataset`. Deterministic given `rng`'s state.
+TrainResult train(FeedForwardNetwork& net, const data::Dataset& dataset,
+                  const TrainConfig& config, Rng& rng);
+
+}  // namespace wnf::nn

@@ -1,0 +1,38 @@
+#include "quant/fixed_point.hpp"
+
+#include <cmath>
+
+#include "util/contract.hpp"
+
+namespace wnf::quant {
+
+FixedPoint::FixedPoint(std::size_t bits, Rounding rounding)
+    : bits_(bits), rounding_(rounding), scale_(std::ldexp(1.0, static_cast<int>(bits))) {
+  WNF_EXPECTS(bits >= 1 && bits <= 52);
+}
+
+double FixedPoint::quantize(double value) const {
+  WNF_EXPECTS(rounding_ != Rounding::kStochastic);
+  const double scaled = value * scale_;
+  const double snapped =
+      rounding_ == Rounding::kNearest ? std::round(scaled) : std::trunc(scaled);
+  return snapped / scale_;
+}
+
+double FixedPoint::quantize(double value, Rng& rng) const {
+  if (rounding_ != Rounding::kStochastic) return quantize(value);
+  const double scaled = value * scale_;
+  const double floor_value = std::floor(scaled);
+  const double fraction = scaled - floor_value;
+  // Round up with probability `fraction`: unbiased in expectation.
+  const double snapped = rng.uniform() < fraction ? floor_value + 1.0
+                                                  : floor_value;
+  return snapped / scale_;
+}
+
+double FixedPoint::max_error() const {
+  const double ulp = 1.0 / scale_;
+  return rounding_ == Rounding::kNearest ? 0.5 * ulp : ulp;
+}
+
+}  // namespace wnf::quant

@@ -1,0 +1,46 @@
+// Fixed-point value quantisation — the "reduced local precision" knob of
+// Section V-A (the Proteus-style memory/accuracy trade-off [31]).
+//
+// A value quantised to b fractional bits lands on the grid {k / 2^b}. For
+// round-to-nearest the induced error is at most 2^-(b+1); for truncation,
+// 2^-b. Those per-value errors are exactly the lambda_l of Theorem 5.
+#pragma once
+
+#include <cstddef>
+
+#include "util/rng.hpp"
+
+namespace wnf::quant {
+
+enum class Rounding {
+  kNearest,     ///< error <= 2^-(b+1)
+  kTruncate,    ///< error <= 2^-b, biased toward zero
+  kStochastic,  ///< error < 2^-b, unbiased in expectation (neuromorphic
+                ///< hardware favourite); needs an Rng at quantise time
+};
+
+/// Quantiser to `bits` fractional bits (bits in [1, 52]).
+class FixedPoint {
+ public:
+  FixedPoint(std::size_t bits, Rounding rounding);
+
+  /// Deterministic grid snap (kNearest / kTruncate only).
+  double quantize(double value) const;
+
+  /// Grid snap for any mode; kStochastic rounds up with probability equal
+  /// to the fractional position between grid points.
+  double quantize(double value, Rng& rng) const;
+
+  /// Worst-case |quantize(v) - v| — Theorem 5's per-neuron lambda.
+  double max_error() const;
+
+  std::size_t bits() const { return bits_; }
+  Rounding rounding() const { return rounding_; }
+
+ private:
+  std::size_t bits_;
+  Rounding rounding_;
+  double scale_;  // 2^bits
+};
+
+}  // namespace wnf::quant

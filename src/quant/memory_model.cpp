@@ -1,0 +1,38 @@
+#include "quant/memory_model.hpp"
+
+#include <algorithm>
+
+#include "util/contract.hpp"
+
+namespace wnf::quant {
+
+MemoryFootprint memory_footprint(
+    const nn::FeedForwardNetwork& net, std::size_t weight_bits,
+    const std::vector<std::size_t>& activation_bits) {
+  WNF_EXPECTS(weight_bits >= 1);
+  WNF_EXPECTS(activation_bits.size() == net.layer_count());
+  MemoryFootprint footprint;
+  footprint.weight_bits_total = net.synapse_count() * weight_bits;
+  // Peak live activations: two consecutive layers are live at once during a
+  // feed-forward pass (double buffering), each at its own precision; the
+  // input is treated at the first layer's precision.
+  std::size_t peak = 0;
+  std::size_t prev_bits = activation_bits.front();
+  std::size_t prev_width = net.input_dim();
+  for (std::size_t l = 1; l <= net.layer_count(); ++l) {
+    const std::size_t live = prev_width * prev_bits +
+                             net.layer_width(l) * activation_bits[l - 1];
+    peak = std::max(peak, live);
+    prev_bits = activation_bits[l - 1];
+    prev_width = net.layer_width(l);
+  }
+  footprint.activation_bits_peak = peak;
+  return footprint;
+}
+
+MemoryFootprint baseline_footprint(const nn::FeedForwardNetwork& net) {
+  std::vector<std::size_t> activation_bits(net.layer_count(), 64);
+  return memory_footprint(net, 64, activation_bits);
+}
+
+}  // namespace wnf::quant

@@ -1,0 +1,34 @@
+// Memory accounting for reduced-precision deployments (Section V-A):
+// how many bits a network costs to store at a given weight precision and
+// to run at given activation precisions — the x-axis of the Proteus-style
+// cost/accuracy rows in bench_thm5_precision_memory.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "nn/network.hpp"
+
+namespace wnf::quant {
+
+struct MemoryFootprint {
+  std::size_t weight_bits_total = 0;      ///< storage for all synapses
+  std::size_t activation_bits_peak = 0;   ///< widest live layer during a pass
+  std::size_t total_bits() const {
+    return weight_bits_total + activation_bits_peak;
+  }
+  double total_kib() const {
+    return static_cast<double>(total_bits()) / 8.0 / 1024.0;
+  }
+};
+
+/// Footprint at uniform `weight_bits` per stored weight/bias and per-layer
+/// activation precisions `activation_bits` (size L).
+MemoryFootprint memory_footprint(const nn::FeedForwardNetwork& net,
+                                 std::size_t weight_bits,
+                                 const std::vector<std::size_t>& activation_bits);
+
+/// Footprint of the float64 baseline (64-bit weights and activations).
+MemoryFootprint baseline_footprint(const nn::FeedForwardNetwork& net);
+
+}  // namespace wnf::quant

@@ -1,0 +1,45 @@
+#include "tensor/matrix.hpp"
+
+#include <cmath>
+
+namespace wnf {
+
+Matrix::Matrix(std::initializer_list<std::initializer_list<double>> rows) {
+  rows_ = rows.size();
+  cols_ = rows_ == 0 ? 0 : rows.begin()->size();
+  data_.reserve(rows_ * cols_);
+  for (const auto& row : rows) {
+    WNF_EXPECTS(row.size() == cols_);
+    data_.insert(data_.end(), row.begin(), row.end());
+  }
+}
+
+double Matrix::max_abs() const {
+  double best = 0.0;
+  for (double value : data_) best = std::max(best, std::fabs(value));
+  return best;
+}
+
+double Matrix::frobenius_norm() const {
+  double sum = 0.0;
+  for (double value : data_) sum += value * value;
+  return std::sqrt(sum);
+}
+
+bool Matrix::approx_equal(const Matrix& other, double tol) const {
+  if (rows_ != other.rows_ || cols_ != other.cols_) return false;
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    if (std::fabs(data_[i] - other.data_[i]) > tol) return false;
+  }
+  return true;
+}
+
+Matrix Matrix::transposed() const {
+  Matrix t(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < cols_; ++c) t(c, r) = (*this)(r, c);
+  }
+  return t;
+}
+
+}  // namespace wnf

@@ -1,0 +1,102 @@
+#include "tensor/ops.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace wnf {
+
+void gemv(const Matrix& a, std::span<const double> x, std::span<double> y) {
+  WNF_EXPECTS(x.size() == a.cols());
+  WNF_EXPECTS(y.size() == a.rows());
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    const auto row = a.row(r);
+    double sum = 0.0;
+    for (std::size_t c = 0; c < row.size(); ++c) sum += row[c] * x[c];
+    y[r] = sum;
+  }
+}
+
+void gemv_transposed(const Matrix& a, std::span<const double> x,
+                     std::span<double> y) {
+  WNF_EXPECTS(x.size() == a.rows());
+  WNF_EXPECTS(y.size() == a.cols());
+  std::fill(y.begin(), y.end(), 0.0);
+  // Row-major friendly order: stream each row of A once.
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    const auto row = a.row(r);
+    const double xr = x[r];
+    if (xr == 0.0) continue;
+    for (std::size_t c = 0; c < row.size(); ++c) y[c] += row[c] * xr;
+  }
+}
+
+void gemm(const Matrix& a, const Matrix& b, Matrix& c) {
+  WNF_EXPECTS(a.cols() == b.rows());
+  c = Matrix(a.rows(), b.cols());
+  // i-k-j loop order keeps the inner loop contiguous in both B and C.
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    const auto a_row = a.row(i);
+    const auto c_row = c.row(i);
+    for (std::size_t k = 0; k < a.cols(); ++k) {
+      const double aik = a_row[k];
+      if (aik == 0.0) continue;
+      const auto b_row = b.row(k);
+      for (std::size_t j = 0; j < b.cols(); ++j) c_row[j] += aik * b_row[j];
+    }
+  }
+}
+
+void gemv_parallel(ThreadPool& pool, const Matrix& a,
+                   std::span<const double> x, std::span<double> y) {
+  WNF_EXPECTS(x.size() == a.cols());
+  WNF_EXPECTS(y.size() == a.rows());
+  // Below ~64k multiply-adds the fork/join overhead dominates.
+  if (pool.size() <= 1 || a.rows() * a.cols() < 65536) {
+    gemv(a, x, y);
+    return;
+  }
+  parallel_for(pool, 0, a.rows(), [&](std::size_t r) {
+    const auto row = a.row(r);
+    double sum = 0.0;
+    for (std::size_t c = 0; c < row.size(); ++c) sum += row[c] * x[c];
+    y[r] = sum;
+  });
+}
+
+void rank1_update(Matrix& a, double alpha, std::span<const double> x,
+                  std::span<const double> y) {
+  WNF_EXPECTS(x.size() == a.rows());
+  WNF_EXPECTS(y.size() == a.cols());
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    const double ax = alpha * x[r];
+    if (ax == 0.0) continue;
+    const auto row = a.row(r);
+    for (std::size_t c = 0; c < row.size(); ++c) row[c] += ax * y[c];
+  }
+}
+
+double dot(std::span<const double> x, std::span<const double> y) {
+  WNF_EXPECTS(x.size() == y.size());
+  double sum = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) sum += x[i] * y[i];
+  return sum;
+}
+
+void axpy(double alpha, std::span<const double> x, std::span<double> y) {
+  WNF_EXPECTS(x.size() == y.size());
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+}
+
+double max_abs(std::span<const double> x) {
+  double best = 0.0;
+  for (double value : x) best = std::max(best, std::fabs(value));
+  return best;
+}
+
+double norm2(std::span<const double> x) {
+  double sum = 0.0;
+  for (double value : x) sum += value * value;
+  return std::sqrt(sum);
+}
+
+}  // namespace wnf

@@ -1,0 +1,46 @@
+// Dense kernels used by the forward/backward passes. gemv is the hot path
+// (one per layer per input); gemm backs mini-batch training. Both have
+// cache-blocked serial cores plus pool-parallel variants for wide layers.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "tensor/matrix.hpp"
+#include "util/thread_pool.hpp"
+
+namespace wnf {
+
+/// y = A * x. Requires x.size() == A.cols() and y.size() == A.rows().
+void gemv(const Matrix& a, std::span<const double> x, std::span<double> y);
+
+/// y = A^T * x (used by backprop without materialising the transpose).
+/// Requires x.size() == A.rows() and y.size() == A.cols().
+void gemv_transposed(const Matrix& a, std::span<const double> x,
+                     std::span<double> y);
+
+/// C = A * B. Requires a.cols() == b.rows(); resizes c to a.rows() x b.cols().
+void gemm(const Matrix& a, const Matrix& b, Matrix& c);
+
+/// Pool-parallel y = A * x, chunked over rows. Deterministic (each row is
+/// written by exactly one task). Falls back to serial for small matrices.
+void gemv_parallel(ThreadPool& pool, const Matrix& a,
+                   std::span<const double> x, std::span<double> y);
+
+/// A += alpha * x * y^T (rank-1 update; the backprop weight-gradient step).
+void rank1_update(Matrix& a, double alpha, std::span<const double> x,
+                  std::span<const double> y);
+
+/// dot(x, y); sizes must match.
+double dot(std::span<const double> x, std::span<const double> y);
+
+/// y += alpha * x; sizes must match.
+void axpy(double alpha, std::span<const double> x, std::span<double> y);
+
+/// max_i |x_i| (0 for empty).
+double max_abs(std::span<const double> x);
+
+/// Euclidean norm.
+double norm2(std::span<const double> x);
+
+}  // namespace wnf

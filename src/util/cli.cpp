@@ -1,0 +1,58 @@
+#include "util/cli.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/contract.hpp"
+
+namespace wnf {
+
+CliArgs::CliArgs(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto eq = arg.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      std::fprintf(stderr, "[wnf] expected key=value argument, got '%s'\n",
+                   arg.c_str());
+      std::exit(2);
+    }
+    values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+  }
+}
+
+long CliArgs::get_int(const std::string& key, long fallback) {
+  requested_.insert(key);
+  const auto it = values_.find(key);
+  return it == values_.end() ? fallback : std::strtol(it->second.c_str(), nullptr, 10);
+}
+
+double CliArgs::get_double(const std::string& key, double fallback) {
+  requested_.insert(key);
+  const auto it = values_.find(key);
+  return it == values_.end() ? fallback : std::strtod(it->second.c_str(), nullptr);
+}
+
+std::string CliArgs::get_string(const std::string& key, std::string fallback) {
+  requested_.insert(key);
+  const auto it = values_.find(key);
+  return it == values_.end() ? std::move(fallback) : it->second;
+}
+
+bool CliArgs::get_bool(const std::string& key, bool fallback) {
+  requested_.insert(key);
+  const auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  return it->second == "1" || it->second == "true" || it->second == "yes";
+}
+
+void CliArgs::reject_unknown() const {
+  for (const auto& [key, value] : values_) {
+    if (requested_.count(key) == 0) {
+      std::fprintf(stderr, "[wnf] unknown argument '%s=%s'\n", key.c_str(),
+                   value.c_str());
+      std::exit(2);
+    }
+  }
+}
+
+}  // namespace wnf

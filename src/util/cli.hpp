@@ -1,0 +1,33 @@
+// key=value command line parsing for bench/example binaries.
+//
+// All harness binaries accept overrides like `seed=7 trials=200`; unknown
+// keys abort loudly so typos cannot silently change an experiment.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+
+namespace wnf {
+
+/// Parses `key=value` arguments and serves typed lookups with defaults.
+class CliArgs {
+ public:
+  /// Parses argv[1..argc); each argument must look like key=value.
+  CliArgs(int argc, const char* const* argv);
+
+  /// Typed getters; the first call for a key registers it as known.
+  long get_int(const std::string& key, long fallback);
+  double get_double(const std::string& key, double fallback);
+  std::string get_string(const std::string& key, std::string fallback);
+  bool get_bool(const std::string& key, bool fallback);
+
+  /// Aborts if any parsed key was never requested (catches typos).
+  void reject_unknown() const;
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::set<std::string> requested_;
+};
+
+}  // namespace wnf

@@ -1,0 +1,31 @@
+// Lightweight contract checking in the spirit of the C++ Core Guidelines'
+// Expects/Ensures (I.6, I.8). Violations abort with a message; checks stay
+// enabled in Release builds because every caller of this library is an
+// experiment whose numbers are worthless if a precondition was violated.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace wnf {
+
+[[noreturn]] inline void contract_fail(const char* kind, const char* cond,
+                                       const char* file, int line) {
+  std::fprintf(stderr, "[wnf] %s violated: %s (%s:%d)\n", kind, cond, file,
+               line);
+  std::abort();
+}
+
+}  // namespace wnf
+
+#define WNF_EXPECTS(cond)                                              \
+  ((cond) ? static_cast<void>(0)                                       \
+          : ::wnf::contract_fail("precondition", #cond, __FILE__, __LINE__))
+
+#define WNF_ENSURES(cond)                                              \
+  ((cond) ? static_cast<void>(0)                                       \
+          : ::wnf::contract_fail("postcondition", #cond, __FILE__, __LINE__))
+
+#define WNF_ASSERT(cond)                                               \
+  ((cond) ? static_cast<void>(0)                                       \
+          : ::wnf::contract_fail("invariant", #cond, __FILE__, __LINE__))

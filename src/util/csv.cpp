@@ -1,0 +1,45 @@
+#include "util/csv.hpp"
+
+#include <cstdio>
+
+namespace wnf {
+
+CsvWriter::CsvWriter(const std::string& path,
+                     const std::vector<std::string>& header)
+    : out_(path) {
+  if (out_) add_row(header);
+}
+
+void CsvWriter::add_row(const std::vector<std::string>& cells) {
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i > 0) out_ << ',';
+    out_ << escape(cells[i]);
+  }
+  out_ << '\n';
+}
+
+void CsvWriter::add_row(const std::vector<double>& cells) {
+  std::vector<std::string> formatted;
+  formatted.reserve(cells.size());
+  for (double value : cells) {
+    char buffer[64];
+    std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+    formatted.emplace_back(buffer);
+  }
+  add_row(formatted);
+}
+
+std::string CsvWriter::escape(const std::string& cell) {
+  const bool needs_quoting =
+      cell.find_first_of(",\"\n") != std::string::npos;
+  if (!needs_quoting) return cell;
+  std::string quoted = "\"";
+  for (char ch : cell) {
+    if (ch == '"') quoted += '"';
+    quoted += ch;
+  }
+  quoted += '"';
+  return quoted;
+}
+
+}  // namespace wnf

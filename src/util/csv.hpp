@@ -1,0 +1,32 @@
+// Minimal CSV emitter so bench series can be re-plotted externally.
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace wnf {
+
+/// Writes rows of doubles/strings to a CSV file. Cells containing commas,
+/// quotes or newlines are quoted per RFC 4180.
+class CsvWriter {
+ public:
+  /// Opens `path` for writing and emits the header row.
+  /// `ok()` reports whether the file opened.
+  CsvWriter(const std::string& path, const std::vector<std::string>& header);
+
+  /// Appends one row; sizes are not enforced (ragged rows are the caller's
+  /// responsibility, matching how gnuplot-style series files are built).
+  void add_row(const std::vector<std::string>& cells);
+
+  /// Convenience: formats doubles with maximum round-trip precision.
+  void add_row(const std::vector<double>& cells);
+
+  bool ok() const { return static_cast<bool>(out_); }
+
+ private:
+  static std::string escape(const std::string& cell);
+  std::ofstream out_;
+};
+
+}  // namespace wnf

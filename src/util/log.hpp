@@ -1,0 +1,22 @@
+// Leveled stderr logging; quiet by default so bench stdout stays clean.
+#pragma once
+
+#include <string>
+
+namespace wnf {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Sets the global threshold; messages below it are dropped.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// printf-style logging to stderr with a level tag.
+void log_message(LogLevel level, const std::string& message);
+
+inline void log_debug(const std::string& m) { log_message(LogLevel::kDebug, m); }
+inline void log_info(const std::string& m) { log_message(LogLevel::kInfo, m); }
+inline void log_warn(const std::string& m) { log_message(LogLevel::kWarn, m); }
+inline void log_error(const std::string& m) { log_message(LogLevel::kError, m); }
+
+}  // namespace wnf

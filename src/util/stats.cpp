@@ -1,0 +1,64 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/contract.hpp"
+
+namespace wnf {
+
+void Accumulator::add(double x) {
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+void Accumulator::merge(const Accumulator& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double n1 = static_cast<double>(count_);
+  const double n2 = static_cast<double>(other.count_);
+  const double delta = other.mean_ - mean_;
+  const double total = n1 + n2;
+  mean_ += delta * n2 / total;
+  m2_ += other.m2_ + delta * delta * n1 * n2 / total;
+  count_ += other.count_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+Summary Accumulator::summary() const {
+  Summary s;
+  s.count = count_;
+  s.mean = mean_;
+  s.min = min_;
+  s.max = max_;
+  s.stddev =
+      count_ > 1 ? std::sqrt(m2_ / static_cast<double>(count_ - 1)) : 0.0;
+  return s;
+}
+
+double percentile(std::vector<double> xs, double p) {
+  WNF_EXPECTS(!xs.empty());
+  WNF_EXPECTS(p >= 0.0 && p <= 1.0);
+  std::sort(xs.begin(), xs.end());
+  const double rank = p * static_cast<double>(xs.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, xs.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return xs[lo] * (1.0 - frac) + xs[hi] * frac;
+}
+
+Summary summarize(const std::vector<double>& xs) {
+  Accumulator acc;
+  for (double x : xs) acc.add(x);
+  return acc.summary();
+}
+
+}  // namespace wnf

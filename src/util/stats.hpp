@@ -1,0 +1,52 @@
+// Streaming and batch summary statistics for experiment reporting.
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <vector>
+
+namespace wnf {
+
+/// Five-number-style summary of a sample.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;  ///< sample standard deviation (n-1 denominator)
+  double min = std::numeric_limits<double>::infinity();
+  double max = -std::numeric_limits<double>::infinity();
+};
+
+/// Welford online accumulator: numerically stable mean/variance plus
+/// min/max, O(1) memory. Mergeable (parallel reduction friendly).
+class Accumulator {
+ public:
+  /// Folds one observation into the running moments.
+  void add(double x);
+
+  /// Merges another accumulator (Chan et al. parallel variance update).
+  void merge(const Accumulator& other);
+
+  /// Snapshot of the current summary statistics.
+  Summary summary() const;
+
+  std::size_t count() const { return count_; }
+  double mean() const { return mean_; }
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// p-th percentile (p in [0,1]) by linear interpolation on a copy of `xs`.
+/// Requires a non-empty sample.
+double percentile(std::vector<double> xs, double p);
+
+/// Convenience: summary of a whole vector.
+Summary summarize(const std::vector<double>& xs);
+
+}  // namespace wnf

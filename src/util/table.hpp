@@ -1,0 +1,43 @@
+// Console table printer: every bench binary prints paper-style rows through
+// this so the harness output is uniform and diffable.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace wnf {
+
+/// Right-aligned fixed-precision console table.
+///
+/// Usage:
+///   Table t({"K", "Er(measured)", "Fep(bound)", "ratio"});
+///   t.add_row({"0.25", "1.2e-3", "4.0e-3", "0.30"});
+///   t.print(std::cout);
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Appends a row; must have exactly as many cells as there are headers.
+  void add_row(std::vector<std::string> cells);
+
+  /// Renders with a header underline and 2-space column gaps.
+  void print(std::ostream& os) const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+  /// Formats a double with `digits` significant digits (general format).
+  static std::string num(double value, int digits = 6);
+
+  /// Formats a double in scientific notation with `digits` digits.
+  static std::string sci(double value, int digits = 3);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Prints a section banner (`== title ==`) used between experiment blocks.
+void print_banner(std::ostream& os, const std::string& title);
+
+}  // namespace wnf

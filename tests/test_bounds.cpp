@@ -1,0 +1,200 @@
+// Theorem 1 / Theorem 3 / Theorem 4 / Lemma 1 checkers, the error budget,
+// tolerance searches, and certificates.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/certificate.hpp"
+#include "core/overprovision.hpp"
+#include "core/tolerance.hpp"
+#include "nn/builder.hpp"
+
+namespace wnf::theory {
+namespace {
+
+NetworkProfile uniform_profile(std::size_t depth, std::size_t width,
+                               double wmax, double k, std::size_t dim = 2) {
+  NetworkProfile p;
+  p.input_dim = dim;
+  p.depth = depth;
+  p.widths.assign(depth, width);
+  p.weight_max.assign(depth + 1, wmax);
+  p.fan_in.clear();
+  std::size_t prev = dim;
+  for (std::size_t l = 0; l < depth; ++l) {
+    p.fan_in.push_back(prev);
+    prev = width;
+  }
+  p.lipschitz = k;
+  p.activation_sup = 1.0;
+  return p;
+}
+
+TEST(ErrorBudget, SlackArithmetic) {
+  ErrorBudget budget{0.5, 0.1};
+  EXPECT_DOUBLE_EQ(budget.slack(), 0.4);
+}
+
+TEST(Theorem1, ExactDivision) {
+  // slack / w_m = 0.4 / 0.1 = 4 crashes, exactly.
+  EXPECT_EQ(theorem1_max_crashes({0.5, 0.1}, 0.1), 4u);
+}
+
+TEST(Theorem1, FloorsFractionalQuotient) {
+  EXPECT_EQ(theorem1_max_crashes({0.5, 0.1}, 0.15), 2u);
+}
+
+TEST(Theorem1, ZeroWhenSlackBelowOneWeight) {
+  EXPECT_EQ(theorem1_max_crashes({0.2, 0.15}, 0.1), 0u);
+}
+
+TEST(Theorem1, MatchesSingleLayerFepSearch) {
+  // Theorem 1 must agree with the generic Theorem-3 machinery at L = 1.
+  const auto p = uniform_profile(1, 50, 0.03, 1.0);
+  FepOptions options;
+  options.mode = FailureMode::kCrash;
+  const ErrorBudget budget{0.4, 0.1};
+  const std::size_t via_theorem1 = theorem1_max_crashes(budget, 0.03);
+  const std::size_t via_search =
+      max_faults_single_layer(p, 1, budget, options);
+  EXPECT_EQ(via_theorem1, via_search);
+  EXPECT_EQ(via_theorem1, 10u);  // 0.3 / 0.03
+}
+
+TEST(Theorem3, AcceptsWithinSlackRejectsBeyond) {
+  const auto p = uniform_profile(2, 10, 0.1, 1.0);
+  FepOptions options;
+  options.mode = FailureMode::kCrash;
+  // Fep(0, f2) = f2 * 0.1; slack 0.35 -> tolerate up to f2 = 3.
+  EXPECT_TRUE(theorem3_tolerates(p, std::vector<std::size_t>{0, 3},
+                                 {0.4, 0.05}, options));
+  EXPECT_FALSE(theorem3_tolerates(p, std::vector<std::size_t>{0, 4},
+                                  {0.4, 0.05}, options));
+}
+
+TEST(Theorem3, RejectsWholeLayerFailure) {
+  // f_l < N_l is a hard requirement regardless of Fep.
+  const auto p = uniform_profile(1, 3, 1e-9, 1.0);
+  FepOptions options;
+  EXPECT_FALSE(theorem3_tolerates(p, std::vector<std::size_t>{3},
+                                  {1.0, 0.1}, options));
+}
+
+TEST(Theorem3, UnboundedCapacityToleratesNothing) {
+  // Lemma 1 as the C -> infinity limit: any single Byzantine fault exceeds
+  // any finite slack.
+  const auto p = uniform_profile(1, 10, 0.1, 1.0);
+  FepOptions options;
+  options.capacity = 1e12;
+  EXPECT_FALSE(theorem3_tolerates(p, std::vector<std::size_t>{1},
+                                  {1.0, 0.5}, options));
+}
+
+TEST(Theorem4, ToleranceChecker) {
+  const auto p = uniform_profile(1, 10, 0.1, 1.0);
+  FepOptions options;
+  options.capacity = 1.0;
+  // Output synapse faults cost C * w = 0.1 each; slack 0.35 -> 3 ok, 4 not.
+  EXPECT_TRUE(theorem4_tolerates_synapses(
+      p, std::vector<std::size_t>{0, 3}, {0.4, 0.05}, options));
+  EXPECT_FALSE(theorem4_tolerates_synapses(
+      p, std::vector<std::size_t>{0, 4}, {0.4, 0.05}, options));
+}
+
+TEST(Lemma1, BreakingValueExceedsMargin) {
+  const double v = lemma1_breaking_value(0.3, 0.6, 0.05, 0.2);
+  // Sending v moves the output by w * (v - y) = 2 * margin > margin.
+  EXPECT_NEAR(0.05 * (v - 0.6), 0.4, 1e-12);
+}
+
+TEST(Tolerance, SingleLayerSearchRespectsWidthCap) {
+  // Huge slack: the search must stop at N_l - 1.
+  const auto p = uniform_profile(2, 5, 1e-6, 1.0);
+  FepOptions options;
+  options.mode = FailureMode::kCrash;
+  EXPECT_EQ(max_faults_single_layer(p, 1, {10.0, 1.0}, options), 4u);
+}
+
+TEST(Tolerance, UniformSearchFindsExpectedValue) {
+  const auto p = uniform_profile(1, 20, 0.05, 1.0);
+  FepOptions options;
+  options.mode = FailureMode::kCrash;
+  // Uniform f at L=1: Fep = f * 0.05 <= 0.45 -> f = 9.
+  EXPECT_EQ(max_uniform_faults(p, {0.5, 0.05}, options), 9u);
+}
+
+TEST(Tolerance, GreedyDominatesUniform) {
+  const auto p = uniform_profile(3, 8, 0.2, 0.8);
+  FepOptions options;
+  options.mode = FailureMode::kCrash;
+  const ErrorBudget budget{0.6, 0.1};
+  const auto greedy = greedy_max_distribution(p, budget, options);
+  const std::size_t uniform = max_uniform_faults(p, budget, options);
+  EXPECT_GE(total_faults(greedy), uniform * p.depth);
+  // And the greedy distribution must itself be tolerated.
+  EXPECT_TRUE(theorem3_tolerates(p, greedy, budget, options));
+}
+
+TEST(Tolerance, GreedyIsMaximal) {
+  // No single extra fault can be added anywhere without breaking the bound.
+  const auto p = uniform_profile(2, 6, 0.15, 1.0);
+  FepOptions options;
+  options.mode = FailureMode::kCrash;
+  const ErrorBudget budget{0.5, 0.1};
+  auto greedy = greedy_max_distribution(p, budget, options);
+  for (std::size_t l = 1; l <= p.depth; ++l) {
+    if (greedy[l - 1] + 1 >= p.width(l)) continue;
+    ++greedy[l - 1];
+    EXPECT_FALSE(theorem3_tolerates(p, greedy, budget, options))
+        << "greedy left room at layer " << l;
+    --greedy[l - 1];
+  }
+}
+
+TEST(Tolerance, BoostingWaitCounts) {
+  const auto p = uniform_profile(2, 10, 0.1, 1.0);
+  const std::vector<std::size_t> faults{3, 1};
+  EXPECT_EQ(boosting_wait_count(p, 1, faults), 7u);
+  EXPECT_EQ(boosting_wait_count(p, 2, faults), 9u);
+}
+
+TEST(Certificate, FieldsAreConsistent) {
+  Rng rng(7);
+  const auto net = nn::NetworkBuilder(2)
+                       .activation(nn::ActivationKind::kSigmoid, 1.0)
+                       .hidden(12)
+                       .hidden(10)
+                       .init(nn::InitKind::kScaledUniform, 0.5)
+                       .build(rng);
+  FepOptions options;
+  options.mode = FailureMode::kCrash;
+  const ErrorBudget budget{0.3, 0.05};
+  const auto cert = certify(net, budget, options);
+  EXPECT_EQ(cert.per_layer_max.size(), 2u);
+  EXPECT_EQ(cert.greedy_distribution.size(), 2u);
+  EXPECT_EQ(cert.greedy_total, total_faults(cert.greedy_distribution));
+  EXPECT_LE(cert.greedy_fep, budget.slack() + 1e-12);
+  for (std::size_t l = 1; l <= 2; ++l) {
+    EXPECT_EQ(cert.boosting_wait[l - 1],
+              net.layer_width(l) - cert.greedy_distribution[l - 1]);
+    // Single-layer max dominates the greedy entry for that layer.
+    EXPECT_GE(cert.per_layer_max[l - 1], cert.greedy_distribution[l - 1]);
+  }
+}
+
+TEST(Certificate, PrintsReadableReport) {
+  Rng rng(11);
+  const auto net = nn::NetworkBuilder(2).hidden(6).build(rng);
+  FepOptions options;
+  options.mode = FailureMode::kCrash;
+  const auto cert = certify(net, {0.4, 0.1}, options);
+  std::ostringstream os;
+  print_certificate(cert, os);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("robustness certificate"), std::string::npos);
+  EXPECT_NE(text.find("crash"), std::string::npos);
+  EXPECT_NE(text.find("layer l"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace wnf::theory

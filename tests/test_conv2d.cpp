@@ -1,0 +1,124 @@
+// Conv2D tests: geometry, equivalence with a direct 2-D convolution,
+// sparsity outside receptive fields, kernel extraction/projection.
+#include <gtest/gtest.h>
+
+#include "nn/conv2d.hpp"
+#include "util/rng.hpp"
+
+namespace wnf::nn {
+namespace {
+
+TEST(Conv2DSpec, GeometryAndIndexing) {
+  Conv2DSpec spec{5, 6, 3, 2, 1, 2};
+  ASSERT_TRUE(spec.valid());
+  EXPECT_EQ(spec.out_height(), 3u);
+  EXPECT_EQ(spec.out_width(), 3u);
+  EXPECT_EQ(spec.in_size(), 30u);
+  EXPECT_EQ(spec.out_size(), 9u);
+  EXPECT_EQ(spec.receptive_field(), 6u);
+  EXPECT_EQ(spec.in_index(0, 0), 0u);
+  EXPECT_EQ(spec.in_index(1, 2), 8u);
+  EXPECT_EQ(spec.out_index(2, 1), 7u);
+}
+
+TEST(Conv2DSpec, InvalidGeometriesRejected) {
+  EXPECT_FALSE((Conv2DSpec{0, 4, 2, 2, 1, 1}).valid());
+  EXPECT_FALSE((Conv2DSpec{4, 4, 5, 2, 1, 1}).valid());
+  EXPECT_FALSE((Conv2DSpec{4, 4, 2, 2, 0, 1}).valid());
+}
+
+TEST(Conv2D, MatchesDirectConvolution) {
+  Conv2DSpec spec{4, 5, 2, 3, 1, 1};
+  Rng rng(3);
+  std::vector<double> kernel(spec.receptive_field());
+  for (double& v : kernel) v = rng.uniform(-1.0, 1.0);
+  const double bias = 0.2;
+  const auto layer = make_conv2d(spec, kernel, bias);
+  EXPECT_EQ(layer.receptive_field(), 6u);
+
+  std::vector<double> input(spec.in_size());
+  for (double& v : input) v = rng.uniform();
+  std::vector<double> out(spec.out_size());
+  layer.affine(input, out);
+
+  for (std::size_t orow = 0; orow < spec.out_height(); ++orow) {
+    for (std::size_t ocol = 0; ocol < spec.out_width(); ++ocol) {
+      double expected = bias;
+      for (std::size_t kr = 0; kr < spec.kernel_h; ++kr) {
+        for (std::size_t kc = 0; kc < spec.kernel_w; ++kc) {
+          expected += kernel[kr * spec.kernel_w + kc] *
+                      input[spec.in_index(orow + kr, ocol + kc)];
+        }
+      }
+      EXPECT_NEAR(out[spec.out_index(orow, ocol)], expected, 1e-13);
+    }
+  }
+}
+
+TEST(Conv2D, StridedMatchesDirectConvolution) {
+  Conv2DSpec spec{6, 6, 2, 2, 2, 2};
+  Rng rng(5);
+  std::vector<double> kernel{0.5, -0.25, 1.0, 0.75};
+  const auto layer = make_conv2d(spec, kernel, 0.0);
+  std::vector<double> input(spec.in_size());
+  for (double& v : input) v = rng.uniform();
+  std::vector<double> out(spec.out_size());
+  layer.affine(input, out);
+  for (std::size_t orow = 0; orow < 3; ++orow) {
+    for (std::size_t ocol = 0; ocol < 3; ++ocol) {
+      double expected = 0.0;
+      for (std::size_t kr = 0; kr < 2; ++kr) {
+        for (std::size_t kc = 0; kc < 2; ++kc) {
+          expected += kernel[kr * 2 + kc] *
+                      input[spec.in_index(orow * 2 + kr, ocol * 2 + kc)];
+        }
+      }
+      EXPECT_NEAR(out[spec.out_index(orow, ocol)], expected, 1e-13);
+    }
+  }
+}
+
+TEST(Conv2D, ZeroOutsideReceptiveField) {
+  Conv2DSpec spec{4, 4, 2, 2, 1, 1};
+  const auto layer = make_conv2d(spec, std::vector<double>(4, 1.0), 0.0);
+  std::size_t nonzero = 0;
+  for (double w : layer.weights().flat()) nonzero += w != 0.0;
+  // Each of the 9 output positions touches exactly 4 inputs.
+  EXPECT_EQ(nonzero, 9u * 4u);
+}
+
+TEST(Conv2D, KernelExtractionRoundTrip) {
+  Conv2DSpec spec{5, 5, 3, 3, 1, 1};
+  Rng rng(7);
+  std::vector<double> kernel(9);
+  for (double& v : kernel) v = rng.normal();
+  const auto layer = make_conv2d(spec, kernel, -0.4);
+  const auto extracted = extract_kernel2d(layer, spec);
+  ASSERT_EQ(extracted.size(), 9u);
+  for (std::size_t k = 0; k < 9; ++k) EXPECT_NEAR(extracted[k], kernel[k], 1e-13);
+}
+
+TEST(Conv2D, ProjectionRestoresSharing) {
+  Conv2DSpec spec{4, 4, 2, 2, 1, 1};
+  auto layer = make_conv2d(spec, std::vector<double>{1.0, 2.0, 3.0, 4.0}, 0.1);
+  layer.weights()(4, spec.in_index(1, 1)) += 0.9;  // break sharing
+  layer.bias()[2] += 0.5;
+  project_shared_kernel2d(layer, spec);
+  const auto kernel = extract_kernel2d(layer, spec);
+  // After projection every position carries the same kernel again.
+  for (std::size_t orow = 0; orow < 3; ++orow) {
+    for (std::size_t ocol = 0; ocol < 3; ++ocol) {
+      const std::size_t j = spec.out_index(orow, ocol);
+      for (std::size_t kr = 0; kr < 2; ++kr) {
+        for (std::size_t kc = 0; kc < 2; ++kc) {
+          EXPECT_NEAR(layer.weights()(j, spec.in_index(orow + kr, ocol + kc)),
+                      kernel[kr * 2 + kc], 1e-13);
+        }
+      }
+      EXPECT_NEAR(layer.bias()[j], layer.bias()[0], 1e-13);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace wnf::nn

@@ -1,0 +1,152 @@
+// Projected-gradient training of convolutional layers: the post-step
+// projection keeps conv layers on the shared-kernel manifold while the
+// network learns, so Section VI's sharper bounds apply to *trained* nets.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/tolerance.hpp"
+#include "data/dataset.hpp"
+#include "nn/builder.hpp"
+#include "nn/conv.hpp"
+#include "nn/loss.hpp"
+#include "nn/train.hpp"
+
+namespace wnf::nn {
+namespace {
+
+/// 1-D signal target: mean of a smoothed input window.
+data::TargetFunction signal_target(std::size_t dim) {
+  return data::TargetFunction("windowed_mean", dim,
+                              [dim](std::span<const double> x) {
+                                double acc = 0.0;
+                                for (std::size_t i = 0; i + 1 < dim; ++i) {
+                                  acc += 0.5 * (x[i] + x[i + 1]);
+                                }
+                                return acc / static_cast<double>(dim - 1);
+                              });
+}
+
+struct ConvFixture {
+  FeedForwardNetwork net;
+  Conv1DSpec spec;
+};
+
+ConvFixture make_conv_net(Rng& rng) {
+  const Conv1DSpec spec{8, 3, 1};
+  std::vector<double> kernel(3);
+  for (double& v : kernel) v = rng.uniform(-0.5, 0.5);
+  auto conv = make_conv1d(spec, kernel, rng.uniform(-0.1, 0.1));
+  DenseLayer head(4, spec.out_size());
+  initialize(head, InitKind::kScaledUniform, 1.0, rng);
+  std::vector<DenseLayer> layers;
+  layers.push_back(std::move(conv));
+  layers.push_back(std::move(head));
+  std::vector<double> out(4);
+  initialize({out.data(), out.size()}, InitKind::kScaledUniform, 1.0, rng);
+  return {FeedForwardNetwork(8, std::move(layers), std::move(out), 0.0,
+                             Activation(ActivationKind::kSigmoid, 1.0)),
+          spec};
+}
+
+/// Max deviation of layer 1 from the shared-kernel manifold.
+double sharing_violation(const FeedForwardNetwork& net,
+                         const Conv1DSpec& spec) {
+  const auto kernel = extract_kernel(net.layer(1), spec);
+  double worst = 0.0;
+  for (std::size_t j = 0; j < spec.out_size(); ++j) {
+    for (std::size_t k = 0; k < spec.kernel; ++k) {
+      worst = std::max(worst, std::fabs(net.layer(1).weights()(j, j + k) -
+                                        kernel[k]));
+    }
+  }
+  return worst;
+}
+
+TEST(ConvTraining, ProjectionKeepsSharingWhileLearning) {
+  Rng rng(3);
+  auto [net, spec] = make_conv_net(rng);
+  const auto target = signal_target(8);
+  const auto train_set = data::sample_uniform(target, 192, rng);
+  const double before = mse(net, train_set);
+
+  TrainConfig config;
+  config.epochs = 60;
+  config.learning_rate = 0.02;
+  Conv1DSpec captured = spec;
+  config.post_step_projection = [captured](FeedForwardNetwork& network) {
+    project_shared_kernel(network.layer(1), captured);
+  };
+  train(net, train_set, config, rng);
+
+  EXPECT_LT(mse(net, train_set), before) << "projection prevented learning";
+  EXPECT_LT(sharing_violation(net, spec), 1e-12)
+      << "training left the shared-kernel manifold";
+  // Receptive-field metadata is structural and must survive training.
+  EXPECT_EQ(net.layer(1).receptive_field(), 3u);
+}
+
+TEST(ConvTraining, UnconstrainedTrainingBreaksSharing) {
+  // Control: without projection the kernel positions drift apart, which is
+  // exactly why the projection hook exists.
+  Rng rng(3);
+  auto [net, spec] = make_conv_net(rng);
+  const auto target = signal_target(8);
+  const auto train_set = data::sample_uniform(target, 192, rng);
+  TrainConfig config;
+  config.epochs = 60;
+  config.learning_rate = 0.02;
+  train(net, train_set, config, rng);
+  EXPECT_GT(sharing_violation(net, spec), 1e-6);
+}
+
+TEST(ConvTraining, TrainedConvNetKeepsConvAwareBoundSound) {
+  Rng rng(7);
+  auto [net, spec] = make_conv_net(rng);
+  const auto target = signal_target(8);
+  const auto train_set = data::sample_uniform(target, 192, rng);
+  TrainConfig config;
+  config.epochs = 80;
+  config.learning_rate = 0.02;
+  Conv1DSpec captured = spec;
+  config.post_step_projection = [captured](FeedForwardNetwork& network) {
+    project_shared_kernel(network.layer(1), captured);
+  };
+  train(net, train_set, config, rng);
+
+  // The conv-aware bound never undercuts the dense one... it refines it;
+  // both must stay above the worst measured crash error.
+  theory::FepOptions dense;
+  dense.mode = theory::FailureMode::kCrash;
+  theory::FepOptions conv = dense;
+  conv.use_receptive_field = true;
+  const auto prof = theory::profile(net, dense);
+  const std::vector<std::size_t> counts{0, 2};
+  const double bound_dense =
+      theory::forward_error_propagation(prof, counts, dense);
+  const double bound_conv =
+      theory::forward_error_propagation(prof, counts, conv);
+  EXPECT_LE(bound_conv, bound_dense + 1e-12);
+}
+
+TEST(ConvTraining, ProjectionComposesWithWeightDecayAndFep) {
+  Rng rng(11);
+  auto [net, spec] = make_conv_net(rng);
+  const auto target = signal_target(8);
+  const auto train_set = data::sample_uniform(target, 128, rng);
+  TrainConfig config;
+  config.epochs = 40;
+  config.learning_rate = 0.02;
+  config.weight_decay = 1e-3;
+  config.fep_lambda = 0.01;
+  Conv1DSpec captured = spec;
+  config.post_step_projection = [captured](FeedForwardNetwork& network) {
+    project_shared_kernel(network.layer(1), captured);
+  };
+  const auto result = train(net, train_set, config, rng);
+  EXPECT_EQ(result.epochs_run, 40u);
+  EXPECT_LT(sharing_violation(net, spec), 1e-12);
+}
+
+}  // namespace
+}  // namespace wnf::nn

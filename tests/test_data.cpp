@@ -1,0 +1,131 @@
+// Unit tests for src/data: target functions stay in [0,1]^d -> [0,1];
+// samplers produce well-formed datasets.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/dataset.hpp"
+#include "data/target_functions.hpp"
+#include "util/rng.hpp"
+
+namespace wnf::data {
+namespace {
+
+class CatalogueTest : public testing::TestWithParam<std::size_t> {};
+
+TEST_P(CatalogueTest, EveryTargetMapsCubeIntoUnitInterval) {
+  const std::size_t dim = GetParam();
+  Rng rng(101);
+  for (const auto& target : standard_catalogue(dim)) {
+    ASSERT_EQ(target.dim(), dim) << target.name();
+    for (int n = 0; n < 500; ++n) {
+      std::vector<double> x(dim);
+      for (double& c : x) c = rng.uniform();
+      const double value = target(x);
+      EXPECT_GE(value, -1e-9) << target.name();
+      EXPECT_LE(value, 1.0 + 1e-9) << target.name();
+    }
+  }
+}
+
+TEST_P(CatalogueTest, TargetsAreContinuousUnderSmallPerturbation) {
+  const std::size_t dim = GetParam();
+  Rng rng(103);
+  for (const auto& target : standard_catalogue(dim)) {
+    for (int n = 0; n < 200; ++n) {
+      std::vector<double> x(dim);
+      std::vector<double> y(dim);
+      for (std::size_t i = 0; i < dim; ++i) {
+        x[i] = rng.uniform(0.001, 0.999);
+        y[i] = x[i] + 1e-7;
+      }
+      EXPECT_NEAR(target(x), target(y), 1e-4) << target.name();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, CatalogueTest, testing::Values(1, 2, 3, 5));
+
+TEST(TargetFunctions, KnownValues) {
+  const auto mean2 = make_mean(2);
+  EXPECT_DOUBLE_EQ(mean2(std::vector<double>{0.2, 0.6}), 0.4);
+  const auto product3 = make_product(3);
+  EXPECT_DOUBLE_EQ(product3(std::vector<double>{0.5, 0.5, 0.5}), 0.125);
+  const auto bump = make_gaussian_bump(2);
+  EXPECT_DOUBLE_EQ(bump(std::vector<double>{0.5, 0.5}), 1.0);  // at centre
+  const auto step = make_smooth_step(1);
+  EXPECT_NEAR(step(std::vector<double>{0.5}), 0.5, 1e-12);
+}
+
+TEST(TargetFunctions, SineRidgeHitsExtremes) {
+  const auto ridge = make_sine_ridge(1);
+  EXPECT_NEAR(ridge(std::vector<double>{0.25}), 1.0, 1e-12);
+  EXPECT_NEAR(ridge(std::vector<double>{0.75}), 0.0, 1e-12);
+}
+
+TEST(Dataset, UniformSampleShapesAndLabels) {
+  Rng rng(5);
+  const auto target = make_mean(3);
+  const auto dataset = sample_uniform(target, 100, rng);
+  EXPECT_EQ(dataset.size(), 100u);
+  EXPECT_EQ(dataset.dim, 3u);
+  for (std::size_t n = 0; n < dataset.size(); ++n) {
+    ASSERT_EQ(dataset.inputs[n].size(), 3u);
+    EXPECT_DOUBLE_EQ(dataset.labels[n], target(dataset.inputs[n]));
+  }
+}
+
+TEST(Dataset, GridCoversCorners) {
+  const auto target = make_mean(2);
+  const auto dataset = sample_grid(target, 3);
+  EXPECT_EQ(dataset.size(), 9u);
+  // The grid must contain all four corners of the unit square.
+  int corners = 0;
+  for (const auto& x : dataset.inputs) {
+    const bool corner = (x[0] == 0.0 || x[0] == 1.0) &&
+                        (x[1] == 0.0 || x[1] == 1.0);
+    corners += corner;
+  }
+  EXPECT_EQ(corners, 4);
+}
+
+TEST(Dataset, GridSpacingIsUniform) {
+  const auto target = make_mean(1);
+  const auto dataset = sample_grid(target, 5);
+  ASSERT_EQ(dataset.size(), 5u);
+  for (std::size_t n = 0; n < 5; ++n) {
+    EXPECT_DOUBLE_EQ(dataset.inputs[n][0], n * 0.25);
+  }
+}
+
+TEST(Dataset, StratifiedCoversEveryStratum) {
+  Rng rng(7);
+  const auto target = make_mean(2);
+  const std::size_t count = 20;
+  const auto dataset = sample_stratified(target, count, rng);
+  ASSERT_EQ(dataset.size(), count);
+  // Per axis, exactly one sample in each stratum [k/count, (k+1)/count).
+  for (std::size_t axis = 0; axis < 2; ++axis) {
+    std::vector<int> hits(count, 0);
+    for (const auto& x : dataset.inputs) {
+      const auto stratum = static_cast<std::size_t>(x[axis] * count);
+      ASSERT_LT(stratum, count);
+      ++hits[stratum];
+    }
+    for (int h : hits) EXPECT_EQ(h, 1);
+  }
+}
+
+TEST(Dataset, SplitPreservesAllSamples) {
+  Rng rng(9);
+  const auto target = make_mean(2);
+  const auto dataset = sample_uniform(target, 100, rng);
+  const auto [train, test] = split(dataset, 0.8, rng);
+  EXPECT_EQ(train.size(), 80u);
+  EXPECT_EQ(test.size(), 20u);
+  EXPECT_EQ(train.dim, 2u);
+  EXPECT_EQ(test.dim, 2u);
+}
+
+}  // namespace
+}  // namespace wnf::data

@@ -1,0 +1,268 @@
+// Message-passing simulator tests: equivalence with the matrix forward
+// pass, fault semantics matching the Injector, capacity clamping
+// (Assumption 1), latencies, and the Corollary-2 boosting engine.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dist/boosting.hpp"
+#include "dist/sim.hpp"
+#include "fault/injector.hpp"
+#include "nn/builder.hpp"
+
+namespace wnf::dist {
+namespace {
+
+nn::FeedForwardNetwork sim_net(std::uint64_t seed = 3) {
+  Rng rng(seed);
+  return nn::NetworkBuilder(3)
+      .activation(nn::ActivationKind::kSigmoid, 1.0)
+      .hidden(7)
+      .hidden(5)
+      .init(nn::InitKind::kUniform, 0.5)
+      .build(rng);
+}
+
+TEST(Simulator, NoFaultOutputMatchesMatrixForward) {
+  const auto net = sim_net();
+  NetworkSimulator sim(net, SimConfig{});
+  Rng rng(7);
+  nn::Workspace ws;
+  for (int n = 0; n < 50; ++n) {
+    std::vector<double> x{rng.uniform(), rng.uniform(), rng.uniform()};
+    const auto result = sim.evaluate(x);
+    EXPECT_NEAR(result.output, net.evaluate(x, ws), 1e-12);
+  }
+}
+
+TEST(Simulator, ZeroLatencyZeroCompletionTime) {
+  const auto net = sim_net();
+  NetworkSimulator sim(net, SimConfig{});
+  const std::vector<double> x{0.1, 0.5, 0.9};
+  EXPECT_DOUBLE_EQ(sim.evaluate(x).completion_time, 0.0);
+}
+
+TEST(Simulator, CompletionTimeIsCriticalPath) {
+  const auto net = sim_net();
+  NetworkSimulator sim(net, SimConfig{});
+  // Layer 1 latencies all 1 except one neuron at 5; layer 2 all 2.
+  std::vector<std::vector<double>> latencies{
+      std::vector<double>(7, 1.0), std::vector<double>(5, 2.0)};
+  latencies[0][3] = 5.0;
+  sim.set_latencies(latencies);
+  const std::vector<double> x{0.2, 0.4, 0.6};
+  const auto result = sim.evaluate(x);
+  // Critical path: slowest layer-1 neuron (5) + layer-2 latency (2).
+  EXPECT_DOUBLE_EQ(result.completion_time, 7.0);
+  ASSERT_EQ(result.layer_fire_times.size(), 2u);
+  EXPECT_DOUBLE_EQ(result.layer_fire_times[0], 5.0);
+  EXPECT_DOUBLE_EQ(result.layer_fire_times[1], 7.0);
+}
+
+TEST(Simulator, CrashMatchesInjectorSemantics) {
+  const auto net = sim_net();
+  NetworkSimulator sim(net, SimConfig{});
+  fault::FaultPlan plan;
+  plan.neurons = {{1, 2, fault::NeuronFaultKind::kCrash, 0.0},
+                  {2, 0, fault::NeuronFaultKind::kCrash, 0.0}};
+  sim.apply_faults(plan);
+  fault::Injector injector(net);
+  Rng rng(11);
+  for (int n = 0; n < 20; ++n) {
+    std::vector<double> x{rng.uniform(), rng.uniform(), rng.uniform()};
+    EXPECT_NEAR(sim.evaluate(x).output, injector.damaged(plan, x), 1e-12);
+  }
+}
+
+TEST(Simulator, ByzantineTransmittedValueMatchesInjector) {
+  const auto net = sim_net();
+  SimConfig config;
+  config.capacity = 10.0;  // roomy: no clamping
+  NetworkSimulator sim(net, config);
+  fault::FaultPlan plan;
+  plan.convention = theory::CapacityConvention::kTransmittedValueBound;
+  plan.neurons = {{2, 3, fault::NeuronFaultKind::kByzantine, 0.8}};
+  sim.apply_faults(plan);
+  fault::Injector injector(net);
+  const std::vector<double> x{0.3, 0.6, 0.9};
+  EXPECT_NEAR(sim.evaluate(x).output, injector.damaged(plan, x), 1e-12);
+}
+
+TEST(Simulator, ChannelClampsByzantineValues) {
+  // Assumption 1 enforced structurally: a Byzantine process tries to send
+  // 1e9 but the synapse caps it at C.
+  const auto net = sim_net();
+  SimConfig config;
+  config.capacity = 2.0;
+  NetworkSimulator sim(net, config);
+  fault::FaultPlan plan;
+  plan.neurons = {{2, 1, fault::NeuronFaultKind::kByzantine, 1e9}};
+  sim.apply_faults(plan);
+  const std::vector<double> x{0.5, 0.5, 0.5};
+  // Reference: the same fault transmitting exactly C.
+  fault::FaultPlan clamped;
+  clamped.convention = theory::CapacityConvention::kTransmittedValueBound;
+  clamped.neurons = {{2, 1, fault::NeuronFaultKind::kByzantine, 2.0}};
+  fault::Injector injector(net);
+  EXPECT_NEAR(sim.evaluate(x).output, injector.damaged(clamped, x), 1e-12);
+}
+
+TEST(Simulator, UnboundedChannelLetsByzantineDiverge) {
+  // Lemma 1's regime: capacity <= 0 disables the clamp and a single
+  // Byzantine neuron moves the output arbitrarily far.
+  const auto net = sim_net();
+  SimConfig config;
+  config.capacity = 0.0;
+  NetworkSimulator sim(net, config);
+  fault::FaultPlan plan;
+  plan.neurons = {{2, 1, fault::NeuronFaultKind::kByzantine, 1e12}};
+  sim.apply_faults(plan);
+  const std::vector<double> x{0.5, 0.5, 0.5};
+  nn::Workspace ws;
+  EXPECT_GT(std::fabs(sim.evaluate(x).output - net.evaluate(x, ws)), 1e6);
+}
+
+TEST(Simulator, ClearFaultsRestoresNominal) {
+  const auto net = sim_net();
+  NetworkSimulator sim(net, SimConfig{});
+  const std::vector<double> x{0.2, 0.2, 0.2};
+  const double nominal = sim.evaluate(x).output;
+  fault::FaultPlan plan;
+  plan.neurons = {{1, 0, fault::NeuronFaultKind::kCrash, 0.0}};
+  sim.apply_faults(plan);
+  EXPECT_NE(sim.evaluate(x).output, nominal);
+  sim.clear_faults();
+  EXPECT_DOUBLE_EQ(sim.evaluate(x).output, nominal);
+}
+
+TEST(Simulator, SynapseFaultsMatchInjector) {
+  const auto net = sim_net();
+  NetworkSimulator sim(net, SimConfig{});
+  fault::FaultPlan plan;
+  plan.synapses = {{2, 1, 3, fault::SynapseFaultKind::kCrash, 0.0},
+                   {3, 0, 2, fault::SynapseFaultKind::kByzantine, 0.4}};
+  sim.apply_faults(plan);
+  fault::Injector injector(net);
+  const std::vector<double> x{0.7, 0.2, 0.5};
+  EXPECT_NEAR(sim.evaluate(x).output, injector.damaged(plan, x), 1e-12);
+}
+
+TEST(Simulator, BoostedFullWaitEqualsEvaluate) {
+  const auto net = sim_net();
+  NetworkSimulator sim(net, SimConfig{});
+  const std::vector<std::size_t> full_wait{3, 7};  // full fan-in per layer
+  const std::vector<double> x{0.4, 0.8, 0.1};
+  EXPECT_DOUBLE_EQ(sim.evaluate_boosted(x, full_wait).output,
+                   sim.evaluate(x).output);
+}
+
+TEST(Simulator, BoostedCutsSlowestSenders) {
+  const auto net = sim_net();
+  NetworkSimulator sim(net, SimConfig{});
+  // Make layer-1 neuron 4 very slow; a layer-2 wait count of 6 (of 7)
+  // must drop exactly that neuron, i.e. behave like its crash.
+  std::vector<std::vector<double>> latencies{
+      std::vector<double>(7, 1.0), std::vector<double>(5, 0.0)};
+  latencies[0][4] = 100.0;
+  sim.set_latencies(latencies);
+  const std::vector<std::size_t> wait{3, 6};
+  const std::vector<double> x{0.3, 0.3, 0.3};
+  const auto boosted = sim.evaluate_boosted(x, wait);
+  fault::FaultPlan crash;
+  crash.neurons = {{1, 4, fault::NeuronFaultKind::kCrash, 0.0}};
+  fault::Injector injector(net);
+  EXPECT_NEAR(boosted.output, injector.damaged(crash, x), 1e-12);
+  // And the boosted run no longer waits for the straggler.
+  EXPECT_LT(boosted.completion_time, 100.0);
+}
+
+TEST(Simulator, HoldLastPolicyReusesPreviousValue) {
+  const auto net = sim_net();
+  NetworkSimulator sim(net, SimConfig{});
+  std::vector<std::vector<double>> latencies{
+      std::vector<double>(7, 1.0), std::vector<double>(5, 0.0)};
+  latencies[0][2] = 50.0;
+  sim.set_latencies(latencies);
+  const std::vector<std::size_t> wait{3, 6};
+  const std::vector<double> x{0.6, 0.6, 0.6};
+  // First evaluation primes the history with the full-wait values.
+  sim.reset_history();
+  sim.evaluate(x);
+  const auto held = sim.evaluate_boosted(x, wait, ResetPolicy::kHoldLast);
+  // With history equal to the nominal activations, hold-last equals the
+  // nominal output exactly.
+  nn::Workspace ws;
+  EXPECT_NEAR(held.output, net.evaluate(x, ws), 1e-12);
+}
+
+TEST(Latency, ModelsProduceSaneDraws) {
+  Rng rng(5);
+  for (auto kind :
+       {LatencyKind::kConstant, LatencyKind::kUniform, LatencyKind::kHeavyTail}) {
+    LatencyModel model;
+    model.kind = kind;
+    model.base = 2.0;
+    model.spread = 8.0;
+    for (int n = 0; n < 500; ++n) {
+      const double latency = model.sample(rng);
+      EXPECT_GE(latency, 2.0);
+      EXPECT_LE(latency, 16.0);
+    }
+  }
+}
+
+TEST(Latency, SampleLayersShapes) {
+  Rng rng(7);
+  LatencyModel model;
+  const auto latencies = model.sample_layers({4, 6, 2}, rng);
+  ASSERT_EQ(latencies.size(), 3u);
+  EXPECT_EQ(latencies[0].size(), 4u);
+  EXPECT_EQ(latencies[1].size(), 6u);
+  EXPECT_EQ(latencies[2].size(), 2u);
+}
+
+TEST(Boosting, WaitCountsFromCut) {
+  const auto net = sim_net();  // widths 7, 5
+  const auto wait = wait_counts_from_cut(net, {2, 0});
+  ASSERT_EQ(wait.size(), 2u);
+  EXPECT_EQ(wait[0], 3u);      // layer 1 waits for all inputs
+  EXPECT_EQ(wait[1], 5u);      // layer 2 waits for 7 - 2 senders
+}
+
+TEST(Boosting, ReportSpeedsUpAndStaysInBound) {
+  const auto net = sim_net(13);
+  Rng rng(17);
+  std::vector<std::vector<double>> workload;
+  for (int n = 0; n < 24; ++n) {
+    workload.push_back({rng.uniform(), rng.uniform(), rng.uniform()});
+  }
+  BoostingConfig config;
+  config.straggler_cut = {2, 0};
+  config.latency.kind = LatencyKind::kHeavyTail;
+  config.latency.base = 1.0;
+  config.latency.spread = 50.0;
+  config.latency.straggler_fraction = 0.3;
+  const theory::ErrorBudget budget{0.9, 1e-6};
+  const auto report = run_boosting(net, workload, config, budget);
+  EXPECT_LT(report.mean_boosted_time, report.mean_full_time);
+  EXPECT_GT(report.speedup, 1.0);
+  EXPECT_LE(report.max_abs_error, report.crash_fep_bound + 1e-9);
+}
+
+TEST(Boosting, ZeroCutIsFreeAndExact) {
+  const auto net = sim_net(19);
+  Rng rng(23);
+  std::vector<std::vector<double>> workload;
+  for (int n = 0; n < 8; ++n) {
+    workload.push_back({rng.uniform(), rng.uniform(), rng.uniform()});
+  }
+  BoostingConfig config;
+  config.straggler_cut = {0, 0};
+  const auto report = run_boosting(net, workload, config, {0.5, 1e-6});
+  EXPECT_DOUBLE_EQ(report.max_abs_error, 0.0);
+  EXPECT_DOUBLE_EQ(report.crash_fep_bound, 0.0);
+  EXPECT_TRUE(report.certified);
+}
+
+}  // namespace
+}  // namespace wnf::dist

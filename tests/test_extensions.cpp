@@ -1,0 +1,247 @@
+// Tests for the extension features: victim-specific interval bounds,
+// stuck-at faults (injector, simulator, adversary), stochastic rounding,
+// and the simulator's reset accounting.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dist/sim.hpp"
+#include "fault/adversary.hpp"
+#include "fault/injector.hpp"
+#include "fault/refined_bound.hpp"
+#include "nn/builder.hpp"
+#include "quant/quantized_network.hpp"
+#include "util/stats.hpp"
+
+namespace wnf {
+namespace {
+
+nn::FeedForwardNetwork ext_net(std::uint64_t seed = 5) {
+  Rng rng(seed);
+  return nn::NetworkBuilder(2)
+      .activation(nn::ActivationKind::kSigmoid, 1.0)
+      .hidden(8)
+      .hidden(6)
+      .init(nn::InitKind::kUniform, 0.7)
+      .build(rng);
+}
+
+// ---------- interval (victim-specific) bound ------------------------------
+
+TEST(IntervalBound, NeverBelowMeasuredNeverAboveFep) {
+  Rng rng(11);
+  theory::FepOptions options;
+  options.mode = theory::FailureMode::kCrash;
+  for (int round = 0; round < 30; ++round) {
+    const auto net = ext_net(100 + round);
+    fault::Injector injector(net);
+    std::vector<std::size_t> counts(net.layer_count());
+    for (std::size_t l = 1; l <= net.layer_count(); ++l) {
+      counts[l - 1] = rng.uniform_index(net.layer_width(l));
+    }
+    const auto plan = fault::random_crash_plan(net, counts, rng);
+    const double interval = fault::interval_error_bound(net, plan, options);
+    const double fep = fault::fep_for_plan(net, plan, options);
+    EXPECT_LE(interval, fep + 1e-9);
+    for (int probe = 0; probe < 5; ++probe) {
+      std::vector<double> x{rng.uniform(), rng.uniform()};
+      EXPECT_LE(injector.output_error(plan, x), interval + 1e-9);
+    }
+  }
+}
+
+TEST(IntervalBound, SingleTopLayerVictimIsExact) {
+  // One crash at top-layer neuron j: interval = |w_out_j| * C, and the
+  // measured error approaches it when y_j saturates to 1.
+  auto net = ext_net();
+  for (std::size_t j = 0; j < net.layer_width(2); ++j) {
+    net.layer(2).bias()[j] = 12.0;  // saturate every top neuron: y ~ 1
+  }
+  theory::FepOptions options;
+  options.mode = theory::FailureMode::kCrash;
+  fault::FaultPlan plan;
+  plan.neurons = {{2, 3, fault::NeuronFaultKind::kCrash, 0.0}};
+  const double interval = fault::interval_error_bound(net, plan, options);
+  EXPECT_NEAR(interval, std::fabs(net.output_weights()[3]), 1e-12);
+  fault::Injector injector(net);
+  const std::vector<double> x{0.5, 0.5};
+  EXPECT_NEAR(injector.output_error(plan, x), interval, 1e-6);
+}
+
+TEST(IntervalBound, RanksVictimsByOutgoingWeight) {
+  auto net = ext_net();
+  for (double& w : net.output_weights()) w = 0.01;
+  net.output_weights()[2] = 2.0;
+  theory::FepOptions options;
+  options.mode = theory::FailureMode::kCrash;
+  fault::FaultPlan heavy;
+  heavy.neurons = {{2, 2, fault::NeuronFaultKind::kCrash, 0.0}};
+  fault::FaultPlan light;
+  light.neurons = {{2, 4, fault::NeuronFaultKind::kCrash, 0.0}};
+  EXPECT_GT(fault::interval_error_bound(net, heavy, options),
+            fault::interval_error_bound(net, light, options) * 50.0);
+}
+
+TEST(IntervalBound, EmptyPlanIsZero) {
+  const auto net = ext_net();
+  theory::FepOptions options;
+  EXPECT_EQ(fault::interval_error_bound(net, fault::FaultPlan{}, options), 0.0);
+}
+
+TEST(IntervalBound, ByzantineCapacityScales) {
+  const auto net = ext_net();
+  theory::FepOptions options;
+  options.mode = theory::FailureMode::kByzantine;
+  fault::FaultPlan plan;
+  plan.neurons = {{1, 0, fault::NeuronFaultKind::kByzantine, 0.0}};
+  options.capacity = 1.0;
+  const double base = fault::interval_error_bound(net, plan, options);
+  options.capacity = 3.0;
+  EXPECT_NEAR(fault::interval_error_bound(net, plan, options), 3.0 * base,
+              1e-12);
+}
+
+// ---------- stuck-at faults ------------------------------------------------
+
+TEST(StuckAt, InjectorFreezesOutput) {
+  const auto net = ext_net();
+  fault::Injector injector(net);
+  const std::vector<double> x{0.3, 0.8};
+  fault::FaultPlan plan;
+  plan.neurons = {{2, 1, fault::NeuronFaultKind::kStuckAt, 0.75}};
+  const auto trace = net.forward_trace(x);
+  const double shift = injector.damaged(plan, x) - trace.output;
+  EXPECT_NEAR(shift,
+              net.output_weights()[1] * (0.75 - trace.activations[2][1]),
+              1e-12);
+}
+
+TEST(StuckAt, CoveredByCrashModeFep) {
+  Rng rng(13);
+  theory::FepOptions options;
+  options.mode = theory::FailureMode::kCrash;  // C = sup phi = 1
+  for (int round = 0; round < 20; ++round) {
+    const auto net = ext_net(300 + round);
+    const auto prof = theory::profile(net, options);
+    fault::Injector injector(net);
+    std::vector<std::size_t> counts(net.layer_count());
+    for (std::size_t l = 1; l <= net.layer_count(); ++l) {
+      counts[l - 1] = rng.uniform_index(net.layer_width(l));
+    }
+    const double bound =
+        theory::forward_error_propagation(prof, counts, options);
+    std::vector<double> x{rng.uniform(), rng.uniform()};
+    const auto plan =
+        fault::stuck_at_extreme_plan(net, counts, {x.data(), x.size()});
+    EXPECT_LE(injector.output_error(plan, {x.data(), x.size()}),
+              bound + 1e-9);
+  }
+}
+
+TEST(StuckAt, ExtremePlanFreezesAtBounds) {
+  const auto net = ext_net();
+  const std::vector<double> x{0.4, 0.6};
+  const std::vector<std::size_t> counts{2, 2};
+  const auto plan = fault::stuck_at_extreme_plan(net, counts, x);
+  ASSERT_EQ(plan.neurons.size(), 4u);
+  for (const auto& fault : plan.neurons) {
+    EXPECT_EQ(fault.kind, fault::NeuronFaultKind::kStuckAt);
+    EXPECT_TRUE(fault.value == 0.0 || fault.value == 1.0);
+  }
+}
+
+TEST(StuckAt, SimulatorMatchesInjector) {
+  const auto net = ext_net();
+  fault::FaultPlan plan;
+  plan.neurons = {{1, 3, fault::NeuronFaultKind::kStuckAt, 0.25},
+                  {2, 0, fault::NeuronFaultKind::kStuckAt, 1.0}};
+  dist::NetworkSimulator sim(net, dist::SimConfig{});
+  sim.apply_faults(plan);
+  fault::Injector injector(net);
+  Rng rng(17);
+  for (int n = 0; n < 20; ++n) {
+    std::vector<double> x{rng.uniform(), rng.uniform()};
+    EXPECT_NEAR(sim.evaluate(x).output, injector.damaged(plan, x), 1e-12);
+  }
+}
+
+TEST(StuckAt, StuckProcessKeepsNormalTiming) {
+  // Unlike a Byzantine process (fires at t=0), a stuck process fires on
+  // its usual schedule — only its value is frozen.
+  const auto net = ext_net();
+  dist::NetworkSimulator sim(net, dist::SimConfig{});
+  std::vector<std::vector<double>> latencies{std::vector<double>(8, 2.0),
+                                             std::vector<double>(6, 1.0)};
+  sim.set_latencies(latencies);
+  fault::FaultPlan plan;
+  plan.neurons = {{1, 0, fault::NeuronFaultKind::kStuckAt, 0.5}};
+  sim.apply_faults(plan);
+  const std::vector<double> x{0.5, 0.5};
+  EXPECT_DOUBLE_EQ(sim.evaluate(x).completion_time, 3.0);
+}
+
+// ---------- stochastic rounding ---------------------------------------------
+
+TEST(StochasticRounding, StaysWithinOneUlp) {
+  const quant::FixedPoint q(4, quant::Rounding::kStochastic);
+  Rng rng(19);
+  for (double v = 0.0; v <= 1.0; v += 0.013) {
+    const double snapped = q.quantize(v, rng);
+    EXPECT_LE(std::fabs(snapped - v), q.max_error() + 1e-15);
+  }
+}
+
+TEST(StochasticRounding, IsUnbiased) {
+  const quant::FixedPoint q(3, quant::Rounding::kStochastic);
+  Rng rng(23);
+  const double value = 0.3;  // not on the 1/8 grid
+  Accumulator acc;
+  for (int n = 0; n < 40000; ++n) acc.add(q.quantize(value, rng));
+  EXPECT_NEAR(acc.mean(), value, 1e-3);
+}
+
+TEST(StochasticRounding, DeterministicModesIgnoreRng) {
+  const quant::FixedPoint q(5, quant::Rounding::kNearest);
+  Rng rng(29);
+  EXPECT_DOUBLE_EQ(q.quantize(0.37, rng), q.quantize(0.37));
+}
+
+TEST(StochasticRounding, QuantizedEvalRespectsTheorem5) {
+  const auto net = ext_net();
+  quant::PrecisionScheme scheme;
+  scheme.bits = {5, 5};
+  scheme.rounding = quant::Rounding::kStochastic;
+  theory::FepOptions options;
+  const double bound = quant::quantization_error_bound(net, scheme, options);
+  nn::Workspace ws;
+  Rng rng(31);
+  for (int n = 0; n < 50; ++n) {
+    std::vector<double> x{rng.uniform(), rng.uniform()};
+    scheme.stochastic_seed = 1000 + n;
+    const double err = std::fabs(net.evaluate(x, ws) -
+                                 quant::evaluate_quantized(net, x, scheme, ws));
+    EXPECT_LE(err, bound + 1e-12);
+  }
+}
+
+// ---------- simulator reset accounting --------------------------------------
+
+TEST(Resets, CountsStragglersCut) {
+  const auto net = ext_net();  // widths 8, 6
+  dist::NetworkSimulator sim(net, dist::SimConfig{});
+  std::vector<std::vector<double>> latencies{std::vector<double>(8, 1.0),
+                                             std::vector<double>(6, 0.0)};
+  latencies[0][1] = 9.0;
+  latencies[0][5] = 9.0;
+  sim.set_latencies(latencies);
+  const std::vector<double> x{0.5, 0.5};
+  // Full wait: nothing is cut.
+  EXPECT_EQ(sim.evaluate(x).resets_sent, 0u);
+  // Layer 2 waits for 6 of 8: each of the 6 receivers cuts 2 stragglers.
+  const std::vector<std::size_t> wait{2, 6};
+  const auto boosted = sim.evaluate_boosted(x, wait);
+  EXPECT_EQ(boosted.resets_sent, 6u * 2u);
+}
+
+}  // namespace
+}  // namespace wnf

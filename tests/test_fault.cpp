@@ -1,0 +1,336 @@
+// Fault framework tests: plans, the injector's crash/Byzantine/synapse
+// semantics against hand computations, adversary strategies, campaigns.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <set>
+
+#include "fault/adversary.hpp"
+#include "fault/campaign.hpp"
+#include "fault/injector.hpp"
+#include "nn/builder.hpp"
+
+namespace wnf::fault {
+namespace {
+
+nn::FeedForwardNetwork small_net(std::uint64_t seed = 5, double k = 1.0) {
+  Rng rng(seed);
+  return nn::NetworkBuilder(2)
+      .activation(nn::ActivationKind::kSigmoid, k)
+      .hidden(6)
+      .hidden(5)
+      .init(nn::InitKind::kUniform, 0.6)
+      .build(rng);
+}
+
+TEST(FaultPlan, CountsPerLayer) {
+  FaultPlan plan;
+  plan.neurons = {{1, 0, NeuronFaultKind::kCrash, 0.0},
+                  {1, 3, NeuronFaultKind::kCrash, 0.0},
+                  {2, 1, NeuronFaultKind::kByzantine, 0.5}};
+  plan.synapses = {{3, 0, 2, SynapseFaultKind::kByzantine, 1.0}};
+  EXPECT_EQ(plan.neuron_counts(2), (std::vector<std::size_t>{2, 1}));
+  EXPECT_EQ(plan.synapse_counts(2), (std::vector<std::size_t>{0, 0, 1}));
+  EXPECT_TRUE(plan.has_byzantine_neurons());
+}
+
+TEST(FaultPlan, ValidationAcceptsWellFormed) {
+  const auto net = small_net();
+  FaultPlan plan;
+  plan.neurons = {{1, 5, NeuronFaultKind::kCrash, 0.0}};
+  plan.synapses = {{3, 0, 4, SynapseFaultKind::kCrash, 0.0}};
+  validate_plan(plan, net);  // must not abort
+  SUCCEED();
+}
+
+TEST(Injector, EmptyPlanMatchesNominal) {
+  const auto net = small_net();
+  Injector injector(net);
+  const std::vector<double> x{0.3, 0.9};
+  EXPECT_DOUBLE_EQ(injector.damaged(FaultPlan{}, x), injector.nominal(x));
+}
+
+TEST(Injector, CrashRemovesExactContribution) {
+  // Crashing neuron j of the top layer must move the output by exactly
+  // w_out_j * y_j.
+  const auto net = small_net();
+  Injector injector(net);
+  const std::vector<double> x{0.2, 0.6};
+  const auto trace = net.forward_trace(x);
+  for (std::size_t j = 0; j < net.layer_width(2); ++j) {
+    FaultPlan plan;
+    plan.neurons = {{2, j, NeuronFaultKind::kCrash, 0.0}};
+    const double expected_shift =
+        net.output_weights()[j] * trace.activations[2][j];
+    EXPECT_NEAR(injector.nominal(x) - injector.damaged(plan, x),
+                expected_shift, 1e-12);
+  }
+}
+
+TEST(Injector, ByzantinePerturbationShiftsTopLayerLinearly) {
+  const auto net = small_net();
+  Injector injector(net);
+  const std::vector<double> x{0.7, 0.1};
+  FaultPlan plan;
+  plan.convention = theory::CapacityConvention::kPerturbationBound;
+  plan.neurons = {{2, 3, NeuronFaultKind::kByzantine, 0.25}};
+  const double shift = injector.damaged(plan, x) - injector.nominal(x);
+  EXPECT_NEAR(shift, net.output_weights()[3] * 0.25, 1e-12);
+}
+
+TEST(Injector, ByzantineTransmittedValueOverrides) {
+  const auto net = small_net();
+  Injector injector(net);
+  const std::vector<double> x{0.7, 0.1};
+  const auto trace = net.forward_trace(x);
+  FaultPlan plan;
+  plan.convention = theory::CapacityConvention::kTransmittedValueBound;
+  plan.neurons = {{2, 3, NeuronFaultKind::kByzantine, 0.9}};
+  const double shift = injector.damaged(plan, x) - injector.nominal(x);
+  EXPECT_NEAR(shift, net.output_weights()[3] * (0.9 - trace.activations[2][3]),
+              1e-12);
+}
+
+TEST(Injector, DeepByzantinePerturbationIsRelativeToNominal) {
+  // A layer-1 Byzantine fault under the perturbation convention sets
+  // y = y_nominal + lambda even though downstream neurons see damage.
+  const auto net = small_net();
+  Injector injector(net);
+  const std::vector<double> x{0.4, 0.5};
+  FaultPlan plan;
+  plan.neurons = {{1, 2, NeuronFaultKind::kByzantine, 0.3}};
+  // Indirect check: same fault with lambda then -lambda are symmetric
+  // around nominal at first order only; instead verify via a hook-free
+  // reference computation.
+  const auto trace = net.forward_trace(x);
+  nn::ForwardHooks hooks;
+  hooks.post_activation = [&](std::size_t l, std::span<double> y) {
+    if (l == 1) y[2] = trace.activations[1][2] + 0.3;
+  };
+  nn::Workspace ws;
+  EXPECT_NEAR(injector.damaged(plan, x), net.evaluate_hooked(x, hooks, ws),
+              1e-14);
+}
+
+TEST(Injector, SynapseCrashEqualsWeightZero) {
+  const auto net = small_net();
+  Injector injector(net);
+  const std::vector<double> x{0.8, 0.3};
+  FaultPlan plan;
+  plan.synapses = {{1, 4, 1, SynapseFaultKind::kCrash, 0.0}};
+  // Reference: clone the network with that weight zeroed.
+  auto clone = net;
+  clone.layer(1).weights()(4, 1) = 0.0;
+  EXPECT_NEAR(injector.damaged(plan, x), clone.evaluate(x), 1e-14);
+}
+
+TEST(Injector, OutputSynapseCrash) {
+  const auto net = small_net();
+  Injector injector(net);
+  const std::vector<double> x{0.5, 0.5};
+  FaultPlan plan;
+  plan.synapses = {{3, 0, 2, SynapseFaultKind::kCrash, 0.0}};
+  const auto trace = net.forward_trace(x);
+  EXPECT_NEAR(injector.nominal(x) - injector.damaged(plan, x),
+              net.output_weights()[2] * trace.activations[2][2], 1e-12);
+}
+
+TEST(Injector, ByzantineSynapseAddsWeightedCorruption) {
+  const auto net = small_net();
+  Injector injector(net);
+  const std::vector<double> x{0.5, 0.5};
+  FaultPlan plan;
+  plan.synapses = {{3, 0, 1, SynapseFaultKind::kByzantine, 0.7}};
+  const double shift = injector.damaged(plan, x) - injector.nominal(x);
+  EXPECT_NEAR(shift, net.output_weights()[1] * 0.7, 1e-12);
+}
+
+TEST(Injector, WorstOutputErrorIsMaxOverInputs) {
+  const auto net = small_net();
+  Injector injector(net);
+  std::vector<std::vector<double>> inputs{{0.1, 0.1}, {0.9, 0.9}, {0.5, 0.2}};
+  FaultPlan plan;
+  plan.neurons = {{2, 0, NeuronFaultKind::kCrash, 0.0}};
+  double expected = 0.0;
+  for (const auto& x : inputs) {
+    expected = std::max(expected, injector.output_error(plan, x));
+  }
+  EXPECT_DOUBLE_EQ(
+      injector.worst_output_error(plan, {inputs.data(), inputs.size()}),
+      expected);
+}
+
+TEST(Adversary, RandomCrashPlanHasRequestedShape) {
+  const auto net = small_net();
+  Rng rng(7);
+  const std::vector<std::size_t> counts{2, 3};
+  const auto plan = random_crash_plan(net, counts, rng);
+  validate_plan(plan, net);
+  EXPECT_EQ(plan.neuron_counts(2), counts);
+  for (const auto& fault : plan.neurons) {
+    EXPECT_EQ(fault.kind, NeuronFaultKind::kCrash);
+  }
+}
+
+TEST(Adversary, TopWeightPlanPicksKeyNeurons) {
+  // Build a network where neuron 0 of the top layer clearly dominates.
+  auto net = small_net();
+  for (double& w : net.output_weights()) w = 0.01;
+  net.output_weights()[4] = 5.0;
+  const std::vector<std::size_t> counts{0, 1};
+  const auto plan = top_weight_crash_plan(net, counts);
+  ASSERT_EQ(plan.neurons.size(), 1u);
+  EXPECT_EQ(plan.neurons[0].layer, 2u);
+  EXPECT_EQ(plan.neurons[0].neuron, 4u);
+}
+
+TEST(Adversary, TopWeightBeatsRandomOnAverage) {
+  const auto net = small_net(11);
+  Injector injector(net);
+  Rng rng(13);
+  std::vector<std::vector<double>> probes;
+  for (int n = 0; n < 16; ++n) probes.push_back({rng.uniform(), rng.uniform()});
+  const std::vector<std::size_t> counts{0, 2};
+  const auto top_plan = top_weight_crash_plan(net, counts);
+  const double top_error =
+      injector.worst_output_error(top_plan, {probes.data(), probes.size()});
+  double random_total = 0.0;
+  const int trials = 30;
+  for (int t = 0; t < trials; ++t) {
+    const auto plan = random_crash_plan(net, counts, rng);
+    random_total +=
+        injector.worst_output_error(plan, {probes.data(), probes.size()});
+  }
+  EXPECT_GE(top_error, random_total / trials);
+}
+
+TEST(Adversary, GradientDirectedValuesHaveGradientSigns) {
+  const auto net = small_net();
+  const std::vector<double> x{0.3, 0.8};
+  const std::vector<std::size_t> counts{1, 2};
+  const auto plan = gradient_directed_byzantine_plan(net, counts, 2.0, x);
+  validate_plan(plan, net);
+  EXPECT_EQ(plan.neuron_counts(2), counts);
+  for (const auto& fault : plan.neurons) {
+    EXPECT_EQ(fault.kind, NeuronFaultKind::kByzantine);
+    EXPECT_DOUBLE_EQ(std::fabs(fault.value), 2.0);
+  }
+}
+
+TEST(Adversary, GradientDirectedBeatsRandomByzantine) {
+  const auto net = small_net(17);
+  Injector injector(net);
+  const std::vector<double> x{0.4, 0.6};
+  std::vector<std::vector<double>> probe{x};
+  const std::vector<std::size_t> counts{1, 1};
+  const double capacity = 1.0;
+  const auto directed =
+      gradient_directed_byzantine_plan(net, counts, capacity, x);
+  const double directed_error =
+      injector.worst_output_error(directed, {probe.data(), 1});
+  Rng rng(19);
+  double random_total = 0.0;
+  const int trials = 30;
+  for (int t = 0; t < trials; ++t) {
+    const auto plan = random_byzantine_plan(net, counts, capacity, rng);
+    random_total += injector.worst_output_error(plan, {probe.data(), 1});
+  }
+  EXPECT_GT(directed_error, random_total / trials);
+}
+
+TEST(Adversary, CombinationCountsAndSaturation) {
+  EXPECT_EQ(combination_count(5, 2), 10u);
+  EXPECT_EQ(combination_count(10, 0), 1u);
+  EXPECT_EQ(combination_count(10, 10), 1u);
+  EXPECT_EQ(combination_count(52, 5), 2598960u);
+  // The paper's "discouraging combinatorial explosion".
+  EXPECT_EQ(combination_count(1000, 500),
+            std::numeric_limits<std::size_t>::max());
+}
+
+TEST(Adversary, ExhaustiveSearchFindsPlantedWorstPair) {
+  // Make neurons 1 and 3 of the top layer the only influential ones; the
+  // exhaustive search over pairs must find exactly that pair.
+  auto net = small_net();
+  for (double& w : net.output_weights()) w = 1e-4;
+  net.output_weights()[1] = 2.0;
+  net.output_weights()[3] = 1.5;
+  Rng rng(23);
+  std::vector<std::vector<double>> probes;
+  for (int n = 0; n < 8; ++n) probes.push_back({rng.uniform(), rng.uniform()});
+  double worst = 0.0;
+  const auto plan = exhaustive_worst_crash_plan(net, 2, 2,
+                                                {probes.data(), probes.size()},
+                                                worst);
+  ASSERT_EQ(plan.neurons.size(), 2u);
+  std::set<std::size_t> victims{plan.neurons[0].neuron,
+                                plan.neurons[1].neuron};
+  EXPECT_TRUE(victims.count(1));
+  EXPECT_TRUE(victims.count(3));
+  EXPECT_GT(worst, 0.0);
+}
+
+TEST(Adversary, GreedyMatchesExhaustiveOnEasyInstance) {
+  auto net = small_net(29);
+  Rng rng(31);
+  std::vector<std::vector<double>> probes;
+  for (int n = 0; n < 8; ++n) probes.push_back({rng.uniform(), rng.uniform()});
+  double exhaustive_error = 0.0;
+  exhaustive_worst_crash_plan(net, 2, 1, {probes.data(), probes.size()},
+                              exhaustive_error);
+  Injector injector(net);
+  const std::vector<std::size_t> counts{0, 1};
+  const auto greedy = greedy_worst_crash_plan(net, counts,
+                                              {probes.data(), probes.size()});
+  const double greedy_error =
+      injector.worst_output_error(greedy, {probes.data(), probes.size()});
+  EXPECT_NEAR(greedy_error, exhaustive_error, 1e-12);
+}
+
+TEST(Campaign, ObservedMaxNeverExceedsBound) {
+  const auto net = small_net(37);
+  CampaignConfig config;
+  config.attack = AttackKind::kRandomCrash;
+  config.trials = 40;
+  config.probes_per_trial = 8;
+  theory::FepOptions options;
+  options.mode = theory::FailureMode::kCrash;
+  const std::vector<std::size_t> counts{1, 2};
+  const auto result = run_campaign(net, counts, config, options);
+  EXPECT_GT(result.fep_bound, 0.0);
+  EXPECT_LE(result.observed_max, result.fep_bound + 1e-9);
+  EXPECT_EQ(result.per_trial_worst.count, 40u);
+  EXPECT_LE(result.tightness(), 1.0 + 1e-9);
+}
+
+TEST(Campaign, DeterministicUnderSeed) {
+  const auto net = small_net(41);
+  CampaignConfig config;
+  config.trials = 10;
+  config.seed = 99;
+  theory::FepOptions options;
+  options.mode = theory::FailureMode::kCrash;
+  const std::vector<std::size_t> counts{2, 1};
+  const auto a = run_campaign(net, counts, config, options);
+  const auto b = run_campaign(net, counts, config, options);
+  EXPECT_DOUBLE_EQ(a.observed_max, b.observed_max);
+  EXPECT_DOUBLE_EQ(a.per_trial_worst.mean, b.per_trial_worst.mean);
+}
+
+TEST(Campaign, SynapseAttackUsesSynapseBound) {
+  const auto net = small_net(43);
+  CampaignConfig config;
+  config.attack = AttackKind::kRandomSynapseByzantine;
+  config.trials = 20;
+  config.capacity = 1.0;
+  theory::FepOptions options;
+  options.capacity = 1.0;
+  const std::vector<std::size_t> counts{1, 1, 1};  // size L+1
+  const auto result = run_campaign(net, counts, config, options);
+  EXPECT_GT(result.fep_bound, 0.0);
+  EXPECT_LE(result.observed_max, result.fep_bound + 1e-9);
+}
+
+}  // namespace
+}  // namespace wnf::fault

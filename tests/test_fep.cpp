@@ -1,0 +1,261 @@
+// Fep unit tests: the Theorem 2 formula against hand-expanded values, the
+// capacity conventions, Theorem 5, Theorem 4 / Lemma 2, conv-aware caps.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/fep.hpp"
+#include "nn/builder.hpp"
+
+namespace wnf::theory {
+namespace {
+
+/// A profile with chosen parameters (no actual network needed: Fep is pure
+/// topology, which is the paper's point).
+NetworkProfile make_profile(std::vector<std::size_t> widths,
+                            std::vector<double> wmax, double k,
+                            std::size_t input_dim = 2) {
+  NetworkProfile p;
+  p.input_dim = input_dim;
+  p.depth = widths.size();
+  p.widths = std::move(widths);
+  p.weight_max = std::move(wmax);
+  p.fan_in.clear();
+  std::size_t prev = input_dim;
+  for (std::size_t w : p.widths) {
+    p.fan_in.push_back(prev);
+    prev = w;
+  }
+  p.lipschitz = k;
+  p.activation_sup = 1.0;
+  return p;
+}
+
+TEST(Fep, SingleLayerCrashEqualsTheorem1Numerator) {
+  // L = 1, crash: Fep(f) = f * w^(2)_m — the quantity Theorem 1 compares
+  // against epsilon - epsilon'.
+  const auto p = make_profile({10}, {0.5, 0.3}, 2.0);
+  FepOptions options;
+  options.mode = FailureMode::kCrash;
+  const std::vector<std::size_t> faults{4};
+  EXPECT_NEAR(forward_error_propagation(p, faults, options), 4 * 0.3, 1e-12);
+}
+
+TEST(Fep, TwoLayerHandExpansion) {
+  // L=2, N=(3,4), w=(w1,w2,w3), K: Fep = C [ f1 K (4-f2) w2 w3 + f2 w3 ].
+  const double w2 = 0.7;
+  const double w3 = 0.2;
+  const double k = 1.5;
+  const double c = 2.0;
+  const auto p = make_profile({3, 4}, {0.9, w2, w3}, k);
+  FepOptions options;
+  options.mode = FailureMode::kByzantine;
+  options.capacity = c;
+  const std::vector<std::size_t> faults{2, 1};
+  const double expected = c * (2 * k * (4 - 1) * w2 * w3 + 1 * w3);
+  EXPECT_NEAR(forward_error_propagation(p, faults, options), expected, 1e-12);
+}
+
+TEST(Fep, ThreeLayerDepthExponent) {
+  // With faults only at layer 1 of an L=3 net, the K exponent is L-1 = 2.
+  const auto p = make_profile({2, 5, 6}, {1.0, 0.5, 0.25, 0.125}, 3.0);
+  FepOptions options;
+  options.capacity = 1.0;
+  const std::vector<std::size_t> faults{1, 0, 0};
+  const double expected = 1.0 * 3.0 * 3.0 * (5 * 0.5) * (6 * 0.25) * 0.125;
+  EXPECT_NEAR(forward_error_propagation(p, faults, options), expected, 1e-12);
+}
+
+TEST(Fep, ZeroFaultsZeroFep) {
+  const auto p = make_profile({4, 4}, {1.0, 1.0, 1.0}, 1.0);
+  const std::vector<std::size_t> faults{0, 0};
+  EXPECT_EQ(forward_error_propagation(p, faults, FepOptions{}), 0.0);
+}
+
+TEST(Fep, MonotoneInOwnLayerFaults) {
+  const auto p = make_profile({8, 8}, {0.5, 0.5, 0.5}, 1.0);
+  FepOptions options;
+  double prev = 0.0;
+  for (std::size_t f = 0; f <= 8; ++f) {
+    const std::vector<std::size_t> faults{f, 0};
+    const double fep = forward_error_propagation(p, faults, options);
+    EXPECT_GE(fep, prev);
+    prev = fep;
+  }
+}
+
+TEST(Fep, DeeperFaultsCostLessWhenKLarge) {
+  // K > 1 amplifies shallow faults by K^(L-l): one fault at layer 1 must
+  // out-cost one fault at layer 3 when relays exceed unity.
+  const auto p = make_profile({4, 4, 4}, {0.5, 0.5, 0.5, 0.5}, 2.0);
+  FepOptions options;
+  const std::vector<std::size_t> shallow{1, 0, 0};
+  const std::vector<std::size_t> deep{0, 0, 1};
+  EXPECT_GT(forward_error_propagation(p, shallow, options),
+            forward_error_propagation(p, deep, options));
+}
+
+TEST(Fep, SmallKFlipsTheDepthOrdering) {
+  // With K small the relays attenuate: shallow faults become cheaper.
+  const auto p = make_profile({4, 4, 4}, {0.5, 0.5, 0.5, 0.5}, 0.1);
+  FepOptions options;
+  const std::vector<std::size_t> shallow{1, 0, 0};
+  const std::vector<std::size_t> deep{0, 0, 1};
+  EXPECT_LT(forward_error_propagation(p, shallow, options),
+            forward_error_propagation(p, deep, options));
+}
+
+TEST(Fep, RelayReductionCoupling) {
+  // Faults at layer 2 *reduce* the relay factor (N_2 - f_2) applied to
+  // layer-1 faults: Fep(f1=1, f2=1) < Fep(f1=1, 0) + Fep(0, f2=1).
+  const auto p = make_profile({4, 4}, {0.5, 0.5, 0.5}, 1.0);
+  FepOptions options;
+  const std::vector<std::size_t> both{1, 1};
+  const std::vector<std::size_t> first{1, 0};
+  const std::vector<std::size_t> second{0, 1};
+  EXPECT_LT(forward_error_propagation(p, both, options),
+            forward_error_propagation(p, first, options) +
+                forward_error_propagation(p, second, options));
+}
+
+TEST(Fep, EffectiveCapacityPerConvention) {
+  const auto p = make_profile({4}, {1.0, 1.0}, 1.0);
+  FepOptions options;
+  options.mode = FailureMode::kCrash;
+  EXPECT_DOUBLE_EQ(effective_capacity(p, options), 1.0);  // sup phi
+  options.mode = FailureMode::kByzantine;
+  options.capacity = 3.0;
+  options.convention = CapacityConvention::kPerturbationBound;
+  EXPECT_DOUBLE_EQ(effective_capacity(p, options), 3.0);
+  options.convention = CapacityConvention::kTransmittedValueBound;
+  EXPECT_DOUBLE_EQ(effective_capacity(p, options), 4.0);  // C + sup phi
+}
+
+TEST(Fep, CapacityScalesLinearly) {
+  const auto p = make_profile({4, 4}, {0.5, 0.5, 0.5}, 1.0);
+  FepOptions options;
+  const std::vector<std::size_t> faults{1, 2};
+  options.capacity = 1.0;
+  const double base = forward_error_propagation(p, faults, options);
+  options.capacity = 5.0;
+  EXPECT_NEAR(forward_error_propagation(p, faults, options), 5.0 * base,
+              1e-12);
+}
+
+TEST(Fep, LayerContributionsSumToTotal) {
+  const auto p = make_profile({5, 6, 7}, {0.3, 0.4, 0.5, 0.6}, 1.2);
+  FepOptions options;
+  const std::vector<std::size_t> faults{2, 3, 1};
+  double sum = 0.0;
+  for (std::size_t l = 1; l <= 3; ++l) {
+    sum += fep_layer_contribution(p, l, faults, options);
+  }
+  EXPECT_NEAR(sum, forward_error_propagation(p, faults, options), 1e-12);
+}
+
+TEST(Fep, ProfileExtractsNetworkStructure) {
+  Rng rng(5);
+  auto net = nn::NetworkBuilder(3)
+                 .activation(nn::ActivationKind::kSigmoid, 2.0)
+                 .hidden(6)
+                 .hidden(4)
+                 .build(rng);
+  const auto p = profile(net, FepOptions{});
+  EXPECT_EQ(p.depth, 2u);
+  EXPECT_EQ(p.input_dim, 3u);
+  EXPECT_EQ(p.widths, (std::vector<std::size_t>{6, 4}));
+  EXPECT_DOUBLE_EQ(p.lipschitz, 2.0);
+  ASSERT_EQ(p.weight_max.size(), 3u);
+  EXPECT_DOUBLE_EQ(
+      p.weight_max[0],
+      net.weight_max(1, nn::WeightMaxConvention::kIncludeBias));
+  EXPECT_EQ(p.fan_in, (std::vector<std::size_t>{3, 6}));
+}
+
+TEST(Fep, ReceptiveFieldCapReducesBound) {
+  // A conv-style layer 2 with R=2 caps the fan-in of the relays hearing
+  // layer-1 errors, shrinking the dense bound (Section VI's remark).
+  auto p = make_profile({6, 6}, {0.5, 0.5, 0.5}, 1.0);
+  FepOptions dense;
+  FepOptions conv;
+  conv.use_receptive_field = true;
+  p.fan_in = {2, 2};  // R(1) = R(2) = 2
+  const std::vector<std::size_t> faults{4, 0};
+  const double dense_bound = forward_error_propagation(p, faults, dense);
+  const double conv_bound = forward_error_propagation(p, faults, conv);
+  EXPECT_LT(conv_bound, dense_bound);
+  // f_1 = 4 carriers capped at R(2) = 2: exactly half the first-hop count.
+  EXPECT_NEAR(conv_bound, dense_bound * 2.0 / 4.0, 1e-12);
+}
+
+TEST(Theorem5, SingleLayerBaseCase) {
+  // L=1: bound = lambda_1 * N_1 * w^(2)_m.
+  const auto p = make_profile({7}, {0.4, 0.3}, 2.0);
+  const std::vector<double> lambda{0.01};
+  EXPECT_NEAR(precision_error_bound(p, lambda, FepOptions{}),
+              0.01 * 7 * 0.3, 1e-14);
+}
+
+TEST(Theorem5, TwoLayerHandExpansion) {
+  // L=2: bound = K lambda_1 N1 w2 N2 w3 + lambda_2 N2 w3.
+  const double k = 1.5;
+  const auto p = make_profile({3, 4}, {0.9, 0.7, 0.2}, k);
+  const std::vector<double> lambda{0.01, 0.02};
+  const double expected =
+      k * 0.01 * 3 * 0.7 * 4 * 0.2 + 0.02 * 4 * 0.2;
+  EXPECT_NEAR(precision_error_bound(p, lambda, FepOptions{}), expected, 1e-14);
+}
+
+TEST(Theorem5, ZeroLambdasZeroBound) {
+  const auto p = make_profile({3, 4}, {1.0, 1.0, 1.0}, 1.0);
+  const std::vector<double> lambda{0.0, 0.0};
+  EXPECT_EQ(precision_error_bound(p, lambda, FepOptions{}), 0.0);
+}
+
+TEST(Theorem4, OutputSynapseTerm) {
+  // A Byzantine synapse into the output contributes C * w^(L+1)_m.
+  const auto p = make_profile({4}, {0.5, 0.25}, 2.0);
+  FepOptions options;
+  options.capacity = 3.0;
+  const std::vector<std::size_t> synapse_faults{0, 2};
+  EXPECT_NEAR(synapse_error_bound(p, synapse_faults, options),
+              3.0 * 2 * 0.25, 1e-12);
+}
+
+TEST(Theorem4, HiddenSynapseTermHandExpansion) {
+  // One Byzantine synapse into layer 1 of an L=1 net:
+  // C * K * w^(1)_m * (first-hop: 1 carrier * w^(2)_m).
+  const auto p = make_profile({4}, {0.5, 0.25}, 2.0);
+  FepOptions options;
+  options.capacity = 1.0;
+  const std::vector<std::size_t> synapse_faults{1, 0};
+  EXPECT_NEAR(synapse_error_bound(p, synapse_faults, options),
+              1.0 * 2.0 * 0.5 * 1.0 * 0.25, 1e-12);
+}
+
+TEST(Theorem4, KExponentMatchesPaperDisplay) {
+  // f_1 synapses into layer 1 of an L=2 net: C f K^2 w1 (N2 w2... ) — the
+  // paper's K^{L+1-l} with l=1, L=2 gives K^2.
+  const double k = 3.0;
+  const auto p = make_profile({2, 5}, {0.5, 0.4, 0.3}, k);
+  FepOptions options;
+  const std::vector<std::size_t> synapse_faults{1, 0, 0};
+  // C * K * w1 * [hop into layer 2: 1 carrier * w2 * K] * [output: 5 relays
+  // — wait: carriers at layer 2 are N_2 = 5 correct neurons] * w3.
+  const double expected = 1.0 * k * 0.5 * (1 * 0.4) * k * (5 * 0.3);
+  EXPECT_NEAR(synapse_error_bound(p, synapse_faults, options), expected,
+              1e-12);
+}
+
+TEST(Lemma2, EquivalentNeuronError) {
+  const auto p = make_profile({4, 4}, {0.5, 0.7, 0.2}, 2.0);
+  FepOptions options;
+  options.capacity = 3.0;
+  EXPECT_DOUBLE_EQ(lemma2_equivalent_neuron_error(p, 1, options),
+                   3.0 * 2.0 * 0.5);
+  EXPECT_DOUBLE_EQ(lemma2_equivalent_neuron_error(p, 2, options),
+                   3.0 * 2.0 * 0.7);
+}
+
+}  // namespace
+}  // namespace wnf::theory

@@ -1,0 +1,233 @@
+// End-to-end integration: the full workflow the paper implies —
+// train a network on a target (learning phase), measure epsilon'
+// (over-provisioned accuracy), certify a fault budget with Theorem 3,
+// inject those faults, and confirm Definition 3's epsilon-approximation
+// survives, across modalities (matrix, simulator, quantised).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "core/certificate.hpp"
+#include "core/lipschitz.hpp"
+#include "core/overprovision.hpp"
+#include "data/dataset.hpp"
+#include "dist/sim.hpp"
+#include "fault/adversary.hpp"
+#include "fault/injector.hpp"
+#include "nn/builder.hpp"
+#include "nn/loss.hpp"
+#include "nn/serialize.hpp"
+#include "nn/train.hpp"
+#include "quant/quantized_network.hpp"
+
+namespace wnf {
+namespace {
+
+struct Pipeline {
+  nn::FeedForwardNetwork net;
+  data::Dataset eval_grid;
+  double epsilon_prime;
+};
+
+/// Trains a small network on the smooth-step target and measures its sup
+/// error over a dense grid (the empirical epsilon').
+Pipeline trained_pipeline() {
+  Rng rng(2024);
+  const auto target = data::make_smooth_step(2);
+  const auto train_set = data::sample_uniform(target, 256, rng);
+  auto net = nn::NetworkBuilder(2)
+                 .activation(nn::ActivationKind::kSigmoid, 1.0)
+                 .hidden(12)
+                 .hidden(10)
+                 .init(nn::InitKind::kScaledUniform, 1.0)
+                 .build(rng);
+  nn::TrainConfig config;
+  config.epochs = 200;
+  config.learning_rate = 0.02;
+  config.target_mse = 1e-4;
+  nn::train(net, train_set, config, rng);
+  auto grid = data::sample_grid(target, 21);
+  const double eps_prime = nn::sup_error(net, grid);
+  return {std::move(net), std::move(grid), eps_prime};
+}
+
+const Pipeline& pipeline() {
+  static const Pipeline p = trained_pipeline();
+  return p;
+}
+
+TEST(Integration, TrainingReachesUsefulAccuracy) {
+  EXPECT_LT(pipeline().epsilon_prime, 0.15)
+      << "training failed; downstream expectations are meaningless";
+}
+
+/// Slack sized from the cheapest possible single fault, so the certificate
+/// is guaranteed non-trivial regardless of where training left the weights
+/// (this is how an operator would pick epsilon in practice: from the
+/// network's own Fep sensitivities).
+double adaptive_slack(const nn::FeedForwardNetwork& net,
+                      const theory::FepOptions& options, double multiple) {
+  const auto prof = theory::profile(net, options);
+  double cheapest = std::numeric_limits<double>::infinity();
+  for (std::size_t l = 1; l <= prof.depth; ++l) {
+    std::vector<std::size_t> one(prof.depth, 0);
+    one[l - 1] = 1;
+    cheapest = std::min(
+        cheapest, theory::forward_error_propagation(prof, one, options));
+  }
+  return cheapest * multiple;
+}
+
+TEST(Integration, CertifiedCrashDistributionPreservesEpsilon) {
+  const auto& p = pipeline();
+  theory::FepOptions options;
+  options.mode = theory::FailureMode::kCrash;
+  const theory::ErrorBudget budget{
+      p.epsilon_prime + adaptive_slack(p.net, options, 3.0),
+      p.epsilon_prime};
+  const auto cert = theory::certify(p.net, budget, options);
+  ASSERT_GT(cert.greedy_total, 0u)
+      << "trained network tolerates nothing; widen the budget";
+
+  // Definition 3 quantifies over ALL victim subsets of the certified
+  // shape; sample many random ones plus the key-neuron adversary.
+  Rng rng(77);
+  fault::Injector injector(p.net);
+  auto check_plan = [&](const fault::FaultPlan& plan) {
+    for (std::size_t n = 0; n < p.eval_grid.size(); n += 7) {
+      const auto& x = p.eval_grid.inputs[n];
+      const double damaged = injector.damaged(plan, x);
+      EXPECT_LE(std::fabs(damaged - p.eval_grid.labels[n]),
+                budget.epsilon + 1e-9);
+    }
+  };
+  for (int trial = 0; trial < 10; ++trial) {
+    check_plan(fault::random_crash_plan(p.net, cert.greedy_distribution, rng));
+  }
+  check_plan(fault::top_weight_crash_plan(p.net, cert.greedy_distribution));
+}
+
+TEST(Integration, SimulatorAgreesWithInjectorOnCertifiedFaults) {
+  const auto& p = pipeline();
+  theory::FepOptions options;
+  options.mode = theory::FailureMode::kCrash;
+  const theory::ErrorBudget budget{
+      p.epsilon_prime + adaptive_slack(p.net, options, 3.0),
+      p.epsilon_prime};
+  const auto cert = theory::certify(p.net, budget, options);
+  Rng rng(88);
+  const auto plan =
+      fault::random_crash_plan(p.net, cert.greedy_distribution, rng);
+  dist::NetworkSimulator sim(p.net, dist::SimConfig{});
+  sim.apply_faults(plan);
+  fault::Injector injector(p.net);
+  for (std::size_t n = 0; n < p.eval_grid.size(); n += 13) {
+    const auto& x = p.eval_grid.inputs[n];
+    EXPECT_NEAR(sim.evaluate(x).output, injector.damaged(plan, x), 1e-10);
+  }
+}
+
+TEST(Integration, ReplicationBuysCertifiedTolerance) {
+  const auto& p = pipeline();
+  theory::FepOptions options;
+  options.mode = theory::FailureMode::kCrash;
+  const theory::ErrorBudget budget{
+      p.epsilon_prime + adaptive_slack(p.net, options, 2.5),
+      p.epsilon_prime};
+  const auto base_cert = theory::certify(p.net, budget, options);
+  ASSERT_GT(base_cert.greedy_total, 0u);
+  const auto replicated = theory::replicate_neurons(p.net, 3);
+  // epsilon' unchanged: the function is identical.
+  EXPECT_NEAR(nn::sup_error(replicated, p.eval_grid), p.epsilon_prime, 1e-9);
+  const auto repl_cert = theory::certify(replicated, budget, options);
+  EXPECT_GT(repl_cert.greedy_total, base_cert.greedy_total);
+}
+
+TEST(Integration, QuantizedDeploymentKeepsCertifiedBudget) {
+  const auto& p = pipeline();
+  // Choose activation precisions whose Theorem-5 bound fits inside a
+  // 0.05 deployment budget, then verify on the grid.
+  theory::FepOptions options;
+  quant::PrecisionScheme scheme;
+  scheme.bits.assign(p.net.layer_count(), 20);
+  while (true) {
+    const double bound = quant::quantization_error_bound(p.net, scheme, options);
+    if (bound <= 0.05) break;
+    for (auto& bits : scheme.bits) ++bits;
+    ASSERT_LE(scheme.bits[0], 48u);
+  }
+  nn::Workspace ws;
+  for (std::size_t n = 0; n < p.eval_grid.size(); n += 7) {
+    const auto& x = p.eval_grid.inputs[n];
+    const double exact = p.net.evaluate(x, ws);
+    const double quantized = quant::evaluate_quantized(p.net, x, scheme, ws);
+    EXPECT_LE(std::fabs(exact - quantized), 0.05);
+  }
+}
+
+TEST(Integration, SerializedModelCarriesTheSameCertificate) {
+  const auto& p = pipeline();
+  const std::string path = testing::TempDir() + "/wnf_integration_net.txt";
+  ASSERT_TRUE(nn::save_network_file(p.net, path));
+  const auto loaded = nn::load_network_file(path);
+  ASSERT_TRUE(loaded.has_value());
+  theory::FepOptions options;
+  options.mode = theory::FailureMode::kCrash;
+  const theory::ErrorBudget budget{p.epsilon_prime + 0.2, p.epsilon_prime};
+  const auto original = theory::certify(p.net, budget, options);
+  const auto roundtrip = theory::certify(*loaded, budget, options);
+  EXPECT_EQ(original.greedy_distribution, roundtrip.greedy_distribution);
+  EXPECT_EQ(original.uniform_max, roundtrip.uniform_max);
+}
+
+TEST(Integration, EmpiricalNetworkLipschitzRespectsProductBound) {
+  const auto& p = pipeline();
+  theory::FepOptions options;
+  const auto prof = theory::profile(p.net, options);
+  const double bound = theory::network_lipschitz_bound(prof);
+  Rng rng(99);
+  const double empirical =
+      theory::empirical_network_lipschitz(p.net, 2000, rng);
+  EXPECT_LE(empirical, bound);
+  EXPECT_GT(empirical, 0.0);
+}
+
+TEST(Integration, FepRegularizedTrainingImprovesCertifiedTolerance) {
+  // Section VI's research direction, executed: training with the Fep
+  // surrogate buys a larger certified fault budget at equal epochs.
+  Rng rng_a(31415);
+  Rng rng_b(31415);
+  const auto target = data::make_mean(2);
+  Rng data_rng(27);
+  const auto train_set = data::sample_uniform(target, 256, data_rng);
+  auto plain = nn::NetworkBuilder(2).hidden(16).build(rng_a);
+  auto robust = nn::NetworkBuilder(2).hidden(16).build(rng_b);
+  nn::TrainConfig config;
+  config.epochs = 120;
+  config.learning_rate = 0.02;
+  Rng t_a(1);
+  Rng t_b(1);
+  nn::train(plain, train_set, config, t_a);
+  config.fep_lambda = 0.05;
+  nn::train(robust, train_set, config, t_b);
+
+  const auto grid = data::sample_grid(target, 21);
+  const double eps_plain = nn::sup_error(plain, grid);
+  const double eps_robust = nn::sup_error(robust, grid);
+  // Both must still fit the target usefully.
+  ASSERT_LT(eps_plain, 0.2);
+  ASSERT_LT(eps_robust, 0.2);
+
+  theory::FepOptions options;
+  options.mode = theory::FailureMode::kCrash;
+  const double epsilon = 0.3;
+  const auto cert_plain =
+      theory::certify(plain, {epsilon, std::max(eps_plain, 1e-9)}, options);
+  const auto cert_robust =
+      theory::certify(robust, {epsilon, std::max(eps_robust, 1e-9)}, options);
+  EXPECT_GE(cert_robust.greedy_total, cert_plain.greedy_total);
+}
+
+}  // namespace
+}  // namespace wnf

@@ -1,0 +1,146 @@
+// The over-provisioning relation (the paper's headline): replication
+// preserves the function exactly, dilutes weight maxima, and grows the
+// tolerated fault counts ~linearly.
+#include <gtest/gtest.h>
+
+#include "core/overprovision.hpp"
+#include "core/tolerance.hpp"
+#include "nn/builder.hpp"
+
+namespace wnf::theory {
+namespace {
+
+nn::FeedForwardNetwork base_network(std::uint64_t seed = 3) {
+  Rng rng(seed);
+  return nn::NetworkBuilder(2)
+      .activation(nn::ActivationKind::kSigmoid, 1.0)
+      .hidden(5)
+      .hidden(4)
+      .init(nn::InitKind::kUniform, 0.8)
+      .build(rng);
+}
+
+class ReplicationLaw : public testing::TestWithParam<std::size_t> {};
+
+TEST_P(ReplicationLaw, FunctionIsExactlyPreserved) {
+  const std::size_t r = GetParam();
+  const auto net = base_network();
+  const auto replicated = replicate_neurons(net, r);
+  Rng rng(17);
+  nn::Workspace ws;
+  for (int n = 0; n < 100; ++n) {
+    std::vector<double> x{rng.uniform(), rng.uniform()};
+    EXPECT_NEAR(replicated.evaluate(x, ws), net.evaluate(x, ws), 1e-11);
+  }
+}
+
+TEST_P(ReplicationLaw, WidthsScaleAndDownstreamWeightsDilute) {
+  const std::size_t r = GetParam();
+  const auto net = base_network();
+  const auto replicated = replicate_neurons(net, r);
+  const auto convention = nn::WeightMaxConvention::kExcludeBias;
+  EXPECT_EQ(replicated.layer_width(1), 5 * r);
+  EXPECT_EQ(replicated.layer_width(2), 4 * r);
+  // Layer 1 incoming weights are NOT diluted (senders = input clients).
+  EXPECT_NEAR(replicated.weight_max(1, convention),
+              net.weight_max(1, convention), 1e-12);
+  // Layer 2 and output incoming weights shrink by r.
+  EXPECT_NEAR(replicated.weight_max(2, convention),
+              net.weight_max(2, convention) / static_cast<double>(r), 1e-12);
+  EXPECT_NEAR(replicated.weight_max(3, convention),
+              net.weight_max(3, convention) / static_cast<double>(r), 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Factors, ReplicationLaw, testing::Values(1, 2, 3, 5));
+
+TEST(Replication, ToleranceGrowsWithFactor) {
+  const auto net = base_network();
+  FepOptions options;
+  options.mode = FailureMode::kCrash;
+  const ErrorBudget budget{0.5, 0.1};
+  std::size_t previous_total = 0;
+  for (std::size_t r : {1, 2, 4}) {
+    const auto replicated = replicate_neurons(net, r);
+    const auto prof = profile(replicated, options);
+    const auto greedy = greedy_max_distribution(prof, budget, options);
+    const std::size_t total = total_faults(greedy);
+    EXPECT_GE(total, previous_total);
+    previous_total = total;
+  }
+  EXPECT_GT(previous_total, 0u);
+}
+
+TEST(Replication, IdentityFactorIsExactCopy) {
+  const auto net = base_network();
+  const auto copy = replicate_neurons(net, 1);
+  EXPECT_TRUE(copy.approx_equal(net, 0.0));
+}
+
+TEST(PadLayer, FunctionPreservedAndWidthGrows) {
+  const auto net = base_network();
+  Rng rng(23);
+  const auto padded = pad_layer(net, 1, 3, 0.5, rng);
+  EXPECT_EQ(padded.layer_width(1), 8u);
+  EXPECT_EQ(padded.layer_width(2), 4u);
+  nn::Workspace ws;
+  Rng probe(29);
+  for (int n = 0; n < 50; ++n) {
+    std::vector<double> x{probe.uniform(), probe.uniform()};
+    EXPECT_NEAR(padded.evaluate(x, ws), net.evaluate(x, ws), 1e-12);
+  }
+}
+
+TEST(PadLayer, TopLayerPaddingExtendsOutputWeights) {
+  const auto net = base_network();
+  Rng rng(31);
+  const auto padded = pad_layer(net, 2, 2, 0.1, rng);
+  EXPECT_EQ(padded.layer_width(2), 6u);
+  EXPECT_EQ(padded.output_weights().size(), 6u);
+  EXPECT_EQ(padded.output_weights()[4], 0.0);
+  EXPECT_EQ(padded.output_weights()[5], 0.0);
+}
+
+TEST(PadLayer, DoesNotImproveTheBound) {
+  // The ablation claim: zero-weight padding leaves w_m — and therefore the
+  // Theorem-3 tolerance — unchanged, unlike replication.
+  const auto net = base_network();
+  Rng rng(37);
+  const auto padded = pad_layer(net, 1, 10, 0.2, rng);
+  FepOptions options;
+  options.mode = FailureMode::kCrash;
+  const ErrorBudget budget{0.5, 0.1};
+  const auto base_prof = profile(net, options);
+  const auto padded_prof = profile(padded, options);
+  EXPECT_EQ(max_faults_single_layer(base_prof, 2, budget, options),
+            max_faults_single_layer(padded_prof, 2, budget, options));
+}
+
+TEST(Corollary1, MinReplicationFindsAFactor) {
+  const auto net = base_network();
+  FepOptions options;
+  options.mode = FailureMode::kCrash;
+  const ErrorBudget budget{0.5, 0.1};
+  const auto base_prof = profile(net, options);
+  const std::size_t base_total =
+      total_faults(greedy_max_distribution(base_prof, budget, options));
+  const std::size_t target = base_total + 4;
+  const std::size_t r =
+      min_replication_for_tolerance(net, target, budget, options, 16);
+  ASSERT_GT(r, 0u) << "no replication factor up to 16 reached the target";
+  const auto replicated = replicate_neurons(net, r);
+  const auto prof = profile(replicated, options);
+  EXPECT_GE(total_faults(greedy_max_distribution(prof, budget, options)),
+            target);
+}
+
+TEST(Corollary1, ReturnsZeroWhenUnreachable) {
+  const auto net = base_network();
+  FepOptions options;
+  options.mode = FailureMode::kCrash;
+  // Essentially no slack: no factor helps.
+  const ErrorBudget budget{0.100000001, 0.1};
+  EXPECT_EQ(min_replication_for_tolerance(net, 1000, budget, options, 3), 0u);
+}
+
+}  // namespace
+}  // namespace wnf::theory

@@ -1,0 +1,164 @@
+// Reliability-layer tests: exact binomial tails, union-bound violation
+// probabilities, certificate mission math, and cross-validation against
+// Monte-Carlo fault sampling.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/reliability.hpp"
+#include "nn/builder.hpp"
+#include "util/rng.hpp"
+
+namespace wnf::theory {
+namespace {
+
+TEST(BinomialTail, HandComputedCases) {
+  // Bin(2, 0.5): P[X > 0] = 0.75, P[X > 1] = 0.25, P[X > 2] = 0.
+  EXPECT_NEAR(binomial_tail_above(2, 0.5, 0), 0.75, 1e-12);
+  EXPECT_NEAR(binomial_tail_above(2, 0.5, 1), 0.25, 1e-12);
+  EXPECT_DOUBLE_EQ(binomial_tail_above(2, 0.5, 2), 0.0);
+}
+
+TEST(BinomialTail, EdgeProbabilities) {
+  EXPECT_DOUBLE_EQ(binomial_tail_above(10, 0.0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(binomial_tail_above(10, 1.0, 5), 1.0);
+  EXPECT_DOUBLE_EQ(binomial_tail_above(10, 0.3, 10), 0.0);
+}
+
+TEST(BinomialTail, MatchesDirectSummation) {
+  // Cross-check the log-space recurrence against naive pow-based pmf.
+  const std::size_t n = 12;
+  const double p = 0.17;
+  for (std::size_t k = 0; k < n; ++k) {
+    double tail = 0.0;
+    for (std::size_t i = k + 1; i <= n; ++i) {
+      double c = 1.0;
+      for (std::size_t j = 1; j <= i; ++j) {
+        c = c * static_cast<double>(n - i + j) / static_cast<double>(j);
+      }
+      tail += c * std::pow(p, double(i)) * std::pow(1.0 - p, double(n - i));
+    }
+    EXPECT_NEAR(binomial_tail_above(n, p, k), tail, 1e-10);
+  }
+}
+
+TEST(BinomialTail, MonotoneInPAndAntitoneInK) {
+  double prev = 0.0;
+  for (double p : {0.01, 0.05, 0.1, 0.3, 0.6}) {
+    const double tail = binomial_tail_above(20, p, 3);
+    EXPECT_GE(tail, prev);
+    prev = tail;
+  }
+  prev = 1.0;
+  for (std::size_t k = 0; k <= 20; ++k) {
+    const double tail = binomial_tail_above(20, 0.2, k);
+    EXPECT_LE(tail, prev);
+    prev = tail;
+  }
+}
+
+TEST(ViolationProbability, UnionBoundDominatesMonteCarlo) {
+  const std::vector<std::size_t> widths{12, 10, 8};
+  const std::vector<std::size_t> faults{2, 1, 1};
+  const double p = 0.08;
+  const double analytic = violation_probability(widths, faults, p);
+
+  Rng rng(7);
+  const int trials = 40000;
+  int violations = 0;
+  for (int t = 0; t < trials; ++t) {
+    bool violated = false;
+    for (std::size_t l = 0; l < widths.size(); ++l) {
+      std::size_t failed = 0;
+      for (std::size_t j = 0; j < widths[l]; ++j) failed += rng.bernoulli(p);
+      violated = violated || failed > faults[l];
+    }
+    violations += violated;
+  }
+  const double empirical = double(violations) / trials;
+  EXPECT_LE(empirical, analytic + 0.01);           // union bound is an upper bound
+  EXPECT_GE(analytic, empirical * 0.9 - 0.01);     // but not absurdly loose here
+}
+
+TEST(ViolationProbability, ZeroFaultBudgetIsFragile) {
+  // With f = 0 everywhere, any failure violates.
+  const std::vector<std::size_t> widths{10};
+  const std::vector<std::size_t> faults{0};
+  EXPECT_NEAR(violation_probability(widths, faults, 0.1),
+              1.0 - std::pow(0.9, 10.0), 1e-12);
+}
+
+class CertificateReliability : public testing::Test {
+ protected:
+  static RobustnessCertificate make_cert() {
+    Rng rng(5);
+    const auto net = nn::NetworkBuilder(2)
+                         .activation(nn::ActivationKind::kSigmoid, 1.0)
+                         .hidden(16)
+                         .hidden(12)
+                         .init(nn::InitKind::kScaledUniform, 0.5)
+                         .build(rng);
+    FepOptions options;
+    options.mode = FailureMode::kCrash;
+    options.weight_convention = nn::WeightMaxConvention::kExcludeBias;
+    // Wide budget so the greedy distribution is non-trivial.
+    const auto prof = profile(net, options);
+    std::vector<std::size_t> one{0, 1};
+    const double cheapest =
+        forward_error_propagation(prof, one, options);
+    return certify(net, {1e-9 + 4.0 * cheapest, 1e-9}, options);
+  }
+};
+
+TEST_F(CertificateReliability, ViolationDecreasesWithFailureRate) {
+  const auto cert = make_cert();
+  ASSERT_GT(total_faults(cert.greedy_distribution), 0u);
+  double prev = 1.1;
+  for (double p : {0.2, 0.1, 0.05, 0.01, 0.001}) {
+    const double violation = certificate_violation_probability(cert, p);
+    EXPECT_LE(violation, prev);
+    prev = violation;
+  }
+  EXPECT_LT(certificate_violation_probability(cert, 1e-6), 1e-3);
+}
+
+TEST_F(CertificateReliability, ReliabilityAllocationBeatsMaxTotal) {
+  const auto cert = make_cert();
+  const double p = 0.02;
+  const auto reliability_dist = max_reliability_distribution(
+      cert.network, cert.budget, cert.options, p);
+  // Same Theorem-3 gate...
+  EXPECT_TRUE(theorem3_tolerates(cert.network, reliability_dist, cert.budget,
+                                 cert.options));
+  // ...but never a worse violation probability than the max-total greedy.
+  EXPECT_LE(violation_probability(cert.network.widths, reliability_dist, p),
+            violation_probability(cert.network.widths,
+                                  cert.greedy_distribution, p) +
+                1e-12);
+}
+
+TEST_F(CertificateReliability, ReliabilityAllocationSpreadsBudget) {
+  const auto cert = make_cert();
+  const auto dist = max_reliability_distribution(cert.network, cert.budget,
+                                                 cert.options, 0.02);
+  // Every layer should get at least one fault of margin whenever the gate
+  // allows it — a zero-margin layer dominates the union bound.
+  const std::vector<std::size_t> probe{1, 1};
+  if (theorem3_tolerates(cert.network, probe, cert.budget, cert.options)) {
+    for (std::size_t f : dist) EXPECT_GE(f, 1u);
+  }
+}
+
+TEST_F(CertificateReliability, MaxFailureRateInvertsTheBound) {
+  const auto cert = make_cert();
+  const double target = 1e-3;
+  const double p_star = max_failure_rate(cert, target);
+  ASSERT_GT(p_star, 0.0);
+  EXPECT_LE(certificate_violation_probability(cert, p_star), target + 1e-6);
+  // Just above p*, the target is exceeded.
+  EXPECT_GT(certificate_violation_probability(cert, p_star * 1.1 + 1e-6),
+            target);
+}
+
+}  // namespace
+}  // namespace wnf::theory

@@ -1,0 +1,236 @@
+// Training tests: losses, optimiser convergence on learnable targets,
+// dropout, weight decay, the Fep regulariser, serialization round-trips.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "data/dataset.hpp"
+#include "nn/builder.hpp"
+#include "nn/loss.hpp"
+#include "nn/serialize.hpp"
+#include "nn/train.hpp"
+
+namespace wnf::nn {
+namespace {
+
+data::Dataset mean_dataset(std::size_t n, Rng& rng) {
+  const auto target = data::make_mean(2);
+  return data::sample_uniform(target, n, rng);
+}
+
+TEST(Loss, MseAndMaeAndSupKnownValues) {
+  Rng rng(3);
+  auto net = NetworkBuilder(2).hidden(3).build(rng);
+  data::Dataset dataset;
+  dataset.dim = 2;
+  dataset.inputs = {{0.1, 0.2}, {0.8, 0.9}};
+  Workspace ws;
+  const double p0 = net.evaluate(dataset.inputs[0], ws);
+  const double p1 = net.evaluate(dataset.inputs[1], ws);
+  dataset.labels = {p0 + 0.1, p1 - 0.3};
+  EXPECT_NEAR(mse(net, dataset), (0.01 + 0.09) / 2.0, 1e-12);
+  EXPECT_NEAR(mae(net, dataset), (0.1 + 0.3) / 2.0, 1e-12);
+  EXPECT_NEAR(sup_error(net, dataset), 0.3, 1e-12);
+}
+
+class OptimizerConvergence : public testing::TestWithParam<Optimizer> {};
+
+TEST_P(OptimizerConvergence, LearnsTheMeanFunction) {
+  Rng rng(11);
+  auto net = NetworkBuilder(2)
+                 .activation(ActivationKind::kSigmoid, 1.0)
+                 .hidden(8)
+                 .build(rng);
+  const auto dataset = mean_dataset(128, rng);
+  const double before = mse(net, dataset);
+  TrainConfig config;
+  config.epochs = 120;
+  config.optimizer = GetParam();
+  config.learning_rate = GetParam() == Optimizer::kAdam ? 0.02 : 0.2;
+  const auto result = train(net, dataset, config, rng);
+  EXPECT_LT(result.final_mse, before);
+  EXPECT_LT(result.final_mse, 0.003)
+      << "optimizer failed to fit an easy target";
+}
+
+INSTANTIATE_TEST_SUITE_P(AllOptimizers, OptimizerConvergence,
+                         testing::Values(Optimizer::kSgd, Optimizer::kMomentum,
+                                         Optimizer::kAdam));
+
+TEST(Train, HistoryHasOneEntryPerEpoch) {
+  Rng rng(13);
+  auto net = NetworkBuilder(2).hidden(4).build(rng);
+  const auto dataset = mean_dataset(32, rng);
+  TrainConfig config;
+  config.epochs = 10;
+  const auto result = train(net, dataset, config, rng);
+  EXPECT_EQ(result.epochs_run, 10u);
+  EXPECT_EQ(result.mse_history.size(), 10u);
+  EXPECT_DOUBLE_EQ(result.mse_history.back(), result.final_mse);
+}
+
+TEST(Train, EarlyStopOnTarget) {
+  Rng rng(17);
+  auto net = NetworkBuilder(2).hidden(8).build(rng);
+  const auto dataset = mean_dataset(128, rng);
+  TrainConfig config;
+  config.epochs = 500;
+  config.target_mse = 0.01;
+  config.learning_rate = 0.02;
+  const auto result = train(net, dataset, config, rng);
+  EXPECT_TRUE(result.reached_target);
+  EXPECT_LT(result.epochs_run, 500u);
+  EXPECT_LE(result.final_mse, 0.01);
+}
+
+TEST(Train, DeterministicGivenSeed) {
+  const auto run_once = [] {
+    Rng rng(19);
+    auto net = NetworkBuilder(2).hidden(5).build(rng);
+    const auto dataset = mean_dataset(64, rng);
+    TrainConfig config;
+    config.epochs = 20;
+    train(net, dataset, config, rng);
+    return net;
+  };
+  EXPECT_TRUE(run_once().approx_equal(run_once(), 0.0));
+}
+
+TEST(Train, WeightDecayShrinksWeightMax) {
+  Rng rng_a(23);
+  Rng rng_b(23);
+  auto plain = NetworkBuilder(2).hidden(8).build(rng_a);
+  auto decayed = NetworkBuilder(2).hidden(8).build(rng_b);
+  Rng data_rng(29);
+  const auto dataset = mean_dataset(128, data_rng);
+  TrainConfig config;
+  config.epochs = 80;
+  Rng train_a(31);
+  Rng train_b(31);
+  train(plain, dataset, config, train_a);
+  config.weight_decay = 0.01;
+  train(decayed, dataset, config, train_b);
+  const auto convention = WeightMaxConvention::kExcludeBias;
+  double plain_max = 0.0;
+  double decayed_max = 0.0;
+  for (std::size_t l = 1; l <= 2; ++l) {
+    plain_max = std::max(plain_max, plain.weight_max(l, convention));
+    decayed_max = std::max(decayed_max, decayed.weight_max(l, convention));
+  }
+  EXPECT_LT(decayed_max, plain_max);
+}
+
+TEST(Train, DropoutStillLearns) {
+  Rng rng(37);
+  auto net = NetworkBuilder(2).hidden(16).build(rng);
+  const auto dataset = mean_dataset(128, rng);
+  TrainConfig config;
+  config.epochs = 150;
+  config.dropout = 0.2;
+  config.learning_rate = 0.02;
+  const auto result = train(net, dataset, config, rng);
+  EXPECT_LT(result.final_mse, 0.01);
+}
+
+TEST(FepRegularizer, PenaltyTracksMaxWeight) {
+  Rng rng(41);
+  auto net = NetworkBuilder(2).hidden(6).init(InitKind::kUniform, 0.5).build(rng);
+  const FepRegularizer reg(1.0, 8.0);
+  const double penalty = reg.penalty(net);
+  // p-norm upper-bounds the max and is within count^(1/p) of it.
+  double sum_of_maxima = 0.0;
+  sum_of_maxima += net.layer(1).weights().max_abs();
+  double out_max = 0.0;
+  for (double w : net.output_weights()) out_max = std::max(out_max, std::fabs(w));
+  sum_of_maxima += out_max;
+  EXPECT_GE(penalty, sum_of_maxima - 1e-9);
+  EXPECT_LE(penalty, sum_of_maxima * 2.0);
+}
+
+TEST(FepRegularizer, GradientStepReducesPenalty) {
+  Rng rng(43);
+  auto net = NetworkBuilder(2).hidden(6).init(InitKind::kUniform, 1.0).build(rng);
+  const FepRegularizer reg(1.0, 8.0);
+  const double before = reg.penalty(net);
+  reg.apply_gradient_step(net, 0.1);
+  EXPECT_LT(reg.penalty(net), before);
+}
+
+TEST(FepRegularizer, ZeroLambdaIsNoop) {
+  Rng rng(47);
+  auto net = NetworkBuilder(2).hidden(4).build(rng);
+  const auto copy = net;
+  FepRegularizer(0.0, 8.0).apply_gradient_step(net, 0.5);
+  EXPECT_TRUE(net.approx_equal(copy, 0.0));
+}
+
+TEST(FepRegularizer, TrainingWithItShrinksWeightMax) {
+  Rng rng_a(53);
+  Rng rng_b(53);
+  auto plain = NetworkBuilder(2).hidden(8).build(rng_a);
+  auto regularized = NetworkBuilder(2).hidden(8).build(rng_b);
+  Rng data_rng(59);
+  const auto dataset = mean_dataset(128, data_rng);
+  TrainConfig config;
+  config.epochs = 80;
+  Rng train_a(61);
+  Rng train_b(61);
+  train(plain, dataset, config, train_a);
+  config.fep_lambda = 0.02;
+  train(regularized, dataset, config, train_b);
+  const auto convention = WeightMaxConvention::kExcludeBias;
+  EXPECT_LT(regularized.weight_max(2, convention),
+            plain.weight_max(2, convention));
+}
+
+TEST(Serialize, RoundTripPreservesNetwork) {
+  Rng rng(67);
+  const auto net = NetworkBuilder(3)
+                       .activation(ActivationKind::kTanh01, 1.5)
+                       .hidden(5)
+                       .hidden(4)
+                       .build(rng);
+  std::stringstream stream;
+  save_network(net, stream);
+  const auto loaded = load_network(stream);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_TRUE(loaded->approx_equal(net, 0.0));
+  // And behaviourally identical.
+  const std::vector<double> x{0.1, 0.7, 0.4};
+  EXPECT_DOUBLE_EQ(loaded->evaluate(x), net.evaluate(x));
+}
+
+TEST(Serialize, PreservesReceptiveField) {
+  Rng rng(71);
+  auto net = NetworkBuilder(6).hidden(4).build(rng);
+  net.layer(1).set_receptive_field(3);
+  std::stringstream stream;
+  save_network(net, stream);
+  const auto loaded = load_network(stream);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->layer(1).receptive_field(), 3u);
+}
+
+TEST(Serialize, RejectsMalformedInput) {
+  std::stringstream bad("not-a-network at all");
+  EXPECT_FALSE(load_network(bad).has_value());
+  std::stringstream truncated("wnf-network v1\nactivation sigmoid 1\n");
+  EXPECT_FALSE(load_network(truncated).has_value());
+  std::stringstream wrong_version("wnf-network v9\n");
+  EXPECT_FALSE(load_network(wrong_version).has_value());
+}
+
+TEST(Serialize, FileRoundTrip) {
+  Rng rng(73);
+  const auto net = NetworkBuilder(2).hidden(3).build(rng);
+  const std::string path = testing::TempDir() + "/wnf_net_test.txt";
+  ASSERT_TRUE(save_network_file(net, path));
+  const auto loaded = load_network_file(path);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_TRUE(loaded->approx_equal(net, 0.0));
+  EXPECT_FALSE(load_network_file("/nonexistent/path.txt").has_value());
+}
+
+}  // namespace
+}  // namespace wnf::nn
