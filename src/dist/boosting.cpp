@@ -1,0 +1,85 @@
+#include "dist/boosting.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/tolerance.hpp"
+#include "util/contract.hpp"
+
+namespace wnf::dist {
+
+std::vector<std::size_t> wait_counts_from_cut(
+    const nn::FeedForwardNetwork& net, const std::vector<std::size_t>& cut) {
+  WNF_EXPECTS(cut.size() == net.layer_count());
+  std::vector<std::size_t> wait(net.layer_count());
+  wait[0] = net.input_dim();
+  for (std::size_t l = 2; l <= net.layer_count(); ++l) {
+    const std::size_t senders = net.layer_width(l - 1);
+    wait[l - 1] = senders - std::min(cut[l - 2], senders);
+  }
+  return wait;
+}
+
+BoostingReport run_boosting(const nn::FeedForwardNetwork& net,
+                            const std::vector<std::vector<double>>& workload,
+                            const BoostingConfig& config,
+                            const theory::ErrorBudget& budget) {
+  WNF_EXPECTS(config.straggler_cut.size() == net.layer_count());
+  WNF_EXPECTS(!workload.empty());
+
+  // Fep demands f_l <= N_l; a cut past the width acts as the whole layer.
+  std::vector<std::size_t> cut = config.straggler_cut;
+  for (std::size_t l = 1; l <= net.layer_count(); ++l) {
+    cut[l - 1] = std::min(cut[l - 1], net.layer_width(l));
+  }
+
+  theory::FepOptions options;
+  options.mode = theory::FailureMode::kCrash;
+  options.weight_convention = nn::WeightMaxConvention::kExcludeBias;
+  const auto prof = theory::profile(net, options);
+
+  BoostingReport report;
+  report.crash_fep_bound =
+      theory::forward_error_propagation(prof, cut, options);
+  // Corollary 2 is proved for reset-to-zero only: a cut sender read as 0
+  // is a crash. kHoldLast carries no worst-case guarantee, so it is never
+  // certified, whatever the budget.
+  report.certified = config.policy == ResetPolicy::kZero &&
+                     theory::theorem3_tolerates(prof, cut, budget, options);
+
+  const auto wait = wait_counts_from_cut(net, cut);
+  const auto widths = net.layer_widths();
+  NetworkSimulator full_sim(net, SimConfig{});
+  NetworkSimulator boosted_sim(net, SimConfig{});
+
+  Rng rng(config.seed);
+  double total_full = 0.0;
+  double total_boosted = 0.0;
+  double total_error = 0.0;
+  for (const auto& x : workload) {
+    Rng request_rng = rng.split();
+    auto latencies = config.latency.sample_layers(widths, request_rng);
+    full_sim.set_latencies(latencies);
+    boosted_sim.set_latencies(std::move(latencies));
+
+    const auto full = full_sim.evaluate(x);
+    const auto boosted = boosted_sim.evaluate_boosted(
+        x, {wait.data(), wait.size()}, config.policy);
+    total_full += full.completion_time;
+    total_boosted += boosted.completion_time;
+    const double error = std::fabs(full.output - boosted.output);
+    total_error += error;
+    report.max_abs_error = std::max(report.max_abs_error, error);
+  }
+
+  const auto count = static_cast<double>(workload.size());
+  report.mean_full_time = total_full / count;
+  report.mean_boosted_time = total_boosted / count;
+  report.mean_abs_error = total_error / count;
+  report.speedup = report.mean_boosted_time > 0.0
+                       ? report.mean_full_time / report.mean_boosted_time
+                       : 1.0;
+  return report;
+}
+
+}  // namespace wnf::dist

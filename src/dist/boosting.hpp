@@ -1,0 +1,69 @@
+// Corollary 2 / Section V-B: straggler-cut boosting. If the crash
+// distribution (f_l) passes Theorem 3 (crash mode, C = sup phi), a neuron
+// of layer l+1 may fire after hearing only N_l - f_l senders of layer l —
+// resetting the stragglers to 0 — and the output provably stays within the
+// crash Fep(f) of the full-wait value. This module turns a cut into wait
+// counts, drives a whole workload through the simulator under a latency
+// regime, and reports the completion-time saving against the incurred
+// error and its analytic bound.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/bounds.hpp"
+#include "dist/latency.hpp"
+#include "dist/sim.hpp"
+
+namespace wnf::dist {
+
+/// One boosting experiment: which stragglers to cut, under which latency
+/// regime, with which reset semantics.
+struct BoostingConfig {
+  /// f_l per hidden layer (size L): how many of layer l's slowest senders
+  /// each receiver refuses to wait for. Entries are clamped to the layer
+  /// width. The top entry f_L is counted by the bound but not executed:
+  /// the output client always waits for all of layer L.
+  std::vector<std::size_t> straggler_cut;
+  LatencyModel latency;  ///< per-request, per-neuron latency draws
+  ResetPolicy policy = ResetPolicy::kZero;
+  std::uint64_t seed = 0x5eed;  ///< root of the per-request Rng::split tree
+};
+
+/// Aggregate outcome over one workload.
+struct BoostingReport {
+  double mean_full_time = 0.0;     ///< mean completion, full fan-in waits
+  double mean_boosted_time = 0.0;  ///< mean completion with the cut
+  double speedup = 1.0;            ///< mean_full_time / mean_boosted_time
+  double mean_abs_error = 0.0;     ///< mean |full - boosted| output gap
+  double max_abs_error = 0.0;      ///< worst |full - boosted| output gap
+  double crash_fep_bound = 0.0;    ///< crash-mode Fep of the cut
+  bool certified = false;  ///< Theorem 3 (crash mode) accepts the cut
+                           ///< against the given budget — Corollary 2's
+                           ///< gate. Only ResetPolicy::kZero can certify;
+                           ///< the corollary is proved for reset-to-zero.
+};
+
+/// Corollary 2's wait counts for a cut (size L, f_l per layer): a neuron
+/// of layer l waits for its full input fan-in when l = 1 (input clients
+/// cannot fail) and for N_{l-1} - f_{l-1} senders otherwise. Cuts larger
+/// than the sending layer's width clamp to it (wait count 0), never
+/// underflow.
+std::vector<std::size_t> wait_counts_from_cut(
+    const nn::FeedForwardNetwork& net, const std::vector<std::size_t>& cut);
+
+/// Runs `workload` through a full-wait simulator and a boosted one side by
+/// side (separate kHoldLast histories: hold-last reuses values from the
+/// previous *request*, never from the paired full run). Per-request
+/// latencies are drawn from config.latency via Rng::split, so reports are
+/// reproducible under the seed and independent of evaluation order.
+/// `certified` gates the cut with Theorem 3 in crash mode against `budget`
+/// (bias weights excluded from w_m: a bias synapse never relays a
+/// deviating signal, so the exclude-bias Fep is sound and tighter).
+BoostingReport run_boosting(const nn::FeedForwardNetwork& net,
+                            const std::vector<std::vector<double>>& workload,
+                            const BoostingConfig& config,
+                            const theory::ErrorBudget& budget);
+
+}  // namespace wnf::dist

@@ -1,0 +1,48 @@
+#include "dist/latency.hpp"
+
+#include <algorithm>
+
+#include "util/contract.hpp"
+
+namespace wnf::dist {
+
+double LatencyModel::sample(Rng& rng) const {
+  WNF_EXPECTS(base >= 0.0);
+  WNF_EXPECTS(spread >= 0.0);
+  WNF_EXPECTS(straggler_fraction >= 0.0 && straggler_fraction <= 1.0);
+  switch (kind) {
+    case LatencyKind::kConstant:
+      return base;
+    case LatencyKind::kUniform:
+      return base + rng.uniform() * spread;
+    case LatencyKind::kHeavyTail: {
+      // Fixed draw order (bernoulli, then uniform) so streams stay aligned
+      // across kinds and fractions.
+      const bool straggler = rng.bernoulli(straggler_fraction);
+      const double u = rng.uniform();
+      if (straggler) {
+        // Top half of the range: a straggler is decisively slow.
+        return base + spread * (0.5 + 0.5 * u);
+      }
+      // Fast path: within 2x of base, and strictly below the straggler
+      // band even when base >= spread, so the tail stays separable.
+      return base + std::min(base, 0.5 * spread) * u;
+    }
+  }
+  WNF_ASSERT(false);
+  return base;
+}
+
+std::vector<std::vector<double>> LatencyModel::sample_layers(
+    const std::vector<std::size_t>& widths, Rng& rng) const {
+  std::vector<std::vector<double>> latencies;
+  latencies.reserve(widths.size());
+  for (const std::size_t width : widths) {
+    std::vector<double> layer(width);
+    for (double& latency : layer) latency = sample(rng);
+    latencies.push_back(std::move(layer));
+  }
+  return latencies;
+}
+
+}  // namespace wnf::dist

@@ -1,0 +1,200 @@
+#include "dist/sim.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "tensor/ops.hpp"
+#include "util/contract.hpp"
+
+namespace wnf::dist {
+namespace {
+
+/// Assumption 1's channel: |transmitted| <= C; C <= 0 means unbounded.
+double channel(double value, double capacity) {
+  if (capacity <= 0.0) return value;
+  return std::clamp(value, -capacity, capacity);
+}
+
+}  // namespace
+
+NetworkSimulator::NetworkSimulator(const nn::FeedForwardNetwork& net,
+                                   SimConfig config)
+    : net_(net), config_(config) {
+  latencies_.resize(net_.layer_count());
+  for (std::size_t l = 1; l <= net_.layer_count(); ++l) {
+    latencies_[l - 1].assign(net_.layer_width(l), 0.0);
+  }
+}
+
+SimResult NetworkSimulator::evaluate(std::span<const double> x) {
+  std::vector<std::size_t> full(net_.layer_count());
+  full[0] = net_.input_dim();
+  for (std::size_t l = 2; l <= net_.layer_count(); ++l) {
+    full[l - 1] = net_.layer_width(l - 1);
+  }
+  return run(x, full, ResetPolicy::kZero);
+}
+
+SimResult NetworkSimulator::evaluate_boosted(
+    std::span<const double> x, std::span<const std::size_t> wait_counts,
+    ResetPolicy policy) {
+  return run(x, wait_counts, policy);
+}
+
+void NetworkSimulator::set_latencies(
+    std::vector<std::vector<double>> latencies) {
+  WNF_EXPECTS(latencies.size() == net_.layer_count());
+  for (std::size_t l = 1; l <= net_.layer_count(); ++l) {
+    WNF_EXPECTS(latencies[l - 1].size() == net_.layer_width(l));
+    for (const double latency : latencies[l - 1]) {
+      WNF_EXPECTS(latency >= 0.0);
+    }
+  }
+  latencies_ = std::move(latencies);
+}
+
+void NetworkSimulator::apply_faults(fault::FaultPlan plan) {
+  fault::validate_plan(plan, net_);
+  plan_ = std::move(plan);
+}
+
+void NetworkSimulator::clear_faults() { plan_ = fault::FaultPlan{}; }
+
+void NetworkSimulator::reset_history() {
+  history_.clear();
+  has_history_ = false;
+}
+
+SimResult NetworkSimulator::run(std::span<const double> x,
+                                std::span<const std::size_t> wait_counts,
+                                ResetPolicy policy) {
+  WNF_EXPECTS(x.size() == net_.input_dim());
+  WNF_EXPECTS(wait_counts.size() == net_.layer_count());
+  const std::size_t depth = net_.layer_count();
+
+  SimResult result;
+  result.layer_fire_times.reserve(depth);
+  std::vector<std::vector<double>> new_history(depth);
+
+  // State entering each round: what every sender of the previous set
+  // transmitted and when it arrived. Input clients all arrive at t = 0.
+  std::vector<double> sent(x.begin(), x.end());
+  std::vector<double> arrival(x.size(), 0.0);
+
+  for (std::size_t l = 1; l <= depth; ++l) {
+    const auto& layer = net_.layer(l);
+    const std::size_t width = layer.out_size();
+    const std::size_t fan_in = sent.size();
+    const std::size_t wait = std::min(wait_counts[l - 1], fan_in);
+
+    // Every receiver of layer l hears the same senders at the same times,
+    // so the layer shares one wait set: the `wait` earliest arrivals
+    // (ties broken by sender index). Stragglers past the cut are reset.
+    std::vector<double> incoming;
+    double barrier = 0.0;  // arrival of the last sender waited for
+    if (wait < fan_in) {
+      std::vector<std::size_t> order(fan_in);
+      std::iota(order.begin(), order.end(), 0);
+      std::stable_sort(order.begin(), order.end(),
+                       [&](std::size_t a, std::size_t b) {
+                         return arrival[a] < arrival[b];
+                       });
+      incoming = sent;
+      for (std::size_t k = 0; k < wait; ++k) {
+        barrier = std::max(barrier, arrival[order[k]]);
+      }
+      for (std::size_t k = wait; k < fan_in; ++k) {
+        const std::size_t cut = order[k];
+        double substitute = 0.0;  // Corollary 2: read the straggler as 0
+        if (policy == ResetPolicy::kHoldLast && has_history_ && l >= 2) {
+          substitute = history_[l - 2][cut];
+        }
+        incoming[cut] = substitute;
+      }
+      // Each of the `width` receivers tells each straggler to stand down.
+      result.resets_sent += (fan_in - wait) * width;
+    } else {
+      for (const double t : arrival) barrier = std::max(barrier, t);
+    }
+    const std::vector<double>& inputs = wait < fan_in ? incoming : sent;
+
+    // Pre-activations via the same affine kernel as the matrix path, then
+    // synapse faults exactly as Injector's pre_activation hook applies them.
+    std::vector<double> s(width);
+    layer.affine(inputs, s);
+    for (const auto& fault : plan_.synapses) {
+      if (fault.layer != l) continue;
+      const double weight = layer.weights()(fault.to, fault.from);
+      if (fault.kind == fault::SynapseFaultKind::kCrash) {
+        s[fault.to] -= weight * inputs[fault.from];  // edge delivers nothing
+      } else {
+        s[fault.to] += weight * fault.value;  // edge sends w * (y + value)
+      }
+    }
+
+    // Fire: activation on the local clock, then neuron faults, then the
+    // capacity-C channel on every transmitted value.
+    std::vector<double> value(width);
+    std::vector<double> fire(width);
+    for (std::size_t j = 0; j < width; ++j) {
+      value[j] = net_.activation().value(s[j]);
+      fire[j] = barrier + latencies_[l - 1][j];
+    }
+    for (const auto& fault : plan_.neurons) {
+      if (fault.layer != l) continue;
+      switch (fault.kind) {
+        case fault::NeuronFaultKind::kCrash:
+          value[fault.neuron] = 0.0;  // Definition 2: peers read 0
+          fire[fault.neuron] = 0.0;   // a silent process delays nobody
+          break;
+        case fault::NeuronFaultKind::kByzantine:
+          // An attacker does not compute; it fires immediately. Under the
+          // perturbation convention it perturbs its own (possibly already
+          // damaged) value — messages carry no nominal trace.
+          value[fault.neuron] =
+              plan_.convention ==
+                      theory::CapacityConvention::kPerturbationBound
+                  ? value[fault.neuron] + fault.value
+                  : fault.value;
+          fire[fault.neuron] = 0.0;
+          break;
+        case fault::NeuronFaultKind::kStuckAt:
+          value[fault.neuron] = fault.value;  // frozen value, normal clock
+          break;
+      }
+    }
+    for (double& v : value) v = channel(v, config_.capacity);
+
+    double layer_fire = 0.0;
+    for (const double t : fire) layer_fire = std::max(layer_fire, t);
+    result.layer_fire_times.push_back(layer_fire);
+
+    new_history[l - 1] = value;
+    sent = std::move(value);
+    arrival = std::move(fire);
+  }
+
+  // The output node is a client: it waits for all of layer L and sums the
+  // (L+1)-th synapse set, which is part of the network and can fail.
+  double out = dot({sent.data(), sent.size()},
+                   {net_.output_weights().data(),
+                    net_.output_weights().size()}) +
+               net_.output_bias();
+  for (const auto& fault : plan_.synapses) {
+    if (fault.layer != depth + 1) continue;
+    const double weight = net_.output_weights()[fault.from];
+    if (fault.kind == fault::SynapseFaultKind::kCrash) {
+      out -= weight * sent[fault.from];
+    } else {
+      out += weight * fault.value;
+    }
+  }
+  result.output = out;
+  result.completion_time = result.layer_fire_times.back();
+
+  history_ = std::move(new_history);
+  has_history_ = true;
+  return result;
+}
+
+}  // namespace wnf::dist

@@ -1,0 +1,110 @@
+// Message-level simulator of the paper's distributed execution model
+// (Section II-A): one process per neuron, synapses as channels. Each
+// evaluation replays the network as rounds of messages — every neuron
+// waits for its fan-in (or, boosted per Corollary 2, for a prefix of the
+// earliest senders), computes, and broadcasts through capacity-C channels
+// (Assumption 1, enforced structurally on every transmitted value; a
+// non-positive capacity models the unbounded channels of Lemma 1's
+// impossibility regime).
+//
+// Faults follow fault::Injector semantics value-for-value so the analytic
+// path (matrix forward + hooks) and the systems path (messages + clocks)
+// can be cross-checked bit-for-bit:
+//   - crashed neuron: peers read 0, available immediately
+//   - Byzantine neuron: fires at t = 0 with its planned value (clamped)
+//   - stuck-at neuron: normal schedule, frozen value
+//   - crashed synapse: that edge delivers nothing
+//   - Byzantine synapse: the edge transmits w * (y + value)
+// The one intentional divergence: under the perturbation capacity
+// convention a Byzantine neuron here perturbs its *locally computed*
+// value (which may already reflect upstream damage), not the offline
+// nominal trace the Injector uses — messages have no access to a clean
+// trace. Tests pin equivalence on the transmitted-value convention.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "fault/plan.hpp"
+#include "nn/network.hpp"
+
+namespace wnf::dist {
+
+struct SimConfig {
+  /// Assumption 1's synaptic transmission capacity C: every value a neuron
+  /// sends is clamped to [-C, C]. capacity <= 0 disables the clamp
+  /// (Lemma 1's unbounded-transmission regime).
+  double capacity = 1.0;
+};
+
+/// What a receiver substitutes for a sender it refused to wait for.
+enum class ResetPolicy {
+  kZero,      ///< reset to 0 — the paper's Corollary 2 semantics (a cut
+              ///< sender is indistinguishable from a crashed one, so the
+              ///< crash Fep bound applies)
+  kHoldLast,  ///< reuse the sender's value from the previous evaluation
+              ///< (empirical ablation; no worst-case guarantee, so
+              ///< run_boosting never certifies it). Falls back to 0
+              ///< before any history exists, and always for cut input
+              ///< clients — inputs are not processes and keep no history.
+};
+
+/// Outcome of one simulated evaluation.
+struct SimResult {
+  double output = 0.0;           ///< Fneu(X) as the output client reads it
+  double completion_time = 0.0;  ///< when the output client has heard all
+                                 ///< of layer L (critical path)
+  std::vector<double> layer_fire_times;  ///< per layer l in 1..L: when the
+                                         ///< slowest neuron of l fired
+  std::size_t resets_sent = 0;   ///< receiver->sender reset messages
+                                 ///< (Section V-B accounting); 0 unboosted
+};
+
+/// Deterministic event-level executor for one network. Holds per-neuron
+/// latencies, an active fault plan, and the last transmitted values
+/// (the kHoldLast history). Not thread-safe; one simulator per worker.
+class NetworkSimulator {
+ public:
+  /// Binds to `net` (kept by reference; must outlive the simulator).
+  NetworkSimulator(const nn::FeedForwardNetwork& net, SimConfig config);
+
+  /// Full evaluation: every neuron waits for its complete fan-in.
+  SimResult evaluate(std::span<const double> x);
+
+  /// Corollary-2 evaluation: a neuron of layer l fires after hearing the
+  /// `wait_counts[l-1]` earliest senders of layer l-1 (entry 0 counts the
+  /// input clients), resetting the stragglers per `policy`. The output
+  /// client always waits for all of layer L. Counts larger than the
+  /// fan-in are clamped to it.
+  SimResult evaluate_boosted(std::span<const double> x,
+                             std::span<const std::size_t> wait_counts,
+                             ResetPolicy policy = ResetPolicy::kZero);
+
+  /// Per-neuron latencies, shape layer_widths(). Defaults to all-zero
+  /// (instantaneous network, completion_time 0).
+  void set_latencies(std::vector<std::vector<double>> latencies);
+
+  /// Installs `plan` (validated against the network) until clear_faults().
+  void apply_faults(fault::FaultPlan plan);
+  void clear_faults();
+
+  /// Forgets the kHoldLast history (next hold-last cut reads 0).
+  void reset_history();
+
+  const nn::FeedForwardNetwork& network() const { return net_; }
+  const SimConfig& config() const { return config_; }
+
+ private:
+  SimResult run(std::span<const double> x,
+                std::span<const std::size_t> wait_counts, ResetPolicy policy);
+
+  const nn::FeedForwardNetwork& net_;
+  SimConfig config_;
+  std::vector<std::vector<double>> latencies_;  ///< per layer, per neuron
+  fault::FaultPlan plan_;
+  std::vector<std::vector<double>> history_;  ///< last transmitted values
+  bool has_history_ = false;
+};
+
+}  // namespace wnf::dist

@@ -195,6 +195,46 @@ TEST(Simulator, HoldLastPolicyReusesPreviousValue) {
   EXPECT_NEAR(held.output, net.evaluate(x, ws), 1e-12);
 }
 
+TEST(Simulator, ZeroPolicyIgnoresHistoryAfterReset) {
+  // reset_history() must leave kZero untouched and make kHoldLast fall
+  // back to reset-to-zero: with no history, both policies cut identically.
+  const auto net = sim_net();
+  NetworkSimulator sim(net, SimConfig{});
+  std::vector<std::vector<double>> latencies{
+      std::vector<double>(7, 1.0), std::vector<double>(5, 0.0)};
+  latencies[0][4] = 100.0;
+  sim.set_latencies(latencies);
+  const std::vector<std::size_t> wait{3, 6};
+  const std::vector<double> x{0.3, 0.3, 0.3};
+  sim.evaluate(x);  // primes history with the nominal activations
+  sim.reset_history();
+  const double zero = sim.evaluate_boosted(x, wait).output;
+  sim.reset_history();
+  const double held =
+      sim.evaluate_boosted(x, wait, ResetPolicy::kHoldLast).output;
+  EXPECT_DOUBLE_EQ(held, zero);
+  // And both equal the crash of the cut straggler — history played no part.
+  fault::FaultPlan crash;
+  crash.neurons = {{1, 4, fault::NeuronFaultKind::kCrash, 0.0}};
+  fault::Injector injector(net);
+  EXPECT_NEAR(zero, injector.damaged(crash, x), 1e-12);
+}
+
+TEST(Simulator, NegativeCapacityDisablesClampLikeZero) {
+  // capacity <= 0 is Lemma 1's unbounded regime; negative values must not
+  // be read as a (nonsensical) tiny channel.
+  const auto net = sim_net();
+  SimConfig config;
+  config.capacity = -1.0;
+  NetworkSimulator sim(net, config);
+  fault::FaultPlan plan;
+  plan.neurons = {{2, 1, fault::NeuronFaultKind::kByzantine, 1e12}};
+  sim.apply_faults(plan);
+  const std::vector<double> x{0.5, 0.5, 0.5};
+  nn::Workspace ws;
+  EXPECT_GT(std::fabs(sim.evaluate(x).output - net.evaluate(x, ws)), 1e6);
+}
+
 TEST(Latency, ModelsProduceSaneDraws) {
   Rng rng(5);
   for (auto kind :
@@ -227,6 +267,25 @@ TEST(Boosting, WaitCountsFromCut) {
   ASSERT_EQ(wait.size(), 2u);
   EXPECT_EQ(wait[0], 3u);      // layer 1 waits for all inputs
   EXPECT_EQ(wait[1], 5u);      // layer 2 waits for 7 - 2 senders
+}
+
+TEST(Boosting, OversizedCutClampsInsteadOfUnderflowing) {
+  const auto net = sim_net();  // widths 7, 5
+  const auto wait = wait_counts_from_cut(net, {100, 0});
+  ASSERT_EQ(wait.size(), 2u);
+  EXPECT_EQ(wait[0], 3u);  // inputs are clients; never cut
+  EXPECT_EQ(wait[1], 0u);  // cut >= N_1 clamps to "wait for nobody"
+  // Waiting for nobody reads every layer-1 sender as 0 — exactly the
+  // whole-layer crash.
+  NetworkSimulator sim(net, SimConfig{});
+  const std::vector<double> x{0.2, 0.5, 0.8};
+  fault::FaultPlan crash_all;
+  for (std::size_t j = 0; j < 7; ++j) {
+    crash_all.neurons.push_back({1, j, fault::NeuronFaultKind::kCrash, 0.0});
+  }
+  fault::Injector injector(net);
+  EXPECT_NEAR(sim.evaluate_boosted(x, wait).output,
+              injector.damaged(crash_all, x), 1e-12);
 }
 
 TEST(Boosting, ReportSpeedsUpAndStaysInBound) {
