@@ -82,14 +82,16 @@ BENCHMARK(BM_ExhaustiveCrashSearch)->Args({16, 2})->Args({16, 4})
     ->Args({24, 4});
 
 void BM_SimulatorRound(benchmark::State& state) {
-  const auto net = make_net(32, 3);
+  const auto net = make_net(static_cast<std::size_t>(state.range(0)),
+                            static_cast<std::size_t>(state.range(1)));
   dist::NetworkSimulator sim(net, dist::SimConfig{});
   std::vector<double> x(8, 0.5);
   for (auto _ : state) {
     benchmark::DoNotOptimize(sim.evaluate(x).output);
   }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
 }
-BENCHMARK(BM_SimulatorRound);
+BENCHMARK(BM_SimulatorRound)->Args({16, 2})->Args({32, 3})->Args({64, 4});
 
 void BM_Gemv(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));

@@ -1,0 +1,104 @@
+// Serving-runtime throughput: how far replica pools take the simulator
+// beyond the one-request-at-a-time baseline the repo started from. One
+// sequential simulator serves the whole workload first (the pre-serve
+// state of the codebase), then ReplicaPools of growing size serve the
+// identical workload — same seed, so every configuration computes
+// bit-identical outputs and the only thing that changes is wall time.
+//
+// Run: ./bench_serve_throughput [requests=4096] [width=128] [depth=3]
+//                               [batch=512] [max_workers=8] [seed=1]
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+#include <thread>
+
+#include "bench/common.hpp"
+#include "dist/sim.hpp"
+#include "serve/pool.hpp"
+
+int main(int argc, char** argv) {
+  using namespace wnf;
+  CliArgs args(argc, argv);
+  const auto requests = static_cast<std::size_t>(args.get_int("requests", 4096));
+  const auto width = static_cast<std::size_t>(args.get_int("width", 128));
+  const auto depth = static_cast<std::size_t>(args.get_int("depth", 3));
+  const auto batch = static_cast<std::size_t>(args.get_int("batch", 512));
+  const auto max_workers =
+      static_cast<std::size_t>(args.get_int("max_workers", 8));
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  args.reject_unknown();
+
+  bench::bench_header(
+      "serve throughput — replica pools vs the sequential simulator",
+      "replication over not-thread-safe simulators scales batched traffic "
+      "with the worker count at bit-identical outputs");
+
+  Rng rng(seed);
+  nn::NetworkBuilder builder(8);
+  builder.activation(nn::ActivationKind::kSigmoid, 1.0);
+  for (std::size_t l = 0; l < depth; ++l) builder.hidden(width);
+  const auto net = builder.init(nn::InitKind::kScaledUniform, 0.8).build(rng);
+  const auto workload = bench::probe_inputs(requests, 8, rng);
+
+  dist::LatencyModel latency{dist::LatencyKind::kHeavyTail, 1.0, 50.0, 0.2};
+  std::printf("network %zux%zu, %zu requests in batches of %zu\n\n", width,
+              depth, requests, batch);
+
+  // The pre-serve baseline: one simulator, one thread, one request at a
+  // time (per-request latencies drawn exactly as the pool draws them).
+  double baseline_seconds = 0.0;
+  double checksum = 0.0;
+  {
+    dist::NetworkSimulator sim(net, dist::SimConfig{});
+    Rng root(seed + 1);
+    const auto start = std::chrono::steady_clock::now();
+    for (const auto& x : workload) {
+      Rng request_rng = root.split();
+      sim.sample_latencies(latency, request_rng);
+      checksum += sim.evaluate(x).output;
+    }
+    baseline_seconds = std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() - start)
+                           .count();
+  }
+  std::printf("sequential baseline: %.3f s (%.0f req/s)\n\n",
+              baseline_seconds,
+              static_cast<double>(requests) / baseline_seconds);
+
+  const std::size_t hardware = std::max<std::size_t>(
+      1, std::thread::hardware_concurrency());
+  std::printf("host exposes %zu hardware thread(s); rows beyond that are "
+              "oversubscribed\n", hardware);
+  Table table({"workers", "wall s", "req/s", "speedup vs seq", "p50 t",
+               "p95 t", "p99 t", "output checksum"});
+  for (std::size_t workers = 1; workers <= max_workers; workers *= 2) {
+    serve::ServeConfig config;
+    config.replicas = workers;
+    config.queue_capacity = std::max<std::size_t>(batch, 1);
+    config.latency = latency;
+    config.seed = seed + 1;
+    serve::ReplicaPool pool(net, config);
+    double pool_checksum = 0.0;
+    for (std::size_t at = 0; at < requests; at += batch) {
+      const std::size_t take = std::min(batch, requests - at);
+      pool.submit_batch({workload.data() + at, take});
+      for (const auto& result : pool.drain()) pool_checksum += result.output;
+    }
+    const auto report = pool.report();
+    table.add_row({std::to_string(workers), Table::num(report.wall_seconds, 4),
+                   Table::num(report.throughput_rps, 6),
+                   Table::num(baseline_seconds / report.wall_seconds, 3),
+                   Table::num(report.p50, 4), Table::num(report.p95, 4),
+                   Table::num(report.p99, 4),
+                   Table::num(pool_checksum, 12)});
+    WNF_ASSERT(std::fabs(pool_checksum - checksum) < 1e-9 &&
+               "pool outputs must reproduce the sequential baseline");
+  }
+  table.print(std::cout);
+  std::printf(
+      "\nevery row sums the same per-request outputs as the sequential\n"
+      "baseline (checksum column): replication changes wall time only.\n");
+  return 0;
+}

@@ -5,15 +5,16 @@
 
 #include "core/tolerance.hpp"
 #include "util/contract.hpp"
+#include "util/thread_pool.hpp"
 
 namespace wnf::dist {
 
 std::vector<std::size_t> wait_counts_from_cut(
     const nn::FeedForwardNetwork& net, const std::vector<std::size_t>& cut) {
   WNF_EXPECTS(cut.size() == net.layer_count());
-  std::vector<std::size_t> wait(net.layer_count());
+  std::vector<std::size_t> wait(net.layer_count() + 1);
   wait[0] = net.input_dim();
-  for (std::size_t l = 2; l <= net.layer_count(); ++l) {
+  for (std::size_t l = 2; l <= net.layer_count() + 1; ++l) {
     const std::size_t senders = net.layer_width(l - 1);
     wait[l - 1] = senders - std::min(cut[l - 2], senders);
   }
@@ -49,30 +50,85 @@ BoostingReport run_boosting(const nn::FeedForwardNetwork& net,
 
   const auto wait = wait_counts_from_cut(net, cut);
   const auto widths = net.layer_widths();
-  NetworkSimulator full_sim(net, SimConfig{});
-  NetworkSimulator boosted_sim(net, SimConfig{});
+  const std::size_t requests = workload.size();
 
+  // Per-request child streams are split off sequentially up front so every
+  // request's latency draws depend only on its index, never on which worker
+  // (or loop order) serves it.
   Rng rng(config.seed);
-  double total_full = 0.0;
-  double total_boosted = 0.0;
-  double total_error = 0.0;
-  for (const auto& x : workload) {
-    Rng request_rng = rng.split();
+  std::vector<Rng> request_rngs;
+  request_rngs.reserve(requests);
+  for (std::size_t i = 0; i < requests; ++i) {
+    request_rngs.push_back(rng.split());
+  }
+
+  std::vector<double> full_times(requests);
+  std::vector<double> boosted_times(requests);
+  std::vector<double> errors(requests);
+  const auto process = [&](NetworkSimulator& full_sim,
+                           NetworkSimulator& boosted_sim, std::size_t i) {
+    Rng request_rng = request_rngs[i];
     auto latencies = config.latency.sample_layers(widths, request_rng);
     full_sim.set_latencies(latencies);
     boosted_sim.set_latencies(std::move(latencies));
-
-    const auto full = full_sim.evaluate(x);
+    const auto full = full_sim.evaluate(workload[i]);
     const auto boosted = boosted_sim.evaluate_boosted(
-        x, {wait.data(), wait.size()}, config.policy);
-    total_full += full.completion_time;
-    total_boosted += boosted.completion_time;
-    const double error = std::fabs(full.output - boosted.output);
-    total_error += error;
-    report.max_abs_error = std::max(report.max_abs_error, error);
+        workload[i], {wait.data(), wait.size()}, config.policy);
+    full_times[i] = full.completion_time;
+    boosted_times[i] = boosted.completion_time;
+    errors[i] = std::fabs(full.output - boosted.output);
+  };
+
+  // Under kZero no request reads simulator history, so contiguous chunks
+  // with per-chunk simulator pairs reproduce the sequential outputs
+  // bit-for-bit. kHoldLast reuses each straggler's value from the previous
+  // request, an inherently sequential chain. The pool is private to this
+  // call (like serve::ReplicaPool's): wait_idle() on the shared global
+  // pool would block on unrelated users' tasks — and deadlock if a caller
+  // ever ran run_boosting from inside a global-pool task. At least four
+  // chunks even on one worker, so the chunked path runs on every host.
+  const std::size_t workers = std::max<std::size_t>(
+      1, std::thread::hardware_concurrency());
+  const std::size_t chunks =
+      config.policy == ResetPolicy::kZero
+          ? std::min(requests, std::max<std::size_t>(4, workers))
+          : std::size_t{1};
+  if (chunks > 1) {
+    ThreadPool pool(std::min(workers, chunks));
+    const std::size_t chunk_size = (requests + chunks - 1) / chunks;
+    for (std::size_t c = 0; c < chunks; ++c) {
+      const std::size_t lo = c * chunk_size;
+      const std::size_t hi = std::min(requests, lo + chunk_size);
+      if (lo >= hi) break;
+      pool.submit([&net, &process, lo, hi] {
+        NetworkSimulator full_sim(net, SimConfig{});
+        NetworkSimulator boosted_sim(net, SimConfig{});
+        for (std::size_t i = lo; i < hi; ++i) {
+          process(full_sim, boosted_sim, i);
+        }
+      });
+    }
+    pool.wait_idle();
+  } else {
+    NetworkSimulator full_sim(net, SimConfig{});
+    NetworkSimulator boosted_sim(net, SimConfig{});
+    for (std::size_t i = 0; i < requests; ++i) {
+      process(full_sim, boosted_sim, i);
+    }
   }
 
-  const auto count = static_cast<double>(workload.size());
+  // Reduce in index order: the report is identical however many workers ran.
+  double total_full = 0.0;
+  double total_boosted = 0.0;
+  double total_error = 0.0;
+  for (std::size_t i = 0; i < requests; ++i) {
+    total_full += full_times[i];
+    total_boosted += boosted_times[i];
+    total_error += errors[i];
+    report.max_abs_error = std::max(report.max_abs_error, errors[i]);
+  }
+
+  const auto count = static_cast<double>(requests);
   report.mean_full_time = total_full / count;
   report.mean_boosted_time = total_boosted / count;
   report.mean_abs_error = total_error / count;

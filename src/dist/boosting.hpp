@@ -23,8 +23,9 @@ namespace wnf::dist {
 struct BoostingConfig {
   /// f_l per hidden layer (size L): how many of layer l's slowest senders
   /// each receiver refuses to wait for. Entries are clamped to the layer
-  /// width. The top entry f_L is counted by the bound but not executed:
-  /// the output client always waits for all of layer L.
+  /// width. The top entry f_L is executed at the output client — it hears
+  /// only the N_L - f_L earliest layer-L senders — so the bound's f_L term
+  /// is realized, not just counted.
   std::vector<std::size_t> straggler_cut;
   LatencyModel latency;  ///< per-request, per-neuron latency draws
   ResetPolicy policy = ResetPolicy::kZero;
@@ -45,11 +46,12 @@ struct BoostingReport {
                            ///< the corollary is proved for reset-to-zero.
 };
 
-/// Corollary 2's wait counts for a cut (size L, f_l per layer): a neuron
-/// of layer l waits for its full input fan-in when l = 1 (input clients
-/// cannot fail) and for N_{l-1} - f_{l-1} senders otherwise. Cuts larger
-/// than the sending layer's width clamp to it (wait count 0), never
-/// underflow.
+/// Corollary 2's wait counts for a cut (size L, f_l per layer), returned
+/// with one entry per receiver set (size L+1): a neuron of layer l waits
+/// for its full input fan-in when l = 1 (input clients cannot fail) and
+/// for N_{l-1} - f_{l-1} senders otherwise; the final entry is the output
+/// client's wait over layer L, N_L - f_L. Cuts larger than the sending
+/// layer's width clamp to it (wait count 0), never underflow.
 std::vector<std::size_t> wait_counts_from_cut(
     const nn::FeedForwardNetwork& net, const std::vector<std::size_t>& cut);
 
@@ -57,7 +59,10 @@ std::vector<std::size_t> wait_counts_from_cut(
 /// side (separate kHoldLast histories: hold-last reuses values from the
 /// previous *request*, never from the paired full run). Per-request
 /// latencies are drawn from config.latency via Rng::split, so reports are
-/// reproducible under the seed and independent of evaluation order.
+/// reproducible under the seed and independent of evaluation order —
+/// which is what lets the kZero workload loop run data-parallel over a
+/// call-private ThreadPool (kHoldLast carries history between requests
+/// and stays sequential).
 /// `certified` gates the cut with Theorem 3 in crash mode against `budget`
 /// (bias weights excluded from w_m: a bias synapse never relays a
 /// deviating signal, so the exclude-bias Fep is sound and tighter).

@@ -36,13 +36,19 @@ double LatencyModel::sample(Rng& rng) const {
 std::vector<std::vector<double>> LatencyModel::sample_layers(
     const std::vector<std::size_t>& widths, Rng& rng) const {
   std::vector<std::vector<double>> latencies;
-  latencies.reserve(widths.size());
-  for (const std::size_t width : widths) {
-    std::vector<double> layer(width);
-    for (double& latency : layer) latency = sample(rng);
-    latencies.push_back(std::move(layer));
-  }
+  sample_layers_into(widths, rng, latencies);
   return latencies;
+}
+
+void LatencyModel::sample_layers_into(const std::vector<std::size_t>& widths,
+                                      Rng& rng,
+                                      std::vector<std::vector<double>>& out)
+    const {
+  out.resize(widths.size());
+  for (std::size_t l = 0; l < widths.size(); ++l) {
+    out[l].resize(widths[l]);
+    for (double& latency : out[l]) latency = sample(rng);
+  }
 }
 
 }  // namespace wnf::dist

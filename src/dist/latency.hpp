@@ -36,6 +36,12 @@ struct LatencyModel {
   /// simulator's set_latencies expects when `widths` = layer_widths()).
   std::vector<std::vector<double>> sample_layers(
       const std::vector<std::size_t>& widths, Rng& rng) const;
+
+  /// sample_layers into a caller-owned buffer: `out` is reshaped to
+  /// `widths` and refilled, allocation-free once the shape matches (the
+  /// serving hot path). Draw order is identical to sample_layers.
+  void sample_layers_into(const std::vector<std::size_t>& widths, Rng& rng,
+                          std::vector<std::vector<double>>& out) const;
 };
 
 }  // namespace wnf::dist

@@ -19,20 +19,31 @@ double channel(double value, double capacity) {
 
 NetworkSimulator::NetworkSimulator(const nn::FeedForwardNetwork& net,
                                    SimConfig config)
-    : net_(net), config_(config) {
-  latencies_.resize(net_.layer_count());
-  for (std::size_t l = 1; l <= net_.layer_count(); ++l) {
-    latencies_[l - 1].assign(net_.layer_width(l), 0.0);
+    : net_(net), config_(config), widths_(net.layer_widths()) {
+  const std::size_t depth = net_.layer_count();
+  latencies_.resize(depth);
+  // Both history buffers carry one row per layer from the start so the
+  // end-of-run swap always exchanges fully shaped workspaces.
+  history_.resize(depth);
+  history_next_.resize(depth);
+  full_wait_.resize(depth);
+  std::size_t max_width = net_.input_dim();
+  for (std::size_t l = 1; l <= depth; ++l) {
+    latencies_[l - 1].assign(widths_[l - 1], 0.0);
+    full_wait_[l - 1] = l == 1 ? net_.input_dim() : widths_[l - 2];
+    max_width = std::max(max_width, widths_[l - 1]);
   }
+  sent_.reserve(max_width);
+  arrival_.reserve(max_width);
+  incoming_.reserve(max_width);
+  preact_.reserve(max_width);
+  value_.reserve(max_width);
+  fire_.reserve(max_width);
+  order_.reserve(max_width);
 }
 
 SimResult NetworkSimulator::evaluate(std::span<const double> x) {
-  std::vector<std::size_t> full(net_.layer_count());
-  full[0] = net_.input_dim();
-  for (std::size_t l = 2; l <= net_.layer_count(); ++l) {
-    full[l - 1] = net_.layer_width(l - 1);
-  }
-  return run(x, full, ResetPolicy::kZero);
+  return run(x, full_wait_, ResetPolicy::kZero);
 }
 
 SimResult NetworkSimulator::evaluate_boosted(
@@ -53,6 +64,10 @@ void NetworkSimulator::set_latencies(
   latencies_ = std::move(latencies);
 }
 
+void NetworkSimulator::sample_latencies(const LatencyModel& model, Rng& rng) {
+  model.sample_layers_into(widths_, rng, latencies_);
+}
+
 void NetworkSimulator::apply_faults(fault::FaultPlan plan) {
   fault::validate_plan(plan, net_);
   plan_ = std::move(plan);
@@ -61,122 +76,147 @@ void NetworkSimulator::apply_faults(fault::FaultPlan plan) {
 void NetworkSimulator::clear_faults() { plan_ = fault::FaultPlan{}; }
 
 void NetworkSimulator::reset_history() {
-  history_.clear();
+  // The rows stay allocated (they are workspace); the flag alone gates
+  // every hold-last read, so stale values are never observed.
   has_history_ = false;
+}
+
+double NetworkSimulator::cut_stragglers(std::size_t wait_count,
+                                        std::size_t receivers,
+                                        const std::vector<double>* history_row,
+                                        ResetPolicy policy, SimResult& result,
+                                        const std::vector<double>** inputs) {
+  const std::size_t fan_in = sent_.size();
+  const std::size_t wait = std::min(wait_count, fan_in);
+  double barrier = 0.0;
+  if (wait >= fan_in) {
+    for (const double t : arrival_) barrier = std::max(barrier, t);
+    *inputs = &sent_;
+    return barrier;
+  }
+  // Every receiver hears the same senders at the same times, so they share
+  // one wait set: the `wait` earliest arrivals (ties broken by sender
+  // index). Stragglers past the cut are reset.
+  order_.resize(fan_in);
+  std::iota(order_.begin(), order_.end(), 0);
+  std::stable_sort(order_.begin(), order_.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return arrival_[a] < arrival_[b];
+                   });
+  incoming_ = sent_;
+  for (std::size_t k = 0; k < wait; ++k) {
+    barrier = std::max(barrier, arrival_[order_[k]]);
+  }
+  for (std::size_t k = wait; k < fan_in; ++k) {
+    const std::size_t cut = order_[k];
+    double substitute = 0.0;  // Corollary 2: read the straggler as 0
+    if (policy == ResetPolicy::kHoldLast && has_history_ &&
+        history_row != nullptr) {
+      substitute = (*history_row)[cut];
+    }
+    incoming_[cut] = substitute;
+  }
+  // Each receiver tells each straggler to stand down.
+  result.resets_sent += (fan_in - wait) * receivers;
+  *inputs = &incoming_;
+  return barrier;
 }
 
 SimResult NetworkSimulator::run(std::span<const double> x,
                                 std::span<const std::size_t> wait_counts,
                                 ResetPolicy policy) {
   WNF_EXPECTS(x.size() == net_.input_dim());
-  WNF_EXPECTS(wait_counts.size() == net_.layer_count());
   const std::size_t depth = net_.layer_count();
+  WNF_EXPECTS(wait_counts.size() == depth || wait_counts.size() == depth + 1);
 
   SimResult result;
   result.layer_fire_times.reserve(depth);
-  std::vector<std::vector<double>> new_history(depth);
 
   // State entering each round: what every sender of the previous set
   // transmitted and when it arrived. Input clients all arrive at t = 0.
-  std::vector<double> sent(x.begin(), x.end());
-  std::vector<double> arrival(x.size(), 0.0);
+  sent_.assign(x.begin(), x.end());
+  arrival_.assign(x.size(), 0.0);
 
   for (std::size_t l = 1; l <= depth; ++l) {
     const auto& layer = net_.layer(l);
     const std::size_t width = layer.out_size();
-    const std::size_t fan_in = sent.size();
-    const std::size_t wait = std::min(wait_counts[l - 1], fan_in);
-
-    // Every receiver of layer l hears the same senders at the same times,
-    // so the layer shares one wait set: the `wait` earliest arrivals
-    // (ties broken by sender index). Stragglers past the cut are reset.
-    std::vector<double> incoming;
-    double barrier = 0.0;  // arrival of the last sender waited for
-    if (wait < fan_in) {
-      std::vector<std::size_t> order(fan_in);
-      std::iota(order.begin(), order.end(), 0);
-      std::stable_sort(order.begin(), order.end(),
-                       [&](std::size_t a, std::size_t b) {
-                         return arrival[a] < arrival[b];
-                       });
-      incoming = sent;
-      for (std::size_t k = 0; k < wait; ++k) {
-        barrier = std::max(barrier, arrival[order[k]]);
-      }
-      for (std::size_t k = wait; k < fan_in; ++k) {
-        const std::size_t cut = order[k];
-        double substitute = 0.0;  // Corollary 2: read the straggler as 0
-        if (policy == ResetPolicy::kHoldLast && has_history_ && l >= 2) {
-          substitute = history_[l - 2][cut];
-        }
-        incoming[cut] = substitute;
-      }
-      // Each of the `width` receivers tells each straggler to stand down.
-      result.resets_sent += (fan_in - wait) * width;
-    } else {
-      for (const double t : arrival) barrier = std::max(barrier, t);
-    }
-    const std::vector<double>& inputs = wait < fan_in ? incoming : sent;
+    const std::vector<double>* hist =
+        has_history_ && l >= 2 ? &history_[l - 2] : nullptr;
+    const std::vector<double>* inputs = nullptr;
+    const double barrier =
+        cut_stragglers(wait_counts[l - 1], width, hist, policy, result,
+                       &inputs);
 
     // Pre-activations via the same affine kernel as the matrix path, then
     // synapse faults exactly as Injector's pre_activation hook applies them.
-    std::vector<double> s(width);
-    layer.affine(inputs, s);
+    preact_.resize(width);
+    layer.affine(*inputs, preact_);
     for (const auto& fault : plan_.synapses) {
       if (fault.layer != l) continue;
       const double weight = layer.weights()(fault.to, fault.from);
       if (fault.kind == fault::SynapseFaultKind::kCrash) {
-        s[fault.to] -= weight * inputs[fault.from];  // edge delivers nothing
+        // edge delivers nothing
+        preact_[fault.to] -= weight * (*inputs)[fault.from];
       } else {
-        s[fault.to] += weight * fault.value;  // edge sends w * (y + value)
+        preact_[fault.to] += weight * fault.value;  // edge sends w*(y + value)
       }
     }
 
     // Fire: activation on the local clock, then neuron faults, then the
     // capacity-C channel on every transmitted value.
-    std::vector<double> value(width);
-    std::vector<double> fire(width);
+    value_.resize(width);
+    fire_.resize(width);
     for (std::size_t j = 0; j < width; ++j) {
-      value[j] = net_.activation().value(s[j]);
-      fire[j] = barrier + latencies_[l - 1][j];
+      value_[j] = net_.activation().value(preact_[j]);
+      fire_[j] = barrier + latencies_[l - 1][j];
     }
     for (const auto& fault : plan_.neurons) {
       if (fault.layer != l) continue;
       switch (fault.kind) {
         case fault::NeuronFaultKind::kCrash:
-          value[fault.neuron] = 0.0;  // Definition 2: peers read 0
-          fire[fault.neuron] = 0.0;   // a silent process delays nobody
+          value_[fault.neuron] = 0.0;  // Definition 2: peers read 0
+          fire_[fault.neuron] = 0.0;   // a silent process delays nobody
           break;
         case fault::NeuronFaultKind::kByzantine:
           // An attacker does not compute; it fires immediately. Under the
           // perturbation convention it perturbs its own (possibly already
           // damaged) value — messages carry no nominal trace.
-          value[fault.neuron] =
+          value_[fault.neuron] =
               plan_.convention ==
                       theory::CapacityConvention::kPerturbationBound
-                  ? value[fault.neuron] + fault.value
+                  ? value_[fault.neuron] + fault.value
                   : fault.value;
-          fire[fault.neuron] = 0.0;
+          fire_[fault.neuron] = 0.0;
           break;
         case fault::NeuronFaultKind::kStuckAt:
-          value[fault.neuron] = fault.value;  // frozen value, normal clock
+          value_[fault.neuron] = fault.value;  // frozen value, normal clock
           break;
       }
     }
-    for (double& v : value) v = channel(v, config_.capacity);
+    for (double& v : value_) v = channel(v, config_.capacity);
 
     double layer_fire = 0.0;
-    for (const double t : fire) layer_fire = std::max(layer_fire, t);
+    for (const double t : fire_) layer_fire = std::max(layer_fire, t);
     result.layer_fire_times.push_back(layer_fire);
 
-    new_history[l - 1] = value;
-    sent = std::move(value);
-    arrival = std::move(fire);
+    history_next_[l - 1] = value_;
+    std::swap(sent_, value_);
+    std::swap(arrival_, fire_);
   }
 
-  // The output node is a client: it waits for all of layer L and sums the
-  // (L+1)-th synapse set, which is part of the network and can fail.
-  double out = dot({sent.data(), sent.size()},
+  // The output node is a client: it waits for all of layer L — or, when a
+  // top-layer cut is active (an (L+1)-th wait count), only for the earliest
+  // senders, resetting the rest per `policy` — and sums the (L+1)-th
+  // synapse set, which is part of the network and can fail.
+  const std::size_t out_wait =
+      wait_counts.size() == depth + 1 ? wait_counts[depth] : sent_.size();
+  const std::vector<double>* out_hist =
+      has_history_ && depth >= 1 ? &history_[depth - 1] : nullptr;
+  const std::vector<double>* out_inputs = nullptr;
+  const double out_barrier =
+      cut_stragglers(out_wait, 1, out_hist, policy, result, &out_inputs);
+
+  double out = dot({out_inputs->data(), out_inputs->size()},
                    {net_.output_weights().data(),
                     net_.output_weights().size()}) +
                net_.output_bias();
@@ -184,15 +224,15 @@ SimResult NetworkSimulator::run(std::span<const double> x,
     if (fault.layer != depth + 1) continue;
     const double weight = net_.output_weights()[fault.from];
     if (fault.kind == fault::SynapseFaultKind::kCrash) {
-      out -= weight * sent[fault.from];
+      out -= weight * (*out_inputs)[fault.from];
     } else {
       out += weight * fault.value;
     }
   }
   result.output = out;
-  result.completion_time = result.layer_fire_times.back();
+  result.completion_time = out_barrier;
 
-  history_ = std::move(new_history);
+  std::swap(history_, history_next_);
   has_history_ = true;
   return result;
 }

@@ -26,6 +26,7 @@
 #include <span>
 #include <vector>
 
+#include "dist/latency.hpp"
 #include "fault/plan.hpp"
 #include "nn/network.hpp"
 
@@ -53,8 +54,9 @@ enum class ResetPolicy {
 /// Outcome of one simulated evaluation.
 struct SimResult {
   double output = 0.0;           ///< Fneu(X) as the output client reads it
-  double completion_time = 0.0;  ///< when the output client has heard all
-                                 ///< of layer L (critical path)
+  double completion_time = 0.0;  ///< when the output client has heard every
+                                 ///< layer-L sender it waits for (the full
+                                 ///< layer unless an output cut is active)
   std::vector<double> layer_fire_times;  ///< per layer l in 1..L: when the
                                          ///< slowest neuron of l fired
   std::size_t resets_sent = 0;   ///< receiver->sender reset messages
@@ -62,8 +64,10 @@ struct SimResult {
 };
 
 /// Deterministic event-level executor for one network. Holds per-neuron
-/// latencies, an active fault plan, and the last transmitted values
-/// (the kHoldLast history). Not thread-safe; one simulator per worker.
+/// latencies, an active fault plan, the last transmitted values (the
+/// kHoldLast history), and preallocated workspaces so steady-state
+/// evaluation performs no per-layer allocation. Not thread-safe; one
+/// simulator per worker (serve::ReplicaPool replicates at this boundary).
 class NetworkSimulator {
  public:
   /// Binds to `net` (kept by reference; must outlive the simulator).
@@ -74,9 +78,12 @@ class NetworkSimulator {
 
   /// Corollary-2 evaluation: a neuron of layer l fires after hearing the
   /// `wait_counts[l-1]` earliest senders of layer l-1 (entry 0 counts the
-  /// input clients), resetting the stragglers per `policy`. The output
-  /// client always waits for all of layer L. Counts larger than the
-  /// fan-in are clamped to it.
+  /// input clients), resetting the stragglers per `policy`. With L entries
+  /// the output client waits for all of layer L (the full-wait default);
+  /// an optional (L+1)-th entry extends the cut to the output synapse set —
+  /// the output client hears only that many earliest layer-L senders and
+  /// resets the rest per `policy`. Counts larger than the fan-in are
+  /// clamped to it.
   SimResult evaluate_boosted(std::span<const double> x,
                              std::span<const std::size_t> wait_counts,
                              ResetPolicy policy = ResetPolicy::kZero);
@@ -84,6 +91,11 @@ class NetworkSimulator {
   /// Per-neuron latencies, shape layer_widths(). Defaults to all-zero
   /// (instantaneous network, completion_time 0).
   void set_latencies(std::vector<std::vector<double>> latencies);
+
+  /// Redraws every per-neuron latency from `model` in place — the
+  /// allocation-free equivalent of set_latencies(model.sample_layers(..))
+  /// for serving hot paths. Draw order matches sample_layers exactly.
+  void sample_latencies(const LatencyModel& model, Rng& rng);
 
   /// Installs `plan` (validated against the network) until clear_faults().
   void apply_faults(fault::FaultPlan plan);
@@ -99,12 +111,35 @@ class NetworkSimulator {
   SimResult run(std::span<const double> x,
                 std::span<const std::size_t> wait_counts, ResetPolicy policy);
 
+  /// Shared wait set for every receiver hearing sent_/arrival_: keeps the
+  /// `wait_count` earliest senders, substitutes the stragglers per
+  /// `policy` (hold-last reads `history_row` when non-null), and charges
+  /// `receivers` reset messages per straggler. Returns the barrier time
+  /// (arrival of the last sender waited for) and points `inputs` at the
+  /// values the receivers actually read.
+  double cut_stragglers(std::size_t wait_count, std::size_t receivers,
+                        const std::vector<double>* history_row,
+                        ResetPolicy policy, SimResult& result,
+                        const std::vector<double>** inputs);
+
   const nn::FeedForwardNetwork& net_;
   SimConfig config_;
+  std::vector<std::size_t> widths_;             ///< cached layer_widths()
+  std::vector<std::size_t> full_wait_;          ///< evaluate()'s wait counts
   std::vector<std::vector<double>> latencies_;  ///< per layer, per neuron
   fault::FaultPlan plan_;
   std::vector<std::vector<double>> history_;  ///< last transmitted values
   bool has_history_ = false;
+
+  // Reused evaluation workspaces (sized once; no per-layer allocation).
+  std::vector<std::vector<double>> history_next_;
+  std::vector<double> sent_;      ///< values the previous round transmitted
+  std::vector<double> arrival_;   ///< when each of those values arrived
+  std::vector<double> incoming_;  ///< sent_ with stragglers substituted
+  std::vector<double> preact_;    ///< s^(l) under construction
+  std::vector<double> value_;     ///< y^(l) under construction
+  std::vector<double> fire_;      ///< fire times under construction
+  std::vector<std::size_t> order_;  ///< senders sorted by arrival
 };
 
 }  // namespace wnf::dist

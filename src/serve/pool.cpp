@@ -1,0 +1,137 @@
+#include "serve/pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+
+#include "util/contract.hpp"
+
+namespace wnf::serve {
+
+ReplicaPool::ReplicaPool(const nn::FeedForwardNetwork& net, ServeConfig config)
+    : net_(net),
+      config_(std::move(config)),
+      pool_(config_.replicas),
+      root_(config_.seed) {
+  WNF_EXPECTS(config_.queue_capacity > 0);
+  replicas_.reserve(pool_.size());
+  for (std::size_t r = 0; r < pool_.size(); ++r) {
+    replicas_.push_back(std::make_unique<Replica>(net_, config_.sim));
+  }
+  if (!config_.straggler_cut.empty()) {
+    WNF_EXPECTS(config_.straggler_cut.size() == net_.layer_count());
+    wait_counts_ = dist::wait_counts_from_cut(net_, config_.straggler_cut);
+  }
+  queue_.reserve(config_.queue_capacity);
+}
+
+void ReplicaPool::set_timeline(FaultTimeline timeline) {
+  timeline_ = std::move(timeline);
+  timeline_.finalize(net_);
+  // Segment indices from the old timeline mean nothing under the new one;
+  // force every replica to re-resolve on its next request.
+  for (auto& replica : replicas_) replica->segment = kNoSegment;
+}
+
+bool ReplicaPool::submit(std::vector<double> x) {
+  WNF_EXPECTS(x.size() == net_.input_dim());
+  if (queue_.size() >= config_.queue_capacity) {
+    ++rejected_;
+    return false;
+  }
+  queue_.push_back({next_id_++, std::move(x), root_.split()});
+  return true;
+}
+
+std::size_t ReplicaPool::submit_batch(
+    std::span<const std::vector<double>> batch) {
+  std::size_t accepted = 0;
+  for (const auto& x : batch) {
+    if (!submit(x)) {
+      rejected_ += batch.size() - accepted - 1;  // shed the rest of the batch
+      break;
+    }
+    ++accepted;
+  }
+  return accepted;
+}
+
+RequestResult ReplicaPool::process(Replica& replica,
+                                   const PendingRequest& request) {
+  const std::size_t segment = timeline_.segment_at(request.id);
+  if (segment != replica.segment) {
+    const auto& plan = timeline_.segment_plan(segment);
+    if (plan.empty()) {
+      replica.sim.clear_faults();
+    } else {
+      replica.sim.apply_faults(plan);
+    }
+    replica.segment = segment;
+  }
+  Rng request_rng = request.rng;
+  replica.sim.sample_latencies(config_.latency, request_rng);
+  const dist::SimResult sim_result =
+      wait_counts_.empty()
+          ? replica.sim.evaluate(request.x)
+          : replica.sim.evaluate_boosted(
+                request.x, {wait_counts_.data(), wait_counts_.size()});
+  return {request.id, sim_result.output, sim_result.completion_time,
+          sim_result.resets_sent};
+}
+
+std::vector<RequestResult> ReplicaPool::drain() {
+  const std::size_t count = queue_.size();
+  std::vector<RequestResult> results(count);
+  const auto start = std::chrono::steady_clock::now();
+
+  // Work-stealing by shared index: replicas pull the next request id as
+  // they free up, so a replica stuck behind a heavy request never idles
+  // the others. Each result lands in its own slot — no locks, and the
+  // output vector is in id order by construction.
+  std::atomic<std::size_t> next{0};
+  for (std::size_t r = 0; r < replicas_.size(); ++r) {
+    pool_.submit([this, &results, &next, count, r] {
+      Replica& replica = *replicas_[r];
+      for (std::size_t i = next.fetch_add(1); i < count;
+           i = next.fetch_add(1)) {
+        results[i] = process(replica, queue_[i]);
+      }
+    });
+  }
+  pool_.wait_idle();
+
+  wall_seconds_ +=
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  completion_times_.reserve(completion_times_.size() + count);
+  for (const auto& result : results) {
+    completion_times_.push_back(result.completion_time);
+    resets_total_ += result.resets_sent;
+  }
+  queue_.clear();
+  return results;
+}
+
+ServeReport ReplicaPool::report() const {
+  ServeReport report;
+  report.completed = completion_times_.size();
+  report.rejected = rejected_;
+  report.replicas = replicas_.size();
+  report.wall_seconds = wall_seconds_;
+  report.throughput_rps =
+      wall_seconds_ > 0.0
+          ? static_cast<double>(report.completed) / wall_seconds_
+          : 0.0;
+  report.completion = summarize(completion_times_);
+  if (!completion_times_.empty()) {
+    std::vector<double> sorted = completion_times_;
+    std::sort(sorted.begin(), sorted.end());
+    report.p50 = percentile_sorted(sorted, 0.50);
+    report.p95 = percentile_sorted(sorted, 0.95);
+    report.p99 = percentile_sorted(sorted, 0.99);
+  }
+  report.resets_sent = resets_total_;
+  return report;
+}
+
+}  // namespace wnf::serve

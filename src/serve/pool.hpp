@@ -1,0 +1,142 @@
+// Fault-aware serving runtime over the message-level simulator: the repo's
+// step from "replay one request on one thread" to the ROADMAP's
+// heavy-traffic deployment. A NetworkSimulator is documented not
+// thread-safe, so the scaling unit is the *replica*: one simulator per
+// worker thread, each with its own preallocated workspaces, fed from a
+// bounded request queue by wnf::ThreadPool.
+//
+// Determinism contract: every accepted request gets a child Rng split off
+// the pool's root stream at submission, and its fault state comes from the
+// FaultTimeline by request id. A request's result is therefore a pure
+// function of (seed, id, input, timeline) — bit-identical whatever the
+// replica count or scheduling, which is what makes a parallel serving run
+// auditable against a sequential one. Cut stragglers always reset to zero
+// (the Corollary-2 semantics the certificate covers); hold-last would make
+// results depend on which replica served the previous request.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "dist/boosting.hpp"
+#include "dist/latency.hpp"
+#include "dist/sim.hpp"
+#include "serve/timeline.hpp"
+#include "util/stats.hpp"
+#include "util/thread_pool.hpp"
+
+namespace wnf::serve {
+
+/// Shape of one serving deployment.
+struct ServeConfig {
+  std::size_t replicas = 1;  ///< worker threads, one simulator each
+                             ///< (0 means hardware concurrency)
+  std::size_t queue_capacity = 4096;  ///< pending requests the pool accepts
+                                      ///< before rejecting (load shedding)
+  dist::SimConfig sim;                ///< per-replica channel capacity
+  dist::LatencyModel latency;  ///< per-request, per-neuron latency draws
+  /// Optional Corollary-2 straggler cut, size L (empty = full waits).
+  /// Realized end to end, output client included, via wait_counts_from_cut.
+  std::vector<std::size_t> straggler_cut;
+  std::uint64_t seed = 0x5eed;  ///< root of the per-request Rng::split tree
+};
+
+/// One served request, reported in id order by drain().
+struct RequestResult {
+  std::uint64_t id = 0;          ///< global submission index
+  double output = 0.0;           ///< Fneu(X) under that request's faults
+  double completion_time = 0.0;  ///< simulated time until the output client
+                                 ///< has heard everything it waits for
+  std::size_t resets_sent = 0;   ///< Section V-B reset-message accounting
+};
+
+/// Aggregate view of everything the pool has served so far.
+struct ServeReport {
+  std::size_t completed = 0;     ///< requests drained
+  std::size_t rejected = 0;      ///< submissions shed by the bounded queue
+  std::size_t replicas = 0;
+  double wall_seconds = 0.0;     ///< host time spent inside drain()
+  double throughput_rps = 0.0;   ///< completed / wall_seconds
+  Summary completion;            ///< simulated completion-time moments
+  double p50 = 0.0;              ///< completion-time percentiles
+  double p95 = 0.0;
+  double p99 = 0.0;
+  std::size_t resets_sent = 0;   ///< total reset messages across requests
+};
+
+/// A pool of simulator replicas serving batched traffic. Not itself
+/// thread-safe: one driver thread submits and drains; parallelism lives
+/// inside drain(), where workers pull requests off a shared index and
+/// serve them on their own replica.
+class ReplicaPool {
+ public:
+  /// Binds to `net` (kept by reference; must outlive the pool) and spawns
+  /// the worker threads with one simulator replica each.
+  ReplicaPool(const nn::FeedForwardNetwork& net, ServeConfig config);
+
+  /// Installs a fault scenario (validated and segmented against the
+  /// network). Applies to requests by id, including ones already queued.
+  void set_timeline(FaultTimeline timeline);
+
+  /// Queues one request. Returns false (and counts a rejection) when the
+  /// queue is at capacity; the request id and Rng split are only consumed
+  /// on acceptance, so shed load never perturbs accepted results.
+  bool submit(std::vector<double> x);
+
+  /// Queues a batch in order; returns how many were accepted (a prefix —
+  /// once one is shed, the rest of the batch is too).
+  std::size_t submit_batch(std::span<const std::vector<double>> batch);
+
+  /// Serves every queued request across the replicas and returns the
+  /// results in id order. Aggregates feed report().
+  std::vector<RequestResult> drain();
+
+  /// Throughput and completion-time statistics over all drains so far.
+  ServeReport report() const;
+
+  std::size_t replica_count() const { return replicas_.size(); }
+  std::size_t pending() const { return queue_.size(); }
+  std::uint64_t next_request_id() const { return next_id_; }
+  const nn::FeedForwardNetwork& network() const { return net_; }
+
+ private:
+  /// One worker's serving state: a simulator plus the timeline segment it
+  /// currently has installed (so consecutive requests in the same segment
+  /// skip the plan re-install).
+  struct Replica {
+    explicit Replica(const nn::FeedForwardNetwork& net,
+                     const dist::SimConfig& config)
+        : sim(net, config) {}
+    dist::NetworkSimulator sim;
+    std::size_t segment = kNoSegment;
+  };
+  static constexpr std::size_t kNoSegment = ~std::size_t{0};
+
+  struct PendingRequest {
+    std::uint64_t id = 0;
+    std::vector<double> x;
+    Rng rng;  ///< child stream split off at submission
+  };
+
+  RequestResult process(Replica& replica, const PendingRequest& request);
+
+  const nn::FeedForwardNetwork& net_;
+  ServeConfig config_;
+  FaultTimeline timeline_;
+  ThreadPool pool_;
+  std::vector<std::unique_ptr<Replica>> replicas_;
+  std::vector<std::size_t> wait_counts_;  ///< size L+1; empty = full waits
+  Rng root_;
+  std::vector<PendingRequest> queue_;
+  std::uint64_t next_id_ = 0;
+
+  // Aggregates over every drain (index order, so deterministic).
+  std::vector<double> completion_times_;
+  std::size_t rejected_ = 0;
+  std::size_t resets_total_ = 0;
+  double wall_seconds_ = 0.0;
+};
+
+}  // namespace wnf::serve

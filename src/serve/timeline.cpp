@@ -1,0 +1,77 @@
+#include "serve/timeline.hpp"
+
+#include <algorithm>
+
+#include "util/contract.hpp"
+
+namespace wnf::serve {
+
+FaultTimeline::FaultTimeline() {
+  // Unfinalized empty timeline: one fault-free segment covering every id,
+  // so a pool with no scenario needs no special casing.
+  boundaries_ = {0};
+  segments_.emplace_back();
+  finalized_ = true;
+}
+
+void FaultTimeline::add(std::uint64_t start, std::uint64_t end,
+                        fault::FaultPlan plan) {
+  WNF_EXPECTS(start < end);
+  WNF_EXPECTS(!plan.empty());
+  windows_.push_back({start, end, std::move(plan)});
+  finalized_ = false;
+}
+
+void FaultTimeline::finalize(const nn::FeedForwardNetwork& net) {
+  for (const auto& window : windows_) {
+    fault::validate_plan(window.plan, net);
+    // Merged plans keep one convention; mixing would make a Byzantine
+    // value mean two different things inside one request.
+    WNF_EXPECTS(window.plan.convention == windows_.front().plan.convention);
+  }
+
+  boundaries_.assign(1, 0);
+  for (const auto& window : windows_) {
+    boundaries_.push_back(window.start);
+    if (window.end != kForever) boundaries_.push_back(window.end);
+  }
+  std::sort(boundaries_.begin(), boundaries_.end());
+  boundaries_.erase(std::unique(boundaries_.begin(), boundaries_.end()),
+                    boundaries_.end());
+
+  segments_.clear();
+  segments_.reserve(boundaries_.size());
+  for (const std::uint64_t at : boundaries_) {
+    fault::FaultPlan merged;
+    if (!windows_.empty()) merged.convention = windows_.front().plan.convention;
+    for (const auto& window : windows_) {
+      if (window.start > at || at >= window.end) continue;
+      merged.neurons.insert(merged.neurons.end(), window.plan.neurons.begin(),
+                            window.plan.neurons.end());
+      merged.synapses.insert(merged.synapses.end(),
+                             window.plan.synapses.begin(),
+                             window.plan.synapses.end());
+    }
+    // Overlapping windows must target distinct components; validate_plan
+    // rejects duplicates, so a conflicting scenario fails here, loudly,
+    // not mid-traffic.
+    if (!merged.empty()) fault::validate_plan(merged, net);
+    segments_.push_back(std::move(merged));
+  }
+  finalized_ = true;
+}
+
+std::size_t FaultTimeline::segment_at(std::uint64_t id) const {
+  WNF_EXPECTS(finalized_);
+  const auto it =
+      std::upper_bound(boundaries_.begin(), boundaries_.end(), id);
+  return static_cast<std::size_t>(it - boundaries_.begin()) - 1;
+}
+
+const fault::FaultPlan& FaultTimeline::segment_plan(
+    std::size_t segment) const {
+  WNF_EXPECTS(finalized_ && segment < segments_.size());
+  return segments_[segment];
+}
+
+}  // namespace wnf::serve

@@ -1,0 +1,76 @@
+// Timed fault scenarios for the serving runtime: faults that arrive and
+// clear *mid-traffic* rather than holding for a whole experiment. The
+// paper's FaultPlan is one static failure configuration; related work on
+// reoccurring catastrophic failures (Sardi et al.) and self-sustained
+// activity under structural damage (Roxin et al.) studies failures as
+// processes in time. A FaultTimeline expresses that scenario class over
+// the request stream: "these neurons crash at request k and recover at
+// request m, a Byzantine burst hits requests [a, b)".
+//
+// Time is measured in request ids, not wall clock, so a scenario replays
+// bit-identically whatever the worker count or machine speed: the fault
+// state of request i is a pure function of i.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "fault/plan.hpp"
+#include "nn/network.hpp"
+
+namespace wnf::serve {
+
+/// One fault window: `plan` is active for requests with start <= id < end
+/// (the fault arrives at request `start` and clears at request `end`).
+struct FaultWindow {
+  std::uint64_t start = 0;
+  std::uint64_t end = 0;
+  fault::FaultPlan plan;
+};
+
+/// An ordered set of fault windows over the request stream. Windows may
+/// overlap (their plans merge) as long as they target distinct components
+/// and share one capacity convention. After finalize(), lookups resolve to
+/// precomputed constant segments, so per-request fault resolution is a
+/// binary search plus (at segment changes only) one plan install.
+class FaultTimeline {
+ public:
+  /// A timeline with no windows: every request runs fault-free.
+  FaultTimeline();
+
+  /// Adds `plan` as active on [start, end). Pass kForever as `end` for a
+  /// fault that never clears. Requires start < end.
+  void add(std::uint64_t start, std::uint64_t end, fault::FaultPlan plan);
+
+  /// Convenience for the window that never closes.
+  static constexpr std::uint64_t kForever = ~std::uint64_t{0};
+
+  bool empty() const { return windows_.empty(); }
+  const std::vector<FaultWindow>& windows() const { return windows_; }
+
+  /// Validates every window against `net` and precomputes the constant
+  /// segments between window boundaries, checking that each merged plan is
+  /// itself valid (overlapping windows must hit distinct components).
+  /// Must be called (ReplicaPool does) before the lookups below.
+  void finalize(const nn::FeedForwardNetwork& net);
+
+  /// Index of the constant segment covering request `id`.
+  std::size_t segment_at(std::uint64_t id) const;
+
+  /// The merged plan of that segment (empty plan when no window covers it).
+  const fault::FaultPlan& segment_plan(std::size_t segment) const;
+
+  /// The merged plan active for request `id`.
+  const fault::FaultPlan& active_at(std::uint64_t id) const {
+    return segment_plan(segment_at(id));
+  }
+
+ private:
+  std::vector<FaultWindow> windows_;
+  std::vector<std::uint64_t> boundaries_;   ///< segment k covers
+                                            ///< [boundaries_[k], boundaries_[k+1])
+  std::vector<fault::FaultPlan> segments_;  ///< merged plan per segment
+  bool finalized_ = false;
+};
+
+}  // namespace wnf::serve

@@ -45,14 +45,18 @@ Summary Accumulator::summary() const {
 }
 
 double percentile(std::vector<double> xs, double p) {
-  WNF_EXPECTS(!xs.empty());
-  WNF_EXPECTS(p >= 0.0 && p <= 1.0);
   std::sort(xs.begin(), xs.end());
-  const double rank = p * static_cast<double>(xs.size() - 1);
+  return percentile_sorted(xs, p);
+}
+
+double percentile_sorted(const std::vector<double>& sorted_xs, double p) {
+  WNF_EXPECTS(!sorted_xs.empty());
+  WNF_EXPECTS(p >= 0.0 && p <= 1.0);
+  const double rank = p * static_cast<double>(sorted_xs.size() - 1);
   const std::size_t lo = static_cast<std::size_t>(rank);
-  const std::size_t hi = std::min(lo + 1, xs.size() - 1);
+  const std::size_t hi = std::min(lo + 1, sorted_xs.size() - 1);
   const double frac = rank - static_cast<double>(lo);
-  return xs[lo] * (1.0 - frac) + xs[hi] * frac;
+  return sorted_xs[lo] * (1.0 - frac) + sorted_xs[hi] * frac;
 }
 
 Summary summarize(const std::vector<double>& xs) {

@@ -46,6 +46,10 @@ class Accumulator {
 /// Requires a non-empty sample.
 double percentile(std::vector<double> xs, double p);
 
+/// percentile() over an already ascending-sorted non-empty sample — no
+/// copy, no sort. For reading several quantiles off one sorted pass.
+double percentile_sorted(const std::vector<double>& sorted_xs, double p);
+
 /// Convenience: summary of a whole vector.
 Summary summarize(const std::vector<double>& xs);
 

@@ -263,18 +263,20 @@ TEST(Latency, SampleLayersShapes) {
 
 TEST(Boosting, WaitCountsFromCut) {
   const auto net = sim_net();  // widths 7, 5
-  const auto wait = wait_counts_from_cut(net, {2, 0});
-  ASSERT_EQ(wait.size(), 2u);
+  const auto wait = wait_counts_from_cut(net, {2, 1});
+  ASSERT_EQ(wait.size(), 3u);  // one entry per receiver set, output included
   EXPECT_EQ(wait[0], 3u);      // layer 1 waits for all inputs
   EXPECT_EQ(wait[1], 5u);      // layer 2 waits for 7 - 2 senders
+  EXPECT_EQ(wait[2], 4u);      // the output client waits for 5 - 1 senders
 }
 
 TEST(Boosting, OversizedCutClampsInsteadOfUnderflowing) {
   const auto net = sim_net();  // widths 7, 5
   const auto wait = wait_counts_from_cut(net, {100, 0});
-  ASSERT_EQ(wait.size(), 2u);
+  ASSERT_EQ(wait.size(), 3u);
   EXPECT_EQ(wait[0], 3u);  // inputs are clients; never cut
   EXPECT_EQ(wait[1], 0u);  // cut >= N_1 clamps to "wait for nobody"
+  EXPECT_EQ(wait[2], 5u);  // no top-layer cut: full output wait
   // Waiting for nobody reads every layer-1 sender as 0 — exactly the
   // whole-layer crash.
   NetworkSimulator sim(net, SimConfig{});
@@ -321,6 +323,145 @@ TEST(Boosting, ZeroCutIsFreeAndExact) {
   EXPECT_DOUBLE_EQ(report.max_abs_error, 0.0);
   EXPECT_DOUBLE_EQ(report.crash_fep_bound, 0.0);
   EXPECT_TRUE(report.certified);
+}
+
+TEST(Simulator, OutputCutDropsSlowestTopLayerSender) {
+  // An (L+1)-th wait count extends the cut to the output synapse set: the
+  // output client refuses the slowest layer-L sender, which must read
+  // exactly like that neuron's crash — and stop charging its latency.
+  const auto net = sim_net();  // widths 7, 5
+  NetworkSimulator sim(net, SimConfig{});
+  std::vector<std::vector<double>> latencies{
+      std::vector<double>(7, 0.0), std::vector<double>(5, 1.0)};
+  latencies[1][1] = 100.0;
+  sim.set_latencies(latencies);
+  const std::vector<std::size_t> wait{3, 7, 4};  // full waits + output cut 1
+  const std::vector<double> x{0.4, 0.2, 0.7};
+  const auto boosted = sim.evaluate_boosted(x, wait);
+  fault::FaultPlan crash;
+  crash.neurons = {{2, 1, fault::NeuronFaultKind::kCrash, 0.0}};
+  fault::Injector injector(net);
+  EXPECT_NEAR(boosted.output, injector.damaged(crash, x), 1e-12);
+  EXPECT_DOUBLE_EQ(boosted.completion_time, 1.0);
+  // layer_fire_times still reports when the slow neuron itself fired.
+  EXPECT_DOUBLE_EQ(boosted.layer_fire_times[1], 100.0);
+}
+
+TEST(Simulator, OutputCutHoldLastReusesTopLayerHistory) {
+  const auto net = sim_net();
+  NetworkSimulator sim(net, SimConfig{});
+  std::vector<std::vector<double>> latencies{
+      std::vector<double>(7, 0.0), std::vector<double>(5, 1.0)};
+  latencies[1][3] = 100.0;
+  sim.set_latencies(latencies);
+  const std::vector<std::size_t> wait{3, 7, 4};
+  const std::vector<double> x{0.9, 0.1, 0.5};
+  sim.reset_history();
+  sim.evaluate(x);  // primes layer-L history with the nominal values
+  const auto held = sim.evaluate_boosted(x, wait, ResetPolicy::kHoldLast);
+  nn::Workspace ws;
+  EXPECT_NEAR(held.output, net.evaluate(x, ws), 1e-12);
+}
+
+TEST(Simulator, ResetsSentAccountsEveryReceiverSet) {
+  // wait {3, 5, 4} on widths (7, 5): layer 2's five receivers each cut 2
+  // of layer 1's senders, and the output client cuts 1 of layer 2's.
+  const auto net = sim_net();
+  NetworkSimulator sim(net, SimConfig{});
+  const std::vector<double> x{0.3, 0.6, 0.9};
+  EXPECT_EQ(sim.evaluate(x).resets_sent, 0u);
+  const std::vector<std::size_t> hidden_only{3, 5};
+  EXPECT_EQ(sim.evaluate_boosted(x, hidden_only).resets_sent, 2u * 5u);
+  const std::vector<std::size_t> with_output{3, 5, 4};
+  EXPECT_EQ(sim.evaluate_boosted(x, with_output).resets_sent,
+            2u * 5u + 1u * 1u);
+  // Wait counts past the fan-in clamp: nothing is cut, nothing is reset.
+  const std::vector<std::size_t> oversized{100, 100, 100};
+  EXPECT_EQ(sim.evaluate_boosted(x, oversized).resets_sent, 0u);
+}
+
+TEST(Latency, HeavyTailDrawsDeterministicUnderSplit) {
+  // Equal-seeded roots yield bit-identical child streams — the property
+  // every per-request split seeding in boosting and serving rests on.
+  LatencyModel model{LatencyKind::kHeavyTail, 1.0, 50.0, 0.3};
+  Rng root_a(41);
+  Rng root_b(41);
+  Rng child_a1 = root_a.split();
+  Rng child_a2 = root_a.split();
+  Rng child_b1 = root_b.split();
+  Rng child_b2 = root_b.split();
+  bool siblings_differ = false;
+  for (int n = 0; n < 200; ++n) {
+    const double first = model.sample(child_a1);
+    EXPECT_DOUBLE_EQ(first, model.sample(child_b1));
+    const double second = model.sample(child_a2);
+    EXPECT_DOUBLE_EQ(second, model.sample(child_b2));
+    siblings_differ = siblings_differ || first != second;
+  }
+  EXPECT_TRUE(siblings_differ);  // distinct splits are independent streams
+}
+
+TEST(Latency, SampleLayersIntoMatchesSampleLayers) {
+  LatencyModel model{LatencyKind::kHeavyTail, 1.0, 20.0, 0.25};
+  Rng rng_a(43);
+  Rng rng_b(43);
+  const auto fresh = model.sample_layers({5, 3, 4}, rng_a);
+  std::vector<std::vector<double>> reused{{9.0, 9.0}};  // wrong shape: reshaped
+  model.sample_layers_into({5, 3, 4}, rng_b, reused);
+  ASSERT_EQ(reused.size(), fresh.size());
+  for (std::size_t l = 0; l < fresh.size(); ++l) {
+    ASSERT_EQ(reused[l].size(), fresh[l].size());
+    for (std::size_t j = 0; j < fresh[l].size(); ++j) {
+      EXPECT_DOUBLE_EQ(reused[l][j], fresh[l][j]);
+    }
+  }
+}
+
+TEST(Boosting, TopLayerCutIsExecutedNotJustCounted) {
+  // A cut of layer L's stragglers must now buy completion time (the output
+  // client stops waiting for them) while the error stays inside the bound
+  // that always counted f_L.
+  const auto net = sim_net(13);
+  Rng rng(29);
+  std::vector<std::vector<double>> workload;
+  for (int n = 0; n < 24; ++n) {
+    workload.push_back({rng.uniform(), rng.uniform(), rng.uniform()});
+  }
+  BoostingConfig config;
+  config.straggler_cut = {0, 2};  // top layer only
+  config.latency.kind = LatencyKind::kHeavyTail;
+  config.latency.base = 1.0;
+  config.latency.spread = 50.0;
+  config.latency.straggler_fraction = 0.3;
+  const auto report = run_boosting(net, workload, config, {0.9, 1e-6});
+  EXPECT_LT(report.mean_boosted_time, report.mean_full_time);
+  EXPECT_GT(report.speedup, 1.0);
+  EXPECT_LE(report.max_abs_error, report.crash_fep_bound + 1e-9);
+  EXPECT_GT(report.max_abs_error, 0.0);
+}
+
+TEST(Boosting, ParallelWorkloadLoopIsReproducible) {
+  // The kZero workload loop fans out over the global thread pool; the
+  // report must still be a pure function of the seed.
+  const auto net = sim_net(13);
+  Rng rng(17);
+  std::vector<std::vector<double>> workload;
+  for (int n = 0; n < 64; ++n) {
+    workload.push_back({rng.uniform(), rng.uniform(), rng.uniform()});
+  }
+  BoostingConfig config;
+  config.straggler_cut = {2, 1};
+  config.latency.kind = LatencyKind::kHeavyTail;
+  config.latency.base = 1.0;
+  config.latency.spread = 50.0;
+  config.latency.straggler_fraction = 0.3;
+  const theory::ErrorBudget budget{0.9, 1e-6};
+  const auto first = run_boosting(net, workload, config, budget);
+  const auto second = run_boosting(net, workload, config, budget);
+  EXPECT_DOUBLE_EQ(first.mean_full_time, second.mean_full_time);
+  EXPECT_DOUBLE_EQ(first.mean_boosted_time, second.mean_boosted_time);
+  EXPECT_DOUBLE_EQ(first.mean_abs_error, second.mean_abs_error);
+  EXPECT_DOUBLE_EQ(first.max_abs_error, second.max_abs_error);
 }
 
 }  // namespace

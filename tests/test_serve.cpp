@@ -1,0 +1,336 @@
+// Serving-runtime tests: replica-count invariance (the determinism
+// contract), fault-timeline semantics over the request stream, equivalence
+// with the sequential boosting engine, and the bounded-queue behavior.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dist/boosting.hpp"
+#include "fault/injector.hpp"
+#include "nn/builder.hpp"
+#include "serve/pool.hpp"
+#include "serve/timeline.hpp"
+
+namespace wnf::serve {
+namespace {
+
+nn::FeedForwardNetwork serve_net(std::uint64_t seed = 3) {
+  Rng rng(seed);
+  return nn::NetworkBuilder(3)
+      .activation(nn::ActivationKind::kSigmoid, 1.0)
+      .hidden(7)
+      .hidden(5)
+      .init(nn::InitKind::kUniform, 0.5)
+      .build(rng);
+}
+
+std::vector<std::vector<double>> serve_workload(std::size_t count,
+                                                std::uint64_t seed = 7) {
+  Rng rng(seed);
+  std::vector<std::vector<double>> workload(count);
+  for (auto& x : workload) {
+    x = {rng.uniform(), rng.uniform(), rng.uniform()};
+  }
+  return workload;
+}
+
+dist::LatencyModel heavy_tail() {
+  return {dist::LatencyKind::kHeavyTail, 1.0, 50.0, 0.3};
+}
+
+TEST(Timeline, SegmentsResolveWindowsByRequestId) {
+  const auto net = serve_net();
+  FaultTimeline timeline;
+  fault::FaultPlan crash;
+  crash.neurons = {{1, 2, fault::NeuronFaultKind::kCrash, 0.0}};
+  fault::FaultPlan byzantine;
+  byzantine.neurons = {{2, 1, fault::NeuronFaultKind::kByzantine, 0.7}};
+  timeline.add(5, 10, crash);
+  timeline.add(8, 12, byzantine);  // overlaps [8, 10): plans merge
+  timeline.finalize(net);
+
+  EXPECT_TRUE(timeline.active_at(0).empty());
+  EXPECT_TRUE(timeline.active_at(4).empty());
+  EXPECT_EQ(timeline.active_at(5).neurons.size(), 1u);
+  EXPECT_EQ(timeline.active_at(8).neurons.size(), 2u);
+  EXPECT_EQ(timeline.active_at(9).neurons.size(), 2u);
+  EXPECT_EQ(timeline.active_at(10).neurons.size(), 1u);
+  EXPECT_EQ(timeline.active_at(11).neurons.size(), 1u);
+  EXPECT_TRUE(timeline.active_at(12).empty());
+  EXPECT_TRUE(timeline.active_at(1000000).empty());
+  // Requests inside one window share a segment; a boundary starts a new one.
+  EXPECT_EQ(timeline.segment_at(5), timeline.segment_at(7));
+  EXPECT_NE(timeline.segment_at(7), timeline.segment_at(8));
+}
+
+TEST(Timeline, ForeverWindowNeverClears) {
+  const auto net = serve_net();
+  FaultTimeline timeline;
+  fault::FaultPlan crash;
+  crash.neurons = {{1, 0, fault::NeuronFaultKind::kCrash, 0.0}};
+  timeline.add(3, FaultTimeline::kForever, crash);
+  timeline.finalize(net);
+  EXPECT_TRUE(timeline.active_at(2).empty());
+  EXPECT_FALSE(timeline.active_at(3).empty());
+  EXPECT_FALSE(timeline.active_at(~std::uint64_t{0} - 1).empty());
+}
+
+TEST(Serve, OutputsMatchSequentialSimulator) {
+  // One replica, no faults, no cut: the pool is exactly the sequential
+  // simulator with per-request split latencies.
+  const auto net = serve_net();
+  const auto workload = serve_workload(20);
+
+  ServeConfig config;
+  config.replicas = 1;
+  config.latency = heavy_tail();
+  config.seed = 77;
+  ReplicaPool pool(net, config);
+  ASSERT_EQ(pool.submit_batch(workload), workload.size());
+  const auto results = pool.drain();
+
+  dist::NetworkSimulator reference(net, dist::SimConfig{});
+  Rng root(77);
+  const auto widths = net.layer_widths();
+  for (std::size_t i = 0; i < workload.size(); ++i) {
+    Rng request_rng = root.split();
+    reference.set_latencies(
+        config.latency.sample_layers(widths, request_rng));
+    const auto expected = reference.evaluate(workload[i]);
+    EXPECT_EQ(results[i].id, i);
+    EXPECT_DOUBLE_EQ(results[i].output, expected.output);
+    EXPECT_DOUBLE_EQ(results[i].completion_time, expected.completion_time);
+  }
+}
+
+TEST(Serve, BitIdenticalAcrossWorkerCounts) {
+  // The acceptance bar: 1, 2, and 8 replicas produce bit-identical
+  // results for a fixed seed — under an active fault timeline and a
+  // Corollary-2 cut, while requests land on arbitrary workers.
+  const auto net = serve_net(13);
+  const auto workload = serve_workload(40, 21);
+
+  FaultTimeline timeline;
+  fault::FaultPlan crash;
+  crash.neurons = {{1, 3, fault::NeuronFaultKind::kCrash, 0.0},
+                   {1, 5, fault::NeuronFaultKind::kCrash, 0.0}};
+  fault::FaultPlan byzantine;
+  byzantine.neurons = {{2, 0, fault::NeuronFaultKind::kByzantine, 0.6}};
+  timeline.add(10, 25, crash);
+  timeline.add(30, 34, byzantine);
+
+  std::vector<std::vector<RequestResult>> runs;
+  for (const std::size_t replicas : {1u, 2u, 8u}) {
+    ServeConfig config;
+    config.replicas = replicas;
+    config.latency = heavy_tail();
+    config.straggler_cut = {2, 1};
+    config.seed = 99;
+    ReplicaPool pool(net, config);
+    pool.set_timeline(timeline);
+    ASSERT_EQ(pool.submit_batch(workload), workload.size());
+    runs.push_back(pool.drain());
+    EXPECT_EQ(pool.replica_count(), replicas);
+  }
+  for (std::size_t r = 1; r < runs.size(); ++r) {
+    ASSERT_EQ(runs[r].size(), runs[0].size());
+    for (std::size_t i = 0; i < runs[0].size(); ++i) {
+      EXPECT_EQ(runs[r][i].id, runs[0][i].id);
+      EXPECT_DOUBLE_EQ(runs[r][i].output, runs[0][i].output);
+      EXPECT_DOUBLE_EQ(runs[r][i].completion_time,
+                       runs[0][i].completion_time);
+      EXPECT_EQ(runs[r][i].resets_sent, runs[0][i].resets_sent);
+    }
+  }
+}
+
+TEST(Serve, TimelineAppliesAndClearsFaultsMidTraffic) {
+  // Crash window [5, 10), Byzantine burst [8, 12): each request's output
+  // must match the Injector under exactly the faults active at its id.
+  // Transmitted-value convention so simulator and Injector agree
+  // bit-for-bit even where the windows overlap.
+  const auto net = serve_net();
+  const std::vector<double> x{0.4, 0.7, 0.2};
+
+  fault::FaultPlan crash;
+  crash.convention = theory::CapacityConvention::kTransmittedValueBound;
+  crash.neurons = {{1, 2, fault::NeuronFaultKind::kCrash, 0.0}};
+  fault::FaultPlan byzantine;
+  byzantine.convention = theory::CapacityConvention::kTransmittedValueBound;
+  byzantine.neurons = {{2, 1, fault::NeuronFaultKind::kByzantine, 0.7}};
+  FaultTimeline timeline;
+  timeline.add(5, 10, crash);
+  timeline.add(8, 12, byzantine);
+
+  ServeConfig config;
+  config.replicas = 2;
+  ReplicaPool pool(net, config);
+  pool.set_timeline(timeline);
+  for (int n = 0; n < 15; ++n) ASSERT_TRUE(pool.submit(x));
+  const auto results = pool.drain();
+
+  fault::Injector injector(net);
+  fault::FaultPlan both;
+  both.convention = theory::CapacityConvention::kTransmittedValueBound;
+  both.neurons = {crash.neurons[0], byzantine.neurons[0]};
+  const double nominal = net.evaluate(x);
+  for (const auto& result : results) {
+    const std::uint64_t id = result.id;
+    double expected = nominal;
+    if (id >= 5 && id < 8) expected = injector.damaged(crash, x);
+    if (id >= 8 && id < 10) expected = injector.damaged(both, x);
+    if (id >= 10 && id < 12) expected = injector.damaged(byzantine, x);
+    EXPECT_NEAR(result.output, expected, 1e-12) << "request " << id;
+  }
+}
+
+TEST(Serve, EquivalenceWithSequentialRunBoosting) {
+  // The serving pool under a cut is run_boosting's boosted lane: same
+  // split tree, same latency draws, same wait counts — so outputs match
+  // the sequential engine and the pool's mean completion time reproduces
+  // the BoostingReport.
+  const auto net = serve_net(13);
+  const auto workload = serve_workload(24, 33);
+  const std::vector<std::size_t> cut{2, 1};
+  const std::uint64_t seed = 4242;
+
+  ServeConfig config;
+  config.replicas = 4;
+  config.latency = heavy_tail();
+  config.straggler_cut = cut;
+  config.seed = seed;
+  ReplicaPool pool(net, config);
+  ASSERT_EQ(pool.submit_batch(workload), workload.size());
+  const auto results = pool.drain();
+
+  dist::NetworkSimulator boosted(net, dist::SimConfig{});
+  const auto wait = dist::wait_counts_from_cut(net, cut);
+  const auto widths = net.layer_widths();
+  Rng root(seed);
+  double total_completion = 0.0;
+  for (std::size_t i = 0; i < workload.size(); ++i) {
+    Rng request_rng = root.split();
+    boosted.set_latencies(
+        config.latency.sample_layers(widths, request_rng));
+    const auto expected =
+        boosted.evaluate_boosted(workload[i], {wait.data(), wait.size()});
+    EXPECT_DOUBLE_EQ(results[i].output, expected.output);
+    EXPECT_DOUBLE_EQ(results[i].completion_time, expected.completion_time);
+    total_completion += results[i].completion_time;
+  }
+
+  dist::BoostingConfig boost;
+  boost.straggler_cut = cut;
+  boost.latency = config.latency;
+  boost.seed = seed;
+  const auto report =
+      dist::run_boosting(net, workload, boost, {0.9, 1e-6});
+  EXPECT_NEAR(pool.report().completion.mean,
+              total_completion / static_cast<double>(workload.size()), 1e-12);
+  EXPECT_NEAR(pool.report().completion.mean, report.mean_boosted_time, 1e-12);
+}
+
+TEST(Serve, BoundedQueueShedsLoadWithoutPerturbingAcceptedRequests) {
+  const auto net = serve_net();
+  const auto workload = serve_workload(12);
+
+  ServeConfig config;
+  config.replicas = 2;
+  config.queue_capacity = 8;
+  config.latency = heavy_tail();
+  config.seed = 5;
+  ReplicaPool pool(net, config);
+  EXPECT_EQ(pool.submit_batch(workload), 8u);
+  EXPECT_EQ(pool.pending(), 8u);
+  EXPECT_EQ(pool.report().rejected, 4u);
+  const auto first = pool.drain();
+  ASSERT_EQ(first.size(), 8u);
+  EXPECT_EQ(pool.pending(), 0u);
+
+  // The queue frees up; ids keep counting from where acceptance stopped.
+  EXPECT_TRUE(pool.submit(workload[8]));
+  const auto second = pool.drain();
+  ASSERT_EQ(second.size(), 1u);
+  EXPECT_EQ(second[0].id, 8u);
+
+  // Shed load never consumed a split: an unbounded pool serving the same
+  // first 9 requests produces bit-identical outputs.
+  ServeConfig roomy = config;
+  roomy.queue_capacity = 4096;
+  ReplicaPool reference(net, roomy);
+  std::vector<std::vector<double>> first_nine(workload.begin(),
+                                              workload.begin() + 9);
+  ASSERT_EQ(reference.submit_batch(first_nine), 9u);
+  const auto expected = reference.drain();
+  for (std::size_t i = 0; i < 8; ++i) {
+    EXPECT_DOUBLE_EQ(first[i].output, expected[i].output);
+  }
+  EXPECT_DOUBLE_EQ(second[0].output, expected[8].output);
+}
+
+TEST(Serve, ResultsIndependentOfBatching) {
+  const auto net = serve_net();
+  const auto workload = serve_workload(9, 55);
+
+  ServeConfig config;
+  config.replicas = 3;
+  config.latency = heavy_tail();
+  config.seed = 11;
+
+  ReplicaPool whole(net, config);
+  ASSERT_EQ(whole.submit_batch(workload), 9u);
+  const auto all = whole.drain();
+
+  ReplicaPool pieces(net, config);
+  std::vector<RequestResult> stitched;
+  std::size_t at = 0;
+  for (const std::size_t batch : {4u, 2u, 3u}) {
+    std::vector<std::vector<double>> slice(
+        workload.begin() + static_cast<std::ptrdiff_t>(at),
+        workload.begin() + static_cast<std::ptrdiff_t>(at + batch));
+    ASSERT_EQ(pieces.submit_batch(slice), batch);
+    const auto drained = pieces.drain();
+    stitched.insert(stitched.end(), drained.begin(), drained.end());
+    at += batch;
+  }
+  ASSERT_EQ(stitched.size(), all.size());
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    EXPECT_EQ(stitched[i].id, all[i].id);
+    EXPECT_DOUBLE_EQ(stitched[i].output, all[i].output);
+    EXPECT_DOUBLE_EQ(stitched[i].completion_time, all[i].completion_time);
+  }
+}
+
+TEST(Serve, ReportAggregatesThroughputPercentilesAndResets) {
+  const auto net = serve_net();
+  const auto workload = serve_workload(50, 61);
+
+  ServeConfig config;
+  config.replicas = 4;
+  config.latency = heavy_tail();
+  config.straggler_cut = {2, 1};
+  config.seed = 31;
+  ReplicaPool pool(net, config);
+  ASSERT_EQ(pool.submit_batch(workload), workload.size());
+  const auto results = pool.drain();
+  const auto report = pool.report();
+
+  EXPECT_EQ(report.completed, workload.size());
+  EXPECT_EQ(report.rejected, 0u);
+  EXPECT_EQ(report.replicas, 4u);
+  EXPECT_GT(report.wall_seconds, 0.0);
+  EXPECT_GT(report.throughput_rps, 0.0);
+  EXPECT_EQ(report.completion.count, workload.size());
+  EXPECT_LE(report.completion.min, report.p50);
+  EXPECT_LE(report.p50, report.p95);
+  EXPECT_LE(report.p95, report.p99);
+  EXPECT_LE(report.p99, report.completion.max);
+  // Every request cut (7-5) senders at 5 receivers plus 1 at the output.
+  std::size_t resets = 0;
+  for (const auto& result : results) resets += result.resets_sent;
+  EXPECT_EQ(report.resets_sent, resets);
+  EXPECT_EQ(resets, workload.size() * (2u * 5u + 1u));
+}
+
+}  // namespace
+}  // namespace wnf::serve
