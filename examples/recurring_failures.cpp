@@ -1,0 +1,141 @@
+// Recurring catastrophic failures as a timeline-driven campaign — the
+// scenario class the related work studies (Sardi et al.'s reoccurring
+// failures, Roxin et al.'s progressive structural damage) expressed
+// through the unified execution layer: one serve::FaultTimeline consumed
+// by fault::run_timeline_campaign, replayed identically on the
+// message-level simulator backend and the multi-worker serving backend.
+//
+// The scenario: crashes recur in periodic bursts, then the damage turns
+// progressive — each phase kills one more top-layer neuron than the last.
+// Per-phase worst errors are compared against the crash Fep of that
+// phase's fault counts, and the two backends must agree bit-for-bit.
+//
+// Run: ./recurring_failures [trials=120] [probes=8] [replicas=4] [seed=11]
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+
+#include "core/fep.hpp"
+#include "exec/serve_backend.hpp"
+#include "exec/simulator_backend.hpp"
+#include "fault/campaign.hpp"
+#include "nn/builder.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace wnf;
+  CliArgs args(argc, argv);
+  const auto trials = std::max<std::size_t>(
+      60, static_cast<std::size_t>(args.get_int("trials", 120)));
+  const auto probes = static_cast<std::size_t>(args.get_int("probes", 8));
+  const auto replicas = static_cast<std::size_t>(args.get_int("replicas", 4));
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 11));
+  args.reject_unknown();
+
+  print_banner(std::cout, "recurring failures as a timeline campaign");
+
+  Rng rng(seed);
+  const auto net = nn::NetworkBuilder(2)
+                       .activation(nn::ActivationKind::kSigmoid, 1.0)
+                       .hidden(16)
+                       .hidden(12)
+                       .init(nn::InitKind::kScaledUniform, 0.8)
+                       .build(rng);
+
+  // Phase 1 — reoccurring bursts: the same two layer-1 neurons crash for
+  // `burst` trials out of every `period`, three times in a row.
+  serve::FaultTimeline timeline;
+  fault::FaultPlan burst_plan;
+  burst_plan.neurons = {{1, 2, fault::NeuronFaultKind::kCrash, 0.0},
+                        {1, 9, fault::NeuronFaultKind::kCrash, 0.0}};
+  const std::uint64_t period = trials / 10;
+  const std::uint64_t burst = period / 2;
+  for (std::uint64_t k = 0; k < 3; ++k) {
+    timeline.add(k * period, k * period + burst, burst_plan);
+  }
+
+  // Phase 2 — progressive damage: from trial `damage_start` on, one more
+  // top-layer neuron is dead in each successive window, and the last
+  // window never clears.
+  const std::uint64_t damage_start = 4 * period;
+  const std::uint64_t damage_step = 2 * period;
+  for (std::uint64_t stage = 0; stage < 3; ++stage) {
+    fault::FaultPlan cumulative;
+    for (std::uint64_t dead = 0; dead <= stage; ++dead) {
+      cumulative.neurons.push_back(
+          {2, dead, fault::NeuronFaultKind::kCrash, 0.0});
+    }
+    const std::uint64_t start = damage_start + stage * damage_step;
+    const std::uint64_t end = stage == 2 ? serve::FaultTimeline::kForever
+                                         : start + damage_step;
+    timeline.add(start, end, cumulative);
+  }
+
+  fault::TimelineCampaignConfig config;
+  config.trials = trials;
+  config.probes_per_trial = probes;
+  config.seed = seed + 1;
+
+  // The same scenario on both systems paths.
+  exec::SimulatorBackend simulator(net);
+  exec::ServeBackendOptions serve_options;
+  serve_options.replicas = replicas;
+  exec::ServeBackend serve(net, serve_options);
+  const auto on_simulator =
+      fault::run_timeline_campaign(net, timeline, config, simulator);
+  const auto on_serve =
+      fault::run_timeline_campaign(net, timeline, config, serve);
+  for (std::size_t t = 0; t < trials; ++t) {
+    WNF_ASSERT(on_simulator.per_trial_error[t] == on_serve.per_trial_error[t] &&
+               "simulator and serve backends must replay the scenario "
+               "identically");
+  }
+
+  theory::FepOptions options;
+  options.mode = theory::FailureMode::kCrash;
+  const auto prof = theory::profile(net, options);
+  const auto phase_worst = [&](std::uint64_t start, std::uint64_t end) {
+    double worst = 0.0;
+    for (std::uint64_t t = start; t < std::min<std::uint64_t>(end, trials);
+         ++t) {
+      worst = std::max(worst, on_simulator.per_trial_error[t]);
+    }
+    return worst;
+  };
+  const auto crash_fep = [&](std::vector<std::size_t> counts) {
+    return theory::forward_error_propagation(prof, counts, options);
+  };
+
+  Table table({"phase", "trials", "worst |error|", "crash Fep", "inside"});
+  const auto add_phase = [&](const char* name, std::uint64_t start,
+                             std::uint64_t end,
+                             std::vector<std::size_t> counts) {
+    const double worst = phase_worst(start, end);
+    const double bound = crash_fep(std::move(counts));
+    table.add_row({name,
+                   std::to_string(std::min<std::uint64_t>(end, trials) - start),
+                   Table::sci(worst, 3), Table::sci(bound, 3),
+                   worst <= bound + 1e-9 ? "yes" : "NO"});
+  };
+  add_phase("burst 1 (f = {2,0})", 0, burst, {2, 0});
+  add_phase("between bursts", burst, period, {0, 0});
+  add_phase("burst 3", 2 * period, 2 * period + burst, {2, 0});
+  add_phase("calm before damage", 3 * period, damage_start, {0, 0});
+  add_phase("damage stage 1 (f = {0,1})", damage_start,
+            damage_start + damage_step, {0, 1});
+  add_phase("damage stage 2 (f = {0,2})", damage_start + damage_step,
+            damage_start + 2 * damage_step, {0, 2});
+  add_phase("damage stage 3+ (f = {0,3})", damage_start + 2 * damage_step,
+            trials, {0, 3});
+  table.print(std::cout);
+
+  std::printf(
+      "\n%zu of %zu trials ran under an active fault window; every phase's\n"
+      "worst observed error sits inside the crash Fep of that phase's fault\n"
+      "counts, and the serving pool (%zu workers) reproduced the simulator\n"
+      "trial-for-trial, bit-for-bit.\n",
+      on_simulator.faulty_trials, trials, replicas);
+  return 0;
+}

@@ -1,0 +1,97 @@
+// Execution backends: one interface over every way this repository can run
+// a fault scenario. The paper lives in the gap between the analytic path
+// (fault::Injector + Fep bounds) and the systems path (dist::NetworkSimulator
+// messages, serve::ReplicaPool traffic); an EvalBackend is the seam that lets
+// a campaign, a bench, or a cross-check drive any of them interchangeably —
+// and the extension point a future multi-process transport backend plugs
+// into. A backend binds one network, installs/clears a fault::FaultPlan,
+// evaluates probe inputs under it, and reports completion metadata where the
+// path has a clock (the Injector does not).
+#pragma once
+
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "fault/plan.hpp"
+#include "nn/network.hpp"
+
+namespace wnf::exec {
+
+/// One probe evaluation under the installed plan. Backends without a
+/// simulated clock (the Injector) report zero completion metadata.
+struct ProbeResult {
+  double output = 0.0;           ///< Fneu(X) under the installed faults
+  double completion_time = 0.0;  ///< simulated time to the output client
+  std::size_t resets_sent = 0;   ///< Section V-B reset-message accounting
+};
+
+/// One campaign trial: a fault configuration plus the probe inputs to
+/// evaluate under it. An empty plan is a fault-free trial.
+struct Trial {
+  fault::FaultPlan plan;
+  std::vector<std::vector<double>> probes;
+};
+
+/// Outcome of one trial: the damaged evaluation of every probe, plus the
+/// trial's worst absolute output error against the fault-free forward pass.
+struct TrialResult {
+  std::vector<ProbeResult> probes;  ///< per-probe, in input order
+  double worst_error = 0.0;         ///< max_i |nominal(x_i) - probes[i].output|
+};
+
+/// Interface over one fault-execution path, bound to one network (kept by
+/// reference; it must outlive the backend). Backends are stateful and not
+/// thread-safe from the caller's side: one driver thread installs plans and
+/// evaluates probes. Parallelism lives *inside* run_trials, where each
+/// implementation fans trials out its own way (per-worker evaluators for the
+/// Injector and simulator, replica traffic for the serving pool) while
+/// keeping results bit-identical to the sequential default.
+class EvalBackend {
+ public:
+  virtual ~EvalBackend() = default;
+
+  /// Short stable identifier ("injector", "simulator", "serve") for reports.
+  virtual std::string_view name() const = 0;
+
+  /// The network this backend is bound to.
+  virtual const nn::FeedForwardNetwork& network() const = 0;
+
+  /// Installs `plan` until the next install/clear. An empty plan clears.
+  virtual void install(const fault::FaultPlan& plan) = 0;
+
+  /// Removes the installed plan (subsequent probes run fault-free).
+  virtual void clear() = 0;
+
+  /// Evaluates one probe under the installed plan.
+  virtual ProbeResult evaluate(std::span<const double> x) = 0;
+
+  /// Fault-free reference output for `x` — the matrix forward pass every
+  /// path is pinned against (the simulator's clean evaluation is
+  /// bit-identical to it; see tests/test_dist.cpp).
+  double nominal(std::span<const double> x) const {
+    return network().evaluate(x);
+  }
+
+  /// max over `probes` of |nominal - damaged| for `plan`. Installs the plan,
+  /// scores, and clears — the scoring primitive adversary searches use.
+  double worst_output_error(const fault::FaultPlan& plan,
+                            std::span<const std::vector<double>> probes);
+
+  /// Runs every trial: installs its plan, evaluates its probes, computes the
+  /// worst error. The base implementation drives install/evaluate
+  /// sequentially; overrides parallelize, and must be deterministic in trial
+  /// order whatever the worker count or scheduling. Overrides may organize
+  /// their latency randomness differently from the serial evaluate path
+  /// (e.g. per-trial child streams instead of a per-probe split stream), so
+  /// the two paths are only guaranteed to coincide where results are
+  /// latency-independent — no straggler cut, or outputs compared only.
+  virtual std::vector<TrialResult> run_trials(std::span<const Trial> trials);
+};
+
+/// Shared summarisation: fills `result.worst_error` from `result.probes`
+/// against the fault-free outputs of `trial.probes`.
+void finish_trial(const nn::FeedForwardNetwork& net, const Trial& trial,
+                  TrialResult& result);
+
+}  // namespace wnf::exec

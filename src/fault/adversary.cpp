@@ -5,7 +5,7 @@
 #include <limits>
 #include <numeric>
 
-#include "fault/injector.hpp"
+#include "exec/injector_backend.hpp"
 #include "nn/gradients.hpp"
 #include "util/contract.hpp"
 
@@ -179,13 +179,13 @@ std::size_t combination_count(std::size_t n, std::size_t f) {
 FaultPlan exhaustive_worst_crash_plan(
     const nn::FeedForwardNetwork& net, std::size_t layer, std::size_t f,
     std::span<const std::vector<double>> probe_inputs, double& worst_error,
-    std::size_t combination_limit) {
+    exec::EvalBackend& backend, std::size_t combination_limit) {
   WNF_EXPECTS(layer >= 1 && layer <= net.layer_count());
+  WNF_EXPECTS(&backend.network() == &net);
   const std::size_t width = net.layer_width(layer);
   WNF_EXPECTS(f <= width);
   WNF_EXPECTS(combination_count(width, f) <= combination_limit);
 
-  Injector injector(net);
   FaultPlan best_plan;
   worst_error = -1.0;
 
@@ -209,7 +209,7 @@ FaultPlan exhaustive_worst_crash_plan(
     for (std::size_t victim : victims) {
       plan.neurons.push_back({layer, victim, NeuronFaultKind::kCrash, 0.0});
     }
-    const double error = injector.worst_output_error(plan, probe_inputs);
+    const double error = backend.worst_output_error(plan, probe_inputs);
     if (error > worst_error) {
       worst_error = error;
       best_plan = plan;
@@ -218,11 +218,20 @@ FaultPlan exhaustive_worst_crash_plan(
   return best_plan;
 }
 
+FaultPlan exhaustive_worst_crash_plan(
+    const nn::FeedForwardNetwork& net, std::size_t layer, std::size_t f,
+    std::span<const std::vector<double>> probe_inputs, double& worst_error,
+    std::size_t combination_limit) {
+  exec::InjectorBackend backend(net);
+  return exhaustive_worst_crash_plan(net, layer, f, probe_inputs, worst_error,
+                                     backend, combination_limit);
+}
+
 FaultPlan greedy_worst_crash_plan(
     const nn::FeedForwardNetwork& net, std::span<const std::size_t> counts,
-    std::span<const std::vector<double>> probes) {
+    std::span<const std::vector<double>> probes, exec::EvalBackend& backend) {
   WNF_EXPECTS(counts.size() == net.layer_count());
-  Injector injector(net);
+  WNF_EXPECTS(&backend.network() == &net);
   FaultPlan plan;
   for (std::size_t l = 1; l <= net.layer_count(); ++l) {
     const std::size_t width = net.layer_width(l);
@@ -235,7 +244,7 @@ FaultPlan greedy_worst_crash_plan(
         if (killed[candidate]) continue;
         plan.neurons.push_back(
             {l, candidate, NeuronFaultKind::kCrash, 0.0});
-        const double error = injector.worst_output_error(plan, probes);
+        const double error = backend.worst_output_error(plan, probes);
         plan.neurons.pop_back();
         if (error > best_error) {
           best_error = error;
@@ -248,6 +257,13 @@ FaultPlan greedy_worst_crash_plan(
     }
   }
   return plan;
+}
+
+FaultPlan greedy_worst_crash_plan(
+    const nn::FeedForwardNetwork& net, std::span<const std::size_t> counts,
+    std::span<const std::vector<double>> probes) {
+  exec::InjectorBackend backend(net);
+  return greedy_worst_crash_plan(net, counts, probes, backend);
 }
 
 }  // namespace wnf::fault

@@ -11,6 +11,10 @@
 #include "fault/plan.hpp"
 #include "util/rng.hpp"
 
+namespace wnf::exec {
+class EvalBackend;  // the execution seam search strategies score against
+}  // namespace wnf::exec
+
 namespace wnf::fault {
 
 /// Uniformly random distinct crash victims per layer. `counts[l-1]` = f_l.
@@ -59,14 +63,30 @@ FaultPlan random_synapse_byzantine_plan(const nn::FeedForwardNetwork& net,
 /// achieving the largest output error and writes that error to
 /// `worst_error`. Aborts if C(N_l, f) exceeds `combination_limit` — the
 /// "discouraging combinatorial explosion" of the paper's introduction.
+/// Candidate subsets are scored on `backend` (which must be bound to
+/// `net`), so the search runs against any execution path, not just the
+/// hooked forward pass.
+FaultPlan exhaustive_worst_crash_plan(
+    const nn::FeedForwardNetwork& net, std::size_t layer, std::size_t f,
+    std::span<const std::vector<double>> probe_inputs, double& worst_error,
+    exec::EvalBackend& backend, std::size_t combination_limit = 2'000'000);
+
+/// Convenience overload scoring on the analytic path (an InjectorBackend).
 FaultPlan exhaustive_worst_crash_plan(
     const nn::FeedForwardNetwork& net, std::size_t layer, std::size_t f,
     std::span<const std::vector<double>> probe_inputs, double& worst_error,
     std::size_t combination_limit = 2'000'000);
 
 /// Greedy worst-case crash search: kills, one at a time, the neuron whose
-/// crash currently increases the worst-case error most (over the probes).
-/// Cost O(total_faults * N * probes) instead of combinatorial.
+/// crash currently increases the worst-case error most (over the probes,
+/// scored on `backend`). Cost O(total_faults * N * probes) instead of
+/// combinatorial.
+FaultPlan greedy_worst_crash_plan(const nn::FeedForwardNetwork& net,
+                                  std::span<const std::size_t> counts,
+                                  std::span<const std::vector<double>> probes,
+                                  exec::EvalBackend& backend);
+
+/// Convenience overload scoring on the analytic path (an InjectorBackend).
 FaultPlan greedy_worst_crash_plan(const nn::FeedForwardNetwork& net,
                                   std::span<const std::size_t> counts,
                                   std::span<const std::vector<double>> probes);

@@ -1,0 +1,434 @@
+// Execution-backend tests: the EvalBackend seam over the analytic path
+// (Injector), the message-level simulator, and the serving pool. Pins the
+// acceptance bar of the backend refactor: every AttackKind runs on every
+// backend, Injector↔Simulator are bit-equal at campaign scale under the
+// transmitted-value convention, serve-backend campaigns are bit-identical
+// across worker counts, and timeline-driven campaigns apply faults
+// mid-trial-stream.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "exec/injector_backend.hpp"
+#include "exec/serve_backend.hpp"
+#include "exec/simulator_backend.hpp"
+#include "fault/campaign.hpp"
+#include "fault/injector.hpp"
+#include "nn/builder.hpp"
+
+namespace wnf::exec {
+namespace {
+
+nn::FeedForwardNetwork exec_net(std::uint64_t seed = 5) {
+  Rng rng(seed);
+  return nn::NetworkBuilder(2)
+      .activation(nn::ActivationKind::kSigmoid, 1.0)
+      .hidden(6)
+      .hidden(5)
+      .init(nn::InitKind::kUniform, 0.6)
+      .build(rng);
+}
+
+const std::vector<fault::AttackKind>& all_attacks() {
+  static const std::vector<fault::AttackKind> attacks{
+      fault::AttackKind::kRandomCrash,
+      fault::AttackKind::kTopWeightCrash,
+      fault::AttackKind::kGreedyCrash,
+      fault::AttackKind::kRandomByzantine,
+      fault::AttackKind::kGradientByzantine,
+      fault::AttackKind::kRandomSynapseByzantine};
+  return attacks;
+}
+
+std::vector<std::size_t> counts_for(const nn::FeedForwardNetwork& net,
+                                    fault::AttackKind kind) {
+  std::vector<std::size_t> counts(net.layer_count(), 1);
+  if (kind == fault::AttackKind::kRandomSynapseByzantine) counts.push_back(1);
+  return counts;
+}
+
+theory::FepOptions options_for(fault::AttackKind kind) {
+  theory::FepOptions options;
+  options.capacity = 1.0;
+  const bool crash = kind == fault::AttackKind::kRandomCrash ||
+                     kind == fault::AttackKind::kTopWeightCrash ||
+                     kind == fault::AttackKind::kGreedyCrash;
+  options.mode =
+      crash ? theory::FailureMode::kCrash : theory::FailureMode::kByzantine;
+  return options;
+}
+
+TEST(ExecBackend, SerialInterfaceAgreesWithInjectorSemantics) {
+  // install/evaluate/clear on each backend must reproduce Injector::damaged
+  // for a transmitted-value plan (the convention all three paths share).
+  const auto net = exec_net();
+  const std::vector<double> x{0.3, 0.8};
+  fault::FaultPlan plan;
+  plan.convention = theory::CapacityConvention::kTransmittedValueBound;
+  plan.neurons = {{1, 2, fault::NeuronFaultKind::kCrash, 0.0},
+                  {2, 1, fault::NeuronFaultKind::kByzantine, 0.9}};
+  fault::Injector injector(net);
+  const double expected = injector.damaged(plan, x);
+  const double nominal = injector.nominal(x);
+
+  InjectorBackend on_injector(net);
+  SimulatorBackend on_simulator(net);
+  ServeBackend on_serve(net);
+  for (EvalBackend* backend :
+       std::vector<EvalBackend*>{&on_injector, &on_simulator, &on_serve}) {
+    backend->install(plan);
+    EXPECT_DOUBLE_EQ(backend->evaluate(x).output, expected)
+        << backend->name();
+    backend->clear();
+    EXPECT_DOUBLE_EQ(backend->evaluate(x).output, nominal)
+        << backend->name();
+    EXPECT_DOUBLE_EQ(backend->nominal(x), nominal) << backend->name();
+    EXPECT_EQ(&backend->network(), &net);
+  }
+}
+
+TEST(ExecBackend, ParallelRunTrialsMatchesSequentialDefault) {
+  // With latency-independent options (no cut, instantaneous network) the
+  // overridden run_trials implementations must return bit-identical outputs
+  // to the base-class sequential reference; see run_trials' docs for why
+  // latency-dependent metadata may be organized differently.
+  const auto net = exec_net(7);
+  Rng rng(11);
+  std::vector<Trial> trials(3);
+  for (std::size_t t = 0; t < trials.size(); ++t) {
+    for (int n = 0; n < 4; ++n) {
+      trials[t].probes.push_back({rng.uniform(), rng.uniform()});
+    }
+    trials[t].plan.convention =
+        theory::CapacityConvention::kTransmittedValueBound;
+    trials[t].plan.neurons = {
+        {1, t, fault::NeuronFaultKind::kCrash, 0.0},
+        {2, t, fault::NeuronFaultKind::kByzantine, 0.5}};
+  }
+  trials[1].plan = fault::FaultPlan{};  // a fault-free trial mid-stream
+
+  InjectorBackend injector_backend(net);
+  SimulatorBackend simulator_backend(net);
+  ServeBackendOptions serve_options;
+  serve_options.replicas = 2;
+  ServeBackend serve_backend(net, serve_options);
+  for (EvalBackend* backend : std::vector<EvalBackend*>{
+           &injector_backend, &simulator_backend, &serve_backend}) {
+    const auto parallel = backend->run_trials(trials);
+    const auto sequential = backend->EvalBackend::run_trials(trials);
+    ASSERT_EQ(parallel.size(), sequential.size()) << backend->name();
+    for (std::size_t t = 0; t < parallel.size(); ++t) {
+      EXPECT_DOUBLE_EQ(parallel[t].worst_error, sequential[t].worst_error)
+          << backend->name();
+      ASSERT_EQ(parallel[t].probes.size(), sequential[t].probes.size());
+      for (std::size_t i = 0; i < parallel[t].probes.size(); ++i) {
+        EXPECT_DOUBLE_EQ(parallel[t].probes[i].output,
+                         sequential[t].probes[i].output)
+            << backend->name();
+      }
+    }
+  }
+}
+
+TEST(Campaign, EveryAttackRunsOnEveryBackend) {
+  const auto net = exec_net(13);
+  InjectorBackend injector_backend(net);
+  SimulatorBackend simulator_backend(net);
+  ServeBackendOptions serve_options;
+  serve_options.replicas = 2;
+  ServeBackend serve_backend(net, serve_options);
+
+  for (const fault::AttackKind kind : all_attacks()) {
+    fault::CampaignConfig config;
+    config.attack = kind;
+    config.trials = 6;
+    config.probes_per_trial = 4;
+    config.seed = 17;
+    const auto counts = counts_for(net, kind);
+    const auto options = options_for(kind);
+    for (EvalBackend* backend : std::vector<EvalBackend*>{
+             &injector_backend, &simulator_backend, &serve_backend}) {
+      const auto result =
+          fault::run_campaign(net, counts, config, options, *backend);
+      EXPECT_EQ(result.per_trial_worst.count, config.trials)
+          << backend->name() << " attack " << static_cast<int>(kind);
+      EXPECT_GE(result.observed_max, 0.0);
+      EXPECT_TRUE(std::isfinite(result.observed_max));
+      EXPECT_GT(result.fep_bound, 0.0);
+    }
+    // The analytic path realizes the worst-case model the bound covers.
+    const auto analytic =
+        fault::run_campaign(net, counts, config, options, injector_backend);
+    EXPECT_LE(analytic.observed_max, analytic.fep_bound + 1e-9);
+  }
+}
+
+TEST(Campaign, CrossCheckPinsInjectorSimulatorBitEquivalence) {
+  // The acceptance bar: under the transmitted-value convention the analytic
+  // and message-level paths agree bit-for-bit for every attack, at campaign
+  // scale (not just on hand-written plans).
+  const auto net = exec_net(19);
+  InjectorBackend injector_backend(net);
+  SimulatorBackend simulator_backend(net);
+  for (const fault::AttackKind kind : all_attacks()) {
+    fault::CampaignConfig config;
+    config.attack = kind;
+    config.trials = 25;
+    config.probes_per_trial = 6;
+    config.seed = 23;
+    config.convention = theory::CapacityConvention::kTransmittedValueBound;
+    theory::FepOptions options = options_for(kind);
+    options.convention = config.convention;
+    const auto check = fault::cross_check_campaign(
+        net, counts_for(net, kind), config, options, injector_backend,
+        simulator_backend);
+    EXPECT_EQ(check.max_divergence, 0.0)
+        << "attack " << static_cast<int>(kind);
+    EXPECT_DOUBLE_EQ(check.first.observed_max, check.second.observed_max);
+    EXPECT_DOUBLE_EQ(check.first.per_trial_worst.mean,
+                     check.second.per_trial_worst.mean);
+  }
+}
+
+TEST(Campaign, CrossCheckSimulatorServeBitEquivalence) {
+  // With instantaneous latencies and no cut, the serving pool is the
+  // simulator replicated — outputs must agree exactly on the same trials.
+  const auto net = exec_net(19);
+  SimulatorBackend simulator_backend(net);
+  ServeBackendOptions serve_options;
+  serve_options.replicas = 3;
+  ServeBackend serve_backend(net, serve_options);
+  for (const fault::AttackKind kind : all_attacks()) {
+    fault::CampaignConfig config;
+    config.attack = kind;
+    config.trials = 12;
+    config.probes_per_trial = 4;
+    config.seed = 29;
+    config.convention = theory::CapacityConvention::kTransmittedValueBound;
+    const auto check = fault::cross_check_campaign(
+        net, counts_for(net, kind), config, options_for(kind),
+        simulator_backend, serve_backend);
+    EXPECT_EQ(check.max_divergence, 0.0)
+        << "attack " << static_cast<int>(kind);
+  }
+}
+
+TEST(Campaign, PerturbationConventionDivergesOnDeepByzantineNeurons) {
+  // The documented divergence (src/dist/sim.hpp): under the perturbation
+  // convention a simulator Byzantine neuron perturbs its locally computed
+  // value — which already carries upstream damage — while the Injector
+  // perturbs the offline nominal trace. With a victim in each layer the
+  // paths must disagree; cross-checks therefore require the
+  // transmitted-value convention.
+  const auto net = exec_net(31);
+  InjectorBackend injector_backend(net);
+  SimulatorBackend simulator_backend(net);
+  fault::CampaignConfig config;
+  config.attack = fault::AttackKind::kGradientByzantine;
+  config.trials = 8;
+  config.probes_per_trial = 4;
+  config.seed = 37;
+  config.convention = theory::CapacityConvention::kPerturbationBound;
+  const auto check = fault::cross_check_campaign(
+      net, counts_for(net, config.attack), config, options_for(config.attack),
+      injector_backend, simulator_backend);
+  EXPECT_GT(check.max_divergence, 0.0);
+}
+
+TEST(Campaign, ServeBackendBitIdenticalAcrossWorkerCounts) {
+  // The acceptance bar: serve-backend campaign results are bit-identical
+  // for 1, 2, and 8 workers — under per-request heavy-tail latencies and a
+  // Corollary-2 straggler cut, so scheduling genuinely varies.
+  const auto net = exec_net(41);
+  fault::CampaignConfig config;
+  config.attack = fault::AttackKind::kRandomByzantine;
+  config.trials = 12;
+  config.probes_per_trial = 5;
+  config.seed = 43;
+  config.convention = theory::CapacityConvention::kTransmittedValueBound;
+  const auto counts = counts_for(net, config.attack);
+  const auto trials = fault::make_campaign_trials(net, counts, config);
+
+  std::vector<std::vector<TrialResult>> runs;
+  std::vector<fault::CampaignResult> campaigns;
+  for (const std::size_t replicas : {1u, 2u, 8u}) {
+    ServeBackendOptions options;
+    options.replicas = replicas;
+    options.latency = {dist::LatencyKind::kHeavyTail, 1.0, 50.0, 0.3};
+    options.straggler_cut = {2, 1};
+    options.seed = 99;
+    ServeBackend backend(net, options);
+    runs.push_back(backend.run_trials(trials));
+    campaigns.push_back(fault::run_campaign(net, counts, config,
+                                            options_for(config.attack),
+                                            backend));
+  }
+  for (std::size_t r = 1; r < runs.size(); ++r) {
+    ASSERT_EQ(runs[r].size(), runs[0].size());
+    for (std::size_t t = 0; t < runs[0].size(); ++t) {
+      EXPECT_DOUBLE_EQ(runs[r][t].worst_error, runs[0][t].worst_error);
+      ASSERT_EQ(runs[r][t].probes.size(), runs[0][t].probes.size());
+      for (std::size_t i = 0; i < runs[0][t].probes.size(); ++i) {
+        EXPECT_DOUBLE_EQ(runs[r][t].probes[i].output,
+                         runs[0][t].probes[i].output);
+        EXPECT_DOUBLE_EQ(runs[r][t].probes[i].completion_time,
+                         runs[0][t].probes[i].completion_time);
+        EXPECT_EQ(runs[r][t].probes[i].resets_sent,
+                  runs[0][t].probes[i].resets_sent);
+      }
+    }
+    EXPECT_DOUBLE_EQ(campaigns[r].observed_max, campaigns[0].observed_max);
+    EXPECT_DOUBLE_EQ(campaigns[r].per_trial_worst.mean,
+                     campaigns[0].per_trial_worst.mean);
+    EXPECT_DOUBLE_EQ(campaigns[r].per_trial_worst.stddev,
+                     campaigns[0].per_trial_worst.stddev);
+  }
+}
+
+TEST(Campaign, BackendOverloadReproducesLegacyInjectorCampaign) {
+  // The 4-argument run_campaign is now a thin wrapper over InjectorBackend;
+  // both spellings must agree bit-for-bit.
+  const auto net = exec_net(47);
+  fault::CampaignConfig config;
+  config.attack = fault::AttackKind::kRandomCrash;
+  config.trials = 10;
+  config.seed = 53;
+  theory::FepOptions options;
+  options.mode = theory::FailureMode::kCrash;
+  const std::vector<std::size_t> counts{2, 1};
+  const auto legacy = fault::run_campaign(net, counts, config, options);
+  InjectorBackend backend(net);
+  const auto explicit_backend =
+      fault::run_campaign(net, counts, config, options, backend);
+  EXPECT_DOUBLE_EQ(legacy.observed_max, explicit_backend.observed_max);
+  EXPECT_DOUBLE_EQ(legacy.per_trial_worst.mean,
+                   explicit_backend.per_trial_worst.mean);
+  EXPECT_DOUBLE_EQ(legacy.fep_bound, explicit_backend.fep_bound);
+}
+
+TEST(TimelineCampaign, FaultsArriveAndClearMidTrialStream) {
+  // Crash window [5, 10): trials outside run clean, trials inside realize
+  // exactly the Injector's error for the merged plan on the same probes.
+  const auto net = exec_net(59);
+  fault::FaultPlan crash;
+  crash.neurons = {{2, 0, fault::NeuronFaultKind::kCrash, 0.0},
+                   {2, 3, fault::NeuronFaultKind::kCrash, 0.0}};
+  serve::FaultTimeline timeline;
+  timeline.add(5, 10, crash);
+
+  fault::TimelineCampaignConfig config;
+  config.trials = 14;
+  config.probes_per_trial = 3;
+  config.seed = 61;
+  SimulatorBackend backend(net);
+  const auto result =
+      fault::run_timeline_campaign(net, timeline, config, backend);
+
+  ASSERT_EQ(result.per_trial_error.size(), config.trials);
+  EXPECT_EQ(result.faulty_trials, 5u);
+  EXPECT_EQ(result.per_trial_worst.count, config.trials);
+
+  // Reconstruct each trial's probes from the same split tree the campaign
+  // uses and score the plan on the Injector as the reference.
+  Rng seeder(config.seed);
+  fault::Injector injector(net);
+  for (std::size_t t = 0; t < config.trials; ++t) {
+    Rng rng = seeder.split();
+    std::vector<std::vector<double>> probes(config.probes_per_trial);
+    for (auto& probe : probes) {
+      probe = {rng.uniform(), rng.uniform()};
+    }
+    if (t >= 5 && t < 10) {
+      EXPECT_GT(result.per_trial_error[t], 0.0) << "trial " << t;
+      EXPECT_DOUBLE_EQ(
+          result.per_trial_error[t],
+          injector.worst_output_error(crash, {probes.data(), probes.size()}))
+          << "trial " << t;
+    } else {
+      EXPECT_DOUBLE_EQ(result.per_trial_error[t], 0.0) << "trial " << t;
+    }
+  }
+}
+
+TEST(TimelineCampaign, SimulatorAndServeBackendsAgree) {
+  // The same timeline scenario runs on the simulator and the multi-worker
+  // serving pool with identical per-trial errors — the "every attack
+  // scenario on every path" claim for timeline-driven campaigns.
+  const auto net = exec_net(67);
+  fault::FaultPlan crash;
+  crash.convention = theory::CapacityConvention::kTransmittedValueBound;
+  crash.neurons = {{1, 1, fault::NeuronFaultKind::kCrash, 0.0}};
+  fault::FaultPlan byzantine;
+  byzantine.convention = theory::CapacityConvention::kTransmittedValueBound;
+  byzantine.neurons = {{2, 2, fault::NeuronFaultKind::kByzantine, 0.8}};
+  serve::FaultTimeline timeline;
+  timeline.add(3, 9, crash);
+  timeline.add(6, serve::FaultTimeline::kForever, byzantine);
+
+  fault::TimelineCampaignConfig config;
+  config.trials = 12;
+  config.probes_per_trial = 4;
+  config.seed = 71;
+
+  SimulatorBackend simulator_backend(net);
+  ServeBackendOptions serve_options;
+  serve_options.replicas = 4;
+  ServeBackend serve_backend(net, serve_options);
+  const auto on_simulator =
+      fault::run_timeline_campaign(net, timeline, config, simulator_backend);
+  const auto on_serve =
+      fault::run_timeline_campaign(net, timeline, config, serve_backend);
+
+  ASSERT_EQ(on_simulator.per_trial_error.size(),
+            on_serve.per_trial_error.size());
+  for (std::size_t t = 0; t < on_simulator.per_trial_error.size(); ++t) {
+    EXPECT_DOUBLE_EQ(on_simulator.per_trial_error[t],
+                     on_serve.per_trial_error[t])
+        << "trial " << t;
+  }
+  EXPECT_EQ(on_simulator.faulty_trials, on_serve.faulty_trials);
+  EXPECT_EQ(on_simulator.faulty_trials, 9u);  // [3,9) plus [6, forever)
+  EXPECT_DOUBLE_EQ(on_simulator.observed_max, on_serve.observed_max);
+}
+
+TEST(Adversary, SearchesScoreOnAnyBackend) {
+  // greedy/exhaustive searches are decoupled from Injector internals: a
+  // simulator-backed scorer finds the same victims as the analytic one.
+  const auto net = exec_net(73);
+  Rng rng(79);
+  std::vector<std::vector<double>> probes;
+  for (int n = 0; n < 6; ++n) probes.push_back({rng.uniform(), rng.uniform()});
+  const std::vector<std::size_t> counts{0, 2};
+
+  InjectorBackend injector_backend(net);
+  SimulatorBackend simulator_backend(net);
+  const auto greedy_analytic = fault::greedy_worst_crash_plan(
+      net, counts, {probes.data(), probes.size()}, injector_backend);
+  const auto greedy_simulated = fault::greedy_worst_crash_plan(
+      net, counts, {probes.data(), probes.size()}, simulator_backend);
+  ASSERT_EQ(greedy_analytic.neurons.size(), greedy_simulated.neurons.size());
+  for (std::size_t i = 0; i < greedy_analytic.neurons.size(); ++i) {
+    EXPECT_EQ(greedy_analytic.neurons[i].neuron,
+              greedy_simulated.neurons[i].neuron);
+  }
+
+  double worst_analytic = 0.0;
+  double worst_simulated = 0.0;
+  const auto exhaustive_analytic = fault::exhaustive_worst_crash_plan(
+      net, 2, 2, {probes.data(), probes.size()}, worst_analytic,
+      injector_backend);
+  const auto exhaustive_simulated = fault::exhaustive_worst_crash_plan(
+      net, 2, 2, {probes.data(), probes.size()}, worst_simulated,
+      simulator_backend);
+  EXPECT_DOUBLE_EQ(worst_analytic, worst_simulated);
+  ASSERT_EQ(exhaustive_analytic.neurons.size(),
+            exhaustive_simulated.neurons.size());
+  for (std::size_t i = 0; i < exhaustive_analytic.neurons.size(); ++i) {
+    EXPECT_EQ(exhaustive_analytic.neurons[i].neuron,
+              exhaustive_simulated.neurons[i].neuron);
+  }
+}
+
+}  // namespace
+}  // namespace wnf::exec

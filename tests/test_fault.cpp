@@ -318,6 +318,20 @@ TEST(Campaign, DeterministicUnderSeed) {
   EXPECT_DOUBLE_EQ(a.per_trial_worst.mean, b.per_trial_worst.mean);
 }
 
+TEST(Campaign, TightnessIsNaNWhenBoundIsNotPositive) {
+  // A zero bound means "not computed / not comparable", which must be
+  // distinguishable from a genuinely slack campaign: tightness() reports
+  // NaN instead of silently returning 0.0.
+  CampaignResult result;
+  result.observed_max = 0.25;
+  result.fep_bound = 0.0;
+  EXPECT_TRUE(std::isnan(result.tightness()));
+  result.fep_bound = -1.0;
+  EXPECT_TRUE(std::isnan(result.tightness()));
+  result.fep_bound = 0.5;
+  EXPECT_DOUBLE_EQ(result.tightness(), 0.5);
+}
+
 TEST(Campaign, SynapseAttackUsesSynapseBound) {
   const auto net = small_net(43);
   CampaignConfig config;

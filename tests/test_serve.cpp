@@ -75,6 +75,65 @@ TEST(Timeline, ForeverWindowNeverClears) {
   EXPECT_FALSE(timeline.active_at(~std::uint64_t{0} - 1).empty());
 }
 
+TEST(Timeline, ForeverWindowCombinesWithFiniteOnes) {
+  // A kForever window plus a finite one on a distinct component: the merged
+  // plan holds exactly while both are active, and the forever fault is
+  // still present long after the finite one cleared.
+  const auto net = serve_net();
+  FaultTimeline timeline;
+  fault::FaultPlan forever_crash;
+  forever_crash.neurons = {{1, 0, fault::NeuronFaultKind::kCrash, 0.0}};
+  fault::FaultPlan burst;
+  burst.neurons = {{2, 1, fault::NeuronFaultKind::kByzantine, 0.5}};
+  timeline.add(4, FaultTimeline::kForever, forever_crash);
+  timeline.add(6, 9, burst);
+  timeline.finalize(net);
+
+  EXPECT_TRUE(timeline.active_at(3).empty());
+  EXPECT_EQ(timeline.active_at(4).neurons.size(), 1u);
+  EXPECT_EQ(timeline.active_at(6).neurons.size(), 2u);
+  EXPECT_EQ(timeline.active_at(8).neurons.size(), 2u);
+  EXPECT_EQ(timeline.active_at(9).neurons.size(), 1u);
+  EXPECT_EQ(timeline.active_at(FaultTimeline::kForever - 1).neurons.size(),
+            1u);
+  EXPECT_EQ(timeline.active_at(FaultTimeline::kForever - 1).neurons[0].layer,
+            1u);
+}
+
+TEST(Timeline, AbuttingWindowsProduceDistinctSegments) {
+  // end == next start means the first fault clears exactly when the second
+  // arrives: no request sees both, and the boundary starts a new segment.
+  const auto net = serve_net();
+  FaultTimeline timeline;
+  fault::FaultPlan first;
+  first.neurons = {{1, 2, fault::NeuronFaultKind::kCrash, 0.0}};
+  fault::FaultPlan second;
+  second.neurons = {{1, 3, fault::NeuronFaultKind::kCrash, 0.0}};
+  timeline.add(2, 4, first);
+  timeline.add(4, 6, second);
+  timeline.finalize(net);
+
+  EXPECT_NE(timeline.segment_at(3), timeline.segment_at(4));
+  ASSERT_EQ(timeline.active_at(3).neurons.size(), 1u);
+  EXPECT_EQ(timeline.active_at(3).neurons[0].neuron, 2u);
+  ASSERT_EQ(timeline.active_at(4).neurons.size(), 1u);
+  EXPECT_EQ(timeline.active_at(4).neurons[0].neuron, 3u);
+  EXPECT_TRUE(timeline.active_at(6).empty());
+}
+
+TEST(TimelineDeathTest, OverlappingWindowsOnSameComponentAbort) {
+  // Overlapping windows must target distinct components; a scenario that
+  // faults the same neuron twice in one segment is a bug and must fail
+  // loudly at finalize, not mid-traffic.
+  const auto net = serve_net();
+  FaultTimeline timeline;
+  fault::FaultPlan plan;
+  plan.neurons = {{1, 2, fault::NeuronFaultKind::kCrash, 0.0}};
+  timeline.add(2, 6, plan);
+  timeline.add(4, 8, plan);  // same neuron active twice on [4, 6)
+  EXPECT_DEATH(timeline.finalize(net), "precondition");
+}
+
 TEST(Serve, OutputsMatchSequentialSimulator) {
   // One replica, no faults, no cut: the pool is exactly the sequential
   // simulator with per-request split latencies.
