@@ -10,17 +10,28 @@
 // Per-phase worst errors are compared against the crash Fep of that
 // phase's fault counts, and the two backends must agree bit-for-bit.
 //
+// backend= chooses what replays the scenario against the simulator
+// reference: serve (default, the threaded pool), transport (worker
+// processes — the recurring bursts also SIGKILL a real worker each time),
+// injector (the analytic path), or sim (a second simulator).
+//
 // Run: ./recurring_failures [trials=120] [probes=8] [replicas=4] [seed=11]
+//                           [backend=serve]
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <iostream>
+#include <memory>
+#include <thread>
 
 #include "core/fep.hpp"
+#include "exec/injector_backend.hpp"
 #include "exec/serve_backend.hpp"
 #include "exec/simulator_backend.hpp"
+#include "exec/transport_backend.hpp"
 #include "fault/campaign.hpp"
 #include "nn/builder.hpp"
+#include "transport/worker.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
 
@@ -32,9 +43,23 @@ int main(int argc, char** argv) {
   const auto probes = static_cast<std::size_t>(args.get_int("probes", 8));
   const auto replicas = static_cast<std::size_t>(args.get_int("replicas", 4));
   const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 11));
+  const std::string backend = args.get_string("backend", "serve");
   args.reject_unknown();
+  if (backend != "serve" && backend != "transport" && backend != "sim" &&
+      backend != "injector") {
+    std::fprintf(stderr,
+                 "unknown backend=%s (expected injector|sim|serve|"
+                 "transport)\n", backend.c_str());
+    return 1;
+  }
+  if (backend == "transport" && !transport::transport_available()) {
+    std::printf("transport backend unavailable on this platform (no POSIX "
+                "fork/socketpair); nothing to do.\n");
+    return 0;
+  }
 
-  print_banner(std::cout, "recurring failures as a timeline campaign");
+  print_banner(std::cout, "recurring failures as a timeline campaign [" +
+                              backend + " vs simulator]");
 
   Rng rng(seed);
   const auto net = nn::NetworkBuilder(2)
@@ -78,19 +103,41 @@ int main(int argc, char** argv) {
   config.probes_per_trial = probes;
   config.seed = seed + 1;
 
-  // The same scenario on both systems paths.
+  // The same scenario on the simulator reference and the chosen backend.
   exec::SimulatorBackend simulator(net);
-  exec::ServeBackendOptions serve_options;
-  serve_options.replicas = replicas;
-  exec::ServeBackend serve(net, serve_options);
+  std::unique_ptr<exec::EvalBackend> other;
+  if (backend == "serve") {
+    exec::ServeBackendOptions serve_options;
+    serve_options.replicas = replicas;
+    other = std::make_unique<exec::ServeBackend>(net, serve_options);
+  } else if (backend == "transport") {
+    exec::TransportBackendOptions transport_options;
+    transport_options.workers = replicas;
+    // Every recurring burst also SIGKILLs a real worker process at the
+    // burst's first request and respawns it at the recovery boundary
+    // (request ids are trial-major probe indices). replicas=0 means
+    // hardware concurrency, so resolve it before picking victims.
+    const std::size_t victims = replicas > 0
+        ? replicas
+        : std::max<std::size_t>(1, std::thread::hardware_concurrency());
+    for (std::uint64_t k = 0; k < 3; ++k) {
+      transport_options.crash_script.push_back(
+          {static_cast<std::size_t>(k % victims), k * period * probes,
+           (k * period + burst) * probes});
+    }
+    other = std::make_unique<exec::TransportBackend>(net, transport_options);
+  } else if (backend == "sim") {
+    other = std::make_unique<exec::SimulatorBackend>(net);
+  } else {
+    other = std::make_unique<exec::InjectorBackend>(net);
+  }
   const auto on_simulator =
       fault::run_timeline_campaign(net, timeline, config, simulator);
-  const auto on_serve =
-      fault::run_timeline_campaign(net, timeline, config, serve);
+  const auto on_other =
+      fault::run_timeline_campaign(net, timeline, config, *other);
   for (std::size_t t = 0; t < trials; ++t) {
-    WNF_ASSERT(on_simulator.per_trial_error[t] == on_serve.per_trial_error[t] &&
-               "simulator and serve backends must replay the scenario "
-               "identically");
+    WNF_ASSERT(on_simulator.per_trial_error[t] == on_other.per_trial_error[t] &&
+               "every backend must replay the scenario identically");
   }
 
   theory::FepOptions options;
@@ -134,8 +181,11 @@ int main(int argc, char** argv) {
   std::printf(
       "\n%zu of %zu trials ran under an active fault window; every phase's\n"
       "worst observed error sits inside the crash Fep of that phase's fault\n"
-      "counts, and the serving pool (%zu workers) reproduced the simulator\n"
-      "trial-for-trial, bit-for-bit.\n",
-      on_simulator.faulty_trials, trials, replicas);
+      "counts, and the %s backend (%zu workers) reproduced the simulator\n"
+      "trial-for-trial, bit-for-bit%s.\n",
+      on_simulator.faulty_trials, trials, backend.c_str(), replicas,
+      backend == "transport"
+          ? " — through three real SIGKILLed worker processes"
+          : "");
   return 0;
 }

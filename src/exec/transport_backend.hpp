@@ -1,0 +1,76 @@
+// The deployment-path backend: transport::WorkerHost behind the EvalBackend
+// seam. The fourth execution layer — after the analytic Injector, the
+// in-process message simulator, and the threaded serving pool — runs every
+// campaign trial in a separate worker *process* over the framed wire
+// protocol, with crash faults optionally realised as real SIGKILLed
+// workers. Because the host ships each request's split-off Rng state and
+// the timeline segment plans over the wire, results are bit-identical to
+// ServeBackend (same per-request split tree) and, where outputs are
+// latency-independent, to SimulatorBackend and the Injector — so every
+// cross-check and timeline scenario runs on real IPC unchanged.
+#pragma once
+
+#include <memory>
+
+#include "exec/backend.hpp"
+#include "transport/host.hpp"
+
+namespace wnf::exec {
+
+/// Shape of one multi-process execution path.
+struct TransportBackendOptions {
+  std::size_t workers = 1;  ///< worker processes (0 = hardware concurrency)
+  std::size_t pipeline_depth = 4;  ///< outstanding requests per worker
+  dist::SimConfig sim;             ///< per-replica channel capacity
+  dist::LatencyModel latency;  ///< per-request, per-neuron latency draws
+  /// Optional Corollary-2 straggler cut, size L (empty = full waits).
+  std::vector<std::size_t> straggler_cut;
+  std::uint64_t seed = 0x5eed;  ///< root of the per-request Rng::split tree
+  /// Worker-process deaths to execute during run_trials, timed in request
+  /// ids (trial-major probe order: trial t's probes occupy ids
+  /// [t*probes, (t+1)*probes)). Deaths move requests between processes,
+  /// never change results — the campaign's way of demonstrating that a
+  /// SIGKILLed worker's requests complete on the survivors.
+  std::vector<transport::CrashWindow> crash_script;
+};
+
+/// Wraps transport::WorkerHost for batched multi-process campaign trials.
+/// run_trials builds a fresh host per call (fresh worker processes, queue
+/// sized to the whole trial stream, request ids from 0) so results depend
+/// only on the trials and the options. The serial install/evaluate path
+/// keeps one persistent host whose request stream advances across
+/// evaluate() calls — mirroring ServeBackend's serial pool exactly.
+class TransportBackend final : public EvalBackend {
+ public:
+  /// True when this platform can run worker processes; construction
+  /// aborts otherwise.
+  static bool available();
+
+  explicit TransportBackend(const nn::FeedForwardNetwork& net,
+                            TransportBackendOptions options = {});
+
+  std::string_view name() const override { return "transport"; }
+  const nn::FeedForwardNetwork& network() const override { return net_; }
+  void install(const fault::FaultPlan& plan) override;
+  void clear() override;
+  ProbeResult evaluate(std::span<const double> x) override;
+  std::vector<TrialResult> run_trials(std::span<const Trial> trials) override;
+
+  const TransportBackendOptions& options() const { return options_; }
+
+  /// Deployment report of the last run_trials host (process-fault counters
+  /// included); empty before the first run_trials call.
+  const serve::ServeReport& last_report() const { return last_report_; }
+
+ private:
+  transport::WorkerHost& serial_host();
+
+  const nn::FeedForwardNetwork& net_;
+  TransportBackendOptions options_;
+  fault::FaultPlan plan_;
+  bool plan_dirty_ = false;
+  std::unique_ptr<transport::WorkerHost> serial_host_;  ///< lazily spawned
+  serve::ServeReport last_report_;
+};
+
+}  // namespace wnf::exec

@@ -58,12 +58,18 @@ std::string Activation::kind_name() const {
   return "?";
 }
 
-ActivationKind Activation::parse_kind(const std::string& name) {
+std::optional<ActivationKind> Activation::try_parse_kind(
+    const std::string& name) {
   if (name == "sigmoid") return ActivationKind::kSigmoid;
   if (name == "tanh01") return ActivationKind::kTanh01;
   if (name == "hard") return ActivationKind::kHardSigmoid;
-  WNF_EXPECTS(false && "unknown activation kind");
-  return ActivationKind::kSigmoid;
+  return std::nullopt;
+}
+
+ActivationKind Activation::parse_kind(const std::string& name) {
+  const auto kind = try_parse_kind(name);
+  WNF_EXPECTS(kind.has_value() && "unknown activation kind");
+  return *kind;
 }
 
 }  // namespace wnf::nn

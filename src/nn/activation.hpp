@@ -9,6 +9,7 @@
 // realises the Lipschitz bound with equality in its linear region.
 #pragma once
 
+#include <optional>
 #include <string>
 
 namespace wnf::nn {
@@ -51,6 +52,10 @@ class Activation {
 
   /// Stable identifier for serialization ("sigmoid", "tanh01", "hard").
   std::string kind_name() const;
+
+  /// Inverse of kind_name; nullopt on unknown names (for parsers fed
+  /// wire/file input that must reject, not abort).
+  static std::optional<ActivationKind> try_parse_kind(const std::string& name);
 
   /// Inverse of kind_name; aborts on unknown names.
   static ActivationKind parse_kind(const std::string& name);

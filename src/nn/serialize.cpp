@@ -48,6 +48,8 @@ std::optional<FeedForwardNetwork> load_network(std::istream& is) {
   if (!(is >> token >> kind_name >> k) || token != "activation" || k <= 0.0) {
     return std::nullopt;
   }
+  const auto kind = Activation::try_parse_kind(kind_name);
+  if (!kind) return std::nullopt;
   std::size_t input_dim = 0;
   if (!(is >> token >> input_dim) || token != "input_dim" || input_dim == 0) {
     return std::nullopt;
@@ -93,7 +95,7 @@ std::optional<FeedForwardNetwork> load_network(std::istream& is) {
   if (!(is >> token) || token != "end") return std::nullopt;
   return FeedForwardNetwork(input_dim, std::move(hidden),
                             std::move(output_weights), output_bias,
-                            Activation(Activation::parse_kind(kind_name), k));
+                            Activation(*kind, k));
 }
 
 bool save_network_file(const FeedForwardNetwork& net,

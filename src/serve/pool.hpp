@@ -23,6 +23,7 @@
 #include "dist/boosting.hpp"
 #include "dist/latency.hpp"
 #include "dist/sim.hpp"
+#include "serve/report.hpp"
 #include "serve/timeline.hpp"
 #include "util/stats.hpp"
 #include "util/thread_pool.hpp"
@@ -43,28 +44,8 @@ struct ServeConfig {
   std::uint64_t seed = 0x5eed;  ///< root of the per-request Rng::split tree
 };
 
-/// One served request, reported in id order by drain().
-struct RequestResult {
-  std::uint64_t id = 0;          ///< global submission index
-  double output = 0.0;           ///< Fneu(X) under that request's faults
-  double completion_time = 0.0;  ///< simulated time until the output client
-                                 ///< has heard everything it waits for
-  std::size_t resets_sent = 0;   ///< Section V-B reset-message accounting
-};
-
-/// Aggregate view of everything the pool has served so far.
-struct ServeReport {
-  std::size_t completed = 0;     ///< requests drained
-  std::size_t rejected = 0;      ///< submissions shed by the bounded queue
-  std::size_t replicas = 0;
-  double wall_seconds = 0.0;     ///< host time spent inside drain()
-  double throughput_rps = 0.0;   ///< completed / wall_seconds
-  Summary completion;            ///< simulated completion-time moments
-  double p50 = 0.0;              ///< completion-time percentiles
-  double p95 = 0.0;
-  double p99 = 0.0;
-  std::size_t resets_sent = 0;   ///< total reset messages across requests
-};
+// RequestResult and ServeReport live in serve/report.hpp, shared with the
+// multi-process transport::WorkerHost.
 
 /// A pool of simulator replicas serving batched traffic. Not itself
 /// thread-safe: one driver thread submits and drains; parallelism lives

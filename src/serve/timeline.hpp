@@ -57,6 +57,10 @@ class FaultTimeline {
   /// Index of the constant segment covering request `id`.
   std::size_t segment_at(std::uint64_t id) const;
 
+  /// Number of precomputed constant segments (transport hosts broadcast
+  /// them all to workers up front, then address them by index).
+  std::size_t segment_count() const { return segments_.size(); }
+
   /// The merged plan of that segment (empty plan when no window covers it).
   const fault::FaultPlan& segment_plan(std::size_t segment) const;
 

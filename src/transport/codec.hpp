@@ -1,0 +1,154 @@
+// Framed binary wire protocol for the multi-process deployment backend.
+//
+// Every message between a WorkerHost and a Worker process is one frame:
+//
+//   u32 magic      "WNF1" (0x574E4631)      | fixed 20-byte header,
+//   u16 version    protocol version (= 1)   | little-endian on the wire
+//   u16 type       MessageType              | whatever the host CPU is
+//   u32 size       payload bytes that follow
+//   u64 checksum   FNV-1a 64 over the payload
+//   ...payload...
+//
+// Payloads are explicit little-endian primitives (doubles as IEEE-754 bit
+// patterns), so a frame is a byte-exact artifact: the same network, plan,
+// or probe encodes to the same bytes on every platform, and the worker's
+// reconstruction is bit-identical to the host's original — the property
+// the TransportBackend↔SimulatorBackend cross-checks rest on. Network
+// weights ride the `nn::serialize` v1 text format (17 significant digits
+// round-trips every double exactly).
+//
+// Decoding is defensive end to end: a frame with a bad magic, an unknown
+// version, a lying size, a checksum mismatch, or a truncated/overlong
+// payload is rejected as malformed, never interpreted. The host treats a
+// worker that sends malformed bytes as crashed; the worker exits on a
+// malformed host frame.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "dist/latency.hpp"
+#include "dist/sim.hpp"
+#include "fault/plan.hpp"
+
+namespace wnf::transport {
+
+inline constexpr std::uint32_t kFrameMagic = 0x574E4631u;  // "WNF1"
+inline constexpr std::uint16_t kProtocolVersion = 1;
+inline constexpr std::size_t kFrameHeaderSize = 20;
+/// Sanity cap on payload size (a lying length field must not trigger a
+/// multi-gigabyte allocation before the checksum can reject the frame).
+inline constexpr std::uint32_t kMaxPayloadSize = 1u << 28;  // 256 MiB
+
+enum class MessageType : std::uint16_t {
+  kHello = 1,     ///< worker -> host: worker index + pid, sent on startup
+  kBind = 2,      ///< host -> worker: network + simulator/latency/cut config
+  kSegments = 3,  ///< host -> worker: the timeline's per-segment fault plans
+  kRequest = 4,   ///< host -> worker: one probe evaluation
+  kResult = 5,    ///< worker -> host: the probe outcome
+  kShutdown = 6,  ///< host -> worker: exit cleanly
+};
+
+/// One decoded frame: the type plus its raw payload bytes.
+struct Frame {
+  MessageType type = MessageType::kShutdown;
+  std::vector<std::uint8_t> payload;
+};
+
+/// worker -> host greeting: lets the host verify protocol agreement and
+/// that the peer is the worker it spawned.
+struct HelloMsg {
+  std::uint32_t worker_index = 0;
+  std::uint32_t pid = 0;
+};
+
+/// host -> worker: everything a fresh worker process needs to become a
+/// simulator replica. Sent once after spawn (and again after a respawn).
+struct BindMsg {
+  std::string network_text;  ///< nn::save_network v1 text
+  dist::SimConfig sim;
+  dist::LatencyModel latency;
+  /// Precomputed Corollary-2 wait counts, size L+1 (empty = full waits) —
+  /// the host ships the counts, not the cut, so host and worker cannot
+  /// disagree on the cut-to-counts mapping.
+  std::vector<std::uint64_t> wait_counts;
+};
+
+/// host -> worker: the finalized timeline as its constant segments. A
+/// request addresses a segment by index; the worker installs a segment's
+/// plan only when consecutive requests change segments.
+struct SegmentsMsg {
+  std::vector<fault::FaultPlan> plans;
+};
+
+/// host -> worker: evaluate `x` under segment `segment` with the request's
+/// split-off RNG stream (raw xoshiro state, so the worker draws exactly
+/// the latencies the in-process ReplicaPool would have drawn).
+struct RequestMsg {
+  std::uint64_t id = 0;
+  std::uint32_t segment = 0;
+  std::array<std::uint64_t, 4> rng_state{};
+  std::vector<double> x;
+};
+
+/// worker -> host: the evaluation outcome for request `id`.
+struct ResultMsg {
+  std::uint64_t id = 0;
+  double output = 0.0;
+  double completion_time = 0.0;
+  std::uint64_t resets_sent = 0;
+};
+
+/// Outcome of trying to parse the front of a byte stream.
+enum class ParseStatus {
+  kNeedMore,   ///< not enough bytes yet for a complete frame
+  kFrame,      ///< one frame extracted and validated
+  kMalformed,  ///< the stream is corrupt; the peer cannot be trusted
+};
+
+/// Stateless encoder/decoder for the wire format. Framing (encode/
+/// try_parse) is separate from payload codecs so the host's nonblocking
+/// reader can accumulate bytes and extract frames incrementally.
+class Codec {
+ public:
+  /// Wraps `payload` in a validated frame (header + checksum + payload).
+  static std::vector<std::uint8_t> encode(MessageType type,
+                                          std::vector<std::uint8_t> payload);
+
+  /// Attempts to extract one frame from the front of `buffer`. On kFrame,
+  /// fills `frame` and erases the consumed bytes from `buffer`. On
+  /// kNeedMore, `buffer` is untouched. On kMalformed, the stream must be
+  /// abandoned (byte-stream transports cannot resynchronise).
+  static ParseStatus try_parse(std::vector<std::uint8_t>& buffer,
+                               Frame& frame);
+
+  // Payload codecs. Every decoder returns nullopt when the payload is
+  // truncated, overlong, or structurally invalid for its message type.
+  static std::vector<std::uint8_t> encode_hello(const HelloMsg& msg);
+  static std::optional<HelloMsg> decode_hello(
+      const std::vector<std::uint8_t>& payload);
+
+  static std::vector<std::uint8_t> encode_bind(const BindMsg& msg);
+  static std::optional<BindMsg> decode_bind(
+      const std::vector<std::uint8_t>& payload);
+
+  static std::vector<std::uint8_t> encode_segments(const SegmentsMsg& msg);
+  static std::optional<SegmentsMsg> decode_segments(
+      const std::vector<std::uint8_t>& payload);
+
+  static std::vector<std::uint8_t> encode_request(const RequestMsg& msg);
+  static std::optional<RequestMsg> decode_request(
+      const std::vector<std::uint8_t>& payload);
+
+  static std::vector<std::uint8_t> encode_result(const ResultMsg& msg);
+  static std::optional<ResultMsg> decode_result(
+      const std::vector<std::uint8_t>& payload);
+
+  /// FNV-1a 64 over `bytes` — the frame checksum.
+  static std::uint64_t checksum(const std::uint8_t* bytes, std::size_t size);
+};
+
+}  // namespace wnf::transport

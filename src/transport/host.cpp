@@ -1,0 +1,523 @@
+#include "transport/host.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define WNF_TRANSPORT_POSIX 1
+#include <fcntl.h>
+#include <poll.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+#endif
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <sstream>
+#include <thread>
+
+#include "dist/boosting.hpp"
+#include "nn/serialize.hpp"
+#include "transport/codec.hpp"
+#include "transport/worker.hpp"
+#include "util/contract.hpp"
+
+namespace wnf::transport {
+
+#if !defined(WNF_TRANSPORT_POSIX)
+
+// Stub that builds everywhere: construction aborts, available() says why.
+bool WorkerHost::available() { return false; }
+WorkerHost::WorkerHost(const nn::FeedForwardNetwork& net, TransportConfig)
+    : net_(net) {
+  WNF_EXPECTS(false && "transport needs POSIX fork/socketpair");
+}
+WorkerHost::~WorkerHost() = default;
+void WorkerHost::set_timeline(serve::FaultTimeline) {}
+void WorkerHost::set_crash_script(std::vector<CrashWindow>) {}
+bool WorkerHost::submit(std::vector<double>) { return false; }
+std::size_t WorkerHost::submit_batch(std::span<const std::vector<double>>) {
+  return 0;
+}
+std::vector<serve::RequestResult> WorkerHost::drain() { return {}; }
+serve::ServeReport WorkerHost::report() const { return {}; }
+std::size_t WorkerHost::alive_workers() const { return 0; }
+int WorkerHost::worker_pid(std::size_t) const { return -1; }
+
+#else
+
+namespace {
+
+constexpr int kPollTimeoutMs = 1000;
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  WNF_ASSERT(flags >= 0);
+  WNF_ASSERT(::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0);
+}
+
+/// A write to a dead worker must surface as EPIPE for the healing path,
+/// never as a process-killing SIGPIPE. Linux suppresses per send() via
+/// MSG_NOSIGNAL; platforms without it (macOS) suppress per socket here.
+void suppress_sigpipe(int fd) {
+#if defined(SO_NOSIGPIPE)
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_NOSIGPIPE, &one, sizeof(one));
+#else
+  (void)fd;
+#endif
+}
+
+/// Insert `index` into the ascending resubmission order exactly once.
+void insert_sorted(std::vector<std::size_t>& sorted, std::size_t index) {
+  const auto it = std::lower_bound(sorted.begin(), sorted.end(), index);
+  WNF_ASSERT(it == sorted.end() || *it != index);
+  sorted.insert(it, index);
+}
+
+}  // namespace
+
+bool WorkerHost::available() { return transport_available(); }
+
+WorkerHost::WorkerHost(const nn::FeedForwardNetwork& net,
+                       TransportConfig config)
+    : net_(net), config_(std::move(config)), root_(config_.seed) {
+  WNF_EXPECTS(available());
+  WNF_EXPECTS(config_.queue_capacity > 0);
+  WNF_EXPECTS(config_.pipeline_depth > 0);
+  if (config_.workers == 0) {
+    config_.workers =
+        std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  if (!config_.straggler_cut.empty()) {
+    WNF_EXPECTS(config_.straggler_cut.size() == net_.layer_count());
+    wait_counts_ = dist::wait_counts_from_cut(net_, config_.straggler_cut);
+  }
+  queue_.reserve(config_.queue_capacity);
+  workers_.resize(config_.workers);
+  for (std::size_t w = 0; w < workers_.size(); ++w) spawn(w);
+}
+
+WorkerHost::~WorkerHost() {
+  for (auto& worker : workers_) {
+    if (!worker.alive) continue;
+    // Best-effort clean shutdown; closing the socket is itself a shutdown
+    // signal (the worker exits on EOF), so a full socket buffer is fine.
+    const auto frame = Codec::encode(MessageType::kShutdown, {});
+    (void)!::send(worker.fd, frame.data(), frame.size(),
+#ifdef MSG_NOSIGNAL
+                  MSG_NOSIGNAL
+#else
+                  0
+#endif
+    );
+    ::close(worker.fd);
+    int status = 0;
+    ::waitpid(worker.pid, &status, 0);
+  }
+}
+
+void WorkerHost::spawn(std::size_t w) {
+  int fds[2];
+  WNF_ASSERT(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds) == 0);
+  const pid_t pid = ::fork();
+  WNF_ASSERT(pid >= 0);
+  if (pid == 0) {
+    // Child: keep only our worker end. Closing the siblings' host-end fds
+    // matters — a worker holding them would keep a sibling's socket open
+    // after the host closed it, masking the EOF that signals shutdown.
+    ::close(fds[0]);
+    for (const auto& other : workers_) {
+      if (other.fd >= 0) ::close(other.fd);
+    }
+    ::_exit(worker_main(fds[1], static_cast<std::uint32_t>(w)));
+  }
+  ::close(fds[1]);
+  set_nonblocking(fds[0]);
+  suppress_sigpipe(fds[0]);
+  WorkerState& worker = workers_[w];
+  worker.pid = pid;
+  worker.fd = fds[0];
+  worker.alive = true;
+  worker.hello_seen = false;
+  worker.blocked_until = 0;
+  worker.inbox.clear();
+  worker.outbox.clear();
+  WNF_ASSERT(worker.inflight.empty());
+  enqueue_bind(worker);
+  enqueue_segments(worker);
+}
+
+void WorkerHost::enqueue_bind(WorkerState& worker) {
+  BindMsg bind;
+  std::ostringstream text;
+  nn::save_network(net_, text);
+  bind.network_text = text.str();
+  bind.sim = config_.sim;
+  bind.latency = config_.latency;
+  bind.wait_counts.assign(wait_counts_.begin(), wait_counts_.end());
+  const auto frame =
+      Codec::encode(MessageType::kBind, Codec::encode_bind(bind));
+  worker.outbox.insert(worker.outbox.end(), frame.begin(), frame.end());
+}
+
+void WorkerHost::enqueue_segments(WorkerState& worker) {
+  SegmentsMsg segments;
+  segments.plans.reserve(timeline_.segment_count());
+  for (std::size_t s = 0; s < timeline_.segment_count(); ++s) {
+    segments.plans.push_back(timeline_.segment_plan(s));
+  }
+  const auto frame =
+      Codec::encode(MessageType::kSegments, Codec::encode_segments(segments));
+  worker.outbox.insert(worker.outbox.end(), frame.begin(), frame.end());
+}
+
+void WorkerHost::set_timeline(serve::FaultTimeline timeline) {
+  timeline_ = std::move(timeline);
+  timeline_.finalize(net_);
+  for (auto& worker : workers_) {
+    if (worker.alive) enqueue_segments(worker);
+  }
+}
+
+void WorkerHost::set_crash_script(std::vector<CrashWindow> script) {
+  script_.clear();
+  script_.reserve(script.size());
+  for (auto& window : script) {
+    WNF_EXPECTS(window.worker < workers_.size());
+    WNF_EXPECTS(window.start < window.end);
+    script_.push_back({window, false});
+  }
+}
+
+bool WorkerHost::submit(std::vector<double> x) {
+  WNF_EXPECTS(x.size() == net_.input_dim());
+  if (queue_.size() >= config_.queue_capacity) {
+    ++shed_;
+    return false;
+  }
+  queue_.push_back({next_id_++, std::move(x), root_.split()});
+  return true;
+}
+
+std::size_t WorkerHost::submit_batch(
+    std::span<const std::vector<double>> batch) {
+  std::size_t accepted = 0;
+  for (const auto& x : batch) {
+    if (!submit(x)) {
+      shed_ += batch.size() - accepted - 1;  // shed the rest of the batch
+      break;
+    }
+    ++accepted;
+  }
+  return accepted;
+}
+
+std::size_t WorkerHost::alive_workers() const {
+  std::size_t alive = 0;
+  for (const auto& worker : workers_) alive += worker.alive ? 1 : 0;
+  return alive;
+}
+
+int WorkerHost::worker_pid(std::size_t worker) const {
+  WNF_EXPECTS(worker < workers_.size());
+  return workers_[worker].alive ? workers_[worker].pid : -1;
+}
+
+void WorkerHost::worker_died(std::size_t w, bool expected) {
+  WorkerState& worker = workers_[w];
+  if (!worker.alive) return;
+  worker.alive = false;
+  ::close(worker.fd);
+  worker.fd = -1;
+  // The process may still be running (a protocol violation demotes a live
+  // worker); make the death real before the blocking reap.
+  ::kill(worker.pid, SIGKILL);
+  int status = 0;
+  ::waitpid(worker.pid, &status, 0);
+  worker.pid = -1;
+  worker.inbox.clear();
+  worker.outbox.clear();
+  // The dead worker's outstanding requests go back to the dispatcher; the
+  // per-request Rng state makes the re-run bit-identical wherever it lands.
+  resubmitted_ += worker.inflight.size();
+  for (const std::size_t index : worker.inflight) {
+    insert_sorted(resubmit_, index);
+  }
+  worker.inflight.clear();
+  // A spontaneous death (no scripted window) respawns immediately; a
+  // scripted kill stays down until its recovery boundary. Healing must
+  // make progress: a fleet dying repeatedly without serving a single
+  // result is a deterministic worker failure (the in-process pool would
+  // have aborted in the driver), not something respawning can fix.
+  if (!expected) {
+    ++deaths_without_progress_;
+    WNF_ASSERT(deaths_without_progress_ <= 2 * workers_.size() + 8 &&
+               "worker processes keep dying without serving any request");
+    respawn(w);
+  }
+}
+
+void WorkerHost::kill_worker(std::size_t w, std::uint64_t recover_at) {
+  WorkerState& worker = workers_[w];
+  if (worker.alive) {
+    ::kill(worker.pid, SIGKILL);
+    worker_died(w, /*expected=*/true);
+  }
+  worker.blocked_until = std::max(worker.blocked_until, recover_at);
+}
+
+void WorkerHost::respawn(std::size_t w) {
+  WNF_ASSERT(!workers_[w].alive);
+  workers_[w].blocked_until = 0;
+  spawn(w);
+  ++restarts_;
+}
+
+void WorkerHost::run_crash_script(std::uint64_t frontier_id) {
+  for (auto& entry : script_) {
+    if (entry.fired) continue;
+    if (frontier_id >= entry.window.end) {
+      entry.fired = true;  // the stream already passed this window
+      continue;
+    }
+    if (frontier_id >= entry.window.start) {
+      entry.fired = true;
+      kill_worker(entry.window.worker, entry.window.end);
+    }
+  }
+  for (std::size_t w = 0; w < workers_.size(); ++w) {
+    WorkerState& worker = workers_[w];
+    if (!worker.alive && worker.blocked_until != 0 &&
+        frontier_id >= worker.blocked_until) {
+      respawn(w);  // the recovery boundary
+    }
+  }
+}
+
+bool WorkerHost::flush_outbox(std::size_t w) {
+  WorkerState& worker = workers_[w];
+  while (worker.alive && !worker.outbox.empty()) {
+    const ssize_t n = ::send(worker.fd, worker.outbox.data(),
+                             worker.outbox.size(),
+#ifdef MSG_NOSIGNAL
+                             MSG_NOSIGNAL
+#else
+                             0
+#endif
+    );
+    if (n > 0) {
+      worker.outbox.erase(worker.outbox.begin(),
+                          worker.outbox.begin() + n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return true;
+    if (n < 0 && errno == EINTR) continue;
+    worker_died(w, /*expected=*/false);  // EPIPE/ECONNRESET: found a corpse
+    return false;
+  }
+  return worker.alive;
+}
+
+std::vector<serve::RequestResult> WorkerHost::drain() {
+  const std::size_t count = queue_.size();
+  std::vector<serve::RequestResult> results(count);
+  const auto start = std::chrono::steady_clock::now();
+  const std::uint64_t base_id = count > 0 ? queue_.front().id : next_id_;
+
+  std::size_t served = 0;
+  std::size_t next_dispatch = 0;
+  std::vector<bool> done(count, false);
+
+  // One pass = script maintenance + dispatch + poll + harvest; repeats
+  // until every request has a result, however many workers died.
+  while (served < count) {
+    const std::uint64_t frontier =
+        next_dispatch < count ? queue_[next_dispatch].id : base_id + count;
+    run_crash_script(frontier);
+
+    // The deployment must never deadlock: if every worker is dead (e.g. a
+    // one-worker host inside a crash window), revive the one whose
+    // recovery is nearest and keep serving.
+    if (alive_workers() == 0) {
+      std::size_t best = workers_.size();
+      for (std::size_t w = 0; w < workers_.size(); ++w) {
+        if (best == workers_.size() ||
+            workers_[w].blocked_until < workers_[best].blocked_until) {
+          best = w;
+        }
+      }
+      respawn(best);
+    }
+
+    // Dispatch: resubmitted requests first (they carry the oldest ids),
+    // then fresh ones, each to the least-loaded live worker with pipeline
+    // room. Assignment affects only where a request runs, never its
+    // result, so this load-balancing needs no determinism of its own.
+    while (!resubmit_.empty() || next_dispatch < count) {
+      std::size_t target = workers_.size();
+      for (std::size_t w = 0; w < workers_.size(); ++w) {
+        if (!workers_[w].alive) continue;
+        if (workers_[w].inflight.size() >= config_.pipeline_depth) continue;
+        if (target == workers_.size() ||
+            workers_[w].inflight.size() < workers_[target].inflight.size()) {
+          target = w;
+        }
+      }
+      if (target == workers_.size()) break;  // every pipeline is full
+      std::size_t index;
+      if (!resubmit_.empty()) {
+        index = resubmit_.front();
+        resubmit_.erase(resubmit_.begin());
+      } else {
+        // Fresh request: the frontier advances, so fire any script window
+        // it crosses before the request leaves the host.
+        run_crash_script(queue_[next_dispatch].id);
+        if (!workers_[target].alive) continue;  // the script killed it
+        index = next_dispatch++;
+      }
+      const PendingRequest& request = queue_[index];
+      RequestMsg msg;
+      msg.id = request.id;
+      msg.segment =
+          static_cast<std::uint32_t>(timeline_.segment_at(request.id));
+      msg.rng_state = request.rng.state();
+      msg.x = request.x;
+      const auto frame =
+          Codec::encode(MessageType::kRequest, Codec::encode_request(msg));
+      WorkerState& worker = workers_[target];
+      worker.outbox.insert(worker.outbox.end(), frame.begin(), frame.end());
+      worker.inflight.push_back(index);
+    }
+
+    for (std::size_t w = 0; w < workers_.size(); ++w) {
+      if (workers_[w].alive) flush_outbox(w);
+    }
+
+    // Poll the live workers; a death surfaces as EOF/HUP on its socket.
+    std::vector<pollfd> fds;
+    std::vector<std::size_t> owners;
+    for (std::size_t w = 0; w < workers_.size(); ++w) {
+      if (!workers_[w].alive) continue;
+      pollfd entry{};
+      entry.fd = workers_[w].fd;
+      entry.events = POLLIN;
+      if (!workers_[w].outbox.empty()) entry.events |= POLLOUT;
+      fds.push_back(entry);
+      owners.push_back(w);
+    }
+    if (fds.empty()) continue;  // loop reruns the no-worker revival path
+    const int ready = ::poll(fds.data(), fds.size(), kPollTimeoutMs);
+    if (ready < 0) {
+      WNF_ASSERT(errno == EINTR);
+      continue;
+    }
+
+    for (std::size_t i = 0; i < fds.size(); ++i) {
+      const std::size_t w = owners[i];
+      WorkerState& worker = workers_[w];
+      if (!worker.alive) continue;  // died while handling an earlier fd
+      if (fds[i].revents & POLLOUT) {
+        if (!flush_outbox(w)) continue;
+      }
+      if ((fds[i].revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
+
+      bool dead = false;
+      std::uint8_t chunk[4096];
+      while (true) {
+        const ssize_t n = ::read(worker.fd, chunk, sizeof(chunk));
+        if (n > 0) {
+          worker.inbox.insert(worker.inbox.end(), chunk, chunk + n);
+          continue;
+        }
+        if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+        if (n < 0 && errno == EINTR) continue;
+        dead = true;  // EOF or hard error: the process is gone
+        break;
+      }
+
+      Frame frame;
+      ParseStatus status;
+      while ((status = Codec::try_parse(worker.inbox, frame)) ==
+             ParseStatus::kFrame) {
+        if (frame.type == MessageType::kHello) {
+          const auto hello = Codec::decode_hello(frame.payload);
+          if (!hello || hello->worker_index != w || worker.hello_seen) {
+            dead = true;  // garbage greeting: treat the peer as crashed
+            break;
+          }
+          worker.hello_seen = true;
+          continue;
+        }
+        if (frame.type != MessageType::kResult || !worker.hello_seen) {
+          dead = true;  // protocol violation (results before the
+          break;        // handshake included): stop trusting the stream
+        }
+        const auto result = Codec::decode_result(frame.payload);
+        if (!result || result->id < base_id ||
+            result->id >= base_id + count) {
+          dead = true;
+          break;
+        }
+        const std::size_t index =
+            static_cast<std::size_t>(result->id - base_id);
+        const auto inflight = std::find(worker.inflight.begin(),
+                                        worker.inflight.end(), index);
+        if (inflight == worker.inflight.end() || done[index]) {
+          dead = true;  // a result we never asked this worker for
+          break;
+        }
+        worker.inflight.erase(inflight);
+        done[index] = true;
+        results[index] = {result->id, result->output,
+                          result->completion_time,
+                          static_cast<std::size_t>(result->resets_sent)};
+        ++served;
+        deaths_without_progress_ = 0;  // the fleet is serving; healing works
+      }
+      if (status == ParseStatus::kMalformed) dead = true;
+      if (dead) worker_died(w, /*expected=*/false);
+    }
+  }
+
+  wall_seconds_ +=
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  completion_times_.reserve(completion_times_.size() + count);
+  for (const auto& result : results) {
+    completion_times_.push_back(result.completion_time);
+    resets_total_ += result.resets_sent;
+  }
+  queue_.clear();
+  return results;
+}
+
+serve::ServeReport WorkerHost::report() const {
+  serve::ServeReport report;
+  report.completed = completion_times_.size();
+  report.rejected = shed_;  // parity with ReplicaPool consumers
+  report.shed = shed_;
+  report.replicas = workers_.size();
+  report.wall_seconds = wall_seconds_;
+  report.throughput_rps =
+      wall_seconds_ > 0.0
+          ? static_cast<double>(report.completed) / wall_seconds_
+          : 0.0;
+  report.completion = summarize(completion_times_);
+  if (!completion_times_.empty()) {
+    std::vector<double> sorted = completion_times_;
+    std::sort(sorted.begin(), sorted.end());
+    report.p50 = percentile_sorted(sorted, 0.50);
+    report.p95 = percentile_sorted(sorted, 0.95);
+    report.p99 = percentile_sorted(sorted, 0.99);
+  }
+  report.resets_sent = resets_total_;
+  report.resubmitted = resubmitted_;
+  report.worker_restarts = restarts_;
+  return report;
+}
+
+#endif  // WNF_TRANSPORT_POSIX
+
+}  // namespace wnf::transport

@@ -1,0 +1,189 @@
+// The host side of the multi-process deployment: spawns worker processes
+// over socketpair + fork, drives them with a nonblocking poll() event loop,
+// and realises crash faults as *real process deaths* — a scripted crash
+// window SIGKILLs the worker, the host detects the death, resubmits that
+// worker's in-flight requests to the survivors, and respawns the worker at
+// the recovery boundary.
+//
+// The API deliberately mirrors serve::ReplicaPool (set_timeline / submit /
+// drain / report): the WorkerHost is the same serving deployment one
+// abstraction layer lower, with threads replaced by processes and shared
+// memory replaced by the transport::Codec wire protocol.
+//
+// Determinism contract, inherited from the pool: every accepted request
+// gets a child Rng split off the host's root stream at submission, and its
+// fault state comes from the FaultTimeline by request id. The child's raw
+// state ships inside the request frame, so a request's result is a pure
+// function of (seed, id, input, timeline) — bit-identical to the
+// in-process ReplicaPool whatever the worker count, the dispatch
+// interleaving, or which workers died along the way. Worker deaths move
+// *where* a request is computed, never *what* it computes.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "dist/latency.hpp"
+#include "dist/sim.hpp"
+#include "nn/network.hpp"
+#include "serve/report.hpp"
+#include "serve/timeline.hpp"
+#include "util/rng.hpp"
+
+namespace wnf::transport {
+
+/// Shape of one multi-process deployment.
+struct TransportConfig {
+  std::size_t workers = 1;  ///< worker processes, one simulator each
+                            ///< (0 means hardware concurrency)
+  std::size_t queue_capacity = 4096;  ///< pending requests before shedding
+  std::size_t pipeline_depth = 4;     ///< outstanding requests per worker
+                                      ///< (amortises wire round-trips)
+  dist::SimConfig sim;                ///< per-replica channel capacity
+  dist::LatencyModel latency;  ///< per-request, per-neuron latency draws
+  /// Optional Corollary-2 straggler cut, size L (empty = full waits).
+  std::vector<std::size_t> straggler_cut;
+  std::uint64_t seed = 0x5eed;  ///< root of the per-request Rng::split tree
+};
+
+/// One scripted worker-process death: when the dispatch frontier reaches
+/// request `start`, worker `worker` is SIGKILLed for real; when it reaches
+/// `end`, the worker is respawned (the recovery boundary). Windows are
+/// timed in request ids like serve::FaultTimeline windows, so a scenario
+/// replays identically whatever the machine speed. Pass
+/// serve::FaultTimeline::kForever as `end` for a death with no scripted
+/// recovery (the host still force-respawns if the deployment would
+/// otherwise have no worker left to serve pending traffic).
+struct CrashWindow {
+  std::size_t worker = 0;
+  std::uint64_t start = 0;
+  std::uint64_t end = 0;
+};
+
+/// A deployment of worker processes serving batched traffic over the wire
+/// protocol. Not itself thread-safe: one driver thread submits and drains;
+/// parallelism lives across the worker processes, fed by a pipelined
+/// nonblocking dispatcher inside drain().
+class WorkerHost {
+ public:
+  /// True when this platform supports the runtime (POSIX fork/socketpair).
+  static bool available();
+
+  /// Binds to `net` (kept by reference; must outlive the host), spawns the
+  /// worker processes, and ships each one the network and configuration.
+  /// Aborts on unsupported platforms — check available() first.
+  WorkerHost(const nn::FeedForwardNetwork& net, TransportConfig config);
+
+  /// Shuts every worker down (shutdown frame, then reap; SIGKILL as the
+  /// last resort for a worker that ignores it).
+  ~WorkerHost();
+
+  WorkerHost(const WorkerHost&) = delete;
+  WorkerHost& operator=(const WorkerHost&) = delete;
+
+  /// Installs a fault scenario (validated and segmented against the
+  /// network, then broadcast to every worker). Applies to requests by id,
+  /// including ones already queued.
+  void set_timeline(serve::FaultTimeline timeline);
+
+  /// Installs the worker-death script. Windows already fired keep their
+  /// state; fresh windows apply from the current dispatch frontier on.
+  void set_crash_script(std::vector<CrashWindow> script);
+
+  /// Queues one request. Returns false (and counts a shed) when the queue
+  /// is at capacity; the request id and Rng split are only consumed on
+  /// acceptance, so shed load never perturbs accepted results.
+  bool submit(std::vector<double> x);
+
+  /// Queues a batch in order; returns how many were accepted (a prefix —
+  /// once one is shed, the rest of the batch is too).
+  std::size_t submit_batch(std::span<const std::vector<double>> batch);
+
+  /// Serves every queued request across the worker processes and returns
+  /// the results in id order, executing the crash script along the way.
+  std::vector<serve::RequestResult> drain();
+
+  /// Throughput, completion statistics, and process-fault counters
+  /// (shed / resubmitted / worker_restarts) over all drains so far.
+  serve::ServeReport report() const;
+
+  std::size_t worker_count() const { return workers_.size(); }
+  std::size_t alive_workers() const;
+  std::size_t restarts() const { return restarts_; }
+  std::size_t resubmitted() const { return resubmitted_; }
+  std::uint64_t next_request_id() const { return next_id_; }
+  const nn::FeedForwardNetwork& network() const { return net_; }
+
+  /// The worker's process id (for fault-injection tests that kill a live
+  /// worker externally), or -1 when the worker is currently dead.
+  int worker_pid(std::size_t worker) const;
+
+ private:
+  static constexpr std::size_t kNoSegment = ~std::size_t{0};
+
+  struct PendingRequest {
+    std::uint64_t id = 0;
+    std::vector<double> x;
+    Rng rng;  ///< child stream split off at submission
+  };
+
+  /// One worker process as the host sees it.
+  struct WorkerState {
+    int pid = -1;
+    int fd = -1;
+    bool alive = false;
+    bool hello_seen = false;
+    std::uint64_t blocked_until = 0;   ///< scripted respawn boundary
+    std::vector<std::uint8_t> inbox;   ///< bytes read, not yet framed
+    std::vector<std::uint8_t> outbox;  ///< bytes queued, not yet written
+    std::vector<std::size_t> inflight;  ///< queue indices awaiting results
+  };
+
+  struct ScriptWindow {
+    CrashWindow window;
+    bool fired = false;
+  };
+
+  void spawn(std::size_t w);
+  void enqueue_bind(WorkerState& worker);
+  void enqueue_segments(WorkerState& worker);
+  /// Marks `w` dead, reaps the process, and moves its in-flight requests
+  /// back to the resubmission queue. `expected` distinguishes scripted
+  /// kills from spontaneous deaths (which respawn immediately).
+  void worker_died(std::size_t w, bool expected);
+  void kill_worker(std::size_t w, std::uint64_t recover_at);
+  void respawn(std::size_t w);
+  /// Applies the crash script at dispatch frontier `frontier_id`: fires
+  /// due kills, respawns workers past their recovery boundary.
+  void run_crash_script(std::uint64_t frontier_id);
+  bool flush_outbox(std::size_t w);  ///< false when the write found a corpse
+
+  const nn::FeedForwardNetwork& net_;
+  TransportConfig config_;
+  serve::FaultTimeline timeline_;
+  std::vector<std::size_t> wait_counts_;  ///< size L+1; empty = full waits
+  std::vector<WorkerState> workers_;
+  std::vector<ScriptWindow> script_;
+  Rng root_;
+  std::vector<PendingRequest> queue_;
+  std::vector<std::size_t> resubmit_;  ///< queue indices orphaned by deaths,
+                                       ///< ascending (oldest ids first)
+  std::uint64_t next_id_ = 0;
+
+  /// Spontaneous deaths since the last harvested result. A worker fleet
+  /// that keeps dying without serving anything (e.g. a config whose
+  /// contract checks abort inside every worker) must fail the host
+  /// loudly, not livelock in a fork-respawn storm.
+  std::size_t deaths_without_progress_ = 0;
+
+  // Aggregates over every drain (id order, so deterministic).
+  std::vector<double> completion_times_;
+  std::size_t shed_ = 0;
+  std::size_t resets_total_ = 0;
+  std::size_t resubmitted_ = 0;
+  std::size_t restarts_ = 0;
+  double wall_seconds_ = 0.0;
+};
+
+}  // namespace wnf::transport

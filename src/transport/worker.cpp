@@ -1,0 +1,189 @@
+#include "transport/worker.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define WNF_TRANSPORT_POSIX 1
+#include <sys/socket.h>
+#include <unistd.h>
+#endif
+
+#include <cerrno>
+#include <memory>
+#include <optional>
+#include <sstream>
+
+#include "dist/sim.hpp"
+#include "nn/serialize.hpp"
+#include "transport/codec.hpp"
+#include "util/contract.hpp"
+#include "util/rng.hpp"
+
+namespace wnf::transport {
+
+#if !defined(WNF_TRANSPORT_POSIX)
+
+bool transport_available() { return false; }
+
+int worker_main(int, std::uint32_t) {
+  WNF_EXPECTS(false && "transport workers need POSIX fork/socketpair");
+  return 1;
+}
+
+#else
+
+bool transport_available() { return true; }
+
+namespace {
+
+/// The worker's replica state, built from a kBind frame.
+struct Replica {
+  nn::FeedForwardNetwork net;
+  std::unique_ptr<dist::NetworkSimulator> sim;
+  dist::LatencyModel latency;
+  std::vector<std::size_t> wait_counts;  ///< size L+1; empty = full waits
+  std::vector<fault::FaultPlan> segments;
+  std::size_t installed = ~std::size_t{0};  ///< segment currently applied
+};
+
+/// Blocking write of the whole frame (the worker end may block freely; the
+/// nonblocking discipline lives in the host). False on EPIPE/host death.
+bool send_all(int fd, const std::vector<std::uint8_t>& bytes) {
+  std::size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n = ::send(fd, bytes.data() + sent, bytes.size() - sent,
+#ifdef MSG_NOSIGNAL
+                             MSG_NOSIGNAL
+#else
+                             0
+#endif
+    );
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+bool handle_bind(const Frame& frame, Replica& replica) {
+  const auto msg = Codec::decode_bind(frame.payload);
+  if (!msg) return false;
+  std::istringstream text(msg->network_text);
+  auto net = nn::load_network(text);
+  if (!net) return false;
+  if (!msg->wait_counts.empty() &&
+      msg->wait_counts.size() != net->layer_count() + 1) {
+    return false;
+  }
+  replica.net = std::move(*net);
+  replica.sim =
+      std::make_unique<dist::NetworkSimulator>(replica.net, msg->sim);
+  replica.latency = msg->latency;
+  replica.wait_counts.assign(msg->wait_counts.begin(),
+                             msg->wait_counts.end());
+  replica.segments.clear();
+  replica.installed = ~std::size_t{0};
+  return true;
+}
+
+bool handle_request(const Frame& frame, Replica& replica, int fd) {
+  const auto msg = Codec::decode_request(frame.payload);
+  if (!msg || !replica.sim) return false;
+  if (msg->x.size() != replica.net.input_dim()) return false;
+  if (msg->segment >= replica.segments.size() &&
+      !(msg->segment == 0 && replica.segments.empty())) {
+    return false;
+  }
+  // Same install-on-segment-change discipline as ReplicaPool::process: a
+  // run of requests in one segment pays one plan install.
+  if (msg->segment != replica.installed) {
+    const fault::FaultPlan* plan = replica.segments.empty()
+                                       ? nullptr
+                                       : &replica.segments[msg->segment];
+    if (plan == nullptr || plan->empty()) {
+      replica.sim->clear_faults();
+    } else {
+      replica.sim->apply_faults(*plan);
+    }
+    replica.installed = msg->segment;
+  }
+  // The request's RNG stream is the host's split child, bit for bit.
+  Rng request_rng;
+  request_rng.set_state(msg->rng_state);
+  replica.sim->sample_latencies(replica.latency, request_rng);
+  const dist::SimResult sim_result =
+      replica.wait_counts.empty()
+          ? replica.sim->evaluate(msg->x)
+          : replica.sim->evaluate_boosted(
+                msg->x,
+                {replica.wait_counts.data(), replica.wait_counts.size()});
+  ResultMsg result;
+  result.id = msg->id;
+  result.output = sim_result.output;
+  result.completion_time = sim_result.completion_time;
+  result.resets_sent = sim_result.resets_sent;
+  return send_all(fd,
+                  Codec::encode(MessageType::kResult,
+                                Codec::encode_result(result)));
+}
+
+}  // namespace
+
+int worker_main(int fd, std::uint32_t worker_index) {
+#if defined(SO_NOSIGPIPE)
+  // Platforms without MSG_NOSIGNAL (macOS): a result sent to a dead host
+  // must fail with EPIPE (clean exit 1), not SIGPIPE.
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_NOSIGPIPE, &one, sizeof(one));
+#endif
+  HelloMsg hello;
+  hello.worker_index = worker_index;
+  hello.pid = static_cast<std::uint32_t>(::getpid());
+  if (!send_all(fd, Codec::encode(MessageType::kHello,
+                                  Codec::encode_hello(hello)))) {
+    return 1;
+  }
+
+  Replica replica;
+  std::vector<std::uint8_t> buffer;
+  std::uint8_t chunk[4096];
+  while (true) {
+    // Drain every complete frame before reading more bytes.
+    Frame frame;
+    ParseStatus status;
+    while ((status = Codec::try_parse(buffer, frame)) == ParseStatus::kFrame) {
+      switch (frame.type) {
+        case MessageType::kBind:
+          if (!handle_bind(frame, replica)) return 1;
+          break;
+        case MessageType::kSegments: {
+          auto msg = Codec::decode_segments(frame.payload);
+          if (!msg) return 1;
+          replica.segments = std::move(msg->plans);
+          replica.installed = ~std::size_t{0};
+          break;
+        }
+        case MessageType::kRequest:
+          if (!handle_request(frame, replica, fd)) return 1;
+          break;
+        case MessageType::kShutdown:
+          return 0;
+        default:
+          return 1;  // kHello/kResult never flow host -> worker
+      }
+    }
+    if (status == ParseStatus::kMalformed) return 1;
+
+    const ssize_t n = ::read(fd, chunk, sizeof(chunk));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return 1;
+    }
+    if (n == 0) return 0;  // host closed: treat like a shutdown
+    buffer.insert(buffer.end(), chunk, chunk + n);
+  }
+}
+
+#endif  // WNF_TRANSPORT_POSIX
+
+}  // namespace wnf::transport

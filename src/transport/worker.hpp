@@ -1,0 +1,28 @@
+// The worker side of the multi-process deployment: one forked process per
+// worker, each hosting its own dist::NetworkSimulator replica and speaking
+// the transport::Codec wire protocol over a Unix-domain socketpair. The
+// worker is intentionally dumb — it holds no scheduling, timeline, or RNG
+// policy. Everything that determines a result (the network, the segment
+// plans, the request's split-off RNG state) arrives over the wire, which
+// is what makes a worker's answer a pure function of its frames and the
+// whole deployment bit-identical to the in-process ReplicaPool.
+#pragma once
+
+#include <cstdint>
+
+namespace wnf::transport {
+
+/// True when this platform can run the multi-process runtime (POSIX fork +
+/// socketpair). When false, WorkerHost construction aborts and callers
+/// (tests, benches, examples) should skip gracefully.
+bool transport_available();
+
+/// Runs the worker protocol loop on `fd` (the worker end of the pair)
+/// until a shutdown frame, EOF (host closed or died), or a protocol
+/// violation. Sends a Hello first, then serves kBind/kSegments/kRequest.
+/// Returns the process exit code: 0 for a clean shutdown or host EOF,
+/// 1 for malformed input or an I/O error. Never returns on unsupported
+/// platforms (aborts).
+int worker_main(int fd, std::uint32_t worker_index);
+
+}  // namespace wnf::transport

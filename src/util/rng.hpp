@@ -33,6 +33,16 @@ class Rng {
   /// Derives an independent child stream (for per-trial / per-thread use).
   Rng split();
 
+  /// Raw xoshiro256** state, for shipping a stream across a process
+  /// boundary (the transport workers replay a request's split child bit
+  /// for bit). Only the four state words travel; restoring drops any
+  /// cached Box-Muller deviate, so transfer freshly split streams.
+  std::array<std::uint64_t, 4> state() const { return state_; }
+  void set_state(const std::array<std::uint64_t, 4>& state) {
+    state_ = state;
+    has_cached_normal_ = false;
+  }
+
   /// Uniform double in [0, 1).
   double uniform();
 

@@ -1,0 +1,132 @@
+// nn::serialize property tests. The transport wire protocol ships whole
+// networks through this format (transport::BindMsg), so its round-trip
+// guarantee is now a load-bearing wall: every weight, bias, receptive
+// field, and activation parameter must survive save -> load bit for bit,
+// for any architecture, and malformed text must be rejected, not guessed
+// at.
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <sstream>
+
+#include "nn/builder.hpp"
+#include "nn/layer.hpp"
+#include "nn/network.hpp"
+#include "nn/serialize.hpp"
+#include "util/rng.hpp"
+
+namespace wnf::nn {
+namespace {
+
+/// A random architecture: depth, widths, receptive fields, activation
+/// kind and K, and every parameter drawn from `rng`.
+FeedForwardNetwork random_network(Rng& rng) {
+  const std::size_t input_dim = 1 + rng.uniform_index(5);
+  const std::size_t depth = 1 + rng.uniform_index(4);
+  const ActivationKind kind = static_cast<ActivationKind>(
+      rng.uniform_index(3));  // kSigmoid, kTanh01, kHardSigmoid
+  const double k = rng.uniform(0.1, 3.0);
+
+  std::vector<DenseLayer> hidden;
+  std::size_t prev = input_dim;
+  for (std::size_t l = 0; l < depth; ++l) {
+    const std::size_t width = 1 + rng.uniform_index(9);
+    DenseLayer layer(width, prev);
+    for (double& w : layer.weights().flat()) w = rng.uniform(-2.0, 2.0);
+    for (double& b : layer.bias()) b = rng.uniform(-1.0, 1.0);
+    layer.set_receptive_field(1 + rng.uniform_index(prev));
+    hidden.push_back(std::move(layer));
+    prev = width;
+  }
+  std::vector<double> output_weights(prev);
+  for (double& w : output_weights) w = rng.uniform(-2.0, 2.0);
+  return FeedForwardNetwork(input_dim, std::move(hidden),
+                            std::move(output_weights),
+                            rng.uniform(-1.0, 1.0), Activation(kind, k));
+}
+
+TEST(Serialize, RoundTripsRandomNetworksBitForBit) {
+  Rng rng(0xC0DEC);
+  for (int trial = 0; trial < 60; ++trial) {
+    const auto net = random_network(rng);
+    std::stringstream text;
+    save_network(net, text);
+    const auto loaded = load_network(text);
+    ASSERT_TRUE(loaded.has_value()) << "trial " << trial;
+
+    ASSERT_EQ(loaded->input_dim(), net.input_dim());
+    ASSERT_EQ(loaded->layer_count(), net.layer_count());
+    EXPECT_EQ(loaded->activation().kind(), net.activation().kind());
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(loaded->activation().lipschitz()),
+              std::bit_cast<std::uint64_t>(net.activation().lipschitz()));
+    for (std::size_t l = 1; l <= net.layer_count(); ++l) {
+      const auto& a = net.layer(l);
+      const auto& b = loaded->layer(l);
+      ASSERT_EQ(b.out_size(), a.out_size());
+      ASSERT_EQ(b.in_size(), a.in_size());
+      EXPECT_EQ(b.receptive_field(), a.receptive_field());
+      for (std::size_t j = 0; j < a.out_size(); ++j) {
+        EXPECT_EQ(std::bit_cast<std::uint64_t>(b.bias()[j]),
+                  std::bit_cast<std::uint64_t>(a.bias()[j]));
+        for (std::size_t i = 0; i < a.in_size(); ++i) {
+          EXPECT_EQ(std::bit_cast<std::uint64_t>(b.weights()(j, i)),
+                    std::bit_cast<std::uint64_t>(a.weights()(j, i)))
+              << "trial " << trial << " layer " << l;
+        }
+      }
+    }
+    ASSERT_EQ(loaded->output_weights().size(), net.output_weights().size());
+    for (std::size_t i = 0; i < net.output_weights().size(); ++i) {
+      EXPECT_EQ(std::bit_cast<std::uint64_t>(loaded->output_weights()[i]),
+                std::bit_cast<std::uint64_t>(net.output_weights()[i]));
+    }
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(loaded->output_bias()),
+              std::bit_cast<std::uint64_t>(net.output_bias()));
+
+    // The semantic consequence the transport relies on: the loaded network
+    // is the same function, bit for bit.
+    for (int probe = 0; probe < 4; ++probe) {
+      std::vector<double> x(net.input_dim());
+      for (double& v : x) v = rng.uniform(-1.0, 1.0);
+      EXPECT_EQ(std::bit_cast<std::uint64_t>(loaded->evaluate(x)),
+                std::bit_cast<std::uint64_t>(net.evaluate(x)));
+    }
+  }
+}
+
+TEST(Serialize, RejectsMalformedText) {
+  Rng rng(99);
+  const auto net = random_network(rng);
+  std::stringstream text;
+  save_network(net, text);
+  const std::string good = text.str();
+
+  // Whole-prefix truncations at every line boundary must all fail; the
+  // only accepted text is the complete document.
+  for (std::size_t at = good.find('\n'); at != std::string::npos;
+       at = good.find('\n', at + 1)) {
+    if (at + 1 == good.size()) continue;  // the full document
+    std::istringstream in(good.substr(0, at + 1));
+    EXPECT_FALSE(load_network(in).has_value())
+        << "accepted a " << (at + 1) << "-byte prefix";
+  }
+
+  const auto rejects = [&](std::string broken) {
+    std::istringstream in(broken);
+    return !load_network(in).has_value();
+  };
+  EXPECT_TRUE(rejects("wnf-network v2\n"));           // unknown version
+  EXPECT_TRUE(rejects("not-a-network v1\n"));         // wrong magic token
+  std::string bad_kind = good;
+  bad_kind.replace(bad_kind.find("activation "), 11, "activation bogus__");
+  EXPECT_TRUE(rejects(bad_kind));
+  std::string no_end = good;
+  no_end.replace(no_end.rfind("end"), 3, "dne");      // corrupt terminator
+  EXPECT_TRUE(rejects(no_end));
+  std::string bad_number = good;
+  bad_number.replace(bad_number.find("layers "), 8, "layers x");
+  EXPECT_TRUE(rejects(bad_number));
+}
+
+}  // namespace
+}  // namespace wnf::nn

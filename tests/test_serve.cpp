@@ -302,6 +302,7 @@ TEST(Serve, BoundedQueueShedsLoadWithoutPerturbingAcceptedRequests) {
   EXPECT_EQ(pool.submit_batch(workload), 8u);
   EXPECT_EQ(pool.pending(), 8u);
   EXPECT_EQ(pool.report().rejected, 4u);
+  EXPECT_EQ(pool.report().shed, 0u);  // in-queue rejection, not transport shed
   const auto first = pool.drain();
   ASSERT_EQ(first.size(), 8u);
   EXPECT_EQ(pool.pending(), 0u);
@@ -389,6 +390,12 @@ TEST(Serve, ReportAggregatesThroughputPercentilesAndResets) {
   for (const auto& result : results) resets += result.resets_sent;
   EXPECT_EQ(report.resets_sent, resets);
   EXPECT_EQ(resets, workload.size() * (2u * 5u + 1u));
+  // Process-level fault counters exist for the transport runtime only; an
+  // in-process pool never sheds at the transport layer, never loses an
+  // in-flight request, and never restarts a worker.
+  EXPECT_EQ(report.shed, 0u);
+  EXPECT_EQ(report.resubmitted, 0u);
+  EXPECT_EQ(report.worker_restarts, 0u);
 }
 
 }  // namespace

@@ -1,0 +1,575 @@
+// Transport-subsystem tests: the wire codec (round-trips and malformed-
+// input rejection), the multi-process WorkerHost against the in-process
+// ReplicaPool (bit-identity across 1/2/8 worker processes, with and
+// without real SIGKILLed workers), and the TransportBackend behind the
+// EvalBackend seam (bit-equivalence with ServeBackend and — at campaign
+// scale, transmitted-value convention — with SimulatorBackend).
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+#include <csignal>
+#include <sstream>
+
+#include "exec/serve_backend.hpp"
+#include "exec/simulator_backend.hpp"
+#include "exec/transport_backend.hpp"
+#include "fault/campaign.hpp"
+#include "nn/builder.hpp"
+#include "nn/serialize.hpp"
+#include "serve/pool.hpp"
+#include "transport/codec.hpp"
+#include "transport/host.hpp"
+#include "transport/worker.hpp"
+
+namespace wnf::transport {
+namespace {
+
+nn::FeedForwardNetwork transport_net(std::uint64_t seed = 3) {
+  Rng rng(seed);
+  return nn::NetworkBuilder(3)
+      .activation(nn::ActivationKind::kSigmoid, 1.0)
+      .hidden(7)
+      .hidden(5)
+      .init(nn::InitKind::kUniform, 0.5)
+      .build(rng);
+}
+
+std::vector<std::vector<double>> transport_workload(std::size_t count,
+                                                    std::uint64_t seed = 7) {
+  Rng rng(seed);
+  std::vector<std::vector<double>> workload(count);
+  for (auto& x : workload) {
+    x = {rng.uniform(), rng.uniform(), rng.uniform()};
+  }
+  return workload;
+}
+
+dist::LatencyModel heavy_tail() {
+  return {dist::LatencyKind::kHeavyTail, 1.0, 50.0, 0.3};
+}
+
+fault::FaultPlan sample_plan() {
+  fault::FaultPlan plan;
+  plan.convention = theory::CapacityConvention::kTransmittedValueBound;
+  plan.neurons = {{1, 2, fault::NeuronFaultKind::kCrash, 0.0},
+                  {2, 1, fault::NeuronFaultKind::kByzantine, 0.7},
+                  {1, 4, fault::NeuronFaultKind::kStuckAt, 0.3}};
+  plan.synapses = {{2, 3, 1, fault::SynapseFaultKind::kCrash, 0.0},
+                   {3, 0, 2, fault::SynapseFaultKind::kByzantine, -0.4}};
+  return plan;
+}
+
+#define SKIP_WITHOUT_TRANSPORT()                                   \
+  if (!transport_available()) {                                    \
+    GTEST_SKIP() << "no POSIX fork/socketpair on this platform";   \
+  }
+
+// ------------------------------------------------------------------ codec
+
+TEST(Codec, FramesRoundTripEveryMessageType) {
+  HelloMsg hello{4, 1234};
+  RequestMsg request;
+  request.id = 77;
+  request.segment = 3;
+  request.rng_state = {1, 2, 0xdeadbeefULL, ~std::uint64_t{0}};
+  request.x = {0.25, -0.0, 3e-308};
+  ResultMsg result{42, 0.125, 17.5, 9};
+  SegmentsMsg segments;
+  segments.plans = {fault::FaultPlan{}, sample_plan()};
+
+  std::vector<std::uint8_t> stream;
+  for (const auto& frame :
+       {Codec::encode(MessageType::kHello, Codec::encode_hello(hello)),
+        Codec::encode(MessageType::kRequest, Codec::encode_request(request)),
+        Codec::encode(MessageType::kResult, Codec::encode_result(result)),
+        Codec::encode(MessageType::kSegments,
+                      Codec::encode_segments(segments)),
+        Codec::encode(MessageType::kShutdown, {})}) {
+    stream.insert(stream.end(), frame.begin(), frame.end());
+  }
+
+  Frame frame;
+  ASSERT_EQ(Codec::try_parse(stream, frame), ParseStatus::kFrame);
+  ASSERT_EQ(frame.type, MessageType::kHello);
+  const auto hello_out = Codec::decode_hello(frame.payload);
+  ASSERT_TRUE(hello_out.has_value());
+  EXPECT_EQ(hello_out->worker_index, 4u);
+  EXPECT_EQ(hello_out->pid, 1234u);
+
+  ASSERT_EQ(Codec::try_parse(stream, frame), ParseStatus::kFrame);
+  ASSERT_EQ(frame.type, MessageType::kRequest);
+  const auto request_out = Codec::decode_request(frame.payload);
+  ASSERT_TRUE(request_out.has_value());
+  EXPECT_EQ(request_out->id, 77u);
+  EXPECT_EQ(request_out->segment, 3u);
+  EXPECT_EQ(request_out->rng_state, request.rng_state);
+  ASSERT_EQ(request_out->x.size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(request_out->x[i]),
+              std::bit_cast<std::uint64_t>(request.x[i]));
+  }
+
+  ASSERT_EQ(Codec::try_parse(stream, frame), ParseStatus::kFrame);
+  ASSERT_EQ(frame.type, MessageType::kResult);
+  const auto result_out = Codec::decode_result(frame.payload);
+  ASSERT_TRUE(result_out.has_value());
+  EXPECT_EQ(result_out->id, 42u);
+  EXPECT_EQ(result_out->output, 0.125);
+  EXPECT_EQ(result_out->completion_time, 17.5);
+  EXPECT_EQ(result_out->resets_sent, 9u);
+
+  ASSERT_EQ(Codec::try_parse(stream, frame), ParseStatus::kFrame);
+  ASSERT_EQ(frame.type, MessageType::kSegments);
+  const auto segments_out = Codec::decode_segments(frame.payload);
+  ASSERT_TRUE(segments_out.has_value());
+  ASSERT_EQ(segments_out->plans.size(), 2u);
+  EXPECT_TRUE(segments_out->plans[0].empty());
+  const auto& plan = segments_out->plans[1];
+  const auto reference = sample_plan();
+  EXPECT_EQ(plan.convention, reference.convention);
+  ASSERT_EQ(plan.neurons.size(), reference.neurons.size());
+  for (std::size_t i = 0; i < plan.neurons.size(); ++i) {
+    EXPECT_EQ(plan.neurons[i].layer, reference.neurons[i].layer);
+    EXPECT_EQ(plan.neurons[i].neuron, reference.neurons[i].neuron);
+    EXPECT_EQ(plan.neurons[i].kind, reference.neurons[i].kind);
+    EXPECT_EQ(plan.neurons[i].value, reference.neurons[i].value);
+  }
+  ASSERT_EQ(plan.synapses.size(), reference.synapses.size());
+  for (std::size_t i = 0; i < plan.synapses.size(); ++i) {
+    EXPECT_EQ(plan.synapses[i].layer, reference.synapses[i].layer);
+    EXPECT_EQ(plan.synapses[i].to, reference.synapses[i].to);
+    EXPECT_EQ(plan.synapses[i].from, reference.synapses[i].from);
+    EXPECT_EQ(plan.synapses[i].kind, reference.synapses[i].kind);
+    EXPECT_EQ(plan.synapses[i].value, reference.synapses[i].value);
+  }
+
+  ASSERT_EQ(Codec::try_parse(stream, frame), ParseStatus::kFrame);
+  EXPECT_EQ(frame.type, MessageType::kShutdown);
+  EXPECT_TRUE(frame.payload.empty());
+  EXPECT_TRUE(stream.empty());
+}
+
+TEST(Codec, BindRoundTripsNetworkBitExact) {
+  const auto net = transport_net(11);
+  BindMsg bind;
+  std::ostringstream text;
+  nn::save_network(net, text);
+  bind.network_text = text.str();
+  bind.sim.capacity = 2.5;
+  bind.latency = heavy_tail();
+  bind.wait_counts = {3, 7, 5, 1};
+
+  auto frame_bytes =
+      Codec::encode(MessageType::kBind, Codec::encode_bind(bind));
+  Frame frame;
+  ASSERT_EQ(Codec::try_parse(frame_bytes, frame), ParseStatus::kFrame);
+  const auto out = Codec::decode_bind(frame.payload);
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(out->sim.capacity, 2.5);
+  EXPECT_EQ(out->latency.kind, dist::LatencyKind::kHeavyTail);
+  EXPECT_EQ(out->latency.spread, 50.0);
+  EXPECT_EQ(out->wait_counts, bind.wait_counts);
+
+  std::istringstream in(out->network_text);
+  const auto loaded = nn::load_network(in);
+  ASSERT_TRUE(loaded.has_value());
+  Rng rng(5);
+  for (int n = 0; n < 16; ++n) {
+    const std::vector<double> x{rng.uniform(), rng.uniform(), rng.uniform()};
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(loaded->evaluate(x)),
+              std::bit_cast<std::uint64_t>(net.evaluate(x)))
+        << "wire-shipped network must be the same function bit for bit";
+  }
+}
+
+TEST(Codec, MalformedFramesAreRejectedNotInterpreted) {
+  const auto good =
+      Codec::encode(MessageType::kHello, Codec::encode_hello({1, 2}));
+
+  // Truncated header and truncated payload: wait for more bytes.
+  for (std::size_t keep : {std::size_t{0}, std::size_t{5},
+                           kFrameHeaderSize - 1, good.size() - 1}) {
+    std::vector<std::uint8_t> partial(good.begin(),
+                                      good.begin() + static_cast<long>(keep));
+    Frame frame;
+    EXPECT_EQ(Codec::try_parse(partial, frame), ParseStatus::kNeedMore)
+        << keep << " bytes";
+    EXPECT_EQ(partial.size(), keep);  // kNeedMore must not consume
+  }
+
+  // Corrupted magic, version, type, and payload bytes: malformed.
+  for (const std::size_t flip : {std::size_t{0},   // magic
+                                 std::size_t{4},   // version
+                                 std::size_t{6},   // type (-> 0, invalid)
+                                 kFrameHeaderSize,  // payload vs checksum
+                                 good.size() - 1}) {
+    auto bad = good;
+    bad[flip] ^= 0x5a;
+    Frame frame;
+    EXPECT_EQ(Codec::try_parse(bad, frame), ParseStatus::kMalformed)
+        << "flip at byte " << flip;
+  }
+
+  // A lying length field larger than the sanity cap is rejected before
+  // any allocation, even though the bytes "after" it never arrive.
+  {
+    auto bad = good;
+    bad[8] = 0xff; bad[9] = 0xff; bad[10] = 0xff; bad[11] = 0xff;
+    Frame frame;
+    EXPECT_EQ(Codec::try_parse(bad, frame), ParseStatus::kMalformed);
+  }
+
+  // Structurally invalid payloads: truncated vector, trailing garbage,
+  // out-of-range enum, element count that cannot fit the payload.
+  RequestMsg request;
+  request.x = {1.0, 2.0};
+  auto payload = Codec::encode_request(request);
+  auto truncated = payload;
+  truncated.pop_back();
+  EXPECT_FALSE(Codec::decode_request(truncated).has_value());
+  auto overlong = payload;
+  overlong.push_back(0);
+  EXPECT_FALSE(Codec::decode_request(overlong).has_value());
+  auto lying_count = payload;
+  lying_count[8 + 4 + 32] = 0xff;  // x-count field low byte
+  EXPECT_FALSE(Codec::decode_request(lying_count).has_value());
+
+  auto plan_payload = Codec::encode_segments({{sample_plan()}});
+  auto bad_kind = plan_payload;
+  bad_kind[4 + 1 + 4 + 4 + 4] = 0x7f;  // first neuron's kind byte
+  EXPECT_FALSE(Codec::decode_segments(bad_kind).has_value());
+
+  EXPECT_FALSE(Codec::decode_bind({0x01}).has_value());
+  EXPECT_FALSE(Codec::decode_hello({}).has_value());
+  EXPECT_FALSE(Codec::decode_result({1, 2, 3}).has_value());
+}
+
+// ------------------------------------------------------------- WorkerHost
+
+TEST(WorkerHost, MatchesReplicaPoolBitForBit) {
+  SKIP_WITHOUT_TRANSPORT();
+  // The same deployment shape in threads and in processes: identical seed,
+  // timeline, and cut must give identical outputs, completion times, and
+  // reset counts — the wire protocol is invisible to the numbers.
+  const auto net = transport_net(13);
+  const auto workload = transport_workload(40, 21);
+
+  serve::FaultTimeline timeline;
+  fault::FaultPlan crash;
+  crash.neurons = {{1, 3, fault::NeuronFaultKind::kCrash, 0.0},
+                   {1, 5, fault::NeuronFaultKind::kCrash, 0.0}};
+  fault::FaultPlan byzantine;
+  byzantine.neurons = {{2, 0, fault::NeuronFaultKind::kByzantine, 0.6}};
+  timeline.add(10, 25, crash);
+  timeline.add(30, 34, byzantine);
+
+  serve::ServeConfig pool_config;
+  pool_config.replicas = 2;
+  pool_config.latency = heavy_tail();
+  pool_config.straggler_cut = {2, 1};
+  pool_config.seed = 99;
+  serve::ReplicaPool pool(net, pool_config);
+  pool.set_timeline(timeline);
+  ASSERT_EQ(pool.submit_batch(workload), workload.size());
+  const auto expected = pool.drain();
+
+  TransportConfig config;
+  config.workers = 2;
+  config.latency = heavy_tail();
+  config.straggler_cut = {2, 1};
+  config.seed = 99;
+  WorkerHost host(net, config);
+  host.set_timeline(timeline);
+  ASSERT_EQ(host.submit_batch(workload), workload.size());
+  const auto served = host.drain();
+
+  ASSERT_EQ(served.size(), expected.size());
+  for (std::size_t i = 0; i < served.size(); ++i) {
+    EXPECT_EQ(served[i].id, expected[i].id);
+    EXPECT_DOUBLE_EQ(served[i].output, expected[i].output);
+    EXPECT_DOUBLE_EQ(served[i].completion_time, expected[i].completion_time);
+    EXPECT_EQ(served[i].resets_sent, expected[i].resets_sent);
+  }
+
+  const auto report = host.report();
+  EXPECT_EQ(report.completed, workload.size());
+  EXPECT_EQ(report.replicas, 2u);
+  EXPECT_EQ(report.shed, 0u);
+  EXPECT_EQ(report.resubmitted, 0u);
+  EXPECT_EQ(report.worker_restarts, 0u);
+  EXPECT_EQ(host.alive_workers(), 2u);
+}
+
+TEST(WorkerHost, ScriptedSigkillResubmitsToSurvivorsAndRespawns) {
+  SKIP_WITHOUT_TRANSPORT();
+  // The acceptance bar: a crash window SIGKILLs a real worker process, its
+  // in-flight requests complete on the survivors, the worker respawns at
+  // the recovery boundary — and the results are bit-identical across
+  // 1/2/8 workers and to a deployment that never crashed at all.
+  const auto net = transport_net(13);
+  const auto workload = transport_workload(48, 21);
+
+  serve::FaultTimeline timeline;
+  fault::FaultPlan crash;
+  crash.neurons = {{1, 3, fault::NeuronFaultKind::kCrash, 0.0}};
+  timeline.add(12, 30, crash);
+
+  // The undisturbed reference deployment.
+  TransportConfig config;
+  config.workers = 2;
+  config.latency = heavy_tail();
+  config.straggler_cut = {2, 1};
+  config.seed = 4242;
+  std::vector<serve::RequestResult> reference;
+  {
+    WorkerHost host(net, config);
+    host.set_timeline(timeline);
+    ASSERT_EQ(host.submit_batch(workload), workload.size());
+    reference = host.drain();
+    EXPECT_EQ(host.report().worker_restarts, 0u);
+  }
+
+  for (const std::size_t workers : {1u, 2u, 8u}) {
+    TransportConfig crashed = config;
+    crashed.workers = workers;
+    WorkerHost host(net, crashed);
+    host.set_timeline(timeline);
+    // Worker 0 dies with the logical crash window and recovers with it; a
+    // second death hits another worker (or worker 0 again) later.
+    host.set_crash_script({{0, 12, 30},
+                           {workers > 1 ? 1u : 0u, 36, 42}});
+    ASSERT_EQ(host.submit_batch(workload), workload.size());
+    const auto served = host.drain();
+
+    ASSERT_EQ(served.size(), reference.size()) << workers << " workers";
+    for (std::size_t i = 0; i < served.size(); ++i) {
+      EXPECT_EQ(served[i].id, reference[i].id);
+      EXPECT_DOUBLE_EQ(served[i].output, reference[i].output)
+          << "request " << i << " on " << workers << " workers";
+      EXPECT_DOUBLE_EQ(served[i].completion_time,
+                       reference[i].completion_time);
+      EXPECT_EQ(served[i].resets_sent, reference[i].resets_sent);
+    }
+    const auto report = host.report();
+    EXPECT_EQ(report.completed, workload.size());
+    EXPECT_EQ(report.worker_restarts, 2u) << workers << " workers";
+    EXPECT_EQ(host.alive_workers(), workers);  // both recovered
+    EXPECT_EQ(host.restarts(), 2u);
+  }
+}
+
+TEST(WorkerHost, SpontaneousWorkerDeathIsDetectedAndHealed) {
+  SKIP_WITHOUT_TRANSPORT();
+  // An *unscripted* SIGKILL from outside (this test playing saboteur): the
+  // host notices the EOF, respawns immediately, resubmits, and the drain
+  // still completes with bit-identical results.
+  const auto net = transport_net(13);
+  const auto workload = transport_workload(30, 33);
+
+  TransportConfig config;
+  config.workers = 2;
+  config.latency = heavy_tail();
+  config.seed = 7;
+  std::vector<serve::RequestResult> expected;
+  {
+    WorkerHost host(net, config);
+    ASSERT_EQ(host.submit_batch(workload), workload.size());
+    expected = host.drain();
+  }
+
+  WorkerHost host(net, config);
+  ASSERT_EQ(host.submit_batch(workload), workload.size());
+  const int victim = host.worker_pid(0);
+  ASSERT_GT(victim, 0);
+  ASSERT_EQ(::kill(victim, SIGKILL), 0);
+  const auto served = host.drain();
+  ASSERT_EQ(served.size(), expected.size());
+  for (std::size_t i = 0; i < served.size(); ++i) {
+    EXPECT_DOUBLE_EQ(served[i].output, expected[i].output);
+  }
+  EXPECT_EQ(host.report().worker_restarts, 1u);
+  EXPECT_EQ(host.alive_workers(), 2u);
+}
+
+TEST(WorkerHost, BoundedQueueShedsAsTransportBackpressure) {
+  SKIP_WITHOUT_TRANSPORT();
+  const auto net = transport_net();
+  const auto workload = transport_workload(12);
+
+  TransportConfig config;
+  config.workers = 2;
+  config.queue_capacity = 8;
+  config.seed = 5;
+  WorkerHost host(net, config);
+  EXPECT_EQ(host.submit_batch(workload), 8u);
+  const auto report_before = host.report();
+  EXPECT_EQ(report_before.shed, 4u);
+  EXPECT_EQ(report_before.rejected, 4u);  // mirrored for pool parity
+  const auto served = host.drain();
+  EXPECT_EQ(served.size(), 8u);
+  // Shed load never consumed a split: id 8 serves next, like the pool.
+  EXPECT_TRUE(host.submit(workload[8]));
+  const auto next = host.drain();
+  ASSERT_EQ(next.size(), 1u);
+  EXPECT_EQ(next[0].id, 8u);
+}
+
+// ------------------------------------------------------- TransportBackend
+
+TEST(TransportBackend, SerialPathMatchesServeBackend) {
+  SKIP_WITHOUT_TRANSPORT();
+  const auto net = transport_net();
+  const std::vector<double> x{0.3, 0.8, 0.1};
+  fault::FaultPlan plan;
+  plan.convention = theory::CapacityConvention::kTransmittedValueBound;
+  plan.neurons = {{1, 2, fault::NeuronFaultKind::kCrash, 0.0},
+                  {2, 1, fault::NeuronFaultKind::kByzantine, 0.9}};
+
+  exec::ServeBackend serve(net);
+  exec::TransportBackend transport(net);
+  // Same probe sequence on both serial paths: install, probe, clear,
+  // probe. The request streams advance in lockstep, so every evaluation
+  // must agree bit for bit.
+  for (exec::EvalBackend* backend :
+       std::vector<exec::EvalBackend*>{&serve, &transport}) {
+    backend->install(plan);
+  }
+  EXPECT_DOUBLE_EQ(transport.evaluate(x).output, serve.evaluate(x).output);
+  serve.clear();
+  transport.clear();
+  EXPECT_DOUBLE_EQ(transport.evaluate(x).output, serve.evaluate(x).output);
+  EXPECT_DOUBLE_EQ(transport.nominal(x), serve.nominal(x));
+}
+
+TEST(TransportBackend, RunTrialsBitIdenticalToServeBackend) {
+  SKIP_WITHOUT_TRANSPORT();
+  const auto net = transport_net(7);
+  fault::CampaignConfig config;
+  config.attack = fault::AttackKind::kRandomCrash;
+  config.trials = 12;
+  config.probes_per_trial = 6;
+  config.seed = 77;
+  const std::vector<std::size_t> counts{1, 1};
+  const auto trials = fault::make_campaign_trials(net, counts, config);
+
+  exec::ServeBackendOptions serve_options;
+  serve_options.replicas = 2;
+  serve_options.latency = heavy_tail();
+  serve_options.straggler_cut = {2, 1};
+  exec::ServeBackend serve(net, serve_options);
+
+  exec::TransportBackendOptions transport_options;
+  transport_options.workers = 2;
+  transport_options.latency = heavy_tail();
+  transport_options.straggler_cut = {2, 1};
+  exec::TransportBackend transport(net, transport_options);
+
+  const auto on_serve = serve.run_trials(trials);
+  const auto on_transport = transport.run_trials(trials);
+  ASSERT_EQ(on_serve.size(), on_transport.size());
+  for (std::size_t t = 0; t < on_serve.size(); ++t) {
+    ASSERT_EQ(on_serve[t].probes.size(), on_transport[t].probes.size());
+    for (std::size_t i = 0; i < on_serve[t].probes.size(); ++i) {
+      EXPECT_DOUBLE_EQ(on_transport[t].probes[i].output,
+                       on_serve[t].probes[i].output);
+      EXPECT_DOUBLE_EQ(on_transport[t].probes[i].completion_time,
+                       on_serve[t].probes[i].completion_time);
+      EXPECT_EQ(on_transport[t].probes[i].resets_sent,
+                on_serve[t].probes[i].resets_sent);
+    }
+    EXPECT_DOUBLE_EQ(on_transport[t].worst_error, on_serve[t].worst_error);
+  }
+}
+
+TEST(TransportBackend, CrossCheckPinsBitEquivalenceWithSimulator) {
+  SKIP_WITHOUT_TRANSPORT();
+  // The campaign-scale acceptance bar: one trial stream replayed on the
+  // in-process simulator and over real IPC diverges by exactly zero under
+  // the transmitted-value convention.
+  const auto net = transport_net(5);
+  for (const auto attack : {fault::AttackKind::kRandomCrash,
+                            fault::AttackKind::kRandomByzantine,
+                            fault::AttackKind::kRandomSynapseByzantine}) {
+    fault::CampaignConfig config;
+    config.attack = attack;
+    config.trials = 20;
+    config.probes_per_trial = 8;
+    config.capacity = 1.0;
+    config.convention = theory::CapacityConvention::kTransmittedValueBound;
+    config.seed = 31;
+    std::vector<std::size_t> counts(net.layer_count(), 1);
+    if (attack == fault::AttackKind::kRandomSynapseByzantine) {
+      counts.push_back(1);
+    }
+    theory::FepOptions fep;
+    fep.mode = attack == fault::AttackKind::kRandomCrash
+                   ? theory::FailureMode::kCrash
+                   : theory::FailureMode::kByzantine;
+
+    exec::SimulatorBackend simulator(net);
+    exec::TransportBackendOptions options;
+    options.workers = 3;
+    exec::TransportBackend transport(net, options);
+    const auto check = fault::cross_check_campaign(net, counts, config, fep,
+                                                   transport, simulator);
+    EXPECT_EQ(check.max_divergence, 0.0)
+        << "attack " << static_cast<int>(attack) << " diverged at trial "
+        << check.divergent_trial << " probe " << check.divergent_probe;
+    EXPECT_EQ(check.first.observed_max, check.second.observed_max);
+  }
+}
+
+TEST(TransportBackend, TimelineCampaignWithRealKillsMatchesSimulator) {
+  SKIP_WITHOUT_TRANSPORT();
+  // Recurring catastrophic failures, one layer lower: the logical crash
+  // windows also SIGKILL worker processes (ids are trial-major probe
+  // indices), and the campaign still replays the simulator bit for bit on
+  // 1, 2, and 8 workers — deaths move requests, never results.
+  const auto net = transport_net(9);
+  serve::FaultTimeline timeline;
+  fault::FaultPlan burst;
+  burst.neurons = {{1, 2, fault::NeuronFaultKind::kCrash, 0.0},
+                   {1, 6, fault::NeuronFaultKind::kCrash, 0.0}};
+  timeline.add(6, 12, burst);
+  fault::FaultPlan late;
+  late.neurons = {{2, 1, fault::NeuronFaultKind::kCrash, 0.0}};
+  timeline.add(20, serve::FaultTimeline::kForever, late);
+
+  fault::TimelineCampaignConfig config;
+  config.trials = 28;
+  config.probes_per_trial = 4;
+  config.seed = 17;
+
+  exec::SimulatorBackend simulator(net);
+  const auto expected =
+      fault::run_timeline_campaign(net, timeline, config, simulator);
+  ASSERT_EQ(expected.per_trial_error.size(), config.trials);
+  EXPECT_GT(expected.faulty_trials, 0u);
+
+  const auto probes = static_cast<std::uint64_t>(config.probes_per_trial);
+  for (const std::size_t workers : {1u, 2u, 8u}) {
+    exec::TransportBackendOptions options;
+    options.workers = workers;
+    // Each logical crash window kills a real worker process at its start
+    // request id and recovers it at its end request id.
+    options.crash_script = {{0, 6 * probes, 12 * probes},
+                            {workers > 1 ? 1u : 0u, 20 * probes, 24 * probes}};
+    exec::TransportBackend transport(net, options);
+    const auto actual =
+        fault::run_timeline_campaign(net, timeline, config, transport);
+    ASSERT_EQ(actual.per_trial_error.size(), config.trials);
+    for (std::size_t t = 0; t < config.trials; ++t) {
+      EXPECT_EQ(actual.per_trial_error[t], expected.per_trial_error[t])
+          << "trial " << t << " on " << workers << " workers";
+    }
+    EXPECT_EQ(actual.faulty_trials, expected.faulty_trials);
+    EXPECT_EQ(transport.last_report().worker_restarts, 2u)
+        << workers << " workers";
+    EXPECT_EQ(transport.last_report().completed,
+              config.trials * config.probes_per_trial);
+  }
+}
+
+}  // namespace
+}  // namespace wnf::transport
