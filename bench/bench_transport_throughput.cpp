@@ -6,15 +6,20 @@
 // compute bit-identical outputs, and the table isolates pure transport
 // overhead (frame encode/decode, socket hops, poll scheduling).
 //
-// A final row SIGKILLs one worker mid-stream and lets the host resubmit
-// and respawn, pricing real crash recovery in wall time.
+// A batch-size sweep (1/8/64 probes per BatchRequest frame) isolates the
+// syscall amortisation the batched wire frames buy; a SIGKILL row prices
+// real crash recovery in wall time; and a persistent-fleet vs
+// fork-per-campaign pair prices what rebind() saves when the same fleet
+// serves repeated campaigns instead of re-forking for each.
 //
 // Run: ./bench_transport_throughput [requests=2048] [width=64] [depth=2]
-//                                   [max_workers=8] [pipeline=4] [seed=1]
+//                                   [max_workers=8] [batch=8] [pipeline=4]
+//                                   [campaigns=5] [seed=1]
 #include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <iostream>
+#include <span>
 
 #include "bench/common.hpp"
 #include "serve/pool.hpp"
@@ -30,7 +35,10 @@ int main(int argc, char** argv) {
   const auto depth = static_cast<std::size_t>(args.get_int("depth", 2));
   const auto max_workers =
       static_cast<std::size_t>(args.get_int("max_workers", 8));
+  const auto batch = static_cast<std::size_t>(args.get_int("batch", 8));
   const auto pipeline = static_cast<std::size_t>(args.get_int("pipeline", 4));
+  const auto campaigns = std::max<std::size_t>(
+      1, static_cast<std::size_t>(args.get_int("campaigns", 5)));
   const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
   args.reject_unknown();
 
@@ -54,16 +62,20 @@ int main(int argc, char** argv) {
   const dist::LatencyModel latency{dist::LatencyKind::kHeavyTail, 1.0, 50.0,
                                    0.2};
 
-  std::printf("network %zux%zu, %zu requests, pipeline depth %zu\n\n", width,
-              depth, requests, pipeline);
+  std::printf(
+      "network %zux%zu, %zu requests, batch %zu, pipeline depth %zu\n\n",
+      width, depth, requests, batch, pipeline);
 
-  Table table({"runtime", "workers", "wall s", "req/s", "restarts",
-               "resubmitted", "output checksum"});
-  const auto add_row = [&](const char* runtime, std::size_t workers,
+  Table table({"runtime", "workers", "batch", "wall s", "req/s", "frames",
+               "restarts", "resubmitted", "output checksum"});
+  const auto add_row = [&](const std::string& runtime, std::size_t workers,
+                           std::size_t batch_size,
                            const serve::ServeReport& report, double checksum) {
     table.add_row({runtime, std::to_string(workers),
+                   std::to_string(batch_size),
                    Table::num(report.wall_seconds, 3),
                    Table::num(report.throughput_rps, 0),
+                   std::to_string(report.batch_frames),
                    std::to_string(report.worker_restarts),
                    std::to_string(report.resubmitted),
                    Table::num(checksum, 9)});
@@ -80,50 +92,113 @@ int main(int argc, char** argv) {
     pool.submit_batch(workload);
     double checksum = 0.0;
     for (const auto& result : pool.drain()) checksum += result.output;
-    add_row("pool (threads)", workers, pool.report(), checksum);
+    add_row("pool (threads)", workers, 0, pool.report(), checksum);
     if (workers == 1) reference_checksum = checksum;
     WNF_ASSERT(checksum == reference_checksum);
   }
 
-  for (std::size_t workers = 1; workers <= max_workers; workers *= 2) {
+  const auto make_config = [&](std::size_t workers, std::size_t batch_size) {
     transport::TransportConfig config;
     config.workers = workers;
     config.queue_capacity = requests;
+    config.batch = batch_size;
     config.pipeline_depth = pipeline;
     config.latency = latency;
     config.seed = seed + 7;
-    transport::WorkerHost host(net, config);
+    return config;
+  };
+
+  for (std::size_t workers = 1; workers <= max_workers; workers *= 2) {
+    transport::WorkerHost host(net, make_config(workers, batch));
     host.submit_batch(workload);
     double checksum = 0.0;
     for (const auto& result : host.drain()) checksum += result.output;
-    add_row("transport (procs)", workers, host.report(), checksum);
+    add_row("transport (procs)", workers, batch, host.report(), checksum);
+    WNF_ASSERT(checksum == reference_checksum);
+  }
+
+  // Batch-size sweep: same deployment, 1/8/64 probes per frame. The
+  // checksum never moves; only the frame count (and the syscall bill) does.
+  const std::size_t sweep_workers = std::max<std::size_t>(2, max_workers / 2);
+  for (const std::size_t batch_size : {std::size_t{1}, std::size_t{8},
+                                       std::size_t{64}}) {
+    transport::WorkerHost host(net, make_config(sweep_workers, batch_size));
+    host.submit_batch(workload);
+    double checksum = 0.0;
+    for (const auto& result : host.drain()) checksum += result.output;
+    add_row("transport sweep", sweep_workers, batch_size, host.report(),
+            checksum);
     WNF_ASSERT(checksum == reference_checksum);
   }
 
   // Crash recovery priced: one worker is SIGKILLed a quarter of the way
   // in and respawned halfway through; outputs still match bit for bit.
   {
-    const std::size_t workers = std::max<std::size_t>(2, max_workers / 2);
-    transport::TransportConfig config;
-    config.workers = workers;
-    config.queue_capacity = requests;
-    config.pipeline_depth = pipeline;
-    config.latency = latency;
-    config.seed = seed + 7;
-    transport::WorkerHost host(net, config);
+    transport::WorkerHost host(net, make_config(sweep_workers, batch));
     host.set_crash_script({{0, requests / 4, requests / 2}});
     host.submit_batch(workload);
     double checksum = 0.0;
     for (const auto& result : host.drain()) checksum += result.output;
-    add_row("transport + SIGKILL", workers, host.report(), checksum);
+    add_row("transport + SIGKILL", sweep_workers, batch, host.report(),
+            checksum);
     WNF_ASSERT(checksum == reference_checksum);
     WNF_ASSERT(host.report().worker_restarts >= 1);
   }
   table.print(std::cout);
 
+  // Persistent fleet vs fork-per-campaign: the total workload split into
+  // `campaigns` consecutive small campaigns, served once by a single
+  // rebound fleet and once by a fresh fleet per campaign. Small campaigns
+  // on small networks make the per-campaign fork + network shipping cost
+  // dominate — exactly the repeated-campaign shape rebind() amortises.
+  const std::size_t campaign_requests =
+      std::max<std::size_t>(1, requests / campaigns);
+  const std::span<const std::vector<double>> campaign_workload{
+      workload.data(), campaign_requests};
+  const auto campaign_checksum = [&](transport::WorkerHost& host) {
+    host.submit_batch(campaign_workload);
+    double checksum = 0.0;
+    for (const auto& result : host.drain()) checksum += result.output;
+    return checksum;
+  };
+
+  // Marginal cost of one more campaign: the fleet forks once (warm-up
+  // campaign, untimed — after it the fleet simply exists, which is the
+  // amortisation claim), then every further campaign costs rebind + serve.
+  // The fork path pays fork + bind + serve every single time.
+  transport::WorkerHost fleet(net, make_config(sweep_workers, batch));
+  const double persistent_checksum = campaign_checksum(fleet);
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::size_t c = 0; c < campaigns; ++c) {
+    fleet.rebind(net);
+    WNF_ASSERT(campaign_checksum(fleet) == persistent_checksum);
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  WNF_ASSERT(fleet.total_spawns() == sweep_workers);
+  for (std::size_t c = 0; c < campaigns; ++c) {
+    transport::WorkerHost fresh(net, make_config(sweep_workers, batch));
+    WNF_ASSERT(campaign_checksum(fresh) == persistent_checksum);
+  }
+  const auto t2 = std::chrono::steady_clock::now();
+
+  const double persistent_s = std::chrono::duration<double>(t1 - t0).count();
+  const double forked_s = std::chrono::duration<double>(t2 - t1).count();
+  std::printf(
+      "\n%zu further campaigns x %zu requests on %zu workers (fleet forked "
+      "once, untimed):\n"
+      "  persistent fleet (rebind)   %.3f s  (%.0f req/s)\n"
+      "  fork per campaign           %.3f s  (%.0f req/s)\n"
+      "  speedup                     %.2fx\n",
+      campaigns, campaign_requests, sweep_workers, persistent_s,
+      static_cast<double>(campaigns * campaign_requests) / persistent_s,
+      forked_s,
+      static_cast<double>(campaigns * campaign_requests) / forked_s,
+      forked_s / persistent_s);
+
   std::printf(
       "\nevery row sums to the same checksum: process isolation, the wire\n"
-      "protocol, and even a SIGKILLed worker change where requests run,\n"
-      "never what they compute.\n");
+      "protocol, batching, rebinding, and even a SIGKILLed worker change\n"
+      "where (and in how many frames) requests run, never what they\n"
+      "compute.\n");
   return 0;
 }

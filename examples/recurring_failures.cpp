@@ -16,7 +16,9 @@
 // injector (the analytic path), or sim (a second simulator).
 //
 // Run: ./recurring_failures [trials=120] [probes=8] [replicas=4] [seed=11]
-//                           [backend=serve]
+//                           [backend=serve] [batch=8]
+// (batch= sets the transport backend's probes-per-frame; bit-identical at
+// any batch size.)
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
@@ -42,6 +44,7 @@ int main(int argc, char** argv) {
       60, static_cast<std::size_t>(args.get_int("trials", 120)));
   const auto probes = static_cast<std::size_t>(args.get_int("probes", 8));
   const auto replicas = static_cast<std::size_t>(args.get_int("replicas", 4));
+  const auto batch = static_cast<std::size_t>(args.get_int("batch", 8));
   const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 11));
   const std::string backend = args.get_string("backend", "serve");
   args.reject_unknown();
@@ -113,6 +116,7 @@ int main(int argc, char** argv) {
   } else if (backend == "transport") {
     exec::TransportBackendOptions transport_options;
     transport_options.workers = replicas;
+    transport_options.batch = batch;
     // Every recurring burst also SIGKILLs a real worker process at the
     // burst's first request and respawns it at the recovery boundary
     // (request ids are trial-major probe indices). replicas=0 means

@@ -20,7 +20,9 @@
 // are latency-independent, and serve/transport are bit-identical always.
 //
 // Run: ./serve_deployment [seed=5] [requests=600] [replicas=4]
-//                         [backend=serve]
+//                         [backend=serve] [batch=8]
+// (batch= sets the probes-per-frame of the transport backend's batched
+// wire protocol; outputs are bit-identical at any batch size.)
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
@@ -49,6 +51,7 @@ int main(int argc, char** argv) {
   const auto requests = std::max<std::size_t>(
       30, static_cast<std::size_t>(args.get_int("requests", 600)));
   const auto replicas = static_cast<std::size_t>(args.get_int("replicas", 4));
+  const auto batch = static_cast<std::size_t>(args.get_int("batch", 8));
   const std::string backend = args.get_string("backend", "serve");
   args.reject_unknown();
   if (backend != "serve" && backend != "transport" && backend != "sim" &&
@@ -167,6 +170,7 @@ int main(int argc, char** argv) {
     transport::TransportConfig config;
     config.workers = replicas;
     config.queue_capacity = requests;
+    config.batch = batch;
     config.latency = latency;
     config.straggler_cut = straggler_cut;
     config.seed = serve_seed;
@@ -252,7 +256,7 @@ int main(int argc, char** argv) {
     print_banner(std::cout, "deployment report");
     Table summary({"replicas", "completed", "rejected", "wall s", "req/s",
                    "p50 t", "p95 t", "p99 t", "resets", "restarts",
-                   "resubmitted"});
+                   "resubmitted", "frames"});
     summary.add_row({std::to_string(report.replicas),
                      std::to_string(report.completed),
                      std::to_string(report.rejected),
@@ -262,7 +266,8 @@ int main(int argc, char** argv) {
                      Table::num(report.p99, 4),
                      std::to_string(report.resets_sent),
                      std::to_string(report.worker_restarts),
-                     std::to_string(report.resubmitted)});
+                     std::to_string(report.resubmitted),
+                     std::to_string(report.batch_frames)});
     summary.print(std::cout);
   }
   if (backend == "transport") {

@@ -12,6 +12,7 @@ transport::TransportConfig host_config(const TransportBackendOptions& options,
   transport::TransportConfig config;
   config.workers = options.workers;
   config.queue_capacity = queue_capacity;
+  config.batch = options.batch;
   config.pipeline_depth = options.pipeline_depth;
   config.sim = options.sim;
   config.latency = options.latency;
@@ -38,6 +39,23 @@ transport::WorkerHost& TransportBackend::serial_host() {
         net_, host_config(options_, 1));
   }
   return *serial_host_;
+}
+
+transport::WorkerHost& TransportBackend::campaign_fleet(
+    std::size_t queue_capacity) {
+  if (!fleet_) {
+    fleet_ = std::make_unique<transport::WorkerHost>(
+        net_, host_config(options_, queue_capacity));
+  } else {
+    // Same fleet, fresh logical deployment: ids restart at 0 on the same
+    // seed, the queue grows to hold this call's whole trial stream, and
+    // no timeline or crash script carries over — bit-identical to a fresh
+    // host, with zero new forks.
+    transport::RebindOptions rebind;
+    rebind.queue_capacity = queue_capacity;
+    fleet_->rebind(net_, std::move(rebind));
+  }
+  return *fleet_;
 }
 
 void TransportBackend::install(const fault::FaultPlan& plan) {
@@ -76,11 +94,12 @@ std::vector<TrialResult> TransportBackend::run_trials(
     std::span<const Trial> trials) {
   std::size_t total = 0;
   for (const Trial& trial : trials) total += trial.probes.size();
-  // Fresh host per call: new worker processes, ids from 0, the queue holds
-  // the entire trial stream, so nothing is shed and prior calls leave no
-  // trace — the exact discipline ServeBackend uses with its pool.
-  transport::WorkerHost host(
-      net_, host_config(options_, std::max<std::size_t>(total, 1)));
+  // Persistent fleet, fresh logical deployment per call: ids from 0, the
+  // queue holds the entire trial stream, so nothing is shed and prior
+  // calls leave no trace in the results — the exact discipline ServeBackend
+  // uses with its pool, minus the per-call fork + network shipping.
+  transport::WorkerHost& host =
+      campaign_fleet(std::max<std::size_t>(total, 1));
 
   serve::FaultTimeline timeline;
   std::uint64_t offset = 0;

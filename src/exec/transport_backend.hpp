@@ -20,7 +20,9 @@ namespace wnf::exec {
 /// Shape of one multi-process execution path.
 struct TransportBackendOptions {
   std::size_t workers = 1;  ///< worker processes (0 = hardware concurrency)
-  std::size_t pipeline_depth = 4;  ///< outstanding requests per worker
+  std::size_t batch = 8;  ///< probes per BatchRequest frame (bit-identical
+                          ///< results at any batch size)
+  std::size_t pipeline_depth = 4;  ///< outstanding batch frames per worker
   dist::SimConfig sim;             ///< per-replica channel capacity
   dist::LatencyModel latency;  ///< per-request, per-neuron latency draws
   /// Optional Corollary-2 straggler cut, size L (empty = full waits).
@@ -35,11 +37,15 @@ struct TransportBackendOptions {
 };
 
 /// Wraps transport::WorkerHost for batched multi-process campaign trials.
-/// run_trials builds a fresh host per call (fresh worker processes, queue
-/// sized to the whole trial stream, request ids from 0) so results depend
-/// only on the trials and the options. The serial install/evaluate path
-/// keeps one persistent host whose request stream advances across
-/// evaluate() calls — mirroring ServeBackend's serial pool exactly.
+/// run_trials serves every call on ONE persistent fleet: the first call
+/// forks the worker processes, every later call rebind()s them — request
+/// ids restart at 0 on a reseeded root stream, so each campaign's results
+/// depend only on the trials and the options, exactly as if a fresh host
+/// had been built, but repeated campaigns, cross-checks, and adversary
+/// searches pay fork + network shipping once instead of per call. The
+/// serial install/evaluate path keeps a separate persistent host whose
+/// request stream advances across evaluate() calls — mirroring
+/// ServeBackend's serial pool exactly.
 class TransportBackend final : public EvalBackend {
  public:
   /// True when this platform can run worker processes; construction
@@ -58,18 +64,26 @@ class TransportBackend final : public EvalBackend {
 
   const TransportBackendOptions& options() const { return options_; }
 
-  /// Deployment report of the last run_trials host (process-fault counters
-  /// included); empty before the first run_trials call.
+  /// Deployment report of the last run_trials campaign (process-fault and
+  /// batch counters included; rebind() resets the per-campaign counters,
+  /// so this is per-call even though the fleet persists); empty before the
+  /// first run_trials call.
   const serve::ServeReport& last_report() const { return last_report_; }
+
+  /// The persistent campaign fleet — forked by the first run_trials call,
+  /// rebound (never re-forked) by every later one. Null before then.
+  const transport::WorkerHost* fleet() const { return fleet_.get(); }
 
  private:
   transport::WorkerHost& serial_host();
+  transport::WorkerHost& campaign_fleet(std::size_t queue_capacity);
 
   const nn::FeedForwardNetwork& net_;
   TransportBackendOptions options_;
   fault::FaultPlan plan_;
   bool plan_dirty_ = false;
   std::unique_ptr<transport::WorkerHost> serial_host_;  ///< lazily spawned
+  std::unique_ptr<transport::WorkerHost> fleet_;  ///< lazily spawned
   serve::ServeReport last_report_;
 };
 

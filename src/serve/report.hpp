@@ -42,6 +42,12 @@ struct ServeReport {
                                  ///< survivors after a worker-process death
   std::size_t worker_restarts = 0;  ///< worker processes respawned (crash
                                     ///< recovery boundaries + forced)
+  std::size_t batch_frames = 0;  ///< BatchRequest frames the host sent —
+                                 ///< completed/batch_frames ≈ realised
+                                 ///< probes per wire round-trip
+  std::size_t rebinds = 0;       ///< times the fleet was rebound to a new
+                                 ///< deployment without re-forking
+                                 ///< (lifetime, unlike the other counters)
 };
 
 }  // namespace wnf::serve

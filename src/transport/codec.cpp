@@ -81,6 +81,16 @@ class Reader {
     return s;
   }
 
+  /// Bulk copy of `n` bytes in one bounds check — for nested payloads
+  /// (the rebind frame's inner bind can be a whole serialized network).
+  std::vector<std::uint8_t> bytes(std::size_t n) {
+    if (!take(n)) return {};
+    std::vector<std::uint8_t> out(bytes_.begin() + static_cast<long>(at_),
+                                  bytes_.begin() + static_cast<long>(at_ + n));
+    at_ += n;
+    return out;
+  }
+
   /// Element-count guard for vectors: a lying count must fail the bounds
   /// check now, not allocate first. `unit` is the encoded size per element.
   bool fits(std::uint64_t count, std::size_t unit) {
@@ -208,7 +218,7 @@ ParseStatus Codec::try_parse(std::vector<std::uint8_t>& buffer, Frame& frame) {
   if (magic != kFrameMagic || version != kProtocolVersion ||
       size > kMaxPayloadSize ||
       type < static_cast<std::uint16_t>(MessageType::kHello) ||
-      type > static_cast<std::uint16_t>(MessageType::kShutdown)) {
+      type > static_cast<std::uint16_t>(MessageType::kRebind)) {
     return ParseStatus::kMalformed;
   }
   if (buffer.size() < kFrameHeaderSize + size) return ParseStatus::kNeedMore;
@@ -309,13 +319,39 @@ std::optional<SegmentsMsg> Codec::decode_segments(
 
 // --------------------------------------------------------------- request
 
-std::vector<std::uint8_t> Codec::encode_request(const RequestMsg& msg) {
-  std::vector<std::uint8_t> out;
+namespace {
+
+/// One probe's wire body — shared by the single-request frame and every
+/// entry of a batch frame, so the two paths cannot encode a probe
+/// differently.
+void put_request_body(std::vector<std::uint8_t>& out, const RequestMsg& msg) {
   put_u64(out, msg.id);
   put_u32(out, msg.segment);
   for (const std::uint64_t word : msg.rng_state) put_u64(out, word);
   put_u32(out, static_cast<std::uint32_t>(msg.x.size()));
   for (const double value : msg.x) put_f64(out, value);
+}
+
+/// Fixed bytes of a probe body before its input vector: id + segment +
+/// rng state + x-count. The per-element guard for batch counts.
+constexpr std::size_t kRequestBodyMinBytes = 8 + 4 + 4 * 8 + 4;
+
+bool read_request_body(Reader& reader, RequestMsg& msg) {
+  msg.id = reader.u64();
+  msg.segment = reader.u32();
+  for (auto& word : msg.rng_state) word = reader.u64();
+  const std::uint32_t dim = reader.u32();
+  if (!reader.fits(dim, 8)) return false;
+  msg.x.resize(dim);
+  for (auto& value : msg.x) value = reader.f64();
+  return reader.ok();
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> Codec::encode_request(const RequestMsg& msg) {
+  std::vector<std::uint8_t> out;
+  put_request_body(out, msg);
   return out;
 }
 
@@ -323,13 +359,7 @@ std::optional<RequestMsg> Codec::decode_request(
     const std::vector<std::uint8_t>& payload) {
   Reader reader(payload);
   RequestMsg msg;
-  msg.id = reader.u64();
-  msg.segment = reader.u32();
-  for (auto& word : msg.rng_state) word = reader.u64();
-  const std::uint32_t dim = reader.u32();
-  if (!reader.fits(dim, 8)) return std::nullopt;
-  msg.x.resize(dim);
-  for (auto& value : msg.x) value = reader.f64();
+  if (!read_request_body(reader, msg)) return std::nullopt;
   if (!reader.exhausted()) return std::nullopt;
   return msg;
 }
@@ -354,6 +384,111 @@ std::optional<ResultMsg> Codec::decode_result(
   msg.completion_time = reader.f64();
   msg.resets_sent = reader.u64();
   if (!reader.exhausted()) return std::nullopt;
+  return msg;
+}
+
+// ------------------------------------------------------- batched requests
+
+std::vector<std::uint8_t> Codec::encode_batch_request(
+    const BatchRequestMsg& msg) {
+  WNF_EXPECTS(!msg.probes.empty());
+  std::vector<std::uint8_t> out;
+  put_u32(out, static_cast<std::uint32_t>(msg.probes.size()));
+  for (const RequestMsg& probe : msg.probes) put_request_body(out, probe);
+  return out;
+}
+
+std::optional<BatchRequestMsg> Codec::decode_batch_request(
+    const std::vector<std::uint8_t>& payload) {
+  Reader reader(payload);
+  BatchRequestMsg msg;
+  const std::uint32_t count = reader.u32();
+  if (count == 0) return std::nullopt;
+  if (!reader.fits(count, kRequestBodyMinBytes)) return std::nullopt;
+  msg.probes.resize(count);
+  for (RequestMsg& probe : msg.probes) {
+    if (!read_request_body(reader, probe)) return std::nullopt;
+  }
+  if (!reader.exhausted()) return std::nullopt;
+  return msg;
+}
+
+// -------------------------------------------------------- batched results
+
+namespace {
+constexpr std::size_t kBatchResultEntryBytes = 8 + 1 + 8 + 8 + 8;
+}  // namespace
+
+std::vector<std::uint8_t> Codec::encode_batch_result(
+    const BatchResultMsg& msg) {
+  WNF_EXPECTS(!msg.results.empty());
+  std::vector<std::uint8_t> out;
+  put_u32(out, static_cast<std::uint32_t>(msg.results.size()));
+  for (const BatchResultEntry& entry : msg.results) {
+    put_u64(out, entry.id);
+    out.push_back(static_cast<std::uint8_t>(entry.status));
+    put_f64(out, entry.output);
+    put_f64(out, entry.completion_time);
+    put_u64(out, entry.resets_sent);
+  }
+  return out;
+}
+
+std::optional<BatchResultMsg> Codec::decode_batch_result(
+    const std::vector<std::uint8_t>& payload) {
+  Reader reader(payload);
+  BatchResultMsg msg;
+  const std::uint32_t count = reader.u32();
+  if (count == 0) return std::nullopt;
+  if (!reader.fits(count, kBatchResultEntryBytes)) return std::nullopt;
+  msg.results.resize(count);
+  for (BatchResultEntry& entry : msg.results) {
+    entry.id = reader.u64();
+    const std::uint8_t status = reader.u8();
+    if (status > static_cast<std::uint8_t>(ProbeStatus::kFailed)) {
+      return std::nullopt;
+    }
+    entry.status = static_cast<ProbeStatus>(status);
+    entry.output = reader.f64();
+    entry.completion_time = reader.f64();
+    entry.resets_sent = reader.u64();
+  }
+  if (!reader.exhausted()) return std::nullopt;
+  return msg;
+}
+
+// ---------------------------------------------------------------- rebind
+
+std::vector<std::uint8_t> Codec::encode_rebind(const RebindMsg& msg) {
+  // The two inner payloads are length-prefixed so the decoder can hand
+  // each to its own codec (which enforces its own exhaustion check).
+  const auto bind = encode_bind(msg.bind);
+  const auto segments = encode_segments(msg.segments);
+  std::vector<std::uint8_t> out;
+  out.reserve(8 + bind.size() + segments.size());
+  put_u32(out, static_cast<std::uint32_t>(bind.size()));
+  out.insert(out.end(), bind.begin(), bind.end());
+  put_u32(out, static_cast<std::uint32_t>(segments.size()));
+  out.insert(out.end(), segments.begin(), segments.end());
+  return out;
+}
+
+std::optional<RebindMsg> Codec::decode_rebind(
+    const std::vector<std::uint8_t>& payload) {
+  Reader reader(payload);
+  const std::uint32_t bind_size = reader.u32();
+  const std::vector<std::uint8_t> bind_bytes = reader.bytes(bind_size);
+  const std::uint32_t segments_size = reader.u32();
+  const std::vector<std::uint8_t> segments_bytes =
+      reader.bytes(segments_size);
+  if (!reader.exhausted()) return std::nullopt;
+  RebindMsg msg;
+  auto bind = decode_bind(bind_bytes);
+  if (!bind) return std::nullopt;
+  msg.bind = std::move(*bind);
+  auto segments = decode_segments(segments_bytes);
+  if (!segments) return std::nullopt;
+  msg.segments = std::move(*segments);
   return msg;
 }
 

@@ -3,11 +3,20 @@
 // Every message between a WorkerHost and a Worker process is one frame:
 //
 //   u32 magic      "WNF1" (0x574E4631)      | fixed 20-byte header,
-//   u16 version    protocol version (= 1)   | little-endian on the wire
+//   u16 version    protocol version (= 2)   | little-endian on the wire
 //   u16 type       MessageType              | whatever the host CPU is
 //   u32 size       payload bytes that follow
 //   u64 checksum   FNV-1a 64 over the payload
 //   ...payload...
+//
+// Protocol v2 adds the persistent-fleet messages: BatchRequest/BatchResult
+// carry many probes (and their Rng::split states) per frame so heavy
+// campaign traffic pays one syscall round-trip per batch instead of per
+// probe, and Rebind atomically swaps the network, configuration, and
+// timeline segments on a live worker so a fleet survives across campaigns
+// without re-forking. Batch results identify every probe by id with its
+// own status byte, which is what lets the host resubmit only the probes an
+// unacknowledged batch actually lost when a worker is SIGKILLed mid-batch.
 //
 // Payloads are explicit little-endian primitives (doubles as IEEE-754 bit
 // patterns), so a frame is a byte-exact artifact: the same network, plan,
@@ -37,7 +46,7 @@
 namespace wnf::transport {
 
 inline constexpr std::uint32_t kFrameMagic = 0x574E4631u;  // "WNF1"
-inline constexpr std::uint16_t kProtocolVersion = 1;
+inline constexpr std::uint16_t kProtocolVersion = 2;
 inline constexpr std::size_t kFrameHeaderSize = 20;
 /// Sanity cap on payload size (a lying length field must not trigger a
 /// multi-gigabyte allocation before the checksum can reject the frame).
@@ -47,9 +56,17 @@ enum class MessageType : std::uint16_t {
   kHello = 1,     ///< worker -> host: worker index + pid, sent on startup
   kBind = 2,      ///< host -> worker: network + simulator/latency/cut config
   kSegments = 3,  ///< host -> worker: the timeline's per-segment fault plans
-  kRequest = 4,   ///< host -> worker: one probe evaluation
-  kResult = 5,    ///< worker -> host: the probe outcome
+  kRequest = 4,   ///< host -> worker: one probe evaluation. v2 hosts only
+                  ///< send kBatchRequest (a serial probe is a 1-probe
+                  ///< batch); the single-probe pair stays in the protocol
+                  ///< as its degenerate form — workers still serve it, and
+                  ///< it is the minimal frame for driving a worker by hand
+  kResult = 5,    ///< worker -> host: the probe outcome (see kRequest)
   kShutdown = 6,  ///< host -> worker: exit cleanly
+  // Protocol v2: persistent fleets and batched frames.
+  kBatchRequest = 7,  ///< host -> worker: many probe evaluations, one frame
+  kBatchResult = 8,   ///< worker -> host: the whole batch's outcomes
+  kRebind = 9,        ///< host -> worker: swap network/config/segments live
 };
 
 /// One decoded frame: the type plus its raw payload bytes.
@@ -102,6 +119,52 @@ struct ResultMsg {
   std::uint64_t resets_sent = 0;
 };
 
+/// host -> worker: a whole batch of probe evaluations in one frame. Each
+/// probe still carries its own id, segment, and split-off RNG state, so
+/// batching changes how many syscalls the stream costs, never what any
+/// probe computes. Batches are non-empty by construction (a zero count is
+/// rejected as malformed).
+struct BatchRequestMsg {
+  std::vector<RequestMsg> probes;
+};
+
+/// Per-probe completion status inside a BatchResultMsg. A compliant worker
+/// only ever reports kOk (a probe it cannot evaluate is a protocol
+/// violation and the worker exits instead); the status byte exists so the
+/// host acknowledges probes individually — a SIGKILL mid-batch loses only
+/// the probes of unacknowledged batches — and so future versions can
+/// degrade per probe without a frame-format break.
+enum class ProbeStatus : std::uint8_t {
+  kOk = 0,
+  kFailed = 1,
+};
+
+/// One probe's outcome inside a batch result.
+struct BatchResultEntry {
+  std::uint64_t id = 0;
+  ProbeStatus status = ProbeStatus::kOk;
+  double output = 0.0;
+  double completion_time = 0.0;
+  std::uint64_t resets_sent = 0;
+};
+
+/// worker -> host: every outcome of one BatchRequestMsg, in request order.
+/// Non-empty by construction, exactly like the request.
+struct BatchResultMsg {
+  std::vector<BatchResultEntry> results;
+};
+
+/// host -> worker: atomically swap a live worker onto a new deployment —
+/// network, simulator/latency/cut configuration, and timeline segments in
+/// one frame. This is how a persistent fleet serves many campaigns without
+/// re-forking: the host resets its request-id stream and root RNG, the
+/// worker rebuilds its replica, and the rebound deployment is bit-identical
+/// to a freshly constructed one.
+struct RebindMsg {
+  BindMsg bind;
+  SegmentsMsg segments;
+};
+
 /// Outcome of trying to parse the front of a byte stream.
 enum class ParseStatus {
   kNeedMore,   ///< not enough bytes yet for a complete frame
@@ -145,6 +208,25 @@ class Codec {
 
   static std::vector<std::uint8_t> encode_result(const ResultMsg& msg);
   static std::optional<ResultMsg> decode_result(
+      const std::vector<std::uint8_t>& payload);
+
+  // v2 payloads. Batch decoders reject empty batches, lying probe counts
+  // (bounds-checked before any allocation), truncated per-probe payloads,
+  // and out-of-range status bytes; the rebind decoder length-prefixes its
+  // inner bind and segments payloads and rejects any disagreement between
+  // the prefixes and the actual bytes.
+  static std::vector<std::uint8_t> encode_batch_request(
+      const BatchRequestMsg& msg);
+  static std::optional<BatchRequestMsg> decode_batch_request(
+      const std::vector<std::uint8_t>& payload);
+
+  static std::vector<std::uint8_t> encode_batch_result(
+      const BatchResultMsg& msg);
+  static std::optional<BatchResultMsg> decode_batch_result(
+      const std::vector<std::uint8_t>& payload);
+
+  static std::vector<std::uint8_t> encode_rebind(const RebindMsg& msg);
+  static std::optional<RebindMsg> decode_rebind(
       const std::vector<std::uint8_t>& payload);
 
   /// FNV-1a 64 over `bytes` — the frame checksum.

@@ -30,10 +30,14 @@ namespace wnf::transport {
 // Stub that builds everywhere: construction aborts, available() says why.
 bool WorkerHost::available() { return false; }
 WorkerHost::WorkerHost(const nn::FeedForwardNetwork& net, TransportConfig)
-    : net_(net) {
+    : net_(&net) {
+  WNF_EXPECTS(false && "transport needs POSIX fork/socketpair");
+}
+WorkerHost::WorkerHost(TransportConfig) {
   WNF_EXPECTS(false && "transport needs POSIX fork/socketpair");
 }
 WorkerHost::~WorkerHost() = default;
+void WorkerHost::rebind(const nn::FeedForwardNetwork&, RebindOptions) {}
 void WorkerHost::set_timeline(serve::FaultTimeline) {}
 void WorkerHost::set_crash_script(std::vector<CrashWindow>) {}
 bool WorkerHost::submit(std::vector<double>) { return false; }
@@ -76,27 +80,105 @@ void insert_sorted(std::vector<std::size_t>& sorted, std::size_t index) {
   sorted.insert(it, index);
 }
 
+SegmentsMsg make_segments(const serve::FaultTimeline& timeline) {
+  SegmentsMsg segments;
+  segments.plans.reserve(timeline.segment_count());
+  for (std::size_t s = 0; s < timeline.segment_count(); ++s) {
+    segments.plans.push_back(timeline.segment_plan(s));
+  }
+  return segments;
+}
+
 }  // namespace
 
 bool WorkerHost::available() { return transport_available(); }
 
-WorkerHost::WorkerHost(const nn::FeedForwardNetwork& net,
-                       TransportConfig config)
-    : net_(net), config_(std::move(config)), root_(config_.seed) {
+WorkerHost::WorkerHost(TransportConfig config)
+    : config_(std::move(config)), root_(config_.seed) {
   WNF_EXPECTS(available());
   WNF_EXPECTS(config_.queue_capacity > 0);
+  WNF_EXPECTS(config_.batch > 0);
   WNF_EXPECTS(config_.pipeline_depth > 0);
   if (config_.workers == 0) {
     config_.workers =
         std::max<std::size_t>(1, std::thread::hardware_concurrency());
   }
-  if (!config_.straggler_cut.empty()) {
-    WNF_EXPECTS(config_.straggler_cut.size() == net_.layer_count());
-    wait_counts_ = dist::wait_counts_from_cut(net_, config_.straggler_cut);
-  }
   queue_.reserve(config_.queue_capacity);
   workers_.resize(config_.workers);
   for (std::size_t w = 0; w < workers_.size(); ++w) spawn(w);
+}
+
+WorkerHost::WorkerHost(const nn::FeedForwardNetwork& net,
+                       TransportConfig config)
+    : WorkerHost(std::move(config)) {
+  net_ = &net;
+  if (!config_.straggler_cut.empty()) {
+    WNF_EXPECTS(config_.straggler_cut.size() == net_->layer_count());
+    wait_counts_ = dist::wait_counts_from_cut(*net_, config_.straggler_cut);
+  }
+  // The workers forked unbound (spawn() ships nothing without a network);
+  // bind them now that there is one.
+  for (auto& worker : workers_) {
+    enqueue_bind(worker);
+    enqueue_segments(worker);
+  }
+}
+
+void WorkerHost::rebind(const nn::FeedForwardNetwork& net,
+                        RebindOptions options) {
+  WNF_EXPECTS(queue_.empty());  // no traffic may straddle the swap
+  net_ = &net;
+  if (options.seed) config_.seed = *options.seed;
+  if (options.straggler_cut) {
+    config_.straggler_cut = std::move(*options.straggler_cut);
+  }
+  if (options.queue_capacity) {
+    WNF_EXPECTS(*options.queue_capacity > 0);
+    config_.queue_capacity = *options.queue_capacity;
+    queue_.reserve(config_.queue_capacity);
+  }
+  wait_counts_.clear();
+  if (!config_.straggler_cut.empty()) {
+    WNF_EXPECTS(config_.straggler_cut.size() == net_->layer_count());
+    wait_counts_ = dist::wait_counts_from_cut(*net_, config_.straggler_cut);
+  }
+  // Fresh logical deployment: ids restart at 0 on a reseeded root stream,
+  // with no timeline and no crash script carried over.
+  timeline_ = serve::FaultTimeline{};
+  script_.clear();
+  root_.reseed(config_.seed);
+  next_id_ = 0;
+  deaths_without_progress_ = 0;
+  // Live workers swap state atomically via one kRebind frame — encoded
+  // once, appended per worker (the network serializes once per rebind,
+  // not once per worker); workers a previous crash script left dead
+  // rejoin the fleet (spawn() binds them to the new network directly).
+  std::vector<std::uint8_t> rebind_frame;
+  for (std::size_t w = 0; w < workers_.size(); ++w) {
+    if (workers_[w].alive) {
+      if (rebind_frame.empty()) {
+        RebindMsg msg;
+        msg.bind = make_bind();
+        msg.segments = make_segments(timeline_);
+        rebind_frame =
+            Codec::encode(MessageType::kRebind, Codec::encode_rebind(msg));
+      }
+      workers_[w].outbox.insert(workers_[w].outbox.end(),
+                                rebind_frame.begin(), rebind_frame.end());
+    } else {
+      workers_[w].blocked_until = 0;
+      spawn(w);
+    }
+  }
+  // The report starts over with the deployment (rebinds_ is lifetime).
+  completion_times_.clear();
+  shed_ = 0;
+  resets_total_ = 0;
+  resubmitted_ = 0;
+  restarts_ = 0;
+  batch_frames_ = 0;
+  wall_seconds_ = 0.0;
+  ++rebinds_;
 }
 
 WorkerHost::~WorkerHost() {
@@ -145,37 +227,43 @@ void WorkerHost::spawn(std::size_t w) {
   worker.inbox.clear();
   worker.outbox.clear();
   WNF_ASSERT(worker.inflight.empty());
-  enqueue_bind(worker);
-  enqueue_segments(worker);
+  worker.inflight_batches = 0;
+  ++total_spawns_;
+  // An unbound fleet forks and greets but ships nothing; the first
+  // rebind() supplies the network.
+  if (net_ != nullptr) {
+    enqueue_bind(worker);
+    enqueue_segments(worker);
+  }
 }
 
-void WorkerHost::enqueue_bind(WorkerState& worker) {
+BindMsg WorkerHost::make_bind() const {
   BindMsg bind;
   std::ostringstream text;
-  nn::save_network(net_, text);
+  nn::save_network(*net_, text);
   bind.network_text = text.str();
   bind.sim = config_.sim;
   bind.latency = config_.latency;
   bind.wait_counts.assign(wait_counts_.begin(), wait_counts_.end());
+  return bind;
+}
+
+void WorkerHost::enqueue_bind(WorkerState& worker) {
   const auto frame =
-      Codec::encode(MessageType::kBind, Codec::encode_bind(bind));
+      Codec::encode(MessageType::kBind, Codec::encode_bind(make_bind()));
   worker.outbox.insert(worker.outbox.end(), frame.begin(), frame.end());
 }
 
 void WorkerHost::enqueue_segments(WorkerState& worker) {
-  SegmentsMsg segments;
-  segments.plans.reserve(timeline_.segment_count());
-  for (std::size_t s = 0; s < timeline_.segment_count(); ++s) {
-    segments.plans.push_back(timeline_.segment_plan(s));
-  }
-  const auto frame =
-      Codec::encode(MessageType::kSegments, Codec::encode_segments(segments));
+  const auto frame = Codec::encode(
+      MessageType::kSegments, Codec::encode_segments(make_segments(timeline_)));
   worker.outbox.insert(worker.outbox.end(), frame.begin(), frame.end());
 }
 
 void WorkerHost::set_timeline(serve::FaultTimeline timeline) {
+  WNF_EXPECTS(bound());
   timeline_ = std::move(timeline);
-  timeline_.finalize(net_);
+  timeline_.finalize(*net_);
   for (auto& worker : workers_) {
     if (worker.alive) enqueue_segments(worker);
   }
@@ -192,7 +280,8 @@ void WorkerHost::set_crash_script(std::vector<CrashWindow> script) {
 }
 
 bool WorkerHost::submit(std::vector<double> x) {
-  WNF_EXPECTS(x.size() == net_.input_dim());
+  WNF_EXPECTS(bound());
+  WNF_EXPECTS(x.size() == net_->input_dim());
   if (queue_.size() >= config_.queue_capacity) {
     ++shed_;
     return false;
@@ -246,6 +335,7 @@ void WorkerHost::worker_died(std::size_t w, bool expected) {
     insert_sorted(resubmit_, index);
   }
   worker.inflight.clear();
+  worker.inflight_batches = 0;
   // A spontaneous death (no scripted window) respawns immediately; a
   // scripted kill stays down until its recovery boundary. Healing must
   // make progress: a fleet dying repeatedly without serving a single
@@ -321,6 +411,7 @@ bool WorkerHost::flush_outbox(std::size_t w) {
 }
 
 std::vector<serve::RequestResult> WorkerHost::drain() {
+  WNF_EXPECTS(bound());
   const std::size_t count = queue_.size();
   std::vector<serve::RequestResult> results(count);
   const auto start = std::chrono::steady_clock::now();
@@ -351,44 +442,64 @@ std::vector<serve::RequestResult> WorkerHost::drain() {
       respawn(best);
     }
 
-    // Dispatch: resubmitted requests first (they carry the oldest ids),
-    // then fresh ones, each to the least-loaded live worker with pipeline
-    // room. Assignment affects only where a request runs, never its
-    // result, so this load-balancing needs no determinism of its own.
+    // Dispatch: build one BatchRequest frame at a time for the
+    // least-loaded live worker with batch-pipeline room — resubmitted
+    // requests first (they carry the oldest ids), then fresh ones.
+    // Assignment affects only where a request runs, never its result, so
+    // this load-balancing needs no determinism of its own.
     while (!resubmit_.empty() || next_dispatch < count) {
       std::size_t target = workers_.size();
       for (std::size_t w = 0; w < workers_.size(); ++w) {
         if (!workers_[w].alive) continue;
-        if (workers_[w].inflight.size() >= config_.pipeline_depth) continue;
+        if (workers_[w].inflight_batches >= config_.pipeline_depth) continue;
         if (target == workers_.size() ||
             workers_[w].inflight.size() < workers_[target].inflight.size()) {
           target = w;
         }
       }
       if (target == workers_.size()) break;  // every pipeline is full
-      std::size_t index;
-      if (!resubmit_.empty()) {
-        index = resubmit_.front();
-        resubmit_.erase(resubmit_.begin());
-      } else {
-        // Fresh request: the frontier advances, so fire any script window
-        // it crosses before the request leaves the host.
+      // Collect up to `batch` probes. A fresh request advances the
+      // frontier, so any script window it crosses fires before the
+      // request leaves the host — possibly killing the very worker this
+      // batch was being built for, in which case the collected probes go
+      // back to the resubmission queue and the outer loop re-targets.
+      std::vector<std::size_t> batch;
+      while (batch.size() < config_.batch) {
+        if (!resubmit_.empty()) {
+          batch.push_back(resubmit_.front());
+          resubmit_.erase(resubmit_.begin());
+          continue;
+        }
+        if (next_dispatch >= count) break;
         run_crash_script(queue_[next_dispatch].id);
-        if (!workers_[target].alive) continue;  // the script killed it
-        index = next_dispatch++;
+        if (!workers_[target].alive) break;  // the script killed the target
+        batch.push_back(next_dispatch++);
       }
-      const PendingRequest& request = queue_[index];
-      RequestMsg msg;
-      msg.id = request.id;
-      msg.segment =
-          static_cast<std::uint32_t>(timeline_.segment_at(request.id));
-      msg.rng_state = request.rng.state();
-      msg.x = request.x;
-      const auto frame =
-          Codec::encode(MessageType::kRequest, Codec::encode_request(msg));
+      if (!workers_[target].alive) {
+        for (const std::size_t index : batch) insert_sorted(resubmit_, index);
+        continue;
+      }
+      WNF_ASSERT(!batch.empty());
+      BatchRequestMsg msg;
+      msg.probes.reserve(batch.size());
+      for (const std::size_t index : batch) {
+        const PendingRequest& request = queue_[index];
+        RequestMsg probe;
+        probe.id = request.id;
+        probe.segment =
+            static_cast<std::uint32_t>(timeline_.segment_at(request.id));
+        probe.rng_state = request.rng.state();
+        probe.x = request.x;
+        msg.probes.push_back(std::move(probe));
+      }
+      const auto frame = Codec::encode(MessageType::kBatchRequest,
+                                       Codec::encode_batch_request(msg));
       WorkerState& worker = workers_[target];
       worker.outbox.insert(worker.outbox.end(), frame.begin(), frame.end());
-      worker.inflight.push_back(index);
+      worker.inflight.insert(worker.inflight.end(), batch.begin(),
+                             batch.end());
+      ++worker.inflight_batches;
+      ++batch_frames_;
     }
 
     for (std::size_t w = 0; w < workers_.size(); ++w) {
@@ -437,6 +548,25 @@ std::vector<serve::RequestResult> WorkerHost::drain() {
         break;
       }
 
+      // Accepts one probe outcome: false on any protocol violation (an id
+      // outside this drain, a result this worker was never sent, a probe
+      // the worker says it failed — a compliant worker exits instead).
+      const auto harvest = [&](const BatchResultEntry& entry) {
+        if (entry.status != ProbeStatus::kOk) return false;
+        if (entry.id < base_id || entry.id >= base_id + count) return false;
+        const std::size_t index = static_cast<std::size_t>(entry.id - base_id);
+        const auto inflight = std::find(worker.inflight.begin(),
+                                        worker.inflight.end(), index);
+        if (inflight == worker.inflight.end() || done[index]) return false;
+        worker.inflight.erase(inflight);
+        done[index] = true;
+        results[index] = {entry.id, entry.output, entry.completion_time,
+                          static_cast<std::size_t>(entry.resets_sent)};
+        ++served;
+        deaths_without_progress_ = 0;  // the fleet is serving; healing works
+        return true;
+      };
+
       Frame frame;
       ParseStatus status;
       while ((status = Codec::try_parse(worker.inbox, frame)) ==
@@ -450,31 +580,25 @@ std::vector<serve::RequestResult> WorkerHost::drain() {
           worker.hello_seen = true;
           continue;
         }
-        if (frame.type != MessageType::kResult || !worker.hello_seen) {
+        if (frame.type != MessageType::kBatchResult || !worker.hello_seen) {
           dead = true;  // protocol violation (results before the
           break;        // handshake included): stop trusting the stream
         }
-        const auto result = Codec::decode_result(frame.payload);
-        if (!result || result->id < base_id ||
-            result->id >= base_id + count) {
+        const auto batch_result = Codec::decode_batch_result(frame.payload);
+        // One result frame answers one request frame; an answer the host
+        // never asked for means the stream cannot be trusted.
+        if (!batch_result || worker.inflight_batches == 0) {
           dead = true;
           break;
         }
-        const std::size_t index =
-            static_cast<std::size_t>(result->id - base_id);
-        const auto inflight = std::find(worker.inflight.begin(),
-                                        worker.inflight.end(), index);
-        if (inflight == worker.inflight.end() || done[index]) {
-          dead = true;  // a result we never asked this worker for
-          break;
+        --worker.inflight_batches;
+        for (const BatchResultEntry& entry : batch_result->results) {
+          if (!harvest(entry)) {
+            dead = true;
+            break;
+          }
         }
-        worker.inflight.erase(inflight);
-        done[index] = true;
-        results[index] = {result->id, result->output,
-                          result->completion_time,
-                          static_cast<std::size_t>(result->resets_sent)};
-        ++served;
-        deaths_without_progress_ = 0;  // the fleet is serving; healing works
+        if (dead) break;
       }
       if (status == ParseStatus::kMalformed) dead = true;
       if (dead) worker_died(w, /*expected=*/false);
@@ -515,6 +639,8 @@ serve::ServeReport WorkerHost::report() const {
   report.resets_sent = resets_total_;
   report.resubmitted = resubmitted_;
   report.worker_restarts = restarts_;
+  report.batch_frames = batch_frames_;
+  report.rebinds = rebinds_;
   return report;
 }
 

@@ -21,14 +21,17 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <span>
 #include <vector>
 
 #include "dist/latency.hpp"
 #include "dist/sim.hpp"
 #include "nn/network.hpp"
+#include "transport/codec.hpp"
 #include "serve/report.hpp"
 #include "serve/timeline.hpp"
+#include "util/contract.hpp"
 #include "util/rng.hpp"
 
 namespace wnf::transport {
@@ -38,13 +41,26 @@ struct TransportConfig {
   std::size_t workers = 1;  ///< worker processes, one simulator each
                             ///< (0 means hardware concurrency)
   std::size_t queue_capacity = 4096;  ///< pending requests before shedding
-  std::size_t pipeline_depth = 4;     ///< outstanding requests per worker
-                                      ///< (amortises wire round-trips)
-  dist::SimConfig sim;                ///< per-replica channel capacity
+  std::size_t batch = 8;  ///< probes per BatchRequest frame (>= 1); the
+                          ///< wire amortisation knob — results are
+                          ///< bit-identical at any batch size
+  std::size_t pipeline_depth = 4;  ///< outstanding batch frames per worker
+                                   ///< (amortises wire round-trips)
+  dist::SimConfig sim;             ///< per-replica channel capacity
   dist::LatencyModel latency;  ///< per-request, per-neuron latency draws
   /// Optional Corollary-2 straggler cut, size L (empty = full waits).
   std::vector<std::size_t> straggler_cut;
   std::uint64_t seed = 0x5eed;  ///< root of the per-request Rng::split tree
+};
+
+/// What changes when a live fleet is rebound (WorkerHost::rebind). Unset
+/// fields keep their current values; the seed is *re-applied* either way —
+/// a rebound deployment always restarts its request ids at 0 and reseeds
+/// its root RNG, so it is bit-identical to a freshly constructed host.
+struct RebindOptions {
+  std::optional<std::uint64_t> seed;
+  std::optional<std::vector<std::size_t>> straggler_cut;
+  std::optional<std::size_t> queue_capacity;
 };
 
 /// One scripted worker-process death: when the dispatch frontier reaches
@@ -64,7 +80,14 @@ struct CrashWindow {
 /// A deployment of worker processes serving batched traffic over the wire
 /// protocol. Not itself thread-safe: one driver thread submits and drains;
 /// parallelism lives across the worker processes, fed by a pipelined
-/// nonblocking dispatcher inside drain().
+/// nonblocking dispatcher inside drain() that ships up to `config.batch`
+/// probes per frame.
+///
+/// A host is a *reusable fleet*: workers are forked once at construction
+/// and survive across campaigns — rebind() swaps the network, cut, seed,
+/// and timeline on the live processes (one kRebind frame each) and resets
+/// the request stream, making the rebound deployment bit-identical to a
+/// freshly constructed host without paying fork + network shipping again.
 class WorkerHost {
  public:
   /// True when this platform supports the runtime (POSIX fork/socketpair).
@@ -74,6 +97,24 @@ class WorkerHost {
   /// worker processes, and ships each one the network and configuration.
   /// Aborts on unsupported platforms — check available() first.
   WorkerHost(const nn::FeedForwardNetwork& net, TransportConfig config);
+
+  /// Spawns the worker fleet *unbound*: processes fork and say hello, but
+  /// no network ships until the first rebind(). Lets a deployment pay its
+  /// fork cost before it knows what it will serve. Submitting or draining
+  /// an unbound host is a contract violation.
+  explicit WorkerHost(TransportConfig config);
+
+  /// Rebinds the live fleet to `net` (kept by reference; must outlive the
+  /// host): ships every worker one atomic kRebind frame, re-applies the
+  /// seed (ids restart at 0), clears the timeline and crash script, and
+  /// resets the per-deployment report — the rebound fleet serves exactly
+  /// what a freshly constructed host would, bit for bit, with zero new
+  /// forks. Workers a previous crash script left dead rejoin first.
+  /// Requires an empty queue (no traffic pending across the swap).
+  void rebind(const nn::FeedForwardNetwork& net, RebindOptions options = {});
+
+  /// False only between the unbound constructor and the first rebind().
+  bool bound() const { return net_ != nullptr; }
 
   /// Shuts every worker down (shutdown frame, then reap; SIGKILL as the
   /// last resort for a worker that ignores it).
@@ -105,15 +146,30 @@ class WorkerHost {
   std::vector<serve::RequestResult> drain();
 
   /// Throughput, completion statistics, and process-fault counters
-  /// (shed / resubmitted / worker_restarts) over all drains so far.
+  /// (shed / resubmitted / worker_restarts / batch_frames) over all drains
+  /// since construction or the last rebind() — rebinding starts a fresh
+  /// logical deployment, so its report starts fresh too. `rebinds` is the
+  /// exception: it counts over the fleet's whole lifetime.
   serve::ServeReport report() const;
 
   std::size_t worker_count() const { return workers_.size(); }
   std::size_t alive_workers() const;
   std::size_t restarts() const { return restarts_; }
   std::size_t resubmitted() const { return resubmitted_; }
+  /// Worker processes forked over the fleet's lifetime (initial spawns +
+  /// every respawn, across rebinds). The fork-at-most-once guarantee for
+  /// repeated campaigns is `total_spawns() == worker_count()` plus however
+  /// many crash respawns the scripts demanded.
+  std::size_t total_spawns() const { return total_spawns_; }
+  /// Times this fleet was rebound (lifetime).
+  std::size_t rebinds() const { return rebinds_; }
+  /// BatchRequest frames sent since construction / the last rebind().
+  std::size_t batch_frames() const { return batch_frames_; }
   std::uint64_t next_request_id() const { return next_id_; }
-  const nn::FeedForwardNetwork& network() const { return net_; }
+  const nn::FeedForwardNetwork& network() const {
+    WNF_EXPECTS(net_ != nullptr);
+    return *net_;
+  }
 
   /// The worker's process id (for fault-injection tests that kill a live
   /// worker externally), or -1 when the worker is currently dead.
@@ -138,6 +194,7 @@ class WorkerHost {
     std::vector<std::uint8_t> inbox;   ///< bytes read, not yet framed
     std::vector<std::uint8_t> outbox;  ///< bytes queued, not yet written
     std::vector<std::size_t> inflight;  ///< queue indices awaiting results
+    std::size_t inflight_batches = 0;  ///< BatchRequest frames unanswered
   };
 
   struct ScriptWindow {
@@ -148,6 +205,7 @@ class WorkerHost {
   void spawn(std::size_t w);
   void enqueue_bind(WorkerState& worker);
   void enqueue_segments(WorkerState& worker);
+  BindMsg make_bind() const;
   /// Marks `w` dead, reaps the process, and moves its in-flight requests
   /// back to the resubmission queue. `expected` distinguishes scripted
   /// kills from spontaneous deaths (which respawn immediately).
@@ -159,7 +217,7 @@ class WorkerHost {
   void run_crash_script(std::uint64_t frontier_id);
   bool flush_outbox(std::size_t w);  ///< false when the write found a corpse
 
-  const nn::FeedForwardNetwork& net_;
+  const nn::FeedForwardNetwork* net_ = nullptr;  ///< null until first bind
   TransportConfig config_;
   serve::FaultTimeline timeline_;
   std::vector<std::size_t> wait_counts_;  ///< size L+1; empty = full waits
@@ -177,12 +235,16 @@ class WorkerHost {
   /// loudly, not livelock in a fork-respawn storm.
   std::size_t deaths_without_progress_ = 0;
 
-  // Aggregates over every drain (id order, so deterministic).
+  // Aggregates over every drain since construction / the last rebind()
+  // (id order, so deterministic). rebinds_ and total_spawns_ are lifetime.
   std::vector<double> completion_times_;
   std::size_t shed_ = 0;
   std::size_t resets_total_ = 0;
   std::size_t resubmitted_ = 0;
   std::size_t restarts_ = 0;
+  std::size_t batch_frames_ = 0;
+  std::size_t rebinds_ = 0;
+  std::size_t total_spawns_ = 0;
   double wall_seconds_ = 0.0;
 };
 

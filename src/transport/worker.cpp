@@ -65,66 +65,111 @@ bool send_all(int fd, const std::vector<std::uint8_t>& bytes) {
   return true;
 }
 
-bool handle_bind(const Frame& frame, Replica& replica) {
-  const auto msg = Codec::decode_bind(frame.payload);
-  if (!msg) return false;
-  std::istringstream text(msg->network_text);
+/// Installs a decoded BindMsg as the replica state — shared by the
+/// spawn-time kBind frame and the live-fleet kRebind frame, so binding and
+/// rebinding cannot diverge.
+bool apply_bind(const BindMsg& msg, Replica& replica) {
+  std::istringstream text(msg.network_text);
   auto net = nn::load_network(text);
   if (!net) return false;
-  if (!msg->wait_counts.empty() &&
-      msg->wait_counts.size() != net->layer_count() + 1) {
+  if (!msg.wait_counts.empty() &&
+      msg.wait_counts.size() != net->layer_count() + 1) {
     return false;
   }
   replica.net = std::move(*net);
   replica.sim =
-      std::make_unique<dist::NetworkSimulator>(replica.net, msg->sim);
-  replica.latency = msg->latency;
-  replica.wait_counts.assign(msg->wait_counts.begin(),
-                             msg->wait_counts.end());
+      std::make_unique<dist::NetworkSimulator>(replica.net, msg.sim);
+  replica.latency = msg.latency;
+  replica.wait_counts.assign(msg.wait_counts.begin(),
+                             msg.wait_counts.end());
   replica.segments.clear();
   replica.installed = ~std::size_t{0};
   return true;
 }
 
-bool handle_request(const Frame& frame, Replica& replica, int fd) {
-  const auto msg = Codec::decode_request(frame.payload);
-  if (!msg || !replica.sim) return false;
-  if (msg->x.size() != replica.net.input_dim()) return false;
-  if (msg->segment >= replica.segments.size() &&
-      !(msg->segment == 0 && replica.segments.empty())) {
+bool handle_bind(const Frame& frame, Replica& replica) {
+  const auto msg = Codec::decode_bind(frame.payload);
+  if (!msg) return false;
+  return apply_bind(*msg, replica);
+}
+
+bool handle_rebind(const Frame& frame, Replica& replica) {
+  const auto msg = Codec::decode_rebind(frame.payload);
+  if (!msg) return false;
+  if (!apply_bind(msg->bind, replica)) return false;
+  replica.segments = std::move(msg->segments.plans);
+  replica.installed = ~std::size_t{0};
+  return true;
+}
+
+/// Evaluates one probe on the replica. False when the probe is
+/// structurally invalid for the current binding (the host never sends
+/// such a probe, so this is a protocol violation and the worker exits).
+bool evaluate_probe(const RequestMsg& msg, Replica& replica,
+                    ResultMsg& result) {
+  if (!replica.sim) return false;
+  if (msg.x.size() != replica.net.input_dim()) return false;
+  if (msg.segment >= replica.segments.size() &&
+      !(msg.segment == 0 && replica.segments.empty())) {
     return false;
   }
   // Same install-on-segment-change discipline as ReplicaPool::process: a
   // run of requests in one segment pays one plan install.
-  if (msg->segment != replica.installed) {
+  if (msg.segment != replica.installed) {
     const fault::FaultPlan* plan = replica.segments.empty()
                                        ? nullptr
-                                       : &replica.segments[msg->segment];
+                                       : &replica.segments[msg.segment];
     if (plan == nullptr || plan->empty()) {
       replica.sim->clear_faults();
     } else {
       replica.sim->apply_faults(*plan);
     }
-    replica.installed = msg->segment;
+    replica.installed = msg.segment;
   }
   // The request's RNG stream is the host's split child, bit for bit.
   Rng request_rng;
-  request_rng.set_state(msg->rng_state);
+  request_rng.set_state(msg.rng_state);
   replica.sim->sample_latencies(replica.latency, request_rng);
   const dist::SimResult sim_result =
       replica.wait_counts.empty()
-          ? replica.sim->evaluate(msg->x)
+          ? replica.sim->evaluate(msg.x)
           : replica.sim->evaluate_boosted(
-                msg->x,
+                msg.x,
                 {replica.wait_counts.data(), replica.wait_counts.size()});
-  ResultMsg result;
-  result.id = msg->id;
+  result.id = msg.id;
   result.output = sim_result.output;
   result.completion_time = sim_result.completion_time;
   result.resets_sent = sim_result.resets_sent;
+  return true;
+}
+
+bool handle_request(const Frame& frame, Replica& replica, int fd) {
+  const auto msg = Codec::decode_request(frame.payload);
+  if (!msg) return false;
+  ResultMsg result;
+  if (!evaluate_probe(*msg, replica, result)) return false;
   return send_all(fd,
                   Codec::encode(MessageType::kResult,
                                 Codec::encode_result(result)));
+}
+
+bool handle_batch_request(const Frame& frame, Replica& replica, int fd) {
+  const auto msg = Codec::decode_batch_request(frame.payload);
+  if (!msg) return false;
+  // One result frame answers one request frame: the host decrements its
+  // per-worker batch pipeline on the frame, and acknowledges every probe
+  // by id, so a SIGKILL between batches loses nothing already answered.
+  BatchResultMsg batch;
+  batch.results.resize(msg->probes.size());
+  for (std::size_t i = 0; i < msg->probes.size(); ++i) {
+    ResultMsg result;
+    if (!evaluate_probe(msg->probes[i], replica, result)) return false;
+    batch.results[i] = {result.id, ProbeStatus::kOk, result.output,
+                        result.completion_time, result.resets_sent};
+  }
+  return send_all(fd,
+                  Codec::encode(MessageType::kBatchResult,
+                                Codec::encode_batch_result(batch)));
 }
 
 }  // namespace
@@ -166,10 +211,16 @@ int worker_main(int fd, std::uint32_t worker_index) {
         case MessageType::kRequest:
           if (!handle_request(frame, replica, fd)) return 1;
           break;
+        case MessageType::kBatchRequest:
+          if (!handle_batch_request(frame, replica, fd)) return 1;
+          break;
+        case MessageType::kRebind:
+          if (!handle_rebind(frame, replica)) return 1;
+          break;
         case MessageType::kShutdown:
           return 0;
         default:
-          return 1;  // kHello/kResult never flow host -> worker
+          return 1;  // kHello/kResult/kBatchResult never flow host -> worker
       }
     }
     if (status == ParseStatus::kMalformed) return 1;

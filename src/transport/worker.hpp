@@ -19,10 +19,12 @@ bool transport_available();
 
 /// Runs the worker protocol loop on `fd` (the worker end of the pair)
 /// until a shutdown frame, EOF (host closed or died), or a protocol
-/// violation. Sends a Hello first, then serves kBind/kSegments/kRequest.
-/// Returns the process exit code: 0 for a clean shutdown or host EOF,
-/// 1 for malformed input or an I/O error. Never returns on unsupported
-/// platforms (aborts).
+/// violation. Sends a Hello first, then serves kBind/kSegments/kRequest/
+/// kBatchRequest/kRebind — a worker outlives any single campaign: a
+/// kRebind swaps its whole replica state in place, which is what lets the
+/// host reuse one forked fleet across many run_trials cycles. Returns the
+/// process exit code: 0 for a clean shutdown or host EOF, 1 for malformed
+/// input or an I/O error. Never returns on unsupported platforms (aborts).
 int worker_main(int fd, std::uint32_t worker_index);
 
 }  // namespace wnf::transport

@@ -245,6 +245,181 @@ TEST(Codec, MalformedFramesAreRejectedNotInterpreted) {
   EXPECT_FALSE(Codec::decode_result({1, 2, 3}).has_value());
 }
 
+TEST(Codec, BatchFramesRoundTrip) {
+  BatchRequestMsg batch;
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    RequestMsg probe;
+    probe.id = 100 + i;
+    probe.segment = static_cast<std::uint32_t>(i % 3);
+    probe.rng_state = {i, ~i, 0x5eedULL + i, i * i};
+    probe.x = {0.5 * static_cast<double>(i), -0.0, 1e-300};
+    batch.probes.push_back(probe);
+  }
+  auto stream = Codec::encode(MessageType::kBatchRequest,
+                              Codec::encode_batch_request(batch));
+  Frame frame;
+  ASSERT_EQ(Codec::try_parse(stream, frame), ParseStatus::kFrame);
+  ASSERT_EQ(frame.type, MessageType::kBatchRequest);
+  const auto out = Codec::decode_batch_request(frame.payload);
+  ASSERT_TRUE(out.has_value());
+  ASSERT_EQ(out->probes.size(), batch.probes.size());
+  for (std::size_t i = 0; i < batch.probes.size(); ++i) {
+    EXPECT_EQ(out->probes[i].id, batch.probes[i].id);
+    EXPECT_EQ(out->probes[i].segment, batch.probes[i].segment);
+    EXPECT_EQ(out->probes[i].rng_state, batch.probes[i].rng_state);
+    ASSERT_EQ(out->probes[i].x.size(), batch.probes[i].x.size());
+    for (std::size_t j = 0; j < batch.probes[i].x.size(); ++j) {
+      EXPECT_EQ(std::bit_cast<std::uint64_t>(out->probes[i].x[j]),
+                std::bit_cast<std::uint64_t>(batch.probes[i].x[j]));
+    }
+  }
+
+  BatchResultMsg results;
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    results.results.push_back({100 + i, ProbeStatus::kOk,
+                               0.25 * static_cast<double>(i),
+                               10.0 + static_cast<double>(i), i});
+  }
+  results.results[3].status = ProbeStatus::kFailed;  // the byte round-trips
+  auto result_stream = Codec::encode(MessageType::kBatchResult,
+                                     Codec::encode_batch_result(results));
+  ASSERT_EQ(Codec::try_parse(result_stream, frame), ParseStatus::kFrame);
+  ASSERT_EQ(frame.type, MessageType::kBatchResult);
+  const auto result_out = Codec::decode_batch_result(frame.payload);
+  ASSERT_TRUE(result_out.has_value());
+  ASSERT_EQ(result_out->results.size(), results.results.size());
+  for (std::size_t i = 0; i < results.results.size(); ++i) {
+    EXPECT_EQ(result_out->results[i].id, results.results[i].id);
+    EXPECT_EQ(result_out->results[i].status, results.results[i].status);
+    EXPECT_EQ(result_out->results[i].output, results.results[i].output);
+    EXPECT_EQ(result_out->results[i].completion_time,
+              results.results[i].completion_time);
+    EXPECT_EQ(result_out->results[i].resets_sent,
+              results.results[i].resets_sent);
+  }
+}
+
+TEST(Codec, RebindRoundTripsBindAndSegments) {
+  const auto net = transport_net(23);
+  RebindMsg rebind;
+  std::ostringstream text;
+  nn::save_network(net, text);
+  rebind.bind.network_text = text.str();
+  rebind.bind.sim.capacity = 1.5;
+  rebind.bind.latency = heavy_tail();
+  rebind.bind.wait_counts = {2, 4, 3, 1};
+  rebind.segments.plans = {fault::FaultPlan{}, sample_plan()};
+
+  auto stream =
+      Codec::encode(MessageType::kRebind, Codec::encode_rebind(rebind));
+  Frame frame;
+  ASSERT_EQ(Codec::try_parse(stream, frame), ParseStatus::kFrame);
+  ASSERT_EQ(frame.type, MessageType::kRebind);
+  const auto out = Codec::decode_rebind(frame.payload);
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(out->bind.network_text, rebind.bind.network_text);
+  EXPECT_EQ(out->bind.sim.capacity, 1.5);
+  EXPECT_EQ(out->bind.latency.kind, dist::LatencyKind::kHeavyTail);
+  EXPECT_EQ(out->bind.wait_counts, rebind.bind.wait_counts);
+  ASSERT_EQ(out->segments.plans.size(), 2u);
+  EXPECT_TRUE(out->segments.plans[0].empty());
+  EXPECT_EQ(out->segments.plans[1].neurons.size(),
+            sample_plan().neurons.size());
+}
+
+TEST(Codec, MalformedBatchAndRebindFramesAreRejected) {
+  // --- BatchRequest ---
+  BatchRequestMsg batch;
+  RequestMsg probe;
+  probe.id = 7;
+  probe.x = {1.0, 2.0};
+  batch.probes = {probe, probe};
+  const auto payload = Codec::encode_batch_request(batch);
+
+  // An empty batch is structurally meaningless.
+  std::vector<std::uint8_t> zero_count{0, 0, 0, 0};
+  EXPECT_FALSE(Codec::decode_batch_request(zero_count).has_value());
+
+  // A lying probe count must fail the bounds check before any allocation.
+  auto lying = payload;
+  lying[0] = 0xff;
+  lying[1] = 0xff;
+  EXPECT_FALSE(Codec::decode_batch_request(lying).has_value());
+
+  // Truncated per-probe payload: every cut inside the second probe fails.
+  for (std::size_t keep = 4 + 1; keep < payload.size(); keep += 7) {
+    std::vector<std::uint8_t> cut(payload.begin(),
+                                  payload.begin() + static_cast<long>(keep));
+    EXPECT_FALSE(Codec::decode_batch_request(cut).has_value())
+        << keep << " bytes kept";
+  }
+
+  // Trailing garbage after the declared probes.
+  auto overlong = payload;
+  overlong.push_back(0);
+  EXPECT_FALSE(Codec::decode_batch_request(overlong).has_value());
+
+  // --- BatchResult ---
+  BatchResultMsg results;
+  results.results = {{1, ProbeStatus::kOk, 0.5, 1.0, 0},
+                     {2, ProbeStatus::kOk, 0.25, 2.0, 1}};
+  const auto result_payload = Codec::encode_batch_result(results);
+
+  EXPECT_FALSE(Codec::decode_batch_result(zero_count).has_value());
+
+  auto lying_results = result_payload;
+  lying_results[0] = 0xff;
+  lying_results[1] = 0xff;
+  EXPECT_FALSE(Codec::decode_batch_result(lying_results).has_value());
+
+  auto bad_status = result_payload;
+  bad_status[4 + 8] = 0x7f;  // first entry's status byte
+  EXPECT_FALSE(Codec::decode_batch_result(bad_status).has_value());
+
+  auto truncated_result = result_payload;
+  truncated_result.pop_back();
+  EXPECT_FALSE(Codec::decode_batch_result(truncated_result).has_value());
+
+  auto overlong_result = result_payload;
+  overlong_result.push_back(0);
+  EXPECT_FALSE(Codec::decode_batch_result(overlong_result).has_value());
+
+  // --- Rebind ---
+  const auto net = transport_net(29);
+  RebindMsg rebind;
+  std::ostringstream text;
+  nn::save_network(net, text);
+  rebind.bind.network_text = text.str();
+  rebind.segments.plans = {sample_plan()};
+  const auto rebind_payload = Codec::encode_rebind(rebind);
+
+  // Truncation anywhere — inside the bind length prefix, the bind bytes,
+  // the segments prefix, or the segments bytes — is rejected.
+  for (std::size_t keep : {std::size_t{0}, std::size_t{3}, std::size_t{4},
+                           std::size_t{10}, rebind_payload.size() - 1}) {
+    std::vector<std::uint8_t> cut(
+        rebind_payload.begin(),
+        rebind_payload.begin() + static_cast<long>(keep));
+    EXPECT_FALSE(Codec::decode_rebind(cut).has_value()) << keep;
+  }
+
+  // A lying inner-bind length must not be interpreted.
+  auto lying_bind = rebind_payload;
+  lying_bind[0] = 0xff;
+  lying_bind[1] = 0xff;
+  EXPECT_FALSE(Codec::decode_rebind(lying_bind).has_value());
+
+  // Garbage inner payloads fail the inner codecs even when the lengths
+  // are consistent.
+  auto garbage = rebind_payload;
+  garbage[4] ^= 0x5a;  // first byte of the bind payload
+  EXPECT_FALSE(Codec::decode_rebind(garbage).has_value());
+
+  auto trailing = rebind_payload;
+  trailing.push_back(0);
+  EXPECT_FALSE(Codec::decode_rebind(trailing).has_value());
+}
+
 // ------------------------------------------------------------- WorkerHost
 
 TEST(WorkerHost, MatchesReplicaPoolBitForBit) {
@@ -415,6 +590,256 @@ TEST(WorkerHost, BoundedQueueShedsAsTransportBackpressure) {
   EXPECT_EQ(next[0].id, 8u);
 }
 
+TEST(WorkerHost, BatchSizeSweepIsBitIdenticalToReplicaPool) {
+  SKIP_WITHOUT_TRANSPORT();
+  // Batching is a wire-amortisation knob, not a semantics knob: the same
+  // deployment at 1, 8, and 64 probes per frame serves outputs,
+  // completion times, and reset counts bit-identical to the in-process
+  // pool, while the batch_frames counter shows the syscall amortisation
+  // actually happened.
+  const auto net = transport_net(13);
+  const auto workload = transport_workload(96, 43);
+
+  serve::FaultTimeline timeline;
+  fault::FaultPlan crash;
+  crash.neurons = {{1, 1, fault::NeuronFaultKind::kCrash, 0.0}};
+  timeline.add(20, 70, crash);
+
+  serve::ServeConfig pool_config;
+  pool_config.replicas = 2;
+  pool_config.latency = heavy_tail();
+  pool_config.straggler_cut = {2, 1};
+  pool_config.seed = 123;
+  serve::ReplicaPool pool(net, pool_config);
+  pool.set_timeline(timeline);
+  ASSERT_EQ(pool.submit_batch(workload), workload.size());
+  const auto expected = pool.drain();
+
+  for (const std::size_t batch : {1u, 8u, 64u}) {
+    TransportConfig config;
+    config.workers = 2;
+    config.batch = batch;
+    config.latency = heavy_tail();
+    config.straggler_cut = {2, 1};
+    config.seed = 123;
+    WorkerHost host(net, config);
+    host.set_timeline(timeline);
+    ASSERT_EQ(host.submit_batch(workload), workload.size());
+    const auto served = host.drain();
+
+    ASSERT_EQ(served.size(), expected.size()) << "batch " << batch;
+    for (std::size_t i = 0; i < served.size(); ++i) {
+      EXPECT_EQ(served[i].id, expected[i].id);
+      EXPECT_DOUBLE_EQ(served[i].output, expected[i].output)
+          << "request " << i << " at batch " << batch;
+      EXPECT_DOUBLE_EQ(served[i].completion_time,
+                       expected[i].completion_time);
+      EXPECT_EQ(served[i].resets_sent, expected[i].resets_sent);
+    }
+    const auto report = host.report();
+    EXPECT_EQ(report.completed, workload.size());
+    // Amortisation: every frame but the stragglers carries `batch` probes.
+    EXPECT_GE(report.batch_frames, (workload.size() + batch - 1) / batch);
+    EXPECT_LE(report.batch_frames, workload.size());
+    if (batch >= workload.size()) {
+      EXPECT_LE(report.batch_frames, 2u * 2u);  // at most one per pipeline
+    }
+  }
+}
+
+TEST(WorkerHost, SigkillMidBatchResubmitsOnlyUnacknowledgedProbes) {
+  SKIP_WITHOUT_TRANSPORT();
+  // A worker dies with batches in flight. Per-probe acknowledgement means
+  // the host resubmits at most the probes of unanswered batches — bounded
+  // by pipeline_depth * batch — and the drain still completes
+  // bit-identical to an undisturbed deployment.
+  const auto net = transport_net(13);
+  const auto workload = transport_workload(80, 51);
+
+  TransportConfig config;
+  config.workers = 2;
+  config.batch = 8;
+  config.pipeline_depth = 2;
+  config.latency = heavy_tail();
+  config.seed = 77;
+  std::vector<serve::RequestResult> reference;
+  {
+    WorkerHost host(net, config);
+    ASSERT_EQ(host.submit_batch(workload), workload.size());
+    reference = host.drain();
+  }
+
+  WorkerHost host(net, config);
+  // The kill fires when the dispatch frontier reaches id 24 — mid-stream,
+  // with up to two 8-probe batches unacknowledged on the victim.
+  host.set_crash_script({{0, 24, 60}});
+  ASSERT_EQ(host.submit_batch(workload), workload.size());
+  const auto served = host.drain();
+  ASSERT_EQ(served.size(), reference.size());
+  for (std::size_t i = 0; i < served.size(); ++i) {
+    EXPECT_EQ(served[i].id, reference[i].id);
+    EXPECT_DOUBLE_EQ(served[i].output, reference[i].output) << i;
+    EXPECT_DOUBLE_EQ(served[i].completion_time, reference[i].completion_time);
+    EXPECT_EQ(served[i].resets_sent, reference[i].resets_sent);
+  }
+  const auto report = host.report();
+  EXPECT_EQ(report.completed, workload.size());
+  EXPECT_EQ(report.worker_restarts, 1u);
+  // Only the victim's unacknowledged batches were lost, never more than
+  // its pipeline could hold.
+  EXPECT_LE(report.resubmitted, config.pipeline_depth * config.batch);
+}
+
+// -------------------------------------------------- persistent worker fleet
+
+TEST(WorkerHost, RebindServesRepeatedCampaignsWithoutReforking) {
+  SKIP_WITHOUT_TRANSPORT();
+  // The fleet forks once; five rebind cycles each replay the same
+  // deployment bit-identically, because a rebind restarts the id stream
+  // and reseeds the root RNG — a rebound fleet IS a fresh host, minus the
+  // forks.
+  const auto net = transport_net(13);
+  const auto workload = transport_workload(40, 21);
+
+  serve::FaultTimeline timeline;
+  fault::FaultPlan crash;
+  crash.neurons = {{1, 3, fault::NeuronFaultKind::kCrash, 0.0}};
+  timeline.add(10, 25, crash);
+
+  TransportConfig config;
+  config.workers = 2;
+  config.latency = heavy_tail();
+  config.straggler_cut = {2, 1};
+  config.seed = 99;
+
+  std::vector<serve::RequestResult> expected;
+  {
+    WorkerHost fresh(net, config);
+    fresh.set_timeline(timeline);
+    ASSERT_EQ(fresh.submit_batch(workload), workload.size());
+    expected = fresh.drain();
+  }
+
+  WorkerHost fleet(net, config);
+  for (std::size_t campaign = 0; campaign < 5; ++campaign) {
+    if (campaign > 0) fleet.rebind(net);
+    fleet.set_timeline(timeline);
+    ASSERT_EQ(fleet.submit_batch(workload), workload.size());
+    const auto served = fleet.drain();
+    ASSERT_EQ(served.size(), expected.size()) << "campaign " << campaign;
+    for (std::size_t i = 0; i < served.size(); ++i) {
+      EXPECT_EQ(served[i].id, expected[i].id);
+      EXPECT_DOUBLE_EQ(served[i].output, expected[i].output)
+          << "campaign " << campaign << " request " << i;
+      EXPECT_DOUBLE_EQ(served[i].completion_time,
+                       expected[i].completion_time);
+      EXPECT_EQ(served[i].resets_sent, expected[i].resets_sent);
+    }
+    // The per-deployment report restarted with the rebind.
+    const auto report = fleet.report();
+    EXPECT_EQ(report.completed, workload.size());
+    EXPECT_EQ(report.rebinds, campaign);
+  }
+  // The whole point: five campaigns, one fork per worker, zero respawns.
+  EXPECT_EQ(fleet.total_spawns(), 2u);
+  EXPECT_EQ(fleet.rebinds(), 4u);
+  EXPECT_EQ(fleet.alive_workers(), 2u);
+}
+
+TEST(WorkerHost, RebindSwapsTheNetworkOnLiveWorkers) {
+  SKIP_WITHOUT_TRANSPORT();
+  // Rebinding moves the fleet to a different network (and cut) entirely;
+  // results match a host constructed fresh on that network, and no new
+  // processes fork.
+  const auto net_a = transport_net(13);
+  Rng rng(31);
+  const auto net_b = nn::NetworkBuilder(3)
+                         .activation(nn::ActivationKind::kTanh01, 0.8)
+                         .hidden(9)
+                         .hidden(4)
+                         .init(nn::InitKind::kUniform, 0.4)
+                         .build(rng);
+  const auto workload = transport_workload(24, 61);
+
+  TransportConfig config;
+  config.workers = 2;
+  config.latency = heavy_tail();
+  config.seed = 5;
+
+  std::vector<serve::RequestResult> expected_b;
+  {
+    TransportConfig config_b = config;
+    config_b.straggler_cut = {3, 0};
+    config_b.seed = 11;
+    WorkerHost fresh(net_b, config_b);
+    ASSERT_EQ(fresh.submit_batch(workload), workload.size());
+    expected_b = fresh.drain();
+  }
+
+  WorkerHost fleet(net_a, config);
+  ASSERT_EQ(fleet.submit_batch(workload), workload.size());
+  (void)fleet.drain();  // a first campaign on net A
+
+  RebindOptions options;
+  options.seed = 11;
+  options.straggler_cut = std::vector<std::size_t>{3, 0};
+  fleet.rebind(net_b, std::move(options));
+  ASSERT_EQ(fleet.submit_batch(workload), workload.size());
+  const auto served = fleet.drain();
+  ASSERT_EQ(served.size(), expected_b.size());
+  for (std::size_t i = 0; i < served.size(); ++i) {
+    EXPECT_DOUBLE_EQ(served[i].output, expected_b[i].output) << i;
+    EXPECT_DOUBLE_EQ(served[i].completion_time,
+                     expected_b[i].completion_time);
+    EXPECT_EQ(served[i].resets_sent, expected_b[i].resets_sent);
+  }
+  EXPECT_EQ(fleet.total_spawns(), 2u);
+}
+
+TEST(WorkerHost, UnboundFleetBindsOnFirstRebind) {
+  SKIP_WITHOUT_TRANSPORT();
+  // connect() once, bind later: a fleet forked before its network exists
+  // serves bit-identically to one constructed bound.
+  const auto net = transport_net(13);
+  const auto workload = transport_workload(20, 71);
+
+  TransportConfig config;
+  config.workers = 2;
+  config.latency = heavy_tail();
+  config.seed = 42;
+
+  std::vector<serve::RequestResult> expected;
+  {
+    WorkerHost bound(net, config);
+    ASSERT_EQ(bound.submit_batch(workload), workload.size());
+    expected = bound.drain();
+  }
+
+  WorkerHost fleet(config);  // forks unbound
+  EXPECT_FALSE(fleet.bound());
+  fleet.rebind(net);
+  EXPECT_TRUE(fleet.bound());
+  ASSERT_EQ(fleet.submit_batch(workload), workload.size());
+  const auto served = fleet.drain();
+  ASSERT_EQ(served.size(), expected.size());
+  for (std::size_t i = 0; i < served.size(); ++i) {
+    EXPECT_DOUBLE_EQ(served[i].output, expected[i].output) << i;
+  }
+  EXPECT_EQ(fleet.total_spawns(), 2u);
+  EXPECT_EQ(fleet.rebinds(), 1u);
+}
+
+TEST(WorkerHostDeathTest, ServingAnUnboundFleetIsAContractViolation) {
+  SKIP_WITHOUT_TRANSPORT();
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  // "Rebind before you serve": submitting to a fleet that was never bound
+  // aborts loudly instead of shipping probes to workers with no network.
+  TransportConfig config;
+  config.workers = 1;
+  WorkerHost fleet(config);
+  EXPECT_DEATH((void)fleet.submit({0.1, 0.2, 0.3}), "precondition");
+}
+
 // ------------------------------------------------------- TransportBackend
 
 TEST(TransportBackend, SerialPathMatchesServeBackend) {
@@ -517,6 +942,94 @@ TEST(TransportBackend, CrossCheckPinsBitEquivalenceWithSimulator) {
         << "attack " << static_cast<int>(attack) << " diverged at trial "
         << check.divergent_trial << " probe " << check.divergent_probe;
     EXPECT_EQ(check.first.observed_max, check.second.observed_max);
+  }
+}
+
+TEST(TransportBackend, RepeatedCampaignsReuseOneFleet) {
+  SKIP_WITHOUT_TRANSPORT();
+  // The acceptance bar for amortisation: five consecutive run_campaign
+  // calls on ONE TransportBackend fork each worker exactly once (no crash
+  // script, so no respawns), and every campaign is bit-identical to the
+  // serve backend running the same trial stream.
+  const auto net = transport_net(7);
+  fault::CampaignConfig config;
+  config.attack = fault::AttackKind::kRandomCrash;
+  config.trials = 8;
+  config.probes_per_trial = 4;
+  config.seed = 77;
+  const std::vector<std::size_t> counts{1, 1};
+  theory::FepOptions fep;
+  fep.mode = theory::FailureMode::kCrash;
+
+  exec::ServeBackendOptions serve_options;
+  serve_options.replicas = 2;
+  serve_options.latency = heavy_tail();
+  exec::ServeBackend serve(net, serve_options);
+
+  exec::TransportBackendOptions transport_options;
+  transport_options.workers = 2;
+  transport_options.latency = heavy_tail();
+  exec::TransportBackend transport(net, transport_options);
+  EXPECT_EQ(transport.fleet(), nullptr);  // nothing forked yet
+
+  for (std::size_t campaign = 0; campaign < 5; ++campaign) {
+    const auto expected = fault::run_campaign(net, counts, config, fep, serve);
+    const auto actual =
+        fault::run_campaign(net, counts, config, fep, transport);
+    EXPECT_EQ(actual.observed_max, expected.observed_max)
+        << "campaign " << campaign;
+    ASSERT_NE(transport.fleet(), nullptr);
+    EXPECT_EQ(transport.fleet()->rebinds(), campaign);
+    EXPECT_EQ(transport.last_report().completed,
+              config.trials * config.probes_per_trial);
+  }
+  // Five campaigns, two forks, total — the fleet never re-forked.
+  EXPECT_EQ(transport.fleet()->total_spawns(), 2u);
+  EXPECT_EQ(transport.fleet()->rebinds(), 4u);
+}
+
+TEST(TransportBackend, CrossCheckHoldsAtEveryBatchSizeWithSigkillMidBatch) {
+  SKIP_WITHOUT_TRANSPORT();
+  // The acceptance bar for batching: Transport↔Simulator bit-equality at
+  // batch sizes 1, 8, and 64, with a real SIGKILL landing mid-batch —
+  // and the worker_restarts / resubmitted counters round-tripping through
+  // the batch frames (the kill really happened, probes really moved).
+  const auto net = transport_net(5);
+  fault::CampaignConfig config;
+  config.attack = fault::AttackKind::kRandomByzantine;
+  config.trials = 16;
+  config.probes_per_trial = 8;
+  config.capacity = 1.0;
+  config.convention = theory::CapacityConvention::kTransmittedValueBound;
+  config.seed = 31;
+  const std::vector<std::size_t> counts(net.layer_count(), 1);
+  theory::FepOptions fep;
+  fep.mode = theory::FailureMode::kByzantine;
+
+  for (const std::size_t batch : {1u, 8u, 64u}) {
+    exec::SimulatorBackend simulator(net);
+    exec::TransportBackendOptions options;
+    options.workers = 2;
+    options.batch = batch;
+    options.pipeline_depth = 2;
+    // The kill lands at request id 20 — inside a dispatched batch for
+    // every batch size — and recovers at 64.
+    options.crash_script = {{0, 20, 64}};
+    exec::TransportBackend transport(net, options);
+    const auto check = fault::cross_check_campaign(net, counts, config, fep,
+                                                   transport, simulator);
+    EXPECT_EQ(check.max_divergence, 0.0)
+        << "batch " << batch << " diverged at trial "
+        << check.divergent_trial << " probe " << check.divergent_probe;
+    EXPECT_EQ(check.first.observed_max, check.second.observed_max);
+    // Counter round-trip through the batch frames: exactly one scripted
+    // kill, its unacknowledged probes resubmitted, everything completed.
+    const auto& report = transport.last_report();
+    EXPECT_EQ(report.worker_restarts, 1u) << "batch " << batch;
+    EXPECT_LE(report.resubmitted, options.pipeline_depth * batch);
+    EXPECT_EQ(report.completed, config.trials * config.probes_per_trial);
+    EXPECT_GE(report.batch_frames,
+              (config.trials * config.probes_per_trial + batch - 1) / batch);
   }
 }
 
