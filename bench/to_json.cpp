@@ -38,6 +38,8 @@
 #include "dist/sim.hpp"
 #include "exec/injector_backend.hpp"
 #include "fault/campaign.hpp"
+#include "load/replay.hpp"
+#include "load/trace.hpp"
 #include "serve/pool.hpp"
 #include "transport/host.hpp"
 #include "transport/worker.hpp"
@@ -54,6 +56,12 @@ struct BenchEntry {
   /// scenario's repetitions — what compare mode normalizes by.
   double cal_ns_per_op = 0.0;
   double checksum = 0.0;
+  /// False marks a scenario tracked for trajectory but excluded from the
+  /// regression gate — used for wall-clock-scheduled measurands (the
+  /// open-loop replay interleaves real sleeps and thread scheduling) whose
+  /// run-to-run spread on a small shared runner exceeds any useful
+  /// tolerance. Checksums still gate under strict=1.
+  bool gated = true;
 };
 
 struct BenchFile {
@@ -203,6 +211,66 @@ BenchFile measure() {
     file.benches.push_back(std::move(entry));
   }
 
+  // The open-loop replay path (load/replay over the async pool pipeline):
+  // a fixed Poisson schedule compressed so hard every arrival is already
+  // due, so the row tracks driver + pipeline overhead, not idle waiting —
+  // and big enough that execution dwarfs the replayer's idle-nap quantum.
+  // Shedding is disabled (queue sized to the trace), so the admitted set —
+  // and the checksum — is schedule-independent and deterministic.
+  {
+    Rng trace_rng(17);
+    const auto trace = load::poisson_trace(4000.0, 0.5, trace_rng);
+    serve::ServeConfig config;
+    config.replicas = 2;
+    config.queue_capacity = trace.size();
+    config.latency = latency;
+    config.seed = serve_seed;
+    load::OpenLoopConfig open_loop;
+    open_loop.time_scale = 1e-6;
+
+    // Pin the async seam once, untimed: one replay must serve the exact
+    // bytes a synchronous submit-everything-then-drain serves.
+    double sync_checksum = 0.0;
+    {
+      serve::ReplicaPool reference(net, config);
+      // Same input-wrapping rule the replayer uses: arrival i carries
+      // workload[i % workload.size()].
+      for (std::size_t i = 0; i < trace.size(); ++i) {
+        reference.submit(workload[i % workload.size()]);
+      }
+      for (const auto& r : reference.drain()) sync_checksum += r.output;
+    }
+    {
+      serve::ReplicaPool once(net, config);
+      load::PoolPipeline pipe(once);
+      load::Pipeline* const pipes[] = {&pipe};
+      std::vector<std::vector<serve::RequestResult>> collected;
+      load::replay(trace, workload, pipes, open_loop, &collected);
+      double replay_checksum = 0.0;
+      for (const auto& r : collected[0]) replay_checksum += r.output;
+      WNF_ASSERT(replay_checksum == sync_checksum &&
+                 "open-loop replay must serve the synchronous drain's bytes");
+    }
+
+    // Timed: repeated replays on one persistent pool (ids keep counting,
+    // so the recorded checksum is the last window's — deterministic for a
+    // fixed rep count, like the serve_throughput row).
+    serve::ReplicaPool pool(net, config);
+    load::PoolPipeline pipe(pool);
+    load::Pipeline* const pipes[] = {&pipe};
+    double checksum = 0.0;
+    BenchEntry entry =
+        time_scenario("load_replay/open_loop_pool_w2", trace.size(), [&] {
+          std::vector<std::vector<serve::RequestResult>> collected;
+          load::replay(trace, workload, pipes, open_loop, &collected);
+          checksum = 0.0;
+          for (const auto& r : collected[0]) checksum += r.output;
+        });
+    entry.checksum = checksum;
+    entry.gated = false;  // wall-clock-scheduled: tracked, not gated
+    file.benches.push_back(std::move(entry));
+  }
+
   // The campaign engine on the analytic path (bench_campaign_backends'
   // reference row).
   {
@@ -335,9 +403,10 @@ void write_json(const BenchFile& file, const std::string& path) {
     const BenchEntry& entry = file.benches[i];
     std::fprintf(out,
                  "    {\"name\": \"%s\", \"ops\": %zu, \"ns_per_op\": %.17g, "
-                 "\"cal_ns_per_op\": %.17g, \"checksum\": %.17g}%s\n",
+                 "\"cal_ns_per_op\": %.17g, \"checksum\": %.17g%s}%s\n",
                  entry.name.c_str(), entry.ops, entry.ns_per_op,
                  entry.cal_ns_per_op, entry.checksum,
+                 entry.gated ? "" : ", \"gated\": false",
                  i + 1 < file.benches.size() ? "," : "");
   }
   std::fprintf(out, "  ]\n}\n");
@@ -403,6 +472,11 @@ BenchFile parse_json(const std::string& path) {
             : file.calibration_ns_per_op;  // older files: file-level only
     const std::size_t checksum = text.find("\"checksum\"", ns);
     entry.checksum = parse_number_after(text, checksum, "checksum");
+    const std::size_t gated = text.find("\"gated\"", ns);
+    if (gated != std::string::npos && gated < close) {
+      entry.gated =
+          text.compare(text.find(':', gated) + 1, 6, " false") != 0;
+    }
     file.benches.push_back(std::move(entry));
     at = name_end;
   }
@@ -454,8 +528,15 @@ int compare(const std::string& baseline_path, const std::string& current_path,
     const double delta = cur_norm / base_norm - 1.0;
     std::string verdict = "ok";
     if (base.name != "calibration/rng_draw" && delta > tolerance) {
-      verdict = "REGRESSION";
-      ++failures;
+      // Ungated rows (wall-clock-scheduled measurands) report their drift
+      // but never fail the gate; either side marking the row ungated wins,
+      // so refreshing one file at a time cannot re-arm it.
+      if (base.gated && match->gated) {
+        verdict = "REGRESSION";
+        ++failures;
+      } else {
+        verdict = "drift (ungated)";
+      }
     }
     if (match->checksum != base.checksum) {
       verdict += strict ? " + CHECKSUM" : " (checksum drift)";

@@ -84,13 +84,22 @@ std::vector<TrialResult> ServeBackend::run_trials(
   }
   pool.set_timeline(std::move(timeline));
 
+  // Submission and completion interleave through the async seam: workers
+  // start executing the head of the stream while the tail is still being
+  // submitted, and poll() harvests whatever has already finished in id
+  // order. wait() then drains the remainder — results are bit-identical
+  // to a synchronous submit-everything-then-drain, just pipelined.
+  std::vector<serve::RequestResult> served;
+  served.reserve(total);
+  serve::RequestResult ready;
   for (const Trial& trial : trials) {
     for (const auto& x : trial.probes) {
       const bool accepted = pool.submit(x);
       WNF_ASSERT(accepted);  // queue sized to the whole stream
+      while (pool.poll(ready)) served.push_back(ready);
     }
   }
-  const auto served = pool.drain();
+  while (pool.pending() > 0) served.push_back(pool.wait());
   WNF_ASSERT(served.size() == total);
 
   std::vector<TrialResult> results(trials.size());

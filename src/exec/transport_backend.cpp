@@ -112,13 +112,22 @@ std::vector<TrialResult> TransportBackend::run_trials(
   host.set_timeline(std::move(timeline));
   host.set_crash_script(options_.crash_script);
 
+  // Submission and completion interleave through the async seam: the host
+  // pumps dispatch/harvest inside poll() while the trial stream is still
+  // being submitted, then wait() drains the remainder — bit-identical to
+  // a synchronous submit-everything-then-drain, just pipelined (and the
+  // crash script fires at the same dispatch frontiers either way).
+  std::vector<serve::RequestResult> served;
+  served.reserve(total);
+  serve::RequestResult ready;
   for (const Trial& trial : trials) {
     for (const auto& x : trial.probes) {
       const bool accepted = host.submit(x);
       WNF_ASSERT(accepted);  // queue sized to the whole stream
+      while (host.poll(ready)) served.push_back(ready);
     }
   }
-  const auto served = host.drain();
+  while (host.pending() > 0) served.push_back(host.wait());
   WNF_ASSERT(served.size() == total);
   last_report_ = host.report();
 

@@ -1,0 +1,219 @@
+#include "load/replay.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <deque>
+#include <thread>
+
+#include "util/contract.hpp"
+#include "util/stats.hpp"
+
+namespace wnf::load {
+
+namespace {
+
+/// What the driver remembers about an admitted request until its result
+/// comes back: completions return in id order per pipeline, which is
+/// submission order, so a FIFO per pipeline matches results to arrivals
+/// without carrying ids around.
+struct Submitted {
+  double scheduled = 0.0;  ///< wall seconds from replay start
+  std::uint32_t tenant = 0;
+};
+
+}  // namespace
+
+LoadReport replay(const ArrivalTrace& trace,
+                  std::span<const std::vector<double>> inputs,
+                  std::span<Pipeline* const> pipes,
+                  const OpenLoopConfig& config,
+                  std::vector<std::vector<serve::RequestResult>>* collected) {
+  WNF_EXPECTS(!pipes.empty());
+  WNF_EXPECTS(!inputs.empty());
+  WNF_EXPECTS(config.time_scale > 0.0);
+  WNF_EXPECTS(config.idle_nap_seconds >= 0.0);
+  const std::chrono::duration<double> idle_nap(config.idle_nap_seconds);
+  for (Pipeline* pipe : pipes) {
+    WNF_EXPECTS(pipe != nullptr);
+    WNF_EXPECTS(pipe->outstanding() == 0);
+  }
+  if (collected) collected->assign(pipes.size(), {});
+
+  LoadReport report;
+  report.offered = trace.size();
+  std::uint32_t max_tenant = 0;
+  for (const Arrival& arrival : trace.arrivals) {
+    max_tenant = std::max(max_tenant, arrival.tenant);
+  }
+  report.tenants.assign(trace.empty() ? 0 : std::size_t{max_tenant} + 1, {});
+  for (const Arrival& arrival : trace.arrivals) {
+    ++report.tenants[arrival.tenant].offered;
+  }
+
+  std::vector<std::deque<Submitted>> submitted(pipes.size());
+  std::vector<double> sojourns;
+  sojourns.reserve(trace.size());
+  std::vector<std::vector<double>> tenant_sojourns(report.tenants.size());
+
+  const auto start = std::chrono::steady_clock::now();
+  auto elapsed = [&start] {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start)
+        .count();
+  };
+  double last_delivery = 0.0;
+
+  // One sweep over every pipeline: pump each one and bank whatever has
+  // finished. Sojourn is measured from the *scheduled* arrival, so any
+  // driver lateness is charged to the requests that suffered it
+  // (coordinated omission is impossible by construction).
+  auto harvest = [&] {
+    bool any = false;
+    serve::RequestResult ready;
+    for (std::size_t p = 0; p < pipes.size(); ++p) {
+      while (pipes[p]->poll(ready)) {
+        any = true;
+        WNF_ASSERT(!submitted[p].empty());
+        const Submitted entry = submitted[p].front();
+        submitted[p].pop_front();
+        last_delivery = elapsed();
+        const double sojourn = last_delivery - entry.scheduled;
+        sojourns.push_back(sojourn);
+        tenant_sojourns[entry.tenant].push_back(sojourn);
+        ++report.completed;
+        ++report.tenants[entry.tenant].completed;
+        if (collected) (*collected)[p].push_back(ready);
+      }
+    }
+    return any;
+  };
+
+  for (std::size_t i = 0; i < trace.arrivals.size(); ++i) {
+    const Arrival& arrival = trace.arrivals[i];
+    const double target = arrival.time * config.time_scale;
+    // Hold the schedule: keep every pipeline pumped until this arrival's
+    // instant, napping only when nothing completed.
+    while (true) {
+      const double remaining = target - elapsed();
+      if (remaining <= 0.0) break;
+      if (!harvest() && config.idle_nap_seconds > 0.0) {
+        std::this_thread::sleep_for(
+            std::min(idle_nap, std::chrono::duration<double>(remaining)));
+      }
+    }
+
+    TenantStats& tenant = report.tenants[arrival.tenant];
+    if (config.slo_seconds > 0.0 &&
+        elapsed() - target > config.slo_seconds) {
+      ++report.shed_slo;
+      ++tenant.shed;
+      continue;
+    }
+    const std::size_t p = arrival.tenant % pipes.size();
+    if (config.admission_limit > 0 &&
+        pipes[p]->outstanding() >= config.admission_limit) {
+      ++report.shed_admission;
+      ++tenant.shed;
+      continue;
+    }
+    if (!pipes[p]->try_submit(inputs[i % inputs.size()])) {
+      ++report.shed_queue;
+      ++tenant.shed;
+      continue;
+    }
+    ++report.admitted;
+    ++tenant.admitted;
+    submitted[p].push_back({target, arrival.tenant});
+  }
+
+  // Tail drain: the schedule is over, but the open-loop contract still
+  // owes every admitted request a delivery.
+  auto any_outstanding = [&pipes] {
+    for (Pipeline* pipe : pipes) {
+      if (pipe->outstanding() > 0) return true;
+    }
+    return false;
+  };
+  while (any_outstanding()) {
+    if (!harvest() && config.idle_nap_seconds > 0.0) {
+      std::this_thread::sleep_for(idle_nap);
+    }
+  }
+  WNF_ASSERT(report.completed == report.admitted);
+
+  report.wall_seconds = report.completed > 0 ? last_delivery : elapsed();
+  const double offered_window = trace.duration * config.time_scale;
+  report.offered_rps =
+      offered_window > 0.0
+          ? static_cast<double>(report.offered) / offered_window
+          : 0.0;
+  report.completed_rps =
+      report.wall_seconds > 0.0
+          ? static_cast<double>(report.completed) / report.wall_seconds
+          : 0.0;
+  if (!sojourns.empty()) {
+    std::sort(sojourns.begin(), sojourns.end());
+    report.p50 = percentile_sorted(sojourns, 0.50);
+    report.p95 = percentile_sorted(sojourns, 0.95);
+    report.p99 = percentile_sorted(sojourns, 0.99);
+    report.p999 = percentile_sorted(sojourns, 0.999);
+  }
+  for (std::size_t t = 0; t < report.tenants.size(); ++t) {
+    std::vector<double>& xs = tenant_sojourns[t];
+    if (xs.empty()) continue;
+    std::sort(xs.begin(), xs.end());
+    report.tenants[t].p50 = percentile_sorted(xs, 0.50);
+    report.tenants[t].p99 = percentile_sorted(xs, 0.99);
+  }
+  return report;
+}
+
+std::vector<LoadReport> replay_time_shared(
+    transport::WorkerHost& host,
+    std::span<const nn::FeedForwardNetwork* const> nets,
+    const ArrivalTrace& trace, std::span<const std::vector<double>> inputs,
+    const OpenLoopConfig& config,
+    std::vector<std::vector<serve::RequestResult>>* collected) {
+  WNF_EXPECTS(!nets.empty());
+  WNF_EXPECTS(!inputs.empty());
+  for (const nn::FeedForwardNetwork* net : nets) WNF_EXPECTS(net != nullptr);
+  for (const Arrival& arrival : trace.arrivals) {
+    WNF_EXPECTS(arrival.tenant < nets.size());
+  }
+  if (collected) collected->assign(nets.size(), {});
+
+  std::vector<LoadReport> reports;
+  reports.reserve(nets.size());
+  for (std::size_t t = 0; t < nets.size(); ++t) {
+    // Tenant t's slice, rebased so its first arrival is wall zero (the
+    // fleet serves tenants back to back, not on the global clock) and
+    // relabelled tenant 0: the slice report's tenants[0] is tenant t.
+    ArrivalTrace slice;
+    double first = 0.0;
+    bool have_first = false;
+    for (const Arrival& arrival : trace.arrivals) {
+      if (arrival.tenant != t) continue;
+      if (!have_first) {
+        first = arrival.time;
+        have_first = true;
+      }
+      slice.arrivals.push_back({arrival.time - first, 0});
+    }
+    slice.duration = have_first ? trace.duration - first : 0.0;
+
+    // One live fleet, many deployments: rebind restarts request ids at 0
+    // on the same seed, so each tenant's results are bit-identical to a
+    // dedicated freshly constructed host — zero new forks.
+    host.rebind(*nets[t]);
+    HostPipeline pipe(host);
+    Pipeline* const pipes[] = {&pipe};
+    std::vector<std::vector<serve::RequestResult>> slice_collected;
+    reports.push_back(replay(slice, inputs, pipes, config,
+                             collected ? &slice_collected : nullptr));
+    WNF_ASSERT(host.pending() == 0);  // the slice fully drained
+    if (collected) (*collected)[t] = std::move(slice_collected[0]);
+  }
+  return reports;
+}
+
+}  // namespace wnf::load

@@ -1,0 +1,78 @@
+#include "serve/completion.hpp"
+
+#include "util/contract.hpp"
+
+namespace wnf::serve {
+
+void CompletionQueue::push(RequestResult result) {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    WNF_ASSERT(result.id >= next_id_);
+    heap_.push(std::move(result));
+    if (heap_.top().id != next_id_) return;  // the gap has not closed yet
+  }
+  ready_.notify_one();
+}
+
+void CompletionQueue::push_many(std::span<const RequestResult> results) {
+  if (results.empty()) return;
+  bool ready = false;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    for (const RequestResult& result : results) {
+      WNF_ASSERT(result.id >= next_id_);
+      heap_.push(result);
+    }
+    ready = ready_locked();
+  }
+  if (ready) ready_.notify_one();
+}
+
+bool CompletionQueue::try_pop(RequestResult& out) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (!ready_locked()) return false;
+  out = heap_.top();
+  heap_.pop();
+  ++next_id_;
+  return true;
+}
+
+RequestResult CompletionQueue::pop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  ready_.wait(lock, [this] { return ready_locked(); });
+  RequestResult out = heap_.top();
+  heap_.pop();
+  ++next_id_;
+  return out;
+}
+
+std::size_t CompletionQueue::pop_ready(std::vector<RequestResult>& out) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  ready_.wait(lock, [this] { return ready_locked(); });
+  std::size_t delivered = 0;
+  while (ready_locked()) {
+    out.push_back(heap_.top());
+    heap_.pop();
+    ++next_id_;
+    ++delivered;
+  }
+  return delivered;
+}
+
+std::size_t CompletionQueue::buffered() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return heap_.size();
+}
+
+std::uint64_t CompletionQueue::next_id() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return next_id_;
+}
+
+void CompletionQueue::reset(std::uint64_t next_id) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  WNF_EXPECTS(heap_.empty());  // nothing may straddle an id-stream restart
+  next_id_ = next_id;
+}
+
+}  // namespace wnf::serve

@@ -1,57 +1,106 @@
 #include "serve/pool.hpp"
 
 #include <algorithm>
-#include <atomic>
-#include <chrono>
+#include <array>
 
 #include "util/contract.hpp"
 
 namespace wnf::serve {
 
+namespace {
+
+/// Requests a worker claims per dispatch-queue lock. Chunking amortises
+/// the lock the way wire batching amortises syscalls; small enough that
+/// work-stealing balance survives heavy-tailed per-request latency draws.
+constexpr std::size_t kGrabChunk = 8;
+
+std::size_t resolve_replicas(std::size_t requested) {
+  if (requested != 0) return requested;
+  return std::max<std::size_t>(1, std::thread::hardware_concurrency());
+}
+
+}  // namespace
+
 ReplicaPool::ReplicaPool(const nn::FeedForwardNetwork& net, ServeConfig config)
-    : net_(net),
-      config_(std::move(config)),
-      pool_(config_.replicas),
-      root_(config_.seed) {
+    : net_(net), config_(std::move(config)), root_(config_.seed) {
   WNF_EXPECTS(config_.queue_capacity > 0);
-  replicas_.reserve(pool_.size());
-  for (std::size_t r = 0; r < pool_.size(); ++r) {
+  const std::size_t replicas = resolve_replicas(config_.replicas);
+  replicas_.reserve(replicas);
+  for (std::size_t r = 0; r < replicas; ++r) {
     replicas_.push_back(std::make_unique<Replica>(net_, config_.sim));
   }
   if (!config_.straggler_cut.empty()) {
     WNF_EXPECTS(config_.straggler_cut.size() == net_.layer_count());
     wait_counts_ = dist::wait_counts_from_cut(net_, config_.straggler_cut);
   }
-  queue_.reserve(config_.queue_capacity);
+  threads_.reserve(replicas);
+  for (std::size_t r = 0; r < replicas; ++r) {
+    threads_.emplace_back([this, r] { worker_loop(r); });
+  }
+}
+
+ReplicaPool::~ReplicaPool() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+    dispatch_.clear();  // abandoned requests are never delivered anyway
+  }
+  work_cv_.notify_all();
+  for (auto& thread : threads_) thread.join();
 }
 
 void ReplicaPool::set_timeline(FaultTimeline timeline) {
+  WNF_EXPECTS(outstanding_.load() == 0);  // workers may hold stale segments
   timeline_ = std::move(timeline);
   timeline_.finalize(net_);
   // Segment indices from the old timeline mean nothing under the new one;
-  // force every replica to re-resolve on its next request.
+  // force every replica to re-resolve on its next request. The pipeline is
+  // idle, so no worker is reading its segment concurrently.
   for (auto& replica : replicas_) replica->segment = kNoSegment;
 }
 
 bool ReplicaPool::submit(std::vector<double> x) {
   WNF_EXPECTS(x.size() == net_.input_dim());
-  if (queue_.size() >= config_.queue_capacity) {
+  if (outstanding_.load() >= config_.queue_capacity) {
     ++rejected_;
     return false;
   }
-  queue_.push_back({next_id_++, std::move(x), root_.split()});
+  if (outstanding_.fetch_add(1) == 0) {
+    busy_start_ = std::chrono::steady_clock::now();
+  }
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    dispatch_.push_back({next_id_++, std::move(x), root_.split()});
+  }
+  work_cv_.notify_one();
   return true;
 }
 
 std::size_t ReplicaPool::submit_batch(
     std::span<const std::vector<double>> batch) {
-  std::size_t accepted = 0;
-  for (const auto& x : batch) {
-    if (!submit(x)) {
-      rejected_ += batch.size() - accepted - 1;  // shed the rest of the batch
-      break;
+  if (batch.empty()) return 0;
+  for (const auto& x : batch) WNF_EXPECTS(x.size() == net_.input_dim());
+  // One lock and one wake for the whole batch: at small request sizes the
+  // per-request notify_one and mutex round-trips of submit() dominate the
+  // closed-loop throughput otherwise. Capacity math is race-free because
+  // the driver thread owns both submission and delivery.
+  const std::size_t accepted = std::min(
+      batch.size(), config_.queue_capacity - outstanding_.load());
+  rejected_ += batch.size() - accepted;  // the rest of the batch is shed
+  if (accepted == 0) return 0;
+  if (outstanding_.fetch_add(accepted) == 0) {
+    busy_start_ = std::chrono::steady_clock::now();
+  }
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    for (std::size_t i = 0; i < accepted; ++i) {
+      dispatch_.push_back({next_id_++, batch[i], root_.split()});
     }
-    ++accepted;
+  }
+  if (accepted >= replicas_.size()) {
+    work_cv_.notify_all();
+  } else {
+    for (std::size_t i = 0; i < accepted; ++i) work_cv_.notify_one();
   }
   return accepted;
 }
@@ -79,36 +128,73 @@ RequestResult ReplicaPool::process(Replica& replica,
           sim_result.resets_sent};
 }
 
-std::vector<RequestResult> ReplicaPool::drain() {
-  const std::size_t count = queue_.size();
-  std::vector<RequestResult> results(count);
-  const auto start = std::chrono::steady_clock::now();
-
-  // Work-stealing by shared index: replicas pull the next request id as
-  // they free up, so a replica stuck behind a heavy request never idles
-  // the others. Each result lands in its own slot — no locks, and the
-  // output vector is in id order by construction.
-  std::atomic<std::size_t> next{0};
-  for (std::size_t r = 0; r < replicas_.size(); ++r) {
-    pool_.submit([this, &results, &next, count, r] {
-      Replica& replica = *replicas_[r];
-      for (std::size_t i = next.fetch_add(1); i < count;
-           i = next.fetch_add(1)) {
-        results[i] = process(replica, queue_[i]);
+void ReplicaPool::worker_loop(std::size_t r) {
+  Replica& replica = *replicas_[r];
+  std::vector<PendingRequest> grabbed;
+  std::vector<RequestResult> finished;
+  grabbed.reserve(kGrabChunk);
+  finished.reserve(kGrabChunk);
+  while (true) {
+    grabbed.clear();
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_cv_.wait(lock, [this] { return stopping_ || !dispatch_.empty(); });
+      if (stopping_) return;
+      // Work-stealing in chunks: a replica stuck behind a heavy request
+      // never idles the others, because the rest of the stream stays on
+      // the shared queue for whoever frees up first.
+      const std::size_t take = std::min(kGrabChunk, dispatch_.size());
+      for (std::size_t i = 0; i < take; ++i) {
+        grabbed.push_back(std::move(dispatch_.front()));
+        dispatch_.pop_front();
       }
-    });
+    }
+    finished.clear();
+    for (const PendingRequest& request : grabbed) {
+      finished.push_back(process(replica, request));
+    }
+    // Every claimed request is flushed before the worker can sleep again,
+    // so the consumer never waits on a result a parked worker is holding.
+    completions_.push_many(finished);
   }
-  pool_.wait_idle();
+}
 
-  wall_seconds_ +=
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
-          .count();
-  completion_times_.reserve(completion_times_.size() + count);
-  for (const auto& result : results) {
-    completion_times_.push_back(result.completion_time);
-    resets_total_ += result.resets_sent;
+void ReplicaPool::delivered(const RequestResult& result) {
+  completion_times_.push_back(result.completion_time);
+  resets_total_ += result.resets_sent;
+  if (outstanding_.fetch_sub(1) == 1) {
+    // The pipeline just went idle: close the busy interval that opened at
+    // the first submit into an idle pipeline.
+    wall_seconds_ += std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - busy_start_)
+                         .count();
   }
-  queue_.clear();
+}
+
+bool ReplicaPool::poll(RequestResult& out) {
+  if (!completions_.try_pop(out)) return false;
+  delivered(out);
+  return true;
+}
+
+RequestResult ReplicaPool::wait() {
+  WNF_EXPECTS(outstanding_.load() > 0);
+  RequestResult out = completions_.pop();
+  delivered(out);
+  return out;
+}
+
+std::vector<RequestResult> ReplicaPool::drain() {
+  std::vector<RequestResult> results;
+  results.reserve(outstanding_.load());
+  // Bulk-pop whatever is consecutively ready per wake instead of paying a
+  // queue lock per result — the consumer-side mirror of the workers'
+  // push_many.
+  while (outstanding_.load() > 0) {
+    const std::size_t at = results.size();
+    completions_.pop_ready(results);
+    for (std::size_t i = at; i < results.size(); ++i) delivered(results[i]);
+  }
   return results;
 }
 
@@ -129,6 +215,7 @@ ServeReport ReplicaPool::report() const {
     report.p50 = percentile_sorted(sorted, 0.50);
     report.p95 = percentile_sorted(sorted, 0.95);
     report.p99 = percentile_sorted(sorted, 0.99);
+    report.p999 = percentile_sorted(sorted, 0.999);
   }
   report.resets_sent = resets_total_;
   return report;

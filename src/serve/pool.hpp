@@ -3,7 +3,7 @@
 // heavy-traffic deployment. A NetworkSimulator is documented not
 // thread-safe, so the scaling unit is the *replica*: one simulator per
 // worker thread, each with its own preallocated workspaces, fed from a
-// bounded request queue by wnf::ThreadPool.
+// shared dispatch queue the moment a request is accepted.
 //
 // Determinism contract: every accepted request gets a child Rng split off
 // the pool's root stream at submission, and its fault state comes from the
@@ -15,18 +15,24 @@
 // results depend on which replica served the previous request.
 #pragma once
 
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <memory>
+#include <mutex>
 #include <span>
+#include <thread>
 #include <vector>
 
 #include "dist/boosting.hpp"
 #include "dist/latency.hpp"
 #include "dist/sim.hpp"
+#include "serve/completion.hpp"
 #include "serve/report.hpp"
 #include "serve/timeline.hpp"
 #include "util/stats.hpp"
-#include "util/thread_pool.hpp"
 
 namespace wnf::serve {
 
@@ -34,8 +40,10 @@ namespace wnf::serve {
 struct ServeConfig {
   std::size_t replicas = 1;  ///< worker threads, one simulator each
                              ///< (0 means hardware concurrency)
-  std::size_t queue_capacity = 4096;  ///< pending requests the pool accepts
-                                      ///< before rejecting (load shedding)
+  std::size_t queue_capacity = 4096;  ///< outstanding requests (accepted,
+                                      ///< not yet delivered) the pool
+                                      ///< carries before rejecting
+                                      ///< (load shedding)
   dist::SimConfig sim;                ///< per-replica channel capacity
   dist::LatencyModel latency;  ///< per-request, per-neuron latency draws
   /// Optional Corollary-2 straggler cut, size L (empty = full waits).
@@ -47,38 +55,73 @@ struct ServeConfig {
 // RequestResult and ServeReport live in serve/report.hpp, shared with the
 // multi-process transport::WorkerHost.
 
-/// A pool of simulator replicas serving batched traffic. Not itself
-/// thread-safe: one driver thread submits and drains; parallelism lives
-/// inside drain(), where workers pull requests off a shared index and
-/// serve them on their own replica.
+/// A pool of simulator replicas serving batched traffic through an
+/// asynchronous submission/completion pipeline.
+///
+/// Threading contract: one driver thread calls submit / poll / wait /
+/// drain / set_timeline / report; the pool is not thread-safe across
+/// drivers. Execution is asynchronous to the driver — each replica runs on
+/// its own worker thread, pulling accepted requests off a shared dispatch
+/// queue the moment they are submitted, so submit() never blocks on
+/// execution and the driver can keep several deployments saturated at
+/// once. Workers push finished results into a CompletionQueue, which
+/// merges them back into request-id order; poll()/wait() are the
+/// completion primitives and drain() is a thin wrapper that waits out
+/// every outstanding request. Because delivery is in id order and every
+/// result is a pure function of (seed, id, input, timeline), the
+/// asynchronous pipeline is bit-identical to the synchronous drain it
+/// replaced at any replica count. set_timeline() requires an idle pipeline
+/// (no outstanding requests): a timeline swap mid-flight would race the
+/// workers' segment installs.
 class ReplicaPool {
  public:
   /// Binds to `net` (kept by reference; must outlive the pool) and spawns
   /// the worker threads with one simulator replica each.
   ReplicaPool(const nn::FeedForwardNetwork& net, ServeConfig config);
 
+  /// Joins the worker threads; outstanding results are discarded.
+  ~ReplicaPool();
+
+  ReplicaPool(const ReplicaPool&) = delete;
+  ReplicaPool& operator=(const ReplicaPool&) = delete;
+
   /// Installs a fault scenario (validated and segmented against the
-  /// network). Applies to requests by id, including ones already queued.
+  /// network). Applies to requests by id from here on. Requires an idle
+  /// pipeline: every submitted request delivered (pending() == 0).
   void set_timeline(FaultTimeline timeline);
 
-  /// Queues one request. Returns false (and counts a rejection) when the
-  /// queue is at capacity; the request id and Rng split are only consumed
-  /// on acceptance, so shed load never perturbs accepted results.
+  /// Submits one request to the pipeline; workers may start executing it
+  /// immediately. Returns false (and counts a rejection) when
+  /// `queue_capacity` requests are already outstanding; the request id and
+  /// Rng split are only consumed on acceptance, so shed load never
+  /// perturbs accepted results.
   bool submit(std::vector<double> x);
 
-  /// Queues a batch in order; returns how many were accepted (a prefix —
+  /// Submits a batch in order; returns how many were accepted (a prefix —
   /// once one is shed, the rest of the batch is too).
   std::size_t submit_batch(std::span<const std::vector<double>> batch);
 
-  /// Serves every queued request across the replicas and returns the
-  /// results in id order. Aggregates feed report().
+  /// Delivers the next result in id order if it has completed; never
+  /// blocks. False means that request is still executing (later ids may
+  /// have finished — they are held until the stream is gap-free).
+  bool poll(RequestResult& out);
+
+  /// Blocks until the next result in id order completes, then delivers
+  /// it. Requires at least one outstanding request.
+  RequestResult wait();
+
+  /// Compatibility wrapper over the async pipeline: waits out every
+  /// outstanding request and returns the results in id order — exactly
+  /// what the synchronous drain served, bit for bit.
   std::vector<RequestResult> drain();
 
-  /// Throughput and completion-time statistics over all drains so far.
+  /// Throughput and completion-time statistics over everything delivered
+  /// so far.
   ServeReport report() const;
 
   std::size_t replica_count() const { return replicas_.size(); }
-  std::size_t pending() const { return queue_.size(); }
+  /// Requests accepted and not yet delivered through poll()/wait().
+  std::size_t pending() const { return outstanding_.load(); }
   std::uint64_t next_request_id() const { return next_id_; }
   const nn::FeedForwardNetwork& network() const { return net_; }
 
@@ -102,18 +145,30 @@ class ReplicaPool {
   };
 
   RequestResult process(Replica& replica, const PendingRequest& request);
+  void worker_loop(std::size_t r);
+  void delivered(const RequestResult& result);
 
   const nn::FeedForwardNetwork& net_;
   ServeConfig config_;
   FaultTimeline timeline_;
-  ThreadPool pool_;
   std::vector<std::unique_ptr<Replica>> replicas_;
   std::vector<std::size_t> wait_counts_;  ///< size L+1; empty = full waits
   Rng root_;
-  std::vector<PendingRequest> queue_;
   std::uint64_t next_id_ = 0;
 
-  // Aggregates over every drain (index order, so deterministic).
+  // The async pipeline: driver-side dispatch queue feeding the worker
+  // threads, worker-side completion queue feeding the driver.
+  std::mutex mutex_;
+  std::condition_variable work_cv_;
+  std::deque<PendingRequest> dispatch_;
+  bool stopping_ = false;
+  std::vector<std::thread> threads_;
+  CompletionQueue completions_;
+  std::atomic<std::size_t> outstanding_{0};  ///< accepted - delivered
+
+  // Aggregates over every delivery (id order, so deterministic). All
+  // touched by the driver thread only.
+  std::chrono::steady_clock::time_point busy_start_{};
   std::vector<double> completion_times_;
   std::size_t rejected_ = 0;
   std::size_t resets_total_ = 0;

@@ -34,6 +34,8 @@ struct ServeReport {
   double p50 = 0.0;              ///< completion-time percentiles
   double p95 = 0.0;
   double p99 = 0.0;
+  double p999 = 0.0;             ///< the overload tail (open-loop replays
+                                 ///< live and die by p99.9, not the mean)
   std::size_t resets_sent = 0;   ///< total reset messages across requests
   std::size_t shed = 0;          ///< transport-level backpressure drops
                                  ///< (mirrors `rejected` on a WorkerHost;
@@ -45,6 +47,14 @@ struct ServeReport {
   std::size_t batch_frames = 0;  ///< BatchRequest frames the host sent —
                                  ///< completed/batch_frames ≈ realised
                                  ///< probes per wire round-trip
+  std::size_t result_frames = 0;  ///< BatchResult frames workers sent back;
+                                  ///< result_frames < batch_frames means
+                                  ///< workers coalesced finished probes
+                                  ///< under pipeline pressure
+  std::size_t batch_probes_min = 0;  ///< smallest / largest probe count the
+  std::size_t batch_probes_max = 0;  ///< variable-batch dispatcher put in
+                                     ///< one frame (0 when no frame was
+                                     ///< sent; equal when batching is fixed)
   std::size_t rebinds = 0;       ///< times the fleet was rebound to a new
                                  ///< deployment without re-forking
                                  ///< (lifetime, unlike the other counters)

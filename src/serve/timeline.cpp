@@ -22,7 +22,35 @@ void FaultTimeline::add(std::uint64_t start, std::uint64_t end,
   finalized_ = false;
 }
 
+void FaultTimeline::add_wall(double start, double end,
+                             fault::FaultPlan plan) {
+  WNF_EXPECTS(start < end);
+  WNF_EXPECTS(!plan.empty());
+  wall_windows_.push_back({start, end, std::move(plan)});
+  finalized_ = false;
+}
+
+void FaultTimeline::resolve_wall(std::span<const double> arrival_times) {
+  WNF_ASSERT(std::is_sorted(arrival_times.begin(), arrival_times.end()));
+  for (auto& window : wall_windows_) {
+    const auto first = std::lower_bound(arrival_times.begin(),
+                                        arrival_times.end(), window.start);
+    const auto past = std::lower_bound(first, arrival_times.end(),
+                                       window.end);
+    if (first == past) continue;  // no arrival lands inside the window
+    windows_.push_back(
+        {static_cast<std::uint64_t>(first - arrival_times.begin()),
+         static_cast<std::uint64_t>(past - arrival_times.begin()),
+         std::move(window.plan)});
+  }
+  wall_windows_.clear();
+  finalized_ = false;
+}
+
 void FaultTimeline::finalize(const nn::FeedForwardNetwork& net) {
+  // A wall-clock window that never met its arrival trace would silently
+  // serve fault-free; failing loudly here keeps scenarios honest.
+  WNF_EXPECTS(wall_windows_.empty());
   for (const auto& window : windows_) {
     fault::validate_plan(window.plan, net);
     // Merged plans keep one convention; mixing would make a Byzantine

@@ -10,9 +10,19 @@
 // Time is measured in request ids, not wall clock, so a scenario replays
 // bit-identically whatever the worker count or machine speed: the fault
 // state of request i is a pure function of i.
+//
+// Open-loop traffic replay (src/load/) adds a second way to *specify* a
+// window without giving up that property: a wall-clock window states when
+// a failure episode starts and ends in trace seconds, and resolve_wall()
+// converts it into a request-id window against the arrival trace being
+// replayed ("the outage covers every request that arrived inside it").
+// Resolution happens before traffic flows, so the executed timeline is
+// still pure id-based — the wall clock names the window, it never gates
+// execution.
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "fault/plan.hpp"
@@ -25,6 +35,15 @@ namespace wnf::serve {
 struct FaultWindow {
   std::uint64_t start = 0;
   std::uint64_t end = 0;
+  fault::FaultPlan plan;
+};
+
+/// One wall-clock-timed fault window: `plan` is active for requests whose
+/// *scheduled arrival time* falls in [start, end) trace seconds. Carried
+/// unresolved until resolve_wall() maps it onto request ids.
+struct WallClockWindow {
+  double start = 0.0;
+  double end = 0.0;
   fault::FaultPlan plan;
 };
 
@@ -45,13 +64,33 @@ class FaultTimeline {
   /// Convenience for the window that never closes.
   static constexpr std::uint64_t kForever = ~std::uint64_t{0};
 
-  bool empty() const { return windows_.empty(); }
+  /// Adds `plan` as active over [start, end) *trace seconds*: the window
+  /// covers every request whose scheduled arrival falls inside it. Requires
+  /// start < end. The window stays pending until resolve_wall() converts it
+  /// to a request-id window; finalize() rejects unresolved wall windows.
+  void add_wall(double start, double end, fault::FaultPlan plan);
+
+  /// True while wall-clock windows are pending resolution.
+  bool has_wall_windows() const { return !wall_windows_.empty(); }
+  const std::vector<WallClockWindow>& wall_windows() const {
+    return wall_windows_;
+  }
+
+  /// Resolves every wall-clock window against `arrival_times` (ascending
+  /// trace seconds; index i is request id i): a window [s, e) becomes the
+  /// id window [first id arriving >= s, first id arriving >= e). Windows no
+  /// arrival falls into dissolve. After this the timeline is pure id-based
+  /// and replays bit-identically however fast the replay actually runs.
+  void resolve_wall(std::span<const double> arrival_times);
+
+  bool empty() const { return windows_.empty() && wall_windows_.empty(); }
   const std::vector<FaultWindow>& windows() const { return windows_; }
 
   /// Validates every window against `net` and precomputes the constant
   /// segments between window boundaries, checking that each merged plan is
   /// itself valid (overlapping windows must hit distinct components).
-  /// Must be called (ReplicaPool does) before the lookups below.
+  /// Must be called (ReplicaPool does) before the lookups below. Requires
+  /// every wall-clock window to have been resolved first.
   void finalize(const nn::FeedForwardNetwork& net);
 
   /// Index of the constant segment covering request `id`.
@@ -71,6 +110,7 @@ class FaultTimeline {
 
  private:
   std::vector<FaultWindow> windows_;
+  std::vector<WallClockWindow> wall_windows_;  ///< pending resolution
   std::vector<std::uint64_t> boundaries_;   ///< segment k covers
                                             ///< [boundaries_[k], boundaries_[k+1])
   std::vector<fault::FaultPlan> segments_;  ///< merged plan per segment

@@ -3,7 +3,7 @@
 // Every message between a WorkerHost and a Worker process is one frame:
 //
 //   u32 magic      "WNF1" (0x574E4631)      | fixed 20-byte header,
-//   u16 version    protocol version (= 2)   | little-endian on the wire
+//   u16 version    protocol version (= 3)   | little-endian on the wire
 //   u16 type       MessageType              | whatever the host CPU is
 //   u32 size       payload bytes that follow
 //   u64 checksum   FNV-1a 64 over the payload
@@ -17,6 +17,13 @@
 // without re-forking. Batch results identify every probe by id with its
 // own status byte, which is what lets the host resubmit only the probes an
 // unacknowledged batch actually lost when a worker is SIGKILLed mid-batch.
+//
+// Protocol v3 decouples result frames from request frames: because probes
+// are acknowledged by id, a BatchResult no longer has to answer exactly
+// one BatchRequest — a worker with several finished request frames queued
+// coalesces all their results into one frame at the socket turn-around
+// (the async host validates per probe, not per frame). Frame formats are
+// unchanged from v2; the version bump marks the relaxed framing contract.
 //
 // Payloads are explicit little-endian primitives (doubles as IEEE-754 bit
 // patterns), so a frame is a byte-exact artifact: the same network, plan,
@@ -46,7 +53,7 @@
 namespace wnf::transport {
 
 inline constexpr std::uint32_t kFrameMagic = 0x574E4631u;  // "WNF1"
-inline constexpr std::uint16_t kProtocolVersion = 2;
+inline constexpr std::uint16_t kProtocolVersion = 3;
 inline constexpr std::size_t kFrameHeaderSize = 20;
 /// Sanity cap on payload size (a lying length field must not trigger a
 /// multi-gigabyte allocation before the checksum can reject the frame).

@@ -44,6 +44,8 @@ bool WorkerHost::submit(std::vector<double>) { return false; }
 std::size_t WorkerHost::submit_batch(std::span<const std::vector<double>>) {
   return 0;
 }
+bool WorkerHost::poll(serve::RequestResult&) { return false; }
+serve::RequestResult WorkerHost::wait() { return {}; }
 std::vector<serve::RequestResult> WorkerHost::drain() { return {}; }
 serve::ServeReport WorkerHost::report() const { return {}; }
 std::size_t WorkerHost::alive_workers() const { return 0; }
@@ -73,11 +75,11 @@ void suppress_sigpipe(int fd) {
 #endif
 }
 
-/// Insert `index` into the ascending resubmission order exactly once.
-void insert_sorted(std::vector<std::size_t>& sorted, std::size_t index) {
-  const auto it = std::lower_bound(sorted.begin(), sorted.end(), index);
-  WNF_ASSERT(it == sorted.end() || *it != index);
-  sorted.insert(it, index);
+/// Insert `id` into the ascending resubmission order exactly once.
+void insert_sorted(std::vector<std::uint64_t>& sorted, std::uint64_t id) {
+  const auto it = std::lower_bound(sorted.begin(), sorted.end(), id);
+  WNF_ASSERT(it == sorted.end() || *it != id);
+  sorted.insert(it, id);
 }
 
 SegmentsMsg make_segments(const serve::FaultTimeline& timeline) {
@@ -103,7 +105,6 @@ WorkerHost::WorkerHost(TransportConfig config)
     config_.workers =
         std::max<std::size_t>(1, std::thread::hardware_concurrency());
   }
-  queue_.reserve(config_.queue_capacity);
   workers_.resize(config_.workers);
   for (std::size_t w = 0; w < workers_.size(); ++w) spawn(w);
 }
@@ -126,7 +127,9 @@ WorkerHost::WorkerHost(const nn::FeedForwardNetwork& net,
 
 void WorkerHost::rebind(const nn::FeedForwardNetwork& net,
                         RebindOptions options) {
-  WNF_EXPECTS(queue_.empty());  // no traffic may straddle the swap
+  // No traffic may straddle the swap: everything accepted was delivered.
+  WNF_EXPECTS(outstanding_ == 0);
+  WNF_ASSERT(queue_.empty() && inflight_.empty() && resubmit_.empty());
   net_ = &net;
   if (options.seed) config_.seed = *options.seed;
   if (options.straggler_cut) {
@@ -135,7 +138,6 @@ void WorkerHost::rebind(const nn::FeedForwardNetwork& net,
   if (options.queue_capacity) {
     WNF_EXPECTS(*options.queue_capacity > 0);
     config_.queue_capacity = *options.queue_capacity;
-    queue_.reserve(config_.queue_capacity);
   }
   wait_counts_.clear();
   if (!config_.straggler_cut.empty()) {
@@ -148,6 +150,7 @@ void WorkerHost::rebind(const nn::FeedForwardNetwork& net,
   script_.clear();
   root_.reseed(config_.seed);
   next_id_ = 0;
+  completions_.reset(0);
   deaths_without_progress_ = 0;
   // Live workers swap state atomically via one kRebind frame — encoded
   // once, appended per worker (the network serializes once per rebind,
@@ -165,6 +168,7 @@ void WorkerHost::rebind(const nn::FeedForwardNetwork& net,
       }
       workers_[w].outbox.insert(workers_[w].outbox.end(),
                                 rebind_frame.begin(), rebind_frame.end());
+      workers_[w].ramp = 0;
     } else {
       workers_[w].blocked_until = 0;
       spawn(w);
@@ -177,6 +181,9 @@ void WorkerHost::rebind(const nn::FeedForwardNetwork& net,
   resubmitted_ = 0;
   restarts_ = 0;
   batch_frames_ = 0;
+  result_frames_ = 0;
+  batch_probes_min_ = 0;
+  batch_probes_max_ = 0;
   wall_seconds_ = 0.0;
   ++rebinds_;
 }
@@ -227,7 +234,7 @@ void WorkerHost::spawn(std::size_t w) {
   worker.inbox.clear();
   worker.outbox.clear();
   WNF_ASSERT(worker.inflight.empty());
-  worker.inflight_batches = 0;
+  worker.ramp = 0;
   ++total_spawns_;
   // An unbound fleet forks and greets but ships nothing; the first
   // rebind() supplies the network.
@@ -262,6 +269,9 @@ void WorkerHost::enqueue_segments(WorkerState& worker) {
 
 void WorkerHost::set_timeline(serve::FaultTimeline timeline) {
   WNF_EXPECTS(bound());
+  // Workers resolve segments per request; swapping the segment table while
+  // requests are in flight would race their installs.
+  WNF_EXPECTS(outstanding_ == 0);
   timeline_ = std::move(timeline);
   timeline_.finalize(*net_);
   for (auto& worker : workers_) {
@@ -282,9 +292,12 @@ void WorkerHost::set_crash_script(std::vector<CrashWindow> script) {
 bool WorkerHost::submit(std::vector<double> x) {
   WNF_EXPECTS(bound());
   WNF_EXPECTS(x.size() == net_->input_dim());
-  if (queue_.size() >= config_.queue_capacity) {
+  if (outstanding_ >= config_.queue_capacity) {
     ++shed_;
     return false;
+  }
+  if (outstanding_++ == 0) {
+    busy_start_ = std::chrono::steady_clock::now();
   }
   queue_.push_back({next_id_++, std::move(x), root_.split()});
   return true;
@@ -331,11 +344,11 @@ void WorkerHost::worker_died(std::size_t w, bool expected) {
   // The dead worker's outstanding requests go back to the dispatcher; the
   // per-request Rng state makes the re-run bit-identical wherever it lands.
   resubmitted_ += worker.inflight.size();
-  for (const std::size_t index : worker.inflight) {
-    insert_sorted(resubmit_, index);
+  for (const std::uint64_t id : worker.inflight) {
+    insert_sorted(resubmit_, id);
   }
   worker.inflight.clear();
-  worker.inflight_batches = 0;
+  worker.ramp = 0;
   // A spontaneous death (no scripted window) respawns immediately; a
   // scripted kill stays down until its recovery boundary. Healing must
   // make progress: a fleet dying repeatedly without serving a single
@@ -410,210 +423,262 @@ bool WorkerHost::flush_outbox(std::size_t w) {
   return worker.alive;
 }
 
-std::vector<serve::RequestResult> WorkerHost::drain() {
-  WNF_EXPECTS(bound());
-  const std::size_t count = queue_.size();
-  std::vector<serve::RequestResult> results(count);
-  const auto start = std::chrono::steady_clock::now();
-  const std::uint64_t base_id = count > 0 ? queue_.front().id : next_id_;
-
-  std::size_t served = 0;
-  std::size_t next_dispatch = 0;
-  std::vector<bool> done(count, false);
-
-  // One pass = script maintenance + dispatch + poll + harvest; repeats
-  // until every request has a result, however many workers died.
-  while (served < count) {
-    const std::uint64_t frontier =
-        next_dispatch < count ? queue_[next_dispatch].id : base_id + count;
-    run_crash_script(frontier);
-
-    // The deployment must never deadlock: if every worker is dead (e.g. a
-    // one-worker host inside a crash window), revive the one whose
-    // recovery is nearest and keep serving.
-    if (alive_workers() == 0) {
-      std::size_t best = workers_.size();
-      for (std::size_t w = 0; w < workers_.size(); ++w) {
-        if (best == workers_.size() ||
-            workers_[w].blocked_until < workers_[best].blocked_until) {
-          best = w;
-        }
-      }
-      respawn(best);
-    }
-
-    // Dispatch: build one BatchRequest frame at a time for the
-    // least-loaded live worker with batch-pipeline room — resubmitted
-    // requests first (they carry the oldest ids), then fresh ones.
-    // Assignment affects only where a request runs, never its result, so
-    // this load-balancing needs no determinism of its own.
-    while (!resubmit_.empty() || next_dispatch < count) {
-      std::size_t target = workers_.size();
-      for (std::size_t w = 0; w < workers_.size(); ++w) {
-        if (!workers_[w].alive) continue;
-        if (workers_[w].inflight_batches >= config_.pipeline_depth) continue;
-        if (target == workers_.size() ||
-            workers_[w].inflight.size() < workers_[target].inflight.size()) {
-          target = w;
-        }
-      }
-      if (target == workers_.size()) break;  // every pipeline is full
-      // Collect up to `batch` probes. A fresh request advances the
-      // frontier, so any script window it crosses fires before the
-      // request leaves the host — possibly killing the very worker this
-      // batch was being built for, in which case the collected probes go
-      // back to the resubmission queue and the outer loop re-targets.
-      std::vector<std::size_t> batch;
-      while (batch.size() < config_.batch) {
-        if (!resubmit_.empty()) {
-          batch.push_back(resubmit_.front());
-          resubmit_.erase(resubmit_.begin());
-          continue;
-        }
-        if (next_dispatch >= count) break;
-        run_crash_script(queue_[next_dispatch].id);
-        if (!workers_[target].alive) break;  // the script killed the target
-        batch.push_back(next_dispatch++);
-      }
-      if (!workers_[target].alive) {
-        for (const std::size_t index : batch) insert_sorted(resubmit_, index);
-        continue;
-      }
-      WNF_ASSERT(!batch.empty());
-      BatchRequestMsg msg;
-      msg.probes.reserve(batch.size());
-      for (const std::size_t index : batch) {
-        const PendingRequest& request = queue_[index];
-        RequestMsg probe;
-        probe.id = request.id;
-        probe.segment =
-            static_cast<std::uint32_t>(timeline_.segment_at(request.id));
-        probe.rng_state = request.rng.state();
-        probe.x = request.x;
-        msg.probes.push_back(std::move(probe));
-      }
-      const auto frame = Codec::encode(MessageType::kBatchRequest,
-                                       Codec::encode_batch_request(msg));
-      WorkerState& worker = workers_[target];
-      worker.outbox.insert(worker.outbox.end(), frame.begin(), frame.end());
-      worker.inflight.insert(worker.inflight.end(), batch.begin(),
-                             batch.end());
-      ++worker.inflight_batches;
-      ++batch_frames_;
-    }
-
-    for (std::size_t w = 0; w < workers_.size(); ++w) {
-      if (workers_[w].alive) flush_outbox(w);
-    }
-
-    // Poll the live workers; a death surfaces as EOF/HUP on its socket.
-    std::vector<pollfd> fds;
-    std::vector<std::size_t> owners;
+void WorkerHost::dispatch() {
+  // Build one BatchRequest frame at a time for the least-loaded live
+  // worker with pipeline room — resubmitted requests first (they carry
+  // the oldest ids), then fresh ones. Assignment affects only where a
+  // request runs, never its result, so this load-balancing needs no
+  // determinism of its own.
+  while (!resubmit_.empty() || !queue_.empty()) {
+    const std::size_t window = config_.pipeline_depth * config_.batch;
+    std::size_t target = workers_.size();
     for (std::size_t w = 0; w < workers_.size(); ++w) {
       if (!workers_[w].alive) continue;
-      pollfd entry{};
-      entry.fd = workers_[w].fd;
-      entry.events = POLLIN;
-      if (!workers_[w].outbox.empty()) entry.events |= POLLOUT;
-      fds.push_back(entry);
-      owners.push_back(w);
+      if (workers_[w].inflight.size() >= window) continue;
+      if (target == workers_.size() ||
+          workers_[w].inflight.size() < workers_[target].inflight.size()) {
+        target = w;
+      }
     }
-    if (fds.empty()) continue;  // loop reruns the no-worker revival path
-    const int ready = ::poll(fds.data(), fds.size(), kPollTimeoutMs);
-    if (ready < 0) {
-      WNF_ASSERT(errno == EINTR);
+    if (target == workers_.size()) break;  // every pipeline is full
+
+    // Variable-batch policy: a worker whose pipeline just emptied gets a
+    // small frame (fill the fleet now, not after `batch` probes queue up),
+    // then frame sizes double while its pipeline stays busy, capping at
+    // the configured batch — saturation keeps full wire amortisation.
+    WorkerState& picked = workers_[target];
+    std::size_t want = config_.batch;
+    if (config_.adaptive_batch) {
+      picked.ramp = picked.inflight.empty()
+                        ? 1
+                        : std::min(config_.batch, picked.ramp * 2);
+      want = picked.ramp;
+    }
+    want = std::min(want, window - picked.inflight.size());
+
+    // Collect up to `want` probes. A fresh request advances the frontier,
+    // so any script window it crosses fires before the request leaves the
+    // host — possibly killing the very worker this batch was being built
+    // for, in which case the collected probes go back to the resubmission
+    // queue and the outer loop re-targets.
+    std::vector<std::uint64_t> batch_ids;
+    while (batch_ids.size() < want) {
+      if (!resubmit_.empty()) {
+        batch_ids.push_back(resubmit_.front());
+        resubmit_.erase(resubmit_.begin());
+        continue;
+      }
+      if (queue_.empty()) break;
+      run_crash_script(queue_.front().id);
+      if (!workers_[target].alive) break;  // the script killed the target
+      PendingRequest request = std::move(queue_.front());
+      queue_.pop_front();
+      const std::uint64_t id = request.id;
+      inflight_.emplace(id, std::move(request));
+      batch_ids.push_back(id);
+    }
+    if (!workers_[target].alive) {
+      for (const std::uint64_t id : batch_ids) insert_sorted(resubmit_, id);
       continue;
     }
+    if (batch_ids.empty()) break;  // nothing left to send this pump
+    BatchRequestMsg msg;
+    msg.probes.reserve(batch_ids.size());
+    for (const std::uint64_t id : batch_ids) {
+      const PendingRequest& request = inflight_.at(id);
+      RequestMsg probe;
+      probe.id = request.id;
+      probe.segment =
+          static_cast<std::uint32_t>(timeline_.segment_at(request.id));
+      probe.rng_state = request.rng.state();
+      probe.x = request.x;
+      msg.probes.push_back(std::move(probe));
+    }
+    const auto frame = Codec::encode(MessageType::kBatchRequest,
+                                     Codec::encode_batch_request(msg));
+    WorkerState& worker = workers_[target];
+    worker.outbox.insert(worker.outbox.end(), frame.begin(), frame.end());
+    worker.inflight.insert(worker.inflight.end(), batch_ids.begin(),
+                           batch_ids.end());
+    ++batch_frames_;
+    if (batch_probes_min_ == 0 || batch_ids.size() < batch_probes_min_) {
+      batch_probes_min_ = batch_ids.size();
+    }
+    batch_probes_max_ = std::max(batch_probes_max_, batch_ids.size());
+  }
+}
 
-    for (std::size_t i = 0; i < fds.size(); ++i) {
-      const std::size_t w = owners[i];
-      WorkerState& worker = workers_[w];
-      if (!worker.alive) continue;  // died while handling an earlier fd
-      if (fds[i].revents & POLLOUT) {
-        if (!flush_outbox(w)) continue;
-      }
-      if ((fds[i].revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
+void WorkerHost::service_worker(std::size_t w, bool readable, bool writable) {
+  WorkerState& worker = workers_[w];
+  if (!worker.alive) return;  // died while handling an earlier fd
+  if (writable) {
+    if (!flush_outbox(w)) return;
+  }
+  if (!readable) return;
 
-      bool dead = false;
-      std::uint8_t chunk[4096];
-      while (true) {
-        const ssize_t n = ::read(worker.fd, chunk, sizeof(chunk));
-        if (n > 0) {
-          worker.inbox.insert(worker.inbox.end(), chunk, chunk + n);
-          continue;
-        }
-        if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
-        if (n < 0 && errno == EINTR) continue;
-        dead = true;  // EOF or hard error: the process is gone
+  bool dead = false;
+  std::uint8_t chunk[4096];
+  while (true) {
+    const ssize_t n = ::read(worker.fd, chunk, sizeof(chunk));
+    if (n > 0) {
+      worker.inbox.insert(worker.inbox.end(), chunk, chunk + n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    if (n < 0 && errno == EINTR) continue;
+    dead = true;  // EOF or hard error: the process is gone
+    break;
+  }
+
+  // Accepts one probe outcome: false on any protocol violation (a result
+  // this worker was never sent — including one already answered — or a
+  // probe the worker says it failed; a compliant worker exits instead).
+  const auto harvest = [&](const BatchResultEntry& entry) {
+    if (entry.status != ProbeStatus::kOk) return false;
+    const auto inflight = std::find(worker.inflight.begin(),
+                                    worker.inflight.end(), entry.id);
+    if (inflight == worker.inflight.end()) return false;
+    const auto request = inflight_.find(entry.id);
+    if (request == inflight_.end()) return false;
+    worker.inflight.erase(inflight);
+    inflight_.erase(request);
+    completions_.push({entry.id, entry.output, entry.completion_time,
+                       static_cast<std::size_t>(entry.resets_sent)});
+    deaths_without_progress_ = 0;  // the fleet is serving; healing works
+    return true;
+  };
+
+  Frame frame;
+  ParseStatus status;
+  while ((status = Codec::try_parse(worker.inbox, frame)) ==
+         ParseStatus::kFrame) {
+    if (frame.type == MessageType::kHello) {
+      const auto hello = Codec::decode_hello(frame.payload);
+      if (!hello || hello->worker_index != w || worker.hello_seen) {
+        dead = true;  // garbage greeting: treat the peer as crashed
         break;
       }
-
-      // Accepts one probe outcome: false on any protocol violation (an id
-      // outside this drain, a result this worker was never sent, a probe
-      // the worker says it failed — a compliant worker exits instead).
-      const auto harvest = [&](const BatchResultEntry& entry) {
-        if (entry.status != ProbeStatus::kOk) return false;
-        if (entry.id < base_id || entry.id >= base_id + count) return false;
-        const std::size_t index = static_cast<std::size_t>(entry.id - base_id);
-        const auto inflight = std::find(worker.inflight.begin(),
-                                        worker.inflight.end(), index);
-        if (inflight == worker.inflight.end() || done[index]) return false;
-        worker.inflight.erase(inflight);
-        done[index] = true;
-        results[index] = {entry.id, entry.output, entry.completion_time,
-                          static_cast<std::size_t>(entry.resets_sent)};
-        ++served;
-        deaths_without_progress_ = 0;  // the fleet is serving; healing works
-        return true;
-      };
-
-      Frame frame;
-      ParseStatus status;
-      while ((status = Codec::try_parse(worker.inbox, frame)) ==
-             ParseStatus::kFrame) {
-        if (frame.type == MessageType::kHello) {
-          const auto hello = Codec::decode_hello(frame.payload);
-          if (!hello || hello->worker_index != w || worker.hello_seen) {
-            dead = true;  // garbage greeting: treat the peer as crashed
-            break;
-          }
-          worker.hello_seen = true;
-          continue;
-        }
-        if (frame.type != MessageType::kBatchResult || !worker.hello_seen) {
-          dead = true;  // protocol violation (results before the
-          break;        // handshake included): stop trusting the stream
-        }
-        const auto batch_result = Codec::decode_batch_result(frame.payload);
-        // One result frame answers one request frame; an answer the host
-        // never asked for means the stream cannot be trusted.
-        if (!batch_result || worker.inflight_batches == 0) {
-          dead = true;
-          break;
-        }
-        --worker.inflight_batches;
-        for (const BatchResultEntry& entry : batch_result->results) {
-          if (!harvest(entry)) {
-            dead = true;
-            break;
-          }
-        }
-        if (dead) break;
-      }
-      if (status == ParseStatus::kMalformed) dead = true;
-      if (dead) worker_died(w, /*expected=*/false);
+      worker.hello_seen = true;
+      continue;
     }
+    if (frame.type != MessageType::kBatchResult || !worker.hello_seen) {
+      dead = true;  // protocol violation (results before the
+      break;        // handshake included): stop trusting the stream
+    }
+    const auto batch_result = Codec::decode_batch_result(frame.payload);
+    // A result frame may answer any subset of the worker's in-flight
+    // probes (workers coalesce finished probes under pipeline pressure),
+    // but an answer the host never asked for means the stream cannot be
+    // trusted.
+    if (!batch_result || worker.inflight.empty()) {
+      dead = true;
+      break;
+    }
+    ++result_frames_;
+    for (const BatchResultEntry& entry : batch_result->results) {
+      if (!harvest(entry)) {
+        dead = true;
+        break;
+      }
+    }
+    if (dead) break;
+  }
+  if (status == ParseStatus::kMalformed) dead = true;
+  if (dead) worker_died(w, /*expected=*/false);
+}
+
+void WorkerHost::pump(bool block) {
+  const std::uint64_t frontier =
+      queue_.empty() ? next_id_ : queue_.front().id;
+  run_crash_script(frontier);
+
+  // The deployment must never deadlock: if work is pending and every
+  // worker is dead (e.g. a one-worker host inside a crash window), revive
+  // the one whose recovery is nearest and keep serving.
+  const bool work_pending =
+      !queue_.empty() || !inflight_.empty() || !resubmit_.empty();
+  if (work_pending && alive_workers() == 0) {
+    std::size_t best = workers_.size();
+    for (std::size_t w = 0; w < workers_.size(); ++w) {
+      if (best == workers_.size() ||
+          workers_[w].blocked_until < workers_[best].blocked_until) {
+        best = w;
+      }
+    }
+    respawn(best);
   }
 
-  wall_seconds_ +=
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
-          .count();
-  completion_times_.reserve(completion_times_.size() + count);
-  for (const auto& result : results) {
-    completion_times_.push_back(result.completion_time);
-    resets_total_ += result.resets_sent;
+  dispatch();
+  for (std::size_t w = 0; w < workers_.size(); ++w) {
+    if (workers_[w].alive) flush_outbox(w);
   }
-  queue_.clear();
+
+  // Poll the live workers; a death surfaces as EOF/HUP on its socket.
+  std::vector<pollfd> fds;
+  std::vector<std::size_t> owners;
+  for (std::size_t w = 0; w < workers_.size(); ++w) {
+    if (!workers_[w].alive) continue;
+    pollfd entry{};
+    entry.fd = workers_[w].fd;
+    entry.events = POLLIN;
+    if (!workers_[w].outbox.empty()) entry.events |= POLLOUT;
+    fds.push_back(entry);
+    owners.push_back(w);
+  }
+  if (fds.empty()) return;  // the caller's loop reruns the revival path
+  const int ready = ::poll(fds.data(), fds.size(), block ? kPollTimeoutMs : 0);
+  if (ready < 0) {
+    WNF_ASSERT(errno == EINTR);
+    return;
+  }
+  for (std::size_t i = 0; i < fds.size(); ++i) {
+    service_worker(owners[i], (fds[i].revents & (POLLIN | POLLHUP | POLLERR)) != 0,
+                   (fds[i].revents & POLLOUT) != 0);
+  }
+}
+
+void WorkerHost::delivered(const serve::RequestResult& result) {
+  completion_times_.push_back(result.completion_time);
+  resets_total_ += result.resets_sent;
+  WNF_ASSERT(outstanding_ > 0);
+  if (--outstanding_ == 0) {
+    // The pipeline just went idle: close the busy interval that opened at
+    // the first submit into an idle pipeline.
+    wall_seconds_ += std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - busy_start_)
+                         .count();
+  }
+}
+
+bool WorkerHost::poll(serve::RequestResult& out) {
+  WNF_EXPECTS(bound());
+  if (completions_.try_pop(out)) {
+    delivered(out);
+    return true;
+  }
+  if (outstanding_ == 0) return false;
+  pump(/*block=*/false);
+  if (completions_.try_pop(out)) {
+    delivered(out);
+    return true;
+  }
+  return false;
+}
+
+serve::RequestResult WorkerHost::wait() {
+  WNF_EXPECTS(bound());
+  WNF_EXPECTS(outstanding_ > 0);
+  serve::RequestResult out;
+  while (!completions_.try_pop(out)) pump(/*block=*/true);
+  delivered(out);
+  return out;
+}
+
+std::vector<serve::RequestResult> WorkerHost::drain() {
+  WNF_EXPECTS(bound());
+  std::vector<serve::RequestResult> results;
+  results.reserve(outstanding_);
+  while (outstanding_ > 0) results.push_back(wait());
   return results;
 }
 
@@ -635,11 +700,15 @@ serve::ServeReport WorkerHost::report() const {
     report.p50 = percentile_sorted(sorted, 0.50);
     report.p95 = percentile_sorted(sorted, 0.95);
     report.p99 = percentile_sorted(sorted, 0.99);
+    report.p999 = percentile_sorted(sorted, 0.999);
   }
   report.resets_sent = resets_total_;
   report.resubmitted = resubmitted_;
   report.worker_restarts = restarts_;
   report.batch_frames = batch_frames_;
+  report.result_frames = result_frames_;
+  report.batch_probes_min = batch_probes_min_;
+  report.batch_probes_max = batch_probes_max_;
   report.rebinds = rebinds_;
   return report;
 }

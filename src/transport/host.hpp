@@ -6,9 +6,10 @@
 // the recovery boundary.
 //
 // The API deliberately mirrors serve::ReplicaPool (set_timeline / submit /
-// drain / report): the WorkerHost is the same serving deployment one
-// abstraction layer lower, with threads replaced by processes and shared
-// memory replaced by the transport::Codec wire protocol.
+// poll / wait / drain / report): the WorkerHost is the same serving
+// deployment one abstraction layer lower, with threads replaced by
+// processes and shared memory replaced by the transport::Codec wire
+// protocol.
 //
 // Determinism contract, inherited from the pool: every accepted request
 // gets a child Rng split off the host's root stream at submission, and its
@@ -20,15 +21,19 @@
 // *where* a request is computed, never *what* it computes.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
+#include <deque>
 #include <optional>
 #include <span>
+#include <unordered_map>
 #include <vector>
 
 #include "dist/latency.hpp"
 #include "dist/sim.hpp"
 #include "nn/network.hpp"
 #include "transport/codec.hpp"
+#include "serve/completion.hpp"
 #include "serve/report.hpp"
 #include "serve/timeline.hpp"
 #include "util/contract.hpp"
@@ -40,12 +45,22 @@ namespace wnf::transport {
 struct TransportConfig {
   std::size_t workers = 1;  ///< worker processes, one simulator each
                             ///< (0 means hardware concurrency)
-  std::size_t queue_capacity = 4096;  ///< pending requests before shedding
-  std::size_t batch = 8;  ///< probes per BatchRequest frame (>= 1); the
+  std::size_t queue_capacity = 4096;  ///< outstanding requests (accepted,
+                                      ///< not yet delivered) before shedding
+  std::size_t batch = 8;  ///< max probes per BatchRequest frame (>= 1); the
                           ///< wire amortisation knob — results are
                           ///< bit-identical at any batch size
-  std::size_t pipeline_depth = 4;  ///< outstanding batch frames per worker
-                                   ///< (amortises wire round-trips)
+  std::size_t pipeline_depth = 4;  ///< outstanding probes per worker, in
+                                   ///< units of `batch` (the per-worker
+                                   ///< window is pipeline_depth * batch)
+  bool adaptive_batch = true;  ///< variable-batch dispatch: frames to a
+                               ///< worker ramp 1, 2, 4, .. up to `batch`
+                               ///< while its pipeline stays busy, and reset
+                               ///< when it idles — an idle fleet fills
+                               ///< immediately, a saturated one keeps the
+                               ///< full wire amortisation. Results are
+                               ///< bit-identical either way; false pins
+                               ///< every frame at `batch` probes
   dist::SimConfig sim;             ///< per-replica channel capacity
   dist::LatencyModel latency;  ///< per-request, per-neuron latency draws
   /// Optional Corollary-2 straggler cut, size L (empty = full waits).
@@ -78,10 +93,21 @@ struct CrashWindow {
 };
 
 /// A deployment of worker processes serving batched traffic over the wire
-/// protocol. Not itself thread-safe: one driver thread submits and drains;
-/// parallelism lives across the worker processes, fed by a pipelined
-/// nonblocking dispatcher inside drain() that ships up to `config.batch`
-/// probes per frame.
+/// protocol through an asynchronous submission/completion pipeline.
+///
+/// Threading contract: one driver thread calls submit / poll / wait /
+/// drain / set_timeline / report; the host is not thread-safe across
+/// drivers, and it owns no threads of its own — parallelism lives across
+/// the worker processes. Progress happens inside a nonblocking *pump*
+/// that submit (opportunistically), poll, wait, and drain all share:
+/// each pump runs the crash script, dispatches queued requests to workers
+/// with pipeline room, flushes sockets, and harvests finished results into
+/// a serve::CompletionQueue that merges them back into id order. Because
+/// submission never blocks on execution and poll() never blocks at all,
+/// one driver thread can keep several fleets saturated at once by
+/// interleaving their pumps. Results delivered through poll()/wait() are
+/// bit-identical to the synchronous drain they replaced (drain() remains
+/// as a wrapper that waits out every outstanding request).
 ///
 /// A host is a *reusable fleet*: workers are forked once at construction
 /// and survive across campaigns — rebind() swaps the network, cut, seed,
@@ -110,7 +136,7 @@ class WorkerHost {
   /// resets the per-deployment report — the rebound fleet serves exactly
   /// what a freshly constructed host would, bit for bit, with zero new
   /// forks. Workers a previous crash script left dead rejoin first.
-  /// Requires an empty queue (no traffic pending across the swap).
+  /// Requires an idle pipeline (no request outstanding across the swap).
   void rebind(const nn::FeedForwardNetwork& net, RebindOptions options = {});
 
   /// False only between the unbound constructor and the first rebind().
@@ -124,32 +150,51 @@ class WorkerHost {
   WorkerHost& operator=(const WorkerHost&) = delete;
 
   /// Installs a fault scenario (validated and segmented against the
-  /// network, then broadcast to every worker). Applies to requests by id,
-  /// including ones already queued.
+  /// network, then broadcast to every worker). Applies to requests by id
+  /// from here on. Requires an idle pipeline (no request outstanding).
   void set_timeline(serve::FaultTimeline timeline);
 
   /// Installs the worker-death script. Windows already fired keep their
   /// state; fresh windows apply from the current dispatch frontier on.
   void set_crash_script(std::vector<CrashWindow> script);
 
-  /// Queues one request. Returns false (and counts a shed) when the queue
-  /// is at capacity; the request id and Rng split are only consumed on
-  /// acceptance, so shed load never perturbs accepted results.
+  /// Submits one request to the pipeline; the dispatcher may ship it to a
+  /// worker before this call returns, but never blocks on execution.
+  /// Returns false (and counts a shed) when `queue_capacity` requests are
+  /// already outstanding; the request id and Rng split are only consumed
+  /// on acceptance, so shed load never perturbs accepted results.
   bool submit(std::vector<double> x);
 
-  /// Queues a batch in order; returns how many were accepted (a prefix —
+  /// Submits a batch in order; returns how many were accepted (a prefix —
   /// once one is shed, the rest of the batch is too).
   std::size_t submit_batch(std::span<const std::vector<double>> batch);
 
-  /// Serves every queued request across the worker processes and returns
-  /// the results in id order, executing the crash script along the way.
+  /// Pumps the pipeline without blocking and delivers the next result in
+  /// id order if it has completed. False means that request is still in
+  /// flight (later ids may have finished — they are held until the stream
+  /// is gap-free).
+  bool poll(serve::RequestResult& out);
+
+  /// Blocks until the next result in id order completes (pumping the
+  /// pipeline while it waits), then delivers it. Requires at least one
+  /// outstanding request.
+  serve::RequestResult wait();
+
+  /// Compatibility wrapper over the async pipeline: waits out every
+  /// outstanding request and returns the results in id order, executing
+  /// the crash script along the way — exactly what the synchronous drain
+  /// served, bit for bit.
   std::vector<serve::RequestResult> drain();
 
+  /// Requests accepted and not yet delivered through poll()/wait().
+  std::size_t pending() const { return outstanding_; }
+
   /// Throughput, completion statistics, and process-fault counters
-  /// (shed / resubmitted / worker_restarts / batch_frames) over all drains
-  /// since construction or the last rebind() — rebinding starts a fresh
-  /// logical deployment, so its report starts fresh too. `rebinds` is the
-  /// exception: it counts over the fleet's whole lifetime.
+  /// (shed / resubmitted / worker_restarts / batch_frames / result_frames)
+  /// over everything delivered since construction or the last rebind() —
+  /// rebinding starts a fresh logical deployment, so its report starts
+  /// fresh too. `rebinds` is the exception: it counts over the fleet's
+  /// whole lifetime.
   serve::ServeReport report() const;
 
   std::size_t worker_count() const { return workers_.size(); }
@@ -165,6 +210,9 @@ class WorkerHost {
   std::size_t rebinds() const { return rebinds_; }
   /// BatchRequest frames sent since construction / the last rebind().
   std::size_t batch_frames() const { return batch_frames_; }
+  /// BatchResult frames received since construction / the last rebind();
+  /// fewer result than batch frames means workers coalesced.
+  std::size_t result_frames() const { return result_frames_; }
   std::uint64_t next_request_id() const { return next_id_; }
   const nn::FeedForwardNetwork& network() const {
     WNF_EXPECTS(net_ != nullptr);
@@ -193,8 +241,8 @@ class WorkerHost {
     std::uint64_t blocked_until = 0;   ///< scripted respawn boundary
     std::vector<std::uint8_t> inbox;   ///< bytes read, not yet framed
     std::vector<std::uint8_t> outbox;  ///< bytes queued, not yet written
-    std::vector<std::size_t> inflight;  ///< queue indices awaiting results
-    std::size_t inflight_batches = 0;  ///< BatchRequest frames unanswered
+    std::vector<std::uint64_t> inflight;  ///< request ids awaiting results
+    std::size_t ramp = 0;  ///< adaptive-batch size of the last frame sent
   };
 
   struct ScriptWindow {
@@ -217,6 +265,16 @@ class WorkerHost {
   void run_crash_script(std::uint64_t frontier_id);
   bool flush_outbox(std::size_t w);  ///< false when the write found a corpse
 
+  /// One turn of the event loop: crash-script maintenance, dispatch of
+  /// queued/resubmitted requests into workers with pipeline room, socket
+  /// flush, a poll() that blocks up to the timeout only when `block`, and
+  /// a harvest of every readable result into the completion queue.
+  void pump(bool block);
+  void dispatch();
+  /// Reads and frames everything `w`'s socket has, harvesting results.
+  void service_worker(std::size_t w, bool readable, bool writable);
+  void delivered(const serve::RequestResult& result);
+
   const nn::FeedForwardNetwork* net_ = nullptr;  ///< null until first bind
   TransportConfig config_;
   serve::FaultTimeline timeline_;
@@ -224,9 +282,14 @@ class WorkerHost {
   std::vector<WorkerState> workers_;
   std::vector<ScriptWindow> script_;
   Rng root_;
-  std::vector<PendingRequest> queue_;
-  std::vector<std::size_t> resubmit_;  ///< queue indices orphaned by deaths,
-                                       ///< ascending (oldest ids first)
+  std::deque<PendingRequest> queue_;  ///< accepted, not yet dispatched
+  /// Dispatched, unanswered — kept by id so a worker death can resubmit
+  /// the exact request (input + split RNG state) to a survivor.
+  std::unordered_map<std::uint64_t, PendingRequest> inflight_;
+  std::vector<std::uint64_t> resubmit_;  ///< ids orphaned by deaths,
+                                         ///< ascending (oldest first)
+  serve::CompletionQueue completions_;
+  std::size_t outstanding_ = 0;  ///< accepted - delivered
   std::uint64_t next_id_ = 0;
 
   /// Spontaneous deaths since the last harvested result. A worker fleet
@@ -235,14 +298,18 @@ class WorkerHost {
   /// loudly, not livelock in a fork-respawn storm.
   std::size_t deaths_without_progress_ = 0;
 
-  // Aggregates over every drain since construction / the last rebind()
+  // Aggregates over every delivery since construction / the last rebind()
   // (id order, so deterministic). rebinds_ and total_spawns_ are lifetime.
+  std::chrono::steady_clock::time_point busy_start_{};
   std::vector<double> completion_times_;
   std::size_t shed_ = 0;
   std::size_t resets_total_ = 0;
   std::size_t resubmitted_ = 0;
   std::size_t restarts_ = 0;
   std::size_t batch_frames_ = 0;
+  std::size_t result_frames_ = 0;
+  std::size_t batch_probes_min_ = 0;
+  std::size_t batch_probes_max_ = 0;
   std::size_t rebinds_ = 0;
   std::size_t total_spawns_ = 0;
   double wall_seconds_ = 0.0;

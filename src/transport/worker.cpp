@@ -153,23 +153,35 @@ bool handle_request(const Frame& frame, Replica& replica, int fd) {
                                 Codec::encode_result(result)));
 }
 
-bool handle_batch_request(const Frame& frame, Replica& replica, int fd) {
+/// Evaluates a batch request's probes into `pending` without sending
+/// anything: under pipeline pressure several request frames sit in the
+/// read buffer at once, and their finished probes coalesce into one
+/// BatchResult frame when the worker next turns the socket around
+/// (protocol v3 — the host acknowledges probes by id, so how results
+/// group into frames is free). False on a probe the worker cannot
+/// evaluate (protocol violation; the worker exits).
+bool handle_batch_request(const Frame& frame, Replica& replica,
+                          BatchResultMsg& pending) {
   const auto msg = Codec::decode_batch_request(frame.payload);
   if (!msg) return false;
-  // One result frame answers one request frame: the host decrements its
-  // per-worker batch pipeline on the frame, and acknowledges every probe
-  // by id, so a SIGKILL between batches loses nothing already answered.
-  BatchResultMsg batch;
-  batch.results.resize(msg->probes.size());
-  for (std::size_t i = 0; i < msg->probes.size(); ++i) {
+  pending.results.reserve(pending.results.size() + msg->probes.size());
+  for (const RequestMsg& probe : msg->probes) {
     ResultMsg result;
-    if (!evaluate_probe(msg->probes[i], replica, result)) return false;
-    batch.results[i] = {result.id, ProbeStatus::kOk, result.output,
-                        result.completion_time, result.resets_sent};
+    if (!evaluate_probe(probe, replica, result)) return false;
+    pending.results.push_back({result.id, ProbeStatus::kOk, result.output,
+                               result.completion_time, result.resets_sent});
   }
-  return send_all(fd,
-                  Codec::encode(MessageType::kBatchResult,
-                                Codec::encode_batch_result(batch)));
+  return true;
+}
+
+/// Ships every coalesced result accumulated so far, if any.
+bool flush_pending(int fd, BatchResultMsg& pending) {
+  if (pending.results.empty()) return true;
+  const bool sent =
+      send_all(fd, Codec::encode(MessageType::kBatchResult,
+                                 Codec::encode_batch_result(pending)));
+  pending.results.clear();
+  return sent;
 }
 
 }  // namespace
@@ -191,17 +203,22 @@ int worker_main(int fd, std::uint32_t worker_index) {
 
   Replica replica;
   std::vector<std::uint8_t> buffer;
+  BatchResultMsg pending;  ///< finished probes not yet shipped (coalescing)
   std::uint8_t chunk[4096];
   while (true) {
-    // Drain every complete frame before reading more bytes.
+    // Drain every complete frame before reading more bytes. Batch-request
+    // probes accumulate in `pending`; control frames flush first so the
+    // host never sees results reordered across a bind/rebind boundary.
     Frame frame;
     ParseStatus status;
     while ((status = Codec::try_parse(buffer, frame)) == ParseStatus::kFrame) {
       switch (frame.type) {
         case MessageType::kBind:
+          if (!flush_pending(fd, pending)) return 1;
           if (!handle_bind(frame, replica)) return 1;
           break;
         case MessageType::kSegments: {
+          if (!flush_pending(fd, pending)) return 1;
           auto msg = Codec::decode_segments(frame.payload);
           if (!msg) return 1;
           replica.segments = std::move(msg->plans);
@@ -209,21 +226,39 @@ int worker_main(int fd, std::uint32_t worker_index) {
           break;
         }
         case MessageType::kRequest:
+          if (!flush_pending(fd, pending)) return 1;
           if (!handle_request(frame, replica, fd)) return 1;
           break;
         case MessageType::kBatchRequest:
-          if (!handle_batch_request(frame, replica, fd)) return 1;
+          if (!handle_batch_request(frame, replica, pending)) return 1;
           break;
         case MessageType::kRebind:
+          if (!flush_pending(fd, pending)) return 1;
           if (!handle_rebind(frame, replica)) return 1;
           break;
         case MessageType::kShutdown:
-          return 0;
+          return flush_pending(fd, pending) ? 0 : 1;
         default:
           return 1;  // kHello/kResult/kBatchResult never flow host -> worker
       }
     }
     if (status == ParseStatus::kMalformed) return 1;
+
+    // Coalescing turn-around: with results pending, peek for more request
+    // frames the host already pipelined — if any bytes are queued, keep
+    // evaluating into the same pending batch; only when the socket runs
+    // dry does one combined BatchResult frame go out.
+    if (!pending.results.empty()) {
+      const ssize_t n = ::recv(fd, chunk, sizeof(chunk), MSG_DONTWAIT);
+      if (n > 0) {
+        buffer.insert(buffer.end(), chunk, chunk + n);
+        continue;
+      }
+      if (n == 0) return 0;  // host closed: treat like a shutdown
+      if (errno != EAGAIN && errno != EWOULDBLOCK && errno != EINTR) return 1;
+      if (!flush_pending(fd, pending)) return 1;
+      continue;  // back to a blocking read with an empty pending batch
+    }
 
     const ssize_t n = ::read(fd, chunk, sizeof(chunk));
     if (n < 0) {

@@ -361,6 +361,60 @@ TEST(Serve, ResultsIndependentOfBatching) {
   }
 }
 
+TEST(Serve, AsyncPollWaitBitIdenticalToDrain) {
+  // The async pipeline primitives against the legacy drain, across 1/2/8
+  // replicas under an active fault timeline: interleaving submit with
+  // non-blocking poll() and finishing with wait() must deliver the same
+  // results, bit for bit and in id order, as submitting everything and
+  // draining synchronously.
+  const auto net = serve_net(13);
+  const auto workload = serve_workload(40, 21);
+
+  FaultTimeline timeline;
+  fault::FaultPlan crash;
+  crash.neurons = {{1, 3, fault::NeuronFaultKind::kCrash, 0.0}};
+  fault::FaultPlan byzantine;
+  byzantine.neurons = {{2, 0, fault::NeuronFaultKind::kByzantine, 0.6}};
+  timeline.add(10, 25, crash);
+  timeline.add(30, 34, byzantine);
+
+  ServeConfig config;
+  config.latency = heavy_tail();
+  config.straggler_cut = {2, 1};
+  config.seed = 99;
+
+  config.replicas = 2;
+  ReplicaPool reference(net, config);
+  reference.set_timeline(timeline);
+  ASSERT_EQ(reference.submit_batch(workload), workload.size());
+  const auto expected = reference.drain();
+
+  for (const std::size_t replicas : {1u, 2u, 8u}) {
+    config.replicas = replicas;
+    ReplicaPool pool(net, config);
+    pool.set_timeline(timeline);
+    std::vector<RequestResult> served;
+    RequestResult ready;
+    for (const auto& x : workload) {
+      ASSERT_TRUE(pool.submit(x));
+      while (pool.poll(ready)) served.push_back(ready);
+    }
+    while (pool.pending() > 0) served.push_back(pool.wait());
+    EXPECT_FALSE(pool.poll(ready));  // nothing outstanding, nothing buffered
+
+    ASSERT_EQ(served.size(), expected.size()) << replicas << " replicas";
+    for (std::size_t i = 0; i < served.size(); ++i) {
+      EXPECT_EQ(served[i].id, expected[i].id);
+      EXPECT_DOUBLE_EQ(served[i].output, expected[i].output)
+          << "request " << i << " on " << replicas << " replicas";
+      EXPECT_DOUBLE_EQ(served[i].completion_time,
+                       expected[i].completion_time);
+      EXPECT_EQ(served[i].resets_sent, expected[i].resets_sent);
+    }
+    EXPECT_EQ(pool.report().completed, workload.size());
+  }
+}
+
 TEST(Serve, ReportAggregatesThroughputPercentilesAndResets) {
   const auto net = serve_net();
   const auto workload = serve_workload(50, 61);

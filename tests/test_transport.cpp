@@ -590,6 +590,199 @@ TEST(WorkerHost, BoundedQueueShedsAsTransportBackpressure) {
   EXPECT_EQ(next[0].id, 8u);
 }
 
+TEST(WorkerHost, AsyncPollWaitBitIdenticalToDrainUnderFaults) {
+  SKIP_WITHOUT_TRANSPORT();
+  // The async pipeline against the legacy drain, across 1/2/8 worker
+  // processes under an active fault timeline: submitting one request at a
+  // time while poll() harvests opportunistically, then wait()ing out the
+  // tail, must deliver results bit-identical to submit-everything-then-
+  // drain — the CompletionQueue's id-ordered merge erases the pipelining.
+  const auto net = transport_net(13);
+  const auto workload = transport_workload(40, 21);
+
+  serve::FaultTimeline timeline;
+  fault::FaultPlan crash;
+  crash.neurons = {{1, 3, fault::NeuronFaultKind::kCrash, 0.0}};
+  timeline.add(10, 25, crash);
+
+  TransportConfig config;
+  config.latency = heavy_tail();
+  config.straggler_cut = {2, 1};
+  config.seed = 99;
+
+  config.workers = 2;
+  std::vector<serve::RequestResult> expected;
+  {
+    WorkerHost reference(net, config);
+    reference.set_timeline(timeline);
+    ASSERT_EQ(reference.submit_batch(workload), workload.size());
+    expected = reference.drain();
+  }
+
+  for (const std::size_t workers : {1u, 2u, 8u}) {
+    TransportConfig async = config;
+    async.workers = workers;
+    WorkerHost host(net, async);
+    host.set_timeline(timeline);
+    std::vector<serve::RequestResult> served;
+    serve::RequestResult ready;
+    for (const auto& x : workload) {
+      ASSERT_TRUE(host.submit(x));
+      while (host.poll(ready)) served.push_back(ready);
+    }
+    while (host.pending() > 0) served.push_back(host.wait());
+    EXPECT_FALSE(host.poll(ready));  // idle host: poll is a cheap no
+
+    ASSERT_EQ(served.size(), expected.size()) << workers << " workers";
+    for (std::size_t i = 0; i < served.size(); ++i) {
+      EXPECT_EQ(served[i].id, expected[i].id);
+      EXPECT_DOUBLE_EQ(served[i].output, expected[i].output)
+          << "request " << i << " on " << workers << " workers";
+      EXPECT_DOUBLE_EQ(served[i].completion_time,
+                       expected[i].completion_time);
+      EXPECT_EQ(served[i].resets_sent, expected[i].resets_sent);
+    }
+    EXPECT_EQ(host.report().completed, workload.size());
+  }
+}
+
+TEST(WorkerHost, AsyncPollWaitSurvivesSigkillMidReplay) {
+  SKIP_WITHOUT_TRANSPORT();
+  // SIGKILL through the async seam: a scripted worker death fires while
+  // the driver is still submitting (the crash script runs inside the pump
+  // that poll()/wait() share), in-flight probes resubmit to survivors, and
+  // the poll/wait stream is still bit-identical to an undisturbed drain.
+  const auto net = transport_net(13);
+  const auto workload = transport_workload(48, 21);
+
+  TransportConfig config;
+  config.workers = 2;
+  config.latency = heavy_tail();
+  config.seed = 4242;
+  std::vector<serve::RequestResult> expected;
+  {
+    WorkerHost reference(net, config);
+    ASSERT_EQ(reference.submit_batch(workload), workload.size());
+    expected = reference.drain();
+    EXPECT_EQ(reference.report().worker_restarts, 0u);
+  }
+
+  WorkerHost host(net, config);
+  host.set_crash_script({{0, 12, 30}});
+  std::vector<serve::RequestResult> served;
+  serve::RequestResult ready;
+  for (const auto& x : workload) {
+    ASSERT_TRUE(host.submit(x));
+    while (host.poll(ready)) served.push_back(ready);
+  }
+  while (host.pending() > 0) served.push_back(host.wait());
+
+  ASSERT_EQ(served.size(), expected.size());
+  for (std::size_t i = 0; i < served.size(); ++i) {
+    EXPECT_EQ(served[i].id, expected[i].id);
+    EXPECT_DOUBLE_EQ(served[i].output, expected[i].output) << "request " << i;
+    EXPECT_EQ(served[i].resets_sent, expected[i].resets_sent);
+  }
+  const auto report = host.report();
+  EXPECT_EQ(report.worker_restarts, 1u);
+  // How many probes the kill orphaned is wall-timing-dependent, but never
+  // more than the victim's pipeline window.
+  EXPECT_LE(report.resubmitted, config.pipeline_depth * config.batch);
+  EXPECT_EQ(host.alive_workers(), 2u);
+}
+
+TEST(WorkerHost, WorkersCoalesceBatchResultFramesUnderPipelinePressure) {
+  SKIP_WITHOUT_TRANSPORT();
+  // Protocol v3's relaxed framing, observed end to end: at batch = 1 with
+  // a deep pipeline, one flush lands several request frames in a worker's
+  // socket at once, and the worker answers them with fewer combined
+  // BatchResult frames — visible as result_frames < batch_frames — while
+  // the results stay bit-identical to the in-process pool.
+  const auto net = transport_net(13);
+  const auto workload = transport_workload(24, 21);
+
+  serve::ServeConfig pool_config;
+  pool_config.replicas = 1;
+  pool_config.latency = heavy_tail();
+  pool_config.seed = 31;
+  serve::ReplicaPool pool(net, pool_config);
+  ASSERT_EQ(pool.submit_batch(workload), workload.size());
+  const auto expected = pool.drain();
+
+  TransportConfig config;
+  config.workers = 1;
+  config.batch = 1;
+  config.pipeline_depth = 8;
+  config.latency = heavy_tail();
+  config.seed = 31;
+  WorkerHost host(net, config);
+  ASSERT_EQ(host.submit_batch(workload), workload.size());
+  const auto served = host.drain();
+
+  ASSERT_EQ(served.size(), expected.size());
+  for (std::size_t i = 0; i < served.size(); ++i) {
+    EXPECT_DOUBLE_EQ(served[i].output, expected[i].output);
+    EXPECT_DOUBLE_EQ(served[i].completion_time, expected[i].completion_time);
+  }
+  const auto report = host.report();
+  // batch = 1 pins one probe per request frame; the eight frames each
+  // flush delivers come back coalesced, so strictly fewer result frames.
+  EXPECT_EQ(report.batch_frames, workload.size());
+  EXPECT_GT(report.result_frames, 0u);
+  EXPECT_LT(report.result_frames, report.batch_frames);
+  EXPECT_EQ(host.result_frames(), report.result_frames);
+}
+
+TEST(WorkerHost, AdaptiveBatchRampsFrameSizesAndStaysBitIdentical) {
+  SKIP_WITHOUT_TRANSPORT();
+  // The variable-batch dispatcher: frames ramp 1, 2, 4, ... toward the
+  // configured batch while the pipeline stays busy, the chosen sizes are
+  // exposed in the report, and — batching being a wire knob, never a
+  // semantics knob — results are bit-identical to fixed-size batching.
+  const auto net = transport_net(13);
+  const auto workload = transport_workload(96, 21);
+
+  TransportConfig config;
+  config.workers = 2;
+  config.batch = 8;
+  config.pipeline_depth = 4;
+  config.latency = heavy_tail();
+  config.seed = 77;
+
+  config.adaptive_batch = false;
+  std::vector<serve::RequestResult> expected;
+  std::size_t fixed_frames = 0;
+  {
+    WorkerHost fixed(net, config);
+    ASSERT_EQ(fixed.submit_batch(workload), workload.size());
+    expected = fixed.drain();
+    const auto report = fixed.report();
+    fixed_frames = report.batch_frames;
+    // Fixed batching never ramps: every frame carries `batch` probes
+    // except possibly a remainder tail.
+    EXPECT_EQ(report.batch_probes_max, config.batch);
+  }
+
+  config.adaptive_batch = true;
+  WorkerHost host(net, config);
+  ASSERT_EQ(host.submit_batch(workload), workload.size());
+  const auto served = host.drain();
+
+  ASSERT_EQ(served.size(), expected.size());
+  for (std::size_t i = 0; i < served.size(); ++i) {
+    EXPECT_EQ(served[i].id, expected[i].id);
+    EXPECT_DOUBLE_EQ(served[i].output, expected[i].output);
+    EXPECT_DOUBLE_EQ(served[i].completion_time, expected[i].completion_time);
+    EXPECT_EQ(served[i].resets_sent, expected[i].resets_sent);
+  }
+  const auto report = host.report();
+  // The ramp started at one probe, reached the configured cap under
+  // saturation, and spent more frames doing it than fixed batching.
+  EXPECT_EQ(report.batch_probes_min, 1u);
+  EXPECT_EQ(report.batch_probes_max, config.batch);
+  EXPECT_GE(report.batch_frames, fixed_frames);
+}
+
 TEST(WorkerHost, BatchSizeSweepIsBitIdenticalToReplicaPool) {
   SKIP_WITHOUT_TRANSPORT();
   // Batching is a wire-amortisation knob, not a semantics knob: the same
