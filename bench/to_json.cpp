@@ -40,6 +40,7 @@
 #include "fault/campaign.hpp"
 #include "load/replay.hpp"
 #include "load/trace.hpp"
+#include "obs/trace.hpp"
 #include "serve/pool.hpp"
 #include "transport/host.hpp"
 #include "transport/worker.hpp"
@@ -209,6 +210,56 @@ BenchFile measure() {
         });
     entry.checksum = pool_checksum;
     file.benches.push_back(std::move(entry));
+  }
+
+  // Telemetry overhead, measured as a pair: the identical pool serve with
+  // tracing off and with tracing on (rings filling, events stamped). Both
+  // rows are ungated — their *ratio* is the published overhead number and
+  // CI tracks it for trajectory; absolute wall time on a shared runner is
+  // too noisy to gate. Two fresh pools on the same seed serve the same id
+  // windows, so the pair's checksums pin that tracing never perturbs the
+  // served bytes.
+  {
+    serve::ServeConfig config;
+    config.replicas = 2;
+    config.queue_capacity = workload.size();
+    config.latency = latency;
+    config.seed = serve_seed;
+    const auto serve_all = [&](serve::ReplicaPool& pool) {
+      pool.submit_batch(workload);
+      double checksum = 0.0;
+      for (const auto& r : pool.drain()) checksum += r.output;
+      return checksum;
+    };
+    obs::set_enabled(false);
+    double off_checksum = 0.0;
+    {
+      serve::ReplicaPool pool(net, config);
+      pool.set_timeline(bench_timeline());
+      BenchEntry entry = time_scenario("telemetry_overhead/tracing_off",
+                                       workload.size(),
+                                       [&] { off_checksum = serve_all(pool); });
+      entry.checksum = off_checksum;
+      entry.gated = false;
+      file.benches.push_back(std::move(entry));
+    }
+    obs::TraceLog::instance().reset();
+    obs::set_enabled(true);
+    double on_checksum = 0.0;
+    {
+      serve::ReplicaPool pool(net, config);
+      pool.set_timeline(bench_timeline());
+      BenchEntry entry = time_scenario("telemetry_overhead/tracing_on",
+                                       workload.size(),
+                                       [&] { on_checksum = serve_all(pool); });
+      entry.checksum = on_checksum;
+      entry.gated = false;
+      file.benches.push_back(std::move(entry));
+    }
+    obs::set_enabled(false);
+    obs::TraceLog::instance().reset();
+    WNF_ASSERT(on_checksum == off_checksum &&
+               "tracing must not perturb the served bytes");
   }
 
   // The open-loop replay path (load/replay over the async pool pipeline):

@@ -28,24 +28,60 @@
 //
 // Run: ./open_loop_replay [seed=5] [requests=240] [workers=2]
 //                         [overload=2.0] [admission=32] [batch=8]
-//                         [backend=auto]
+//                         [backend=auto] [trace=<file>] [metrics=<file>]
 // backend= auto (transport if the platform has fork/socketpair, else the
 // in-process pool), transport, or serve.
+// trace= enables request-lifecycle tracing and exports the whole run as
+// Chrome trace_event JSON (open in Perfetto / chrome://tracing); the
+// export is self-validated — strict JSON lint, spans from >=2 worker
+// processes, and the SIGKILL/respawn instants — and a failure exits
+// nonzero. metrics= exports each fleet's metric registry plus the
+// overload phase's per-tenant rate time series as machine-readable JSON.
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <fstream>
 #include <iostream>
 #include <memory>
+#include <sstream>
 #include <vector>
 
 #include "load/replay.hpp"
 #include "load/trace.hpp"
 #include "nn/builder.hpp"
+#include "obs/export.hpp"
+#include "obs/json.hpp"
+#include "obs/trace.hpp"
 #include "serve/pool.hpp"
 #include "transport/host.hpp"
 #include "transport/worker.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
+
+namespace {
+
+/// Strict-lints an exported JSON file; false (with a message) on any
+/// deviation from RFC 8259 — the exporters are hand-written, so the
+/// examples double as their conformance tests.
+bool lint_json_file(const std::string& path, const char* what) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "%s: cannot reopen %s\n", what, path.c_str());
+    return false;
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+  const std::string body = text.str();
+  const wnf::obs::JsonLintResult lint = wnf::obs::json_lint(body);
+  if (!lint.ok) {
+    std::fprintf(stderr, "%s: %s is not strict JSON at offset %zu: %s\n",
+                 what, path.c_str(), lint.error_offset, lint.error.c_str());
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace wnf;
@@ -59,7 +95,13 @@ int main(int argc, char** argv) {
       static_cast<std::size_t>(args.get_int("admission", 32));
   const auto batch = static_cast<std::size_t>(args.get_int("batch", 8));
   std::string backend = args.get_string("backend", "auto");
+  const std::string trace_path = args.get_string("trace", "");
+  const std::string metrics_path = args.get_string("metrics", "");
   args.reject_unknown();
+  // Tracing switches on for the whole run when an export is requested;
+  // results are pinned bit-identical either way (tracing never touches an
+  // Rng), which the audit below re-proves on every traced run.
+  if (!trace_path.empty()) obs::set_enabled(true);
   if (backend == "auto") {
     backend = transport::transport_available() ? "transport" : "serve";
   }
@@ -222,8 +264,13 @@ int main(int argc, char** argv) {
   std::vector<load::Pipeline*> raw;
   for (auto& pipe : pipes) raw.push_back(pipe.get());
   std::vector<std::vector<serve::RequestResult>> collected;
+  load::OpenLoopConfig open_config;
+  if (!metrics_path.empty()) {
+    // ~8 samples across the storm, whatever the trace duration came to.
+    open_config.sample_seconds = std::max(trace.duration / 8.0, 1e-4);
+  }
   const load::LoadReport open =
-      load::replay(trace, inputs, raw, {}, &collected);
+      load::replay(trace, inputs, raw, open_config, &collected);
 
   print_banner(std::cout, "sustained overload (no shedding)");
   Table overall({"offered", "completed", "offered rps", "completed rps",
@@ -314,5 +361,68 @@ int main(int argc, char** argv) {
       "explicit drops for a bounded sojourn tail (p99 %s -> %s s).\n",
       overload, Table::sci(open.p99, 2).c_str(),
       Table::sci(shed.p99, 2).c_str());
+
+  // --- observability exports (trace= / metrics=), self-validated ---
+  if (!metrics_path.empty()) {
+    // Snapshot the live registries before the fleets go away.
+    std::vector<obs::NamedSnapshot> registries;
+    for (std::size_t t = 0; t < 2; ++t) {
+      registries.push_back({"fleet" + std::to_string(t),
+                            use_transport ? hosts[t]->metrics().snapshot()
+                                          : pools[t]->metrics().snapshot()});
+    }
+    if (!obs::write_metrics_json_file(metrics_path, registries,
+                                      open.series)) {
+      std::fprintf(stderr, "metrics export: cannot write %s\n",
+                   metrics_path.c_str());
+      return 1;
+    }
+    if (!lint_json_file(metrics_path, "metrics export")) return 1;
+    std::printf("\nmetrics: %zu registries + %zu series samples -> %s\n",
+                registries.size(), open.series.size(), metrics_path.c_str());
+  }
+  if (!trace_path.empty()) {
+    // Tear the deployments down first: worker processes flush their trace
+    // rings as Telemetry frames on Shutdown, and the hosts harvest them in
+    // their destructors — only then does the TraceLog hold the workers'
+    // side of the story.
+    pipes.clear();
+    hosts.clear();
+    pools.clear();
+    const obs::ChromeTraceSummary summary =
+        obs::write_chrome_trace_file(trace_path, {});
+    if (!lint_json_file(trace_path, "trace export")) return 1;
+    std::printf(
+        "trace: %zu events (%zu host threads, %zu worker processes, "
+        "%zu sigkill / %zu respawn / %zu rebind instants) -> %s\n",
+        summary.events, summary.host_threads, summary.worker_processes,
+        summary.sigkill_instants, summary.respawn_instants,
+        summary.rebind_instants, trace_path.c_str());
+    if (summary.events == 0) {
+      std::fprintf(stderr, "trace export: no events recorded\n");
+      return 1;
+    }
+    if (use_transport) {
+      // The acceptance bar for a traced transport run: the timeline shows
+      // execution spans from at least two distinct worker processes, and
+      // the fault story (the scripted SIGKILL and the healing respawn) is
+      // visible as instants.
+      if (summary.worker_span_processes < 2) {
+        std::fprintf(stderr,
+                     "trace export: want spans from >=2 worker processes, "
+                     "got %zu\n",
+                     summary.worker_span_processes);
+        return 1;
+      }
+      if (crash_lo < crash_hi &&
+          (summary.sigkill_instants == 0 || summary.respawn_instants == 0)) {
+        std::fprintf(stderr,
+                     "trace export: scripted kill left no SIGKILL/respawn "
+                     "instants (%zu/%zu)\n",
+                     summary.sigkill_instants, summary.respawn_instants);
+        return 1;
+      }
+    }
+  }
   return 0;
 }

@@ -21,12 +21,18 @@
 //
 // Run: ./serve_deployment [seed=5] [requests=600] [replicas=4]
 //                         [backend=serve] [batch=8]
+//                         [trace=<file>] [metrics=<file>]
 // (batch= sets the probes-per-frame of the transport backend's batched
-// wire protocol; outputs are bit-identical at any batch size.)
+// wire protocol; outputs are bit-identical at any batch size. trace=
+// enables tracing and exports the run as Chrome trace_event JSON;
+// metrics= exports the deployment's metric registry as JSON — both
+// self-validated with a strict JSON lint.)
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <fstream>
 #include <iostream>
+#include <sstream>
 
 #include "core/fep.hpp"
 #include "data/dataset.hpp"
@@ -36,11 +42,37 @@
 #include "nn/builder.hpp"
 #include "nn/loss.hpp"
 #include "nn/train.hpp"
+#include "obs/export.hpp"
+#include "obs/json.hpp"
+#include "obs/trace.hpp"
 #include "serve/pool.hpp"
 #include "transport/host.hpp"
 #include "transport/worker.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
+
+namespace {
+
+/// Strict-lints an exported JSON file; false (with a message) on any
+/// deviation from RFC 8259.
+bool lint_json_file(const std::string& path, const char* what) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "%s: cannot reopen %s\n", what, path.c_str());
+    return false;
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+  const wnf::obs::JsonLintResult lint = wnf::obs::json_lint(text.str());
+  if (!lint.ok) {
+    std::fprintf(stderr, "%s: %s is not strict JSON at offset %zu: %s\n",
+                 what, path.c_str(), lint.error_offset, lint.error.c_str());
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace wnf;
@@ -53,7 +85,10 @@ int main(int argc, char** argv) {
   const auto replicas = static_cast<std::size_t>(args.get_int("replicas", 4));
   const auto batch = static_cast<std::size_t>(args.get_int("batch", 8));
   const std::string backend = args.get_string("backend", "serve");
+  const std::string trace_path = args.get_string("trace", "");
+  const std::string metrics_path = args.get_string("metrics", "");
   args.reject_unknown();
+  if (!trace_path.empty()) obs::set_enabled(true);
   if (backend != "serve" && backend != "transport" && backend != "sim" &&
       backend != "injector") {
     std::fprintf(stderr,
@@ -138,6 +173,10 @@ int main(int argc, char** argv) {
   std::vector<serve::RequestResult> reference;
   serve::ServeReport report;
   bool have_report = false;
+  /// Registry snapshots taken while the deployments are still alive (the
+  /// serial sim/injector backends have none; the export is then just the
+  /// series-less empty registry list).
+  std::vector<obs::NamedSnapshot> registries;
 
   // Both deployment runtimes expose the same submit/drain/report shape;
   // one batching discipline serves either, so the two backends the
@@ -166,6 +205,9 @@ int main(int argc, char** argv) {
     pool.set_timeline(timeline);
     serve::ReplicaPool healthy(net, config);
     serve_traffic(pool, healthy);
+    if (!metrics_path.empty()) {
+      registries.push_back({"pool", pool.metrics().snapshot()});
+    }
   } else if (backend == "transport") {
     transport::TransportConfig config;
     config.workers = replicas;
@@ -182,6 +224,9 @@ int main(int argc, char** argv) {
     host.set_crash_script({{0, crash_start, crash_end}});
     transport::WorkerHost healthy(net, config);
     serve_traffic(host, healthy);
+    if (!metrics_path.empty()) {
+      registries.push_back({"host", host.metrics().snapshot()});
+    }
   } else {
     // Request-by-request on a serial exec backend: injector (analytic) or
     // simulator (message path). Faults install at segment boundaries.
@@ -281,6 +326,38 @@ int main(int argc, char** argv) {
         "\nthe crash window's deviation stays inside the crash Fep bound;\n"
         "rerunning with any replica count (or backend=transport, real\n"
         "worker processes) reproduces the serving numbers exactly.\n");
+  }
+
+  // --- observability exports (trace= / metrics=), self-validated ---
+  if (!metrics_path.empty()) {
+    if (!obs::write_metrics_json_file(metrics_path, registries)) {
+      std::fprintf(stderr, "metrics export: cannot write %s\n",
+                   metrics_path.c_str());
+      return 1;
+    }
+    if (!lint_json_file(metrics_path, "metrics export")) return 1;
+    std::printf("\nmetrics: %zu registries -> %s\n", registries.size(),
+                metrics_path.c_str());
+  }
+  if (!trace_path.empty()) {
+    // The deployments (and on transport, their worker processes — which
+    // flush their rings as Telemetry on Shutdown) are already torn down:
+    // they lived inside the backend branches above.
+    const obs::ChromeTraceSummary summary =
+        obs::write_chrome_trace_file(trace_path, {});
+    if (!lint_json_file(trace_path, "trace export")) return 1;
+    // The serial sim/injector backends are uninstrumented: their trace is
+    // legitimately empty. The deployments must have recorded something.
+    const bool instrumented = backend == "serve" || backend == "transport";
+    if (instrumented && summary.events == 0) {
+      std::fprintf(stderr, "trace export: no events recorded\n");
+      return 1;
+    }
+    std::printf(
+        "trace: %zu events (%zu worker processes, %zu sigkill / %zu respawn "
+        "instants) -> %s\n",
+        summary.events, summary.worker_processes, summary.sigkill_instants,
+        summary.respawn_instants, trace_path.c_str());
   }
   return 0;
 }

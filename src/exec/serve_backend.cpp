@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/trace.hpp"
 #include "util/contract.hpp"
 
 namespace wnf::exec {
@@ -69,6 +70,8 @@ std::vector<TrialResult> ServeBackend::run_trials(
     std::span<const Trial> trials) {
   std::size_t total = 0;
   for (const Trial& trial : trials) total += trial.probes.size();
+  const obs::ScopedSpan span(obs::TraceName::kTrialStream, trials.size(),
+                             total);
   // Fresh pool per call: ids start at 0 and the queue holds the entire
   // trial stream, so nothing is shed and prior calls leave no trace.
   serve::ReplicaPool pool(net_,

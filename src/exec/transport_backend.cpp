@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/trace.hpp"
 #include "util/contract.hpp"
 
 namespace wnf::exec {
@@ -94,6 +95,8 @@ std::vector<TrialResult> TransportBackend::run_trials(
     std::span<const Trial> trials) {
   std::size_t total = 0;
   for (const Trial& trial : trials) total += trial.probes.size();
+  const obs::ScopedSpan span(obs::TraceName::kTrialStream, trials.size(),
+                             total);
   // Persistent fleet, fresh logical deployment per call: ids from 0, the
   // queue holds the entire trial stream, so nothing is shed and prior
   // calls leave no trace in the results — the exact discipline ServeBackend

@@ -5,7 +5,9 @@
 #include <deque>
 #include <thread>
 
+#include "obs/trace.hpp"
 #include "util/contract.hpp"
+#include "util/histogram.hpp"
 #include "util/stats.hpp"
 
 namespace wnf::load {
@@ -38,6 +40,7 @@ LoadReport replay(const ArrivalTrace& trace,
     WNF_EXPECTS(pipe->outstanding() == 0);
   }
   if (collected) collected->assign(pipes.size(), {});
+  const obs::ScopedSpan replay_span(obs::TraceName::kReplay, 0, trace.size());
 
   LoadReport report;
   report.offered = trace.size();
@@ -51,9 +54,9 @@ LoadReport replay(const ArrivalTrace& trace,
   }
 
   std::vector<std::deque<Submitted>> submitted(pipes.size());
-  std::vector<double> sojourns;
+  SampleHistogram sojourns;
   sojourns.reserve(trace.size());
-  std::vector<std::vector<double>> tenant_sojourns(report.tenants.size());
+  std::vector<SampleHistogram> tenant_sojourns(report.tenants.size());
 
   const auto start = std::chrono::steady_clock::now();
   auto elapsed = [&start] {
@@ -62,6 +65,38 @@ LoadReport replay(const ArrivalTrace& trace,
         .count();
   };
   double last_delivery = 0.0;
+
+  // Periodic per-tenant rate sampling (config.sample_seconds cadence).
+  // Offered counts arrivals whose scheduled instant the driver has
+  // reached; completed/shed deltas come straight off the tenant stats.
+  std::vector<std::size_t> offered_so_far(report.tenants.size(), 0);
+  std::vector<std::size_t> prev_offered(report.tenants.size(), 0);
+  std::vector<std::size_t> prev_completed(report.tenants.size(), 0);
+  std::vector<std::size_t> prev_shed(report.tenants.size(), 0);
+  double next_sample = config.sample_seconds;
+  auto bank_sample = [&](double t, double window) {
+    for (std::size_t tenant = 0; tenant < report.tenants.size(); ++tenant) {
+      const std::size_t off = offered_so_far[tenant] - prev_offered[tenant];
+      const std::size_t done =
+          report.tenants[tenant].completed - prev_completed[tenant];
+      const std::size_t shed = report.tenants[tenant].shed - prev_shed[tenant];
+      prev_offered[tenant] = offered_so_far[tenant];
+      prev_completed[tenant] = report.tenants[tenant].completed;
+      prev_shed[tenant] = report.tenants[tenant].shed;
+      report.series.push_back({t, static_cast<std::uint32_t>(tenant),
+                               static_cast<double>(off) / window,
+                               static_cast<double>(done) / window,
+                               static_cast<double>(shed) / window});
+    }
+  };
+  auto maybe_sample = [&] {
+    if (config.sample_seconds <= 0.0 || report.tenants.empty()) return;
+    const double now = elapsed();
+    while (now >= next_sample) {
+      bank_sample(next_sample, config.sample_seconds);
+      next_sample += config.sample_seconds;
+    }
+  };
 
   // One sweep over every pipeline: pump each one and bank whatever has
   // finished. Sojourn is measured from the *scheduled* arrival, so any
@@ -78,8 +113,8 @@ LoadReport replay(const ArrivalTrace& trace,
         submitted[p].pop_front();
         last_delivery = elapsed();
         const double sojourn = last_delivery - entry.scheduled;
-        sojourns.push_back(sojourn);
-        tenant_sojourns[entry.tenant].push_back(sojourn);
+        sojourns.add(sojourn);
+        tenant_sojourns[entry.tenant].add(sojourn);
         ++report.completed;
         ++report.tenants[entry.tenant].completed;
         if (collected) (*collected)[p].push_back(ready);
@@ -100,7 +135,10 @@ LoadReport replay(const ArrivalTrace& trace,
         std::this_thread::sleep_for(
             std::min(idle_nap, std::chrono::duration<double>(remaining)));
       }
+      maybe_sample();
     }
+    ++offered_so_far[arrival.tenant];
+    maybe_sample();
 
     TenantStats& tenant = report.tenants[arrival.tenant];
     if (config.slo_seconds > 0.0 &&
@@ -138,8 +176,15 @@ LoadReport replay(const ArrivalTrace& trace,
     if (!harvest() && config.idle_nap_seconds > 0.0) {
       std::this_thread::sleep_for(idle_nap);
     }
+    maybe_sample();
   }
   WNF_ASSERT(report.completed == report.admitted);
+  if (config.sample_seconds > 0.0 && !report.tenants.empty()) {
+    // Close the series with the partial final window, if it saw anything.
+    const double window_start = next_sample - config.sample_seconds;
+    const double window = elapsed() - window_start;
+    if (window > 1e-9) bank_sample(elapsed(), window);
+  }
 
   report.wall_seconds = report.completed > 0 ? last_delivery : elapsed();
   const double offered_window = trace.duration * config.time_scale;
@@ -151,19 +196,16 @@ LoadReport replay(const ArrivalTrace& trace,
       report.wall_seconds > 0.0
           ? static_cast<double>(report.completed) / report.wall_seconds
           : 0.0;
-  if (!sojourns.empty()) {
-    std::sort(sojourns.begin(), sojourns.end());
-    report.p50 = percentile_sorted(sojourns, 0.50);
-    report.p95 = percentile_sorted(sojourns, 0.95);
-    report.p99 = percentile_sorted(sojourns, 0.99);
-    report.p999 = percentile_sorted(sojourns, 0.999);
-  }
+  const Quantiles q = sojourns.quantiles();
+  report.p50 = q.p50;
+  report.p95 = q.p95;
+  report.p99 = q.p99;
+  report.p999 = q.p999;
   for (std::size_t t = 0; t < report.tenants.size(); ++t) {
-    std::vector<double>& xs = tenant_sojourns[t];
+    const SampleHistogram& xs = tenant_sojourns[t];
     if (xs.empty()) continue;
-    std::sort(xs.begin(), xs.end());
-    report.tenants[t].p50 = percentile_sorted(xs, 0.50);
-    report.tenants[t].p99 = percentile_sorted(xs, 0.99);
+    report.tenants[t].p50 = xs.quantile(0.50);
+    report.tenants[t].p99 = xs.quantile(0.99);
   }
   return report;
 }

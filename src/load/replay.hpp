@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "load/trace.hpp"
+#include "obs/export.hpp"
 #include "serve/pool.hpp"
 #include "serve/report.hpp"
 #include "transport/host.hpp"
@@ -111,6 +112,12 @@ struct OpenLoopConfig {
   /// measured (timing-sensitive benches); the default stays far below any
   /// sojourn worth reporting without burning a core.
   double idle_nap_seconds = 50e-6;
+  /// Periodic time-series sampling: every this many wall seconds the
+  /// replayer banks one obs::TimeSeriesSample per tenant (offered /
+  /// completed / shed rps over the window) into LoadReport::series — the
+  /// feed for the metrics JSON exporter. 0 disables sampling; rates are
+  /// wall-clock observations, so the series is diagnostic, not pinned.
+  double sample_seconds = 0.0;
 };
 
 /// Per-tenant slice of a replay (tenants index this vector).
@@ -143,6 +150,9 @@ struct LoadReport {
   double p99 = 0.0;
   double p999 = 0.0;                ///< the overload tail
   std::vector<TenantStats> tenants;  ///< indexed by tenant id
+  /// Per-tenant rate samples at config.sample_seconds cadence (empty when
+  /// sampling is off); tenant-major within each sampling instant.
+  std::vector<obs::TimeSeriesSample> series;
 };
 
 /// Replays `trace` open-loop against `pipes` from the calling thread:

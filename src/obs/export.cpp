@@ -1,0 +1,281 @@
+#include "obs/export.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <ostream>
+#include <set>
+
+namespace wnf::obs {
+
+namespace {
+
+/// JSON-safe double: finite values via %.17g (round-trips exactly, always
+/// a valid JSON number), non-finite clamped to 0 (JSON has no inf/nan).
+void put_double(std::ostream& out, double v) {
+  if (!std::isfinite(v)) v = 0.0;
+  char buffer[40];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", v);
+  out << buffer;
+}
+
+/// Microsecond timestamp with sub-µs precision (Chrome's `ts` unit).
+void put_ts_us(std::ostream& out, double ns) {
+  char buffer[40];
+  std::snprintf(buffer, sizeof(buffer), "%.3f", ns / 1000.0);
+  out << buffer;
+}
+
+void put_string(std::ostream& out, std::string_view s) {
+  out << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out << "\\\""; break;
+      case '\\': out << "\\\\"; break;
+      case '\n': out << "\\n"; break;
+      case '\r': out << "\\r"; break;
+      case '\t': out << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x",
+                        static_cast<unsigned>(c));
+          out << buffer;
+        } else {
+          out << c;
+        }
+    }
+  }
+  out << '"';
+}
+
+std::uint32_t resolve_host_pid(std::uint32_t requested) {
+  if (requested != 0) return requested;
+#if defined(__unix__) || defined(__APPLE__)
+  return static_cast<std::uint32_t>(::getpid());
+#else
+  return 1;
+#endif
+}
+
+/// One event with its final (offset-applied) host-timebase placement.
+struct PlacedEvent {
+  TraceEvent event;
+  std::uint32_t pid = 0;
+  std::uint32_t tid = 0;
+  double ts_ns = 0.0;  ///< host timebase, before rebasing
+};
+
+void emit_metadata(std::ostream& out, bool& first, std::uint32_t pid,
+                   const char* key, std::string_view name) {
+  if (!first) out << ",\n";
+  first = false;
+  out << R"({"name":")" << key << R"(","ph":"M","pid":)" << pid
+      << R"(,"tid":0,"args":{"name":)";
+  put_string(out, name);
+  out << "}}";
+}
+
+void emit_event(std::ostream& out, bool& first, const PlacedEvent& placed,
+                double base_ns) {
+  const TraceEvent& event = placed.event;
+  const char* name = trace_name_string(event.name);
+  const char* phase = nullptr;
+  switch (event.kind) {
+    case EventKind::kSpanBegin: phase = "B"; break;
+    case EventKind::kSpanEnd: phase = "E"; break;
+    case EventKind::kAsyncBegin: phase = "b"; break;
+    case EventKind::kAsyncEnd: phase = "e"; break;
+    case EventKind::kInstant: phase = "i"; break;
+    case EventKind::kCounter: phase = "C"; break;
+  }
+  if (phase == nullptr) return;
+  if (!first) out << ",\n";
+  first = false;
+  out << R"({"name":")" << name << R"(","cat":"wnf","ph":")" << phase
+      << R"(","ts":)";
+  put_ts_us(out, placed.ts_ns - base_ns);
+  out << R"(,"pid":)" << placed.pid << R"(,"tid":)" << placed.tid;
+  switch (event.kind) {
+    case EventKind::kAsyncBegin:
+    case EventKind::kAsyncEnd: {
+      char idbuf[24];
+      std::snprintf(idbuf, sizeof(idbuf), "0x%llx",
+                    static_cast<unsigned long long>(event.id));
+      out << R"(,"id":")" << idbuf << R"(","args":{"value":)" << event.value
+          << "}";
+      break;
+    }
+    case EventKind::kInstant:
+      out << R"(,"s":"p","args":{"id":)" << event.id << R"(,"value":)"
+          << event.value << "}";
+      break;
+    case EventKind::kCounter:
+      out << R"(,"args":{"value":)" << event.value << "}";
+      break;
+    default:
+      out << R"(,"args":{"id":)" << event.id << R"(,"value":)" << event.value
+          << "}";
+  }
+  out << "}";
+}
+
+}  // namespace
+
+ChromeTraceSummary write_chrome_trace(std::ostream& out,
+                                      const ChromeTraceOptions& options) {
+  ChromeTraceSummary summary;
+  TraceLog& log = TraceLog::instance();
+  const std::uint32_t host_pid = resolve_host_pid(options.host_pid);
+
+  std::vector<PlacedEvent> placed;
+  const std::vector<ThreadEvents> local = log.collect();
+  summary.host_threads = local.size();
+  for (const ThreadEvents& thread : local) {
+    summary.dropped += thread.dropped;
+    for (const TraceEvent& event : thread.events) {
+      placed.push_back({event, host_pid, thread.tid,
+                        static_cast<double>(event.ts_ns)});
+    }
+  }
+  const std::vector<RemoteEvents> remote = log.remote();
+  std::set<std::uint32_t> worker_pids;
+  std::set<std::uint32_t> worker_span_pids;
+  for (const RemoteEvents& batch : remote) {
+    summary.dropped += batch.dropped;
+    worker_pids.insert(batch.pid);
+    for (const TraceEvent& event : batch.events) {
+      if (event.kind != EventKind::kInstant &&
+          event.kind != EventKind::kCounter) {
+        worker_span_pids.insert(batch.pid);
+      }
+      placed.push_back(
+          {event, batch.pid, batch.tid,
+           static_cast<double>(event.ts_ns) +
+               static_cast<double>(batch.clock_offset_ns)});
+    }
+  }
+  summary.worker_processes = worker_pids.size();
+  summary.worker_span_processes = worker_span_pids.size();
+  summary.events = placed.size();
+  for (const PlacedEvent& entry : placed) {
+    if (entry.event.kind != EventKind::kInstant) continue;
+    if (entry.event.name == TraceName::kSigkill) ++summary.sigkill_instants;
+    if (entry.event.name == TraceName::kRespawn) ++summary.respawn_instants;
+    if (entry.event.name == TraceName::kRebindEvent) {
+      ++summary.rebind_instants;
+    }
+  }
+
+  double base_ns = std::numeric_limits<double>::infinity();
+  for (const PlacedEvent& entry : placed) {
+    base_ns = std::min(base_ns, entry.ts_ns);
+  }
+  if (!std::isfinite(base_ns)) base_ns = 0.0;
+  // Chrome merges tracks by (pid, tid) but sorts fine unsorted; emit in
+  // timestamp order anyway so the file diffs and streams sensibly.
+  std::stable_sort(placed.begin(), placed.end(),
+                   [](const PlacedEvent& a, const PlacedEvent& b) {
+                     return a.ts_ns < b.ts_ns;
+                   });
+
+  out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+  bool first = true;
+  emit_metadata(out, first, host_pid, "process_name", options.process_name);
+  for (const std::uint32_t pid : worker_pids) {
+    char label[48];
+    std::snprintf(label, sizeof(label), "wnf-worker pid=%u", pid);
+    emit_metadata(out, first, pid, "process_name", label);
+  }
+  for (const PlacedEvent& entry : placed) {
+    emit_event(out, first, entry, base_ns);
+  }
+  out << "\n]}\n";
+  return summary;
+}
+
+ChromeTraceSummary write_chrome_trace_file(const std::string& path,
+                                           const ChromeTraceOptions& options) {
+  std::ofstream out(path);
+  if (!out) return {};
+  return write_chrome_trace(out, options);
+}
+
+void write_metrics_json(std::ostream& out,
+                        std::span<const NamedSnapshot> registries,
+                        std::span<const TimeSeriesSample> series) {
+  out << "{\"schema\":1,\"registries\":[\n";
+  bool first_registry = true;
+  for (const NamedSnapshot& named : registries) {
+    if (!first_registry) out << ",\n";
+    first_registry = false;
+    out << "{\"name\":";
+    put_string(out, named.name);
+    out << ",\"counters\":{";
+    bool first = true;
+    for (const auto& row : named.snapshot.counters) {
+      if (!first) out << ",";
+      first = false;
+      put_string(out, row.name);
+      out << ":" << row.value;
+    }
+    out << "},\"histograms\":[";
+    first = true;
+    for (const auto& row : named.snapshot.histograms) {
+      if (!first) out << ",";
+      first = false;
+      out << "{\"name\":";
+      put_string(out, row.name);
+      out << ",\"count\":" << row.count << ",\"sum\":";
+      put_double(out, row.sum);
+      out << ",\"min\":";
+      put_double(out, row.min);
+      out << ",\"max\":";
+      put_double(out, row.max);
+      out << ",\"buckets\":[";
+      bool first_bucket = true;
+      for (const auto& bucket : row.buckets) {
+        if (!first_bucket) out << ",";
+        first_bucket = false;
+        out << "{\"le\":";
+        put_double(out, bucket.upper);
+        out << ",\"count\":" << bucket.count << "}";
+      }
+      out << "]}";
+    }
+    out << "]}";
+  }
+  out << "\n],\"series\":[";
+  bool first = true;
+  for (const TimeSeriesSample& sample : series) {
+    if (!first) out << ",";
+    first = false;
+    out << "\n{\"t\":";
+    put_double(out, sample.t);
+    out << ",\"tenant\":" << sample.tenant << ",\"offered_rps\":";
+    put_double(out, sample.offered_rps);
+    out << ",\"completed_rps\":";
+    put_double(out, sample.completed_rps);
+    out << ",\"shed_rps\":";
+    put_double(out, sample.shed_rps);
+    out << "}";
+  }
+  out << "\n]}\n";
+}
+
+bool write_metrics_json_file(const std::string& path,
+                             std::span<const NamedSnapshot> registries,
+                             std::span<const TimeSeriesSample> series) {
+  std::ofstream out(path);
+  if (!out) return false;
+  write_metrics_json(out, registries, series);
+  return out.good();
+}
+
+}  // namespace wnf::obs

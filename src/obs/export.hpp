@@ -1,0 +1,78 @@
+// Exporters: the TraceLog as Chrome trace_event JSON (loadable in
+// Perfetto / chrome://tracing, one track per worker process, SIGKILL /
+// respawn / rebind as instant events) and a MetricsRegistry snapshot as
+// machine-readable JSON, optionally with the per-tenant offered /
+// completed / shed time series a load::replay run sampled. Both outputs
+// are hand-written JSON pinned by the strict obs::json_lint validator in
+// the tests and the examples' self-checks.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <span>
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace wnf::obs {
+
+struct ChromeTraceOptions {
+  std::string process_name = "wnf-host";  ///< host process track label
+  /// Host-track pid in the output; 0 means the real process id.
+  std::uint32_t host_pid = 0;
+};
+
+/// What the trace contained — lets callers assert trace content (worker
+/// coverage, fault instants) without re-parsing the JSON they just wrote.
+struct ChromeTraceSummary {
+  std::size_t events = 0;            ///< trace events written (no metadata)
+  std::size_t host_threads = 0;      ///< local ring tracks
+  std::size_t worker_processes = 0;  ///< distinct remote (worker) pids
+  std::size_t worker_span_processes = 0;  ///< remote pids with >=1 span
+  std::size_t sigkill_instants = 0;
+  std::size_t respawn_instants = 0;
+  std::size_t rebind_instants = 0;
+  std::uint64_t dropped = 0;  ///< events lost to ring wrap, all rings
+};
+
+/// Writes everything TraceLog::instance() currently holds (local rings +
+/// ingested worker telemetry) as a Chrome trace_event JSON document.
+/// Worker timestamps are shifted by their Hello-time clock offsets onto
+/// the host timebase; the whole timeline is rebased so t=0 is the first
+/// event.
+ChromeTraceSummary write_chrome_trace(std::ostream& out,
+                                      const ChromeTraceOptions& options = {});
+
+/// write_chrome_trace to `path`; returns the summary (events == 0 and an
+/// unwritable path leave a valid empty trace / fail silently — callers
+/// that care re-read and lint the file, as the examples do).
+ChromeTraceSummary write_chrome_trace_file(
+    const std::string& path, const ChromeTraceOptions& options = {});
+
+/// One sample of a load::replay time series (per tenant, per interval).
+struct TimeSeriesSample {
+  double t = 0.0;  ///< sample instant (interval end), wall seconds from
+                   ///< replay start
+  std::uint32_t tenant = 0;
+  double offered_rps = 0.0;
+  double completed_rps = 0.0;
+  double shed_rps = 0.0;
+};
+
+/// A registry snapshot with the label it should carry in the output
+/// (one exported file can hold several deployments' registries).
+struct NamedSnapshot {
+  std::string name;
+  MetricsSnapshot snapshot;
+};
+
+void write_metrics_json(std::ostream& out,
+                        std::span<const NamedSnapshot> registries,
+                        std::span<const TimeSeriesSample> series = {});
+
+bool write_metrics_json_file(const std::string& path,
+                             std::span<const NamedSnapshot> registries,
+                             std::span<const TimeSeriesSample> series = {});
+
+}  // namespace wnf::obs

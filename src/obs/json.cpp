@@ -1,0 +1,255 @@
+#include "obs/json.hpp"
+
+namespace wnf::obs {
+
+namespace {
+
+constexpr std::size_t kMaxDepth = 256;
+
+/// Recursive-descent validator over a byte view. Positions and messages
+/// stick at the first violation.
+class Lint {
+ public:
+  explicit Lint(std::string_view text) : text_(text) {}
+
+  JsonLintResult run() {
+    skip_ws();
+    value(0);
+    skip_ws();
+    if (ok_ && at_ != text_.size()) fail("trailing garbage after document");
+    JsonLintResult result;
+    result.ok = ok_;
+    result.error_offset = error_at_;
+    result.error = error_;
+    return result;
+  }
+
+ private:
+  bool done() const { return at_ >= text_.size(); }
+  char peek() const { return text_[at_]; }
+
+  void fail(const std::string& message) {
+    if (!ok_) return;  // keep the first violation
+    ok_ = false;
+    error_at_ = at_;
+    error_ = message;
+  }
+
+  void skip_ws() {
+    while (!done()) {
+      const char c = peek();
+      if (c == ' ' || c == '\t' || c == '\n' || c == '\r') {
+        ++at_;
+      } else {
+        break;
+      }
+    }
+  }
+
+  bool consume(char expected) {
+    if (done() || peek() != expected) return false;
+    ++at_;
+    return true;
+  }
+
+  void literal(std::string_view word) {
+    if (text_.substr(at_, word.size()) != word) {
+      fail("invalid literal");
+      return;
+    }
+    at_ += word.size();
+  }
+
+  void value(std::size_t depth) {
+    if (!ok_) return;
+    if (depth > kMaxDepth) {
+      fail("nesting too deep");
+      return;
+    }
+    if (done()) {
+      fail("unexpected end of input");
+      return;
+    }
+    switch (peek()) {
+      case '{': object(depth); return;
+      case '[': array(depth); return;
+      case '"': string(); return;
+      case 't': literal("true"); return;
+      case 'f': literal("false"); return;
+      case 'n': literal("null"); return;
+      default: number(); return;
+    }
+  }
+
+  void object(std::size_t depth) {
+    ++at_;  // '{'
+    skip_ws();
+    if (consume('}')) return;
+    while (ok_) {
+      skip_ws();
+      if (done() || peek() != '"') {
+        fail("object key must be a string");
+        return;
+      }
+      string();
+      skip_ws();
+      if (!consume(':')) {
+        fail("expected ':' after object key");
+        return;
+      }
+      skip_ws();
+      value(depth + 1);
+      skip_ws();
+      if (consume(',')) continue;
+      if (consume('}')) return;
+      fail("expected ',' or '}' in object");
+      return;
+    }
+  }
+
+  void array(std::size_t depth) {
+    ++at_;  // '['
+    skip_ws();
+    if (consume(']')) return;
+    while (ok_) {
+      skip_ws();
+      value(depth + 1);
+      skip_ws();
+      if (consume(',')) continue;
+      if (consume(']')) return;
+      fail("expected ',' or ']' in array");
+      return;
+    }
+  }
+
+  static bool is_hex(char c) {
+    return (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f') ||
+           (c >= 'A' && c <= 'F');
+  }
+
+  /// One \uXXXX escape; returns its code unit, or -1 on a violation.
+  int hex4() {
+    int unit = 0;
+    for (int i = 0; i < 4; ++i) {
+      if (done() || !is_hex(peek())) {
+        fail("invalid \\u escape");
+        return -1;
+      }
+      const char c = peek();
+      int digit = 0;
+      if (c >= '0' && c <= '9') digit = c - '0';
+      else if (c >= 'a' && c <= 'f') digit = 10 + (c - 'a');
+      else digit = 10 + (c - 'A');
+      unit = unit * 16 + digit;
+      ++at_;
+    }
+    return unit;
+  }
+
+  void string() {
+    ++at_;  // '"'
+    while (true) {
+      if (done()) {
+        fail("unterminated string");
+        return;
+      }
+      const unsigned char c = static_cast<unsigned char>(peek());
+      if (c == '"') {
+        ++at_;
+        return;
+      }
+      if (c < 0x20) {
+        fail("raw control character in string");
+        return;
+      }
+      if (c != '\\') {
+        ++at_;
+        continue;
+      }
+      ++at_;  // '\\'
+      if (done()) {
+        fail("unterminated escape");
+        return;
+      }
+      const char escape = peek();
+      switch (escape) {
+        case '"': case '\\': case '/': case 'b': case 'f':
+        case 'n': case 'r': case 't':
+          ++at_;
+          break;
+        case 'u': {
+          ++at_;
+          const int unit = hex4();
+          if (unit < 0) return;
+          if (unit >= 0xD800 && unit <= 0xDBFF) {
+            // High surrogate: a low surrogate escape must follow.
+            if (!consume('\\') || !consume('u')) {
+              fail("unpaired high surrogate");
+              return;
+            }
+            const int low = hex4();
+            if (low < 0) return;
+            if (low < 0xDC00 || low > 0xDFFF) {
+              fail("invalid low surrogate");
+              return;
+            }
+          } else if (unit >= 0xDC00 && unit <= 0xDFFF) {
+            fail("unpaired low surrogate");
+            return;
+          }
+          break;
+        }
+        default:
+          fail("invalid escape character");
+          return;
+      }
+    }
+  }
+
+  void number() {
+    const std::size_t start = at_;
+    consume('-');
+    if (done()) {
+      fail("truncated number");
+      return;
+    }
+    if (consume('0')) {
+      // "0" may not be followed by more digits (no leading zeros).
+    } else if (peek() >= '1' && peek() <= '9') {
+      while (!done() && peek() >= '0' && peek() <= '9') ++at_;
+    } else {
+      fail("invalid number");
+      return;
+    }
+    if (!done() && peek() == '.') {
+      ++at_;
+      if (done() || peek() < '0' || peek() > '9') {
+        fail("digit required after decimal point");
+        return;
+      }
+      while (!done() && peek() >= '0' && peek() <= '9') ++at_;
+    }
+    if (!done() && (peek() == 'e' || peek() == 'E')) {
+      ++at_;
+      if (!done() && (peek() == '+' || peek() == '-')) ++at_;
+      if (done() || peek() < '0' || peek() > '9') {
+        fail("digit required in exponent");
+        return;
+      }
+      while (!done() && peek() >= '0' && peek() <= '9') ++at_;
+    }
+    if (at_ == start) fail("invalid number");
+  }
+
+  std::string_view text_;
+  std::size_t at_ = 0;
+  bool ok_ = true;
+  std::size_t error_at_ = 0;
+  std::string error_;
+};
+
+}  // namespace
+
+JsonLintResult json_lint(std::string_view text) { return Lint(text).run(); }
+
+}  // namespace wnf::obs

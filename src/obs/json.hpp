@@ -1,0 +1,28 @@
+// Strict JSON validation for the exporter outputs. The exporters write
+// JSON by hand (no third-party dependency), so "round-trips through a
+// strict parse" is a real guarantee only if the repo owns a real parser:
+// this is a full RFC 8259 recursive-descent validator — exact number
+// grammar, escape sequences, UTF-16 surrogate pairing in \u escapes, no
+// trailing commas, no trailing garbage — used by the unit tests and by
+// the examples' built-in --trace/--metrics self-checks.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+namespace wnf::obs {
+
+/// Outcome of validating one JSON document.
+struct JsonLintResult {
+  bool ok = false;
+  std::size_t error_offset = 0;  ///< byte offset of the first violation
+  std::string error;             ///< empty when ok
+};
+
+/// Validates that `text` is exactly one syntactically correct JSON value
+/// (with optional surrounding whitespace). Nesting depth is capped (a
+/// malicious/corrupt file must not overflow the validator's stack).
+JsonLintResult json_lint(std::string_view text);
+
+}  // namespace wnf::obs

@@ -1,0 +1,178 @@
+#include "obs/metrics.hpp"
+
+#include <bit>
+#include <cmath>
+#include <limits>
+
+namespace wnf::obs {
+
+namespace {
+
+/// Round-robin shard pick per thread: cheaper and more even than hashing
+/// thread ids, and stable for the life of the thread.
+std::size_t this_thread_shard(std::size_t shard_count) {
+  static std::atomic<std::size_t> next{0};
+  thread_local std::size_t mine =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return mine % shard_count;
+}
+
+void atomic_add_double(std::atomic<std::uint64_t>& bits, double delta) {
+  std::uint64_t expected = bits.load(std::memory_order_relaxed);
+  while (true) {
+    const double updated = std::bit_cast<double>(expected) + delta;
+    if (bits.compare_exchange_weak(expected, std::bit_cast<std::uint64_t>(updated),
+                                   std::memory_order_relaxed)) {
+      return;
+    }
+  }
+}
+
+void atomic_min_double(std::atomic<std::uint64_t>& bits, double value) {
+  std::uint64_t expected = bits.load(std::memory_order_relaxed);
+  while (std::bit_cast<double>(expected) > value) {
+    if (bits.compare_exchange_weak(expected, std::bit_cast<std::uint64_t>(value),
+                                   std::memory_order_relaxed)) {
+      return;
+    }
+  }
+}
+
+void atomic_max_double(std::atomic<std::uint64_t>& bits, double value) {
+  std::uint64_t expected = bits.load(std::memory_order_relaxed);
+  while (std::bit_cast<double>(expected) < value) {
+    if (bits.compare_exchange_weak(expected, std::bit_cast<std::uint64_t>(value),
+                                   std::memory_order_relaxed)) {
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+std::atomic<std::int64_t>& Counter::shard() {
+  return shards_[this_thread_shard(kShards)].v;
+}
+
+LogHistogram::LogHistogram()
+    : min_bits_(std::bit_cast<std::uint64_t>(
+          std::numeric_limits<double>::infinity())),
+      max_bits_(std::bit_cast<std::uint64_t>(
+          -std::numeric_limits<double>::infinity())) {}
+
+std::size_t LogHistogram::bucket_index(double value) {
+  if (!(value > 0.0)) return 0;  // non-positive and NaN underflow
+  int exp = 0;
+  (void)std::frexp(value, &exp);  // value = m * 2^exp, m in [0.5, 1)
+  // Bucket i covers (2^(i-1+kMinExp), 2^(i+kMinExp)]: a value with
+  // frexp-exponent e lies in (2^(e-1), 2^e].
+  const long index = static_cast<long>(exp) - kMinExp;
+  if (index < 0) return 0;
+  if (index >= static_cast<long>(kBuckets)) return kBuckets - 1;
+  return static_cast<std::size_t>(index);
+}
+
+double LogHistogram::bucket_upper(std::size_t i) {
+  return std::ldexp(1.0, static_cast<int>(i) + kMinExp);
+}
+
+void LogHistogram::observe(double value) {
+  buckets_[bucket_index(value)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  atomic_add_double(sum_bits_, value);
+  atomic_min_double(min_bits_, value);
+  atomic_max_double(max_bits_, value);
+}
+
+std::uint64_t LogHistogram::count() const {
+  return count_.load(std::memory_order_relaxed);
+}
+
+double LogHistogram::sum() const {
+  return std::bit_cast<double>(sum_bits_.load(std::memory_order_relaxed));
+}
+
+double LogHistogram::min() const {
+  if (count() == 0) return 0.0;
+  return std::bit_cast<double>(min_bits_.load(std::memory_order_relaxed));
+}
+
+double LogHistogram::max() const {
+  if (count() == 0) return 0.0;
+  return std::bit_cast<double>(max_bits_.load(std::memory_order_relaxed));
+}
+
+double LogHistogram::quantile(double p) const {
+  const std::uint64_t total = count();
+  if (total == 0) return 0.0;
+  const double target = p * static_cast<double>(total);
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    cumulative += bucket_count(i);
+    if (static_cast<double>(cumulative) >= target && cumulative > 0) {
+      return bucket_upper(i);
+    }
+  }
+  return max();
+}
+
+void LogHistogram::reset() {
+  for (auto& bucket : buckets_) bucket.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_bits_.store(std::bit_cast<std::uint64_t>(0.0),
+                  std::memory_order_relaxed);
+  min_bits_.store(std::bit_cast<std::uint64_t>(
+                      std::numeric_limits<double>::infinity()),
+                  std::memory_order_relaxed);
+  max_bits_.store(std::bit_cast<std::uint64_t>(
+                      -std::numeric_limits<double>::infinity()),
+                  std::memory_order_relaxed);
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+LogHistogram& MetricsRegistry::histogram(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<LogHistogram>();
+  return *slot;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  MetricsSnapshot snap;
+  snap.counters.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_) {
+    snap.counters.push_back({name, counter->value()});
+  }
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& [name, histogram] : histograms_) {
+    MetricsSnapshot::HistogramRow row;
+    row.name = name;
+    row.count = histogram->count();
+    row.sum = histogram->sum();
+    row.min = histogram->min();
+    row.max = histogram->max();
+    for (std::size_t i = 0; i < LogHistogram::kBuckets; ++i) {
+      const std::uint64_t count = histogram->bucket_count(i);
+      if (count > 0) {
+        row.buckets.push_back({LogHistogram::bucket_upper(i), count});
+      }
+    }
+    snap.histograms.push_back(std::move(row));
+  }
+  return snap;
+}
+
+void MetricsRegistry::reset() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, counter] : counters_) counter->reset();
+  for (auto& [name, histogram] : histograms_) histogram->reset();
+}
+
+}  // namespace wnf::obs

@@ -1,0 +1,147 @@
+// The metrics registry: named sharded counters and log-bucketed latency
+// histograms that the serving runtimes record into on the hot path and
+// that ServeReport / the metrics JSON exporter read back out. Counters are
+// cache-line-padded atomic shards (threaded pool workers and the driver
+// can hit the same counter without bouncing one line); histograms bucket
+// by powers of two with exact sum/min/max, so a snapshot is cheap however
+// long the run was — the complement of util::SampleHistogram, which keeps
+// exact samples for the pinned report quantiles.
+//
+// Always compiled in (unlike the trace ring fast path): reports are
+// derived from the registry, so it must exist even in a WNF_OBS_ENABLED=0
+// build. The hot-path cost is an atomic relaxed add either way.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace wnf::obs {
+
+/// A monotonically adjustable counter, sharded to keep concurrent writers
+/// off one cache line. Readers sum the shards (value() is racy-exact under
+/// concurrency, exact during quiescence — which is when reports read it).
+class Counter {
+ public:
+  void add(std::int64_t delta) {
+    shard().fetch_add(delta, std::memory_order_relaxed);
+  }
+  void increment() { add(1); }
+
+  std::int64_t value() const {
+    std::int64_t total = 0;
+    for (const Shard& shard : shards_) {
+      total += shard.v.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+  void reset() {
+    for (Shard& shard : shards_) shard.v.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  struct alignas(64) Shard {
+    std::atomic<std::int64_t> v{0};
+  };
+  static constexpr std::size_t kShards = 8;
+
+  std::atomic<std::int64_t>& shard();
+
+  std::array<Shard, kShards> shards_{};
+};
+
+/// A log2-bucketed histogram over positive doubles: bucket i covers
+/// (2^(i-1+kMinExp), 2^(i+kMinExp)], plus an underflow bucket for values
+/// <= 2^kMinExp and an overflow bucket at the top. Constant memory,
+/// lock-free observe; quantile() answers from bucket upper bounds (an
+/// estimate within one octave — report-pinned quantiles use
+/// util::SampleHistogram instead).
+class LogHistogram {
+ public:
+  /// Bucket span: 2^-30 (~1ns in seconds) .. 2^32. 64 buckets total.
+  static constexpr int kMinExp = -30;
+  static constexpr std::size_t kBuckets = 64;
+
+  void observe(double value);
+
+  std::uint64_t count() const;
+  double sum() const;
+  /// Exact observed extrema; 0.0 when the histogram is empty.
+  double min() const;
+  double max() const;
+
+  /// Upper bound (inclusive) of bucket `i`.
+  static double bucket_upper(std::size_t i);
+  std::uint64_t bucket_count(std::size_t i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+
+  /// p in [0,1]: the upper bound of the bucket where the cumulative count
+  /// crosses p * count. 0.0 when empty.
+  double quantile(double p) const;
+
+  void reset();
+
+ private:
+  static std::size_t bucket_index(double value);
+
+  std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+  std::atomic<std::uint64_t> sum_bits_{0};  ///< double bits, CAS-accumulated
+  std::atomic<std::uint64_t> min_bits_;
+  std::atomic<std::uint64_t> max_bits_;
+  std::atomic<std::uint64_t> count_{0};
+
+ public:
+  LogHistogram();
+};
+
+/// Plain-data view of a registry, ready for JSON export or assertions.
+struct MetricsSnapshot {
+  struct CounterRow {
+    std::string name;
+    std::int64_t value = 0;
+  };
+  struct HistogramBucket {
+    double upper = 0.0;        ///< inclusive upper bound
+    std::uint64_t count = 0;
+  };
+  struct HistogramRow {
+    std::string name;
+    std::uint64_t count = 0;
+    double sum = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+    std::vector<HistogramBucket> buckets;  ///< non-empty buckets only
+  };
+  std::vector<CounterRow> counters;
+  std::vector<HistogramRow> histograms;
+};
+
+/// Named metric registry. Lookup takes a lock and is meant for setup —
+/// hot paths resolve their Counter*/LogHistogram* once and keep the
+/// pointer (registered metrics are never destroyed before the registry).
+class MetricsRegistry {
+ public:
+  Counter& counter(const std::string& name);
+  LogHistogram& histogram(const std::string& name);
+
+  /// Name-sorted snapshot of every registered metric.
+  MetricsSnapshot snapshot() const;
+
+  /// Zeroes every metric, keeping registrations (and therefore every
+  /// cached pointer) valid — the rebind path.
+  void reset();
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<LogHistogram>> histograms_;
+};
+
+}  // namespace wnf::obs

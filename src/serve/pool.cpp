@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <array>
 
+#include "obs/trace.hpp"
 #include "util/contract.hpp"
 
 namespace wnf::serve {
@@ -33,6 +34,13 @@ ReplicaPool::ReplicaPool(const nn::FeedForwardNetwork& net, ServeConfig config)
     WNF_EXPECTS(config_.straggler_cut.size() == net_.layer_count());
     wait_counts_ = dist::wait_counts_from_cut(net_, config_.straggler_cut);
   }
+  // The report derives from the registry; the hot paths cache the metric
+  // pointers once (registrations outlive the pool).
+  rejected_count_ = &metrics_.counter("serve.rejected");
+  resets_count_ = &metrics_.counter("serve.resets_sent");
+  completion_hist_ = &metrics_.histogram("serve.completion_time");
+  queue_depth_hist_ = &metrics_.histogram("serve.queue_depth");
+  trace_tag_ = obs::next_span_id() << 32;
   threads_.reserve(replicas);
   for (std::size_t r = 0; r < replicas; ++r) {
     threads_.emplace_back([this, r] { worker_loop(r); });
@@ -62,7 +70,8 @@ void ReplicaPool::set_timeline(FaultTimeline timeline) {
 bool ReplicaPool::submit(std::vector<double> x) {
   WNF_EXPECTS(x.size() == net_.input_dim());
   if (outstanding_.load() >= config_.queue_capacity) {
-    ++rejected_;
+    rejected_count_->increment();
+    obs::instant(obs::TraceName::kShed, next_id_);
     return false;
   }
   if (outstanding_.fetch_add(1) == 0) {
@@ -73,6 +82,16 @@ bool ReplicaPool::submit(std::vector<double> x) {
     dispatch_.push_back({next_id_++, std::move(x), root_.split()});
   }
   work_cv_.notify_one();
+  if (obs::enabled()) {
+    const std::uint64_t id = next_id_ - 1;
+    obs::async_begin(obs::TraceName::kRequest, trace_tag_ + id);
+    obs::async_begin(obs::TraceName::kQueue, trace_tag_ + id);
+    obs::counter(obs::TraceName::kQueueDepth, outstanding_.load());
+    // Sampling histograms ride the tracing switch: the report's counters
+    // are always exact, but per-request depth sampling must cost the
+    // disabled hot path nothing.
+    queue_depth_hist_->observe(static_cast<double>(outstanding_.load()));
+  }
   return true;
 }
 
@@ -86,7 +105,8 @@ std::size_t ReplicaPool::submit_batch(
   // the driver thread owns both submission and delivery.
   const std::size_t accepted = std::min(
       batch.size(), config_.queue_capacity - outstanding_.load());
-  rejected_ += batch.size() - accepted;  // the rest of the batch is shed
+  // the rest of the batch is shed
+  rejected_count_->add(static_cast<std::int64_t>(batch.size() - accepted));
   if (accepted == 0) return 0;
   if (outstanding_.fetch_add(accepted) == 0) {
     busy_start_ = std::chrono::steady_clock::now();
@@ -102,11 +122,24 @@ std::size_t ReplicaPool::submit_batch(
   } else {
     for (std::size_t i = 0; i < accepted; ++i) work_cv_.notify_one();
   }
+  if (obs::enabled()) {
+    for (std::size_t i = 0; i < accepted; ++i) {
+      const std::uint64_t id = next_id_ - accepted + i;
+      obs::async_begin(obs::TraceName::kRequest, trace_tag_ + id);
+      obs::async_begin(obs::TraceName::kQueue, trace_tag_ + id);
+    }
+    obs::counter(obs::TraceName::kQueueDepth, outstanding_.load());
+    queue_depth_hist_->observe(static_cast<double>(outstanding_.load()));
+  }
   return accepted;
 }
 
 RequestResult ReplicaPool::process(Replica& replica,
                                    const PendingRequest& request) {
+  // The queue span ends where execution begins; the execute span is the
+  // simulator evaluation itself, on this replica's thread.
+  obs::async_end(obs::TraceName::kQueue, trace_tag_ + request.id);
+  const obs::ScopedSpan span(obs::TraceName::kExecute, request.id);
   const std::size_t segment = timeline_.segment_at(request.id);
   if (segment != replica.segment) {
     const auto& plan = timeline_.segment_plan(segment);
@@ -156,12 +189,18 @@ void ReplicaPool::worker_loop(std::size_t r) {
     // Every claimed request is flushed before the worker can sleep again,
     // so the consumer never waits on a result a parked worker is holding.
     completions_.push_many(finished);
+    obs::instant(obs::TraceName::kCompletionPush, r, finished.size());
   }
 }
 
 void ReplicaPool::delivered(const RequestResult& result) {
-  completion_times_.push_back(result.completion_time);
-  resets_total_ += result.resets_sent;
+  completion_.add(result.completion_time);
+  resets_count_->add(static_cast<std::int64_t>(result.resets_sent));
+  if (obs::enabled()) {
+    completion_hist_->observe(result.completion_time);
+    obs::instant(obs::TraceName::kDeliver, result.id);
+    obs::async_end(obs::TraceName::kRequest, trace_tag_ + result.id);
+  }
   if (outstanding_.fetch_sub(1) == 1) {
     // The pipeline just went idle: close the busy interval that opened at
     // the first submit into an idle pipeline.
@@ -200,24 +239,10 @@ std::vector<RequestResult> ReplicaPool::drain() {
 
 ServeReport ReplicaPool::report() const {
   ServeReport report;
-  report.completed = completion_times_.size();
-  report.rejected = rejected_;
+  report.rejected = static_cast<std::size_t>(rejected_count_->value());
   report.replicas = replicas_.size();
-  report.wall_seconds = wall_seconds_;
-  report.throughput_rps =
-      wall_seconds_ > 0.0
-          ? static_cast<double>(report.completed) / wall_seconds_
-          : 0.0;
-  report.completion = summarize(completion_times_);
-  if (!completion_times_.empty()) {
-    std::vector<double> sorted = completion_times_;
-    std::sort(sorted.begin(), sorted.end());
-    report.p50 = percentile_sorted(sorted, 0.50);
-    report.p95 = percentile_sorted(sorted, 0.95);
-    report.p99 = percentile_sorted(sorted, 0.99);
-    report.p999 = percentile_sorted(sorted, 0.999);
-  }
-  report.resets_sent = resets_total_;
+  finalize_completion_stats(report, completion_, wall_seconds_);
+  report.resets_sent = static_cast<std::size_t>(resets_count_->value());
   return report;
 }
 

@@ -29,9 +29,11 @@
 #include "dist/boosting.hpp"
 #include "dist/latency.hpp"
 #include "dist/sim.hpp"
+#include "obs/metrics.hpp"
 #include "serve/completion.hpp"
 #include "serve/report.hpp"
 #include "serve/timeline.hpp"
+#include "util/histogram.hpp"
 #include "util/stats.hpp"
 
 namespace wnf::serve {
@@ -120,6 +122,9 @@ class ReplicaPool {
   ServeReport report() const;
 
   std::size_t replica_count() const { return replicas_.size(); }
+  /// This deployment's metric registry (counters and latency histograms
+  /// the report derives from) — live, for the metrics JSON exporter.
+  const obs::MetricsRegistry& metrics() const { return metrics_; }
   /// Requests accepted and not yet delivered through poll()/wait().
   std::size_t pending() const { return outstanding_.load(); }
   std::uint64_t next_request_id() const { return next_id_; }
@@ -166,13 +171,20 @@ class ReplicaPool {
   CompletionQueue completions_;
   std::atomic<std::size_t> outstanding_{0};  ///< accepted - delivered
 
-  // Aggregates over every delivery (id order, so deterministic). All
-  // touched by the driver thread only.
+  // Aggregates over every delivery (id order, so deterministic). The
+  // counters live in the metrics registry (report() derives from it);
+  // completion times keep exact samples for the pinned report quantiles.
+  // All touched by the driver thread only.
   std::chrono::steady_clock::time_point busy_start_{};
-  std::vector<double> completion_times_;
-  std::size_t rejected_ = 0;
-  std::size_t resets_total_ = 0;
+  SampleHistogram completion_;
+  obs::MetricsRegistry metrics_;
+  obs::Counter* rejected_count_ = nullptr;
+  obs::Counter* resets_count_ = nullptr;
+  obs::LogHistogram* completion_hist_ = nullptr;
+  obs::LogHistogram* queue_depth_hist_ = nullptr;
   double wall_seconds_ = 0.0;
+  /// High bits of this deployment's async trace ids (request-id low bits).
+  std::uint64_t trace_tag_ = 0;
 };
 
 }  // namespace wnf::serve

@@ -1,0 +1,22 @@
+#include "serve/report.hpp"
+
+namespace wnf::serve {
+
+void finalize_completion_stats(ServeReport& report,
+                               const SampleHistogram& completion,
+                               double wall_seconds) {
+  report.completed = completion.count();
+  report.wall_seconds = wall_seconds;
+  report.throughput_rps =
+      wall_seconds > 0.0
+          ? static_cast<double>(report.completed) / wall_seconds
+          : 0.0;
+  report.completion = completion.summary();
+  const Quantiles q = completion.quantiles();
+  report.p50 = q.p50;
+  report.p95 = q.p95;
+  report.p99 = q.p99;
+  report.p999 = q.p999;
+}
+
+}  // namespace wnf::serve

@@ -8,6 +8,7 @@
 #include <cstdint>
 #include <cstddef>
 
+#include "util/histogram.hpp"
 #include "util/stats.hpp"
 
 namespace wnf::serve {
@@ -59,5 +60,14 @@ struct ServeReport {
                                  ///< deployment without re-forking
                                  ///< (lifetime, unlike the other counters)
 };
+
+/// Fills the completion-statistics block of `report` — completed count,
+/// wall clock, throughput, moments, and the canonical percentile set —
+/// from one completion-time sample. The single implementation both
+/// serving runtimes (ReplicaPool and transport::WorkerHost) report
+/// through, so their quantile math cannot diverge.
+void finalize_completion_stats(ServeReport& report,
+                               const SampleHistogram& completion,
+                               double wall_seconds);
 
 }  // namespace wnf::serve

@@ -215,12 +215,15 @@ ParseStatus Codec::try_parse(std::vector<std::uint8_t>& buffer, Frame& frame) {
   const std::uint16_t type = header.u16();
   const std::uint32_t size = header.u32();
   const std::uint64_t expected = header.u64();
-  if (magic != kFrameMagic || version != kProtocolVersion ||
-      size > kMaxPayloadSize ||
+  if (magic != kFrameMagic || size > kMaxPayloadSize ||
       type < static_cast<std::uint16_t>(MessageType::kHello) ||
-      type > static_cast<std::uint16_t>(MessageType::kRebind)) {
+      type > static_cast<std::uint16_t>(MessageType::kTelemetry)) {
     return ParseStatus::kMalformed;
   }
+  // A structurally sound frame from a peer on another protocol version
+  // (older or newer) is a version mismatch, not corruption — the
+  // distinction matters to whoever reports the rejection.
+  if (version != kProtocolVersion) return ParseStatus::kWrongVersion;
   if (buffer.size() < kFrameHeaderSize + size) return ParseStatus::kNeedMore;
   if (checksum(buffer.data() + kFrameHeaderSize, size) != expected) {
     return ParseStatus::kMalformed;
@@ -239,6 +242,7 @@ std::vector<std::uint8_t> Codec::encode_hello(const HelloMsg& msg) {
   std::vector<std::uint8_t> out;
   put_u32(out, msg.worker_index);
   put_u32(out, msg.pid);
+  put_u64(out, msg.clock_ns);
   return out;
 }
 
@@ -248,6 +252,7 @@ std::optional<HelloMsg> Codec::decode_hello(
   HelloMsg msg;
   msg.worker_index = reader.u32();
   msg.pid = reader.u32();
+  msg.clock_ns = reader.u64();
   if (!reader.exhausted()) return std::nullopt;
   return msg;
 }
@@ -452,6 +457,57 @@ std::optional<BatchResultMsg> Codec::decode_batch_result(
     entry.output = reader.f64();
     entry.completion_time = reader.f64();
     entry.resets_sent = reader.u64();
+  }
+  if (!reader.exhausted()) return std::nullopt;
+  return msg;
+}
+
+// ------------------------------------------------------------- telemetry
+
+namespace {
+/// ts + id + value + name + kind per event on the wire.
+constexpr std::size_t kTelemetryEventBytes = 8 + 8 + 8 + 2 + 1;
+}  // namespace
+
+std::vector<std::uint8_t> Codec::encode_telemetry(const TelemetryMsg& msg) {
+  std::vector<std::uint8_t> out;
+  out.reserve(4 + 8 + 4 + msg.events.size() * kTelemetryEventBytes);
+  put_u32(out, msg.tid);
+  put_u64(out, msg.dropped);
+  put_u32(out, static_cast<std::uint32_t>(msg.events.size()));
+  for (const obs::TraceEvent& event : msg.events) {
+    put_u64(out, event.ts_ns);
+    put_u64(out, event.id);
+    put_u64(out, event.value);
+    put_u16(out, static_cast<std::uint16_t>(event.name));
+    out.push_back(static_cast<std::uint8_t>(event.kind));
+  }
+  return out;
+}
+
+std::optional<TelemetryMsg> Codec::decode_telemetry(
+    const std::vector<std::uint8_t>& payload) {
+  Reader reader(payload);
+  TelemetryMsg msg;
+  msg.tid = reader.u32();
+  msg.dropped = reader.u64();
+  const std::uint32_t count = reader.u32();
+  if (!reader.fits(count, kTelemetryEventBytes)) return std::nullopt;
+  msg.events.resize(count);
+  for (obs::TraceEvent& event : msg.events) {
+    event.ts_ns = reader.u64();
+    event.id = reader.u64();
+    event.value = reader.u64();
+    const std::uint16_t name = reader.u16();
+    if (name >= static_cast<std::uint16_t>(obs::TraceName::kNameCount)) {
+      return std::nullopt;
+    }
+    event.name = static_cast<obs::TraceName>(name);
+    const std::uint8_t kind = reader.u8();
+    if (kind > static_cast<std::uint8_t>(obs::EventKind::kCounter)) {
+      return std::nullopt;
+    }
+    event.kind = static_cast<obs::EventKind>(kind);
   }
   if (!reader.exhausted()) return std::nullopt;
   return msg;

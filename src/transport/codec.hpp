@@ -3,7 +3,7 @@
 // Every message between a WorkerHost and a Worker process is one frame:
 //
 //   u32 magic      "WNF1" (0x574E4631)      | fixed 20-byte header,
-//   u16 version    protocol version (= 3)   | little-endian on the wire
+//   u16 version    protocol version (= 4)   | little-endian on the wire
 //   u16 type       MessageType              | whatever the host CPU is
 //   u32 size       payload bytes that follow
 //   u64 checksum   FNV-1a 64 over the payload
@@ -25,6 +25,16 @@
 // (the async host validates per probe, not per frame). Frame formats are
 // unchanged from v2; the version bump marks the relaxed framing contract.
 //
+// Protocol v4 adds observability: the Hello greeting carries the worker's
+// steady-clock reading at send time (the host differences it against its
+// own clock at receipt to place worker trace events on the host
+// timebase), and the worker -> host Telemetry frame ships the worker's
+// trace-ring contents (obs::TraceEvent records, flushed on Shutdown and
+// before applying a Rebind). v4 also tightens version hygiene: a frame
+// whose magic is right but whose version is not ours parses as
+// kWrongVersion — a distinct rejection from kMalformed, so a cross-version
+// peer is reported as such instead of as stream corruption.
+//
 // Payloads are explicit little-endian primitives (doubles as IEEE-754 bit
 // patterns), so a frame is a byte-exact artifact: the same network, plan,
 // or probe encodes to the same bytes on every platform, and the worker's
@@ -33,11 +43,11 @@
 // weights ride the `nn::serialize` v1 text format (17 significant digits
 // round-trips every double exactly).
 //
-// Decoding is defensive end to end: a frame with a bad magic, an unknown
-// version, a lying size, a checksum mismatch, or a truncated/overlong
-// payload is rejected as malformed, never interpreted. The host treats a
-// worker that sends malformed bytes as crashed; the worker exits on a
-// malformed host frame.
+// Decoding is defensive end to end: a frame with a bad magic, a lying
+// size, a checksum mismatch, or a truncated/overlong payload is rejected
+// as malformed, never interpreted; a well-framed foreign protocol version
+// is rejected distinctly as kWrongVersion. The host treats a worker that
+// sends either as crashed; the worker exits on either from the host.
 #pragma once
 
 #include <array>
@@ -49,11 +59,12 @@
 #include "dist/latency.hpp"
 #include "dist/sim.hpp"
 #include "fault/plan.hpp"
+#include "obs/trace.hpp"
 
 namespace wnf::transport {
 
 inline constexpr std::uint32_t kFrameMagic = 0x574E4631u;  // "WNF1"
-inline constexpr std::uint16_t kProtocolVersion = 3;
+inline constexpr std::uint16_t kProtocolVersion = 4;
 inline constexpr std::size_t kFrameHeaderSize = 20;
 /// Sanity cap on payload size (a lying length field must not trigger a
 /// multi-gigabyte allocation before the checksum can reject the frame).
@@ -74,6 +85,9 @@ enum class MessageType : std::uint16_t {
   kBatchRequest = 7,  ///< host -> worker: many probe evaluations, one frame
   kBatchResult = 8,   ///< worker -> host: the whole batch's outcomes
   kRebind = 9,        ///< host -> worker: swap network/config/segments live
+  // Protocol v4: observability.
+  kTelemetry = 10,  ///< worker -> host: the worker's trace-ring contents,
+                    ///< flushed on Shutdown and before applying a Rebind
 };
 
 /// One decoded frame: the type plus its raw payload bytes.
@@ -83,10 +97,14 @@ struct Frame {
 };
 
 /// worker -> host greeting: lets the host verify protocol agreement and
-/// that the peer is the worker it spawned.
+/// that the peer is the worker it spawned. `clock_ns` is the worker's
+/// steady clock at send time; the host differences it against its own
+/// clock at receipt, and that offset places every trace event the worker
+/// later ships (Telemetry frames) on the host timebase.
 struct HelloMsg {
   std::uint32_t worker_index = 0;
   std::uint32_t pid = 0;
+  std::uint64_t clock_ns = 0;
 };
 
 /// host -> worker: everything a fresh worker process needs to become a
@@ -172,11 +190,25 @@ struct RebindMsg {
   SegmentsMsg segments;
 };
 
+/// worker -> host: the worker's trace-ring contents. Events are in the
+/// worker's own clock domain; the host aligns them via the Hello-time
+/// offset before export. `dropped` counts events the worker's ring wrap
+/// overwrote (a SIGKILLed worker simply never sends this frame — its
+/// unflushed events are lost by design, which the tests pin).
+struct TelemetryMsg {
+  std::uint32_t tid = 0;  ///< worker-local ring id (one thread today)
+  std::uint64_t dropped = 0;
+  std::vector<obs::TraceEvent> events;
+};
+
 /// Outcome of trying to parse the front of a byte stream.
 enum class ParseStatus {
-  kNeedMore,   ///< not enough bytes yet for a complete frame
-  kFrame,      ///< one frame extracted and validated
-  kMalformed,  ///< the stream is corrupt; the peer cannot be trusted
+  kNeedMore,      ///< not enough bytes yet for a complete frame
+  kFrame,         ///< one frame extracted and validated
+  kMalformed,     ///< the stream is corrupt; the peer cannot be trusted
+  kWrongVersion,  ///< a well-framed peer speaking another protocol
+                  ///< version (older or newer) — reject, but report it
+                  ///< as a version mismatch, not corruption
 };
 
 /// Stateless encoder/decoder for the wire format. Framing (encode/
@@ -190,8 +222,9 @@ class Codec {
 
   /// Attempts to extract one frame from the front of `buffer`. On kFrame,
   /// fills `frame` and erases the consumed bytes from `buffer`. On
-  /// kNeedMore, `buffer` is untouched. On kMalformed, the stream must be
-  /// abandoned (byte-stream transports cannot resynchronise).
+  /// kNeedMore, `buffer` is untouched. On kMalformed or kWrongVersion,
+  /// the stream must be abandoned (byte-stream transports cannot
+  /// resynchronise, and there is no cross-version negotiation).
   static ParseStatus try_parse(std::vector<std::uint8_t>& buffer,
                                Frame& frame);
 
@@ -234,6 +267,12 @@ class Codec {
 
   static std::vector<std::uint8_t> encode_rebind(const RebindMsg& msg);
   static std::optional<RebindMsg> decode_rebind(
+      const std::vector<std::uint8_t>& payload);
+
+  // v4 payloads. The telemetry decoder bounds-checks the event count and
+  // rejects out-of-range kind/name discriminants.
+  static std::vector<std::uint8_t> encode_telemetry(const TelemetryMsg& msg);
+  static std::optional<TelemetryMsg> decode_telemetry(
       const std::vector<std::uint8_t>& payload);
 
   /// FNV-1a 64 over `bytes` — the frame checksum.

@@ -19,6 +19,7 @@
 
 #include "dist/boosting.hpp"
 #include "nn/serialize.hpp"
+#include "obs/trace.hpp"
 #include "transport/codec.hpp"
 #include "transport/worker.hpp"
 #include "util/contract.hpp"
@@ -105,6 +106,18 @@ WorkerHost::WorkerHost(TransportConfig config)
     config_.workers =
         std::max<std::size_t>(1, std::thread::hardware_concurrency());
   }
+  // The report and accessors derive from the registry; the hot paths
+  // cache the metric pointers once (registrations outlive the host).
+  shed_count_ = &metrics_.counter("transport.shed");
+  resets_count_ = &metrics_.counter("transport.resets_sent");
+  resubmitted_count_ = &metrics_.counter("transport.resubmitted");
+  restarts_count_ = &metrics_.counter("transport.worker_restarts");
+  batch_frames_count_ = &metrics_.counter("transport.batch_frames");
+  result_frames_count_ = &metrics_.counter("transport.result_frames");
+  completion_hist_ = &metrics_.histogram("transport.completion_time");
+  queue_depth_hist_ = &metrics_.histogram("transport.queue_depth");
+  batch_probes_hist_ = &metrics_.histogram("transport.batch_probes");
+  trace_tag_ = obs::next_span_id() << 32;
   workers_.resize(config_.workers);
   for (std::size_t w = 0; w < workers_.size(); ++w) spawn(w);
 }
@@ -174,18 +187,14 @@ void WorkerHost::rebind(const nn::FeedForwardNetwork& net,
       spawn(w);
     }
   }
-  // The report starts over with the deployment (rebinds_ is lifetime).
-  completion_times_.clear();
-  shed_ = 0;
-  resets_total_ = 0;
-  resubmitted_ = 0;
-  restarts_ = 0;
-  batch_frames_ = 0;
-  result_frames_ = 0;
-  batch_probes_min_ = 0;
-  batch_probes_max_ = 0;
+  // The report starts over with the deployment (rebinds_ is lifetime):
+  // every per-deployment metric zeroes in place, cached pointers intact.
+  completion_.clear();
+  metrics_.reset();
   wall_seconds_ = 0.0;
   ++rebinds_;
+  trace_tag_ = obs::next_span_id() << 32;
+  obs::instant(obs::TraceName::kRebindEvent, rebinds_);
 }
 
 WorkerHost::~WorkerHost() {
@@ -201,9 +210,65 @@ WorkerHost::~WorkerHost() {
                   0
 #endif
     );
+    // A tracing worker answers the Shutdown with its final telemetry
+    // flush; harvest it before the close, or those events die with the
+    // socket. With tracing off the worker sends nothing and the drain
+    // returns on its EOF immediately.
+    if (obs::enabled()) drain_final_telemetry(worker);
     ::close(worker.fd);
     int status = 0;
     ::waitpid(worker.pid, &status, 0);
+  }
+}
+
+bool WorkerHost::ingest_telemetry(const WorkerState& worker,
+                                  const Frame& frame) {
+  const auto telemetry = Codec::decode_telemetry(frame.payload);
+  if (!telemetry) return false;
+  obs::TraceLog::instance().ingest_remote(
+      static_cast<std::uint32_t>(worker.pid), telemetry->tid,
+      worker.clock_offset_ns, std::move(telemetry->events),
+      telemetry->dropped);
+  return true;
+}
+
+void WorkerHost::drain_final_telemetry(WorkerState& worker) {
+  // Bounded: a worker that never sends EOF (wedged on something other
+  // than our Shutdown) must not hang the destructor.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(2);
+  std::uint8_t chunk[4096];
+  Frame frame;
+  while (std::chrono::steady_clock::now() < deadline) {
+    pollfd entry{};
+    entry.fd = worker.fd;
+    entry.events = POLLIN;
+    const int ready = ::poll(&entry, 1, 100);
+    if (ready < 0 && errno == EINTR) continue;
+    if (ready <= 0) continue;
+    const ssize_t n = ::read(worker.fd, chunk, sizeof(chunk));
+    if (n < 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) {
+        continue;
+      }
+      return;
+    }
+    if (n == 0) break;  // EOF: the worker flushed and exited
+    worker.inbox.insert(worker.inbox.end(), chunk, chunk + n);
+    ParseStatus status;
+    while ((status = Codec::try_parse(worker.inbox, frame)) ==
+           ParseStatus::kFrame) {
+      // Only telemetry is expected this late; anything else (a last
+      // coalesced result frame racing the shutdown) is simply dropped —
+      // the deployment's results were all delivered before destruction.
+      if (frame.type == MessageType::kTelemetry) {
+        (void)ingest_telemetry(worker, frame);
+      }
+    }
+    if (status == ParseStatus::kMalformed ||
+        status == ParseStatus::kWrongVersion) {
+      return;
+    }
   }
 }
 
@@ -293,13 +358,23 @@ bool WorkerHost::submit(std::vector<double> x) {
   WNF_EXPECTS(bound());
   WNF_EXPECTS(x.size() == net_->input_dim());
   if (outstanding_ >= config_.queue_capacity) {
-    ++shed_;
+    shed_count_->increment();
+    obs::instant(obs::TraceName::kShed, next_id_);
     return false;
   }
   if (outstanding_++ == 0) {
     busy_start_ = std::chrono::steady_clock::now();
   }
   queue_.push_back({next_id_++, std::move(x), root_.split()});
+  if (obs::enabled()) {
+    const std::uint64_t id = next_id_ - 1;
+    obs::async_begin(obs::TraceName::kRequest, trace_tag_ + id);
+    obs::counter(obs::TraceName::kQueueDepth, outstanding_);
+    // Sampling histograms ride the tracing switch: the report's counters
+    // are always exact, but per-request depth/latency sampling must cost
+    // the disabled hot path nothing.
+    queue_depth_hist_->observe(static_cast<double>(outstanding_));
+  }
   return true;
 }
 
@@ -308,7 +383,9 @@ std::size_t WorkerHost::submit_batch(
   std::size_t accepted = 0;
   for (const auto& x : batch) {
     if (!submit(x)) {
-      shed_ += batch.size() - accepted - 1;  // shed the rest of the batch
+      // shed the rest of the batch
+      shed_count_->add(
+          static_cast<std::int64_t>(batch.size() - accepted - 1));
       break;
     }
     ++accepted;
@@ -343,8 +420,12 @@ void WorkerHost::worker_died(std::size_t w, bool expected) {
   worker.outbox.clear();
   // The dead worker's outstanding requests go back to the dispatcher; the
   // per-request Rng state makes the re-run bit-identical wherever it lands.
-  resubmitted_ += worker.inflight.size();
+  resubmitted_count_->add(static_cast<std::int64_t>(worker.inflight.size()));
   for (const std::uint64_t id : worker.inflight) {
+    // The wire span this probe opened at dispatch ends with the worker
+    // (value 1 marks an aborted hop); the resubmission opens a fresh one.
+    obs::async_end(obs::TraceName::kWire, trace_tag_ + id, 1);
+    obs::instant(obs::TraceName::kResubmit, id, w);
     insert_sorted(resubmit_, id);
   }
   worker.inflight.clear();
@@ -365,6 +446,8 @@ void WorkerHost::worker_died(std::size_t w, bool expected) {
 void WorkerHost::kill_worker(std::size_t w, std::uint64_t recover_at) {
   WorkerState& worker = workers_[w];
   if (worker.alive) {
+    obs::instant(obs::TraceName::kSigkill, w,
+                 static_cast<std::uint64_t>(worker.pid));
     ::kill(worker.pid, SIGKILL);
     worker_died(w, /*expected=*/true);
   }
@@ -375,7 +458,9 @@ void WorkerHost::respawn(std::size_t w) {
   WNF_ASSERT(!workers_[w].alive);
   workers_[w].blocked_until = 0;
   spawn(w);
-  ++restarts_;
+  restarts_count_->increment();
+  obs::instant(obs::TraceName::kRespawn, w,
+               static_cast<std::uint64_t>(workers_[w].pid));
 }
 
 void WorkerHost::run_crash_script(std::uint64_t frontier_id) {
@@ -482,29 +567,39 @@ void WorkerHost::dispatch() {
       continue;
     }
     if (batch_ids.empty()) break;  // nothing left to send this pump
-    BatchRequestMsg msg;
-    msg.probes.reserve(batch_ids.size());
-    for (const std::uint64_t id : batch_ids) {
-      const PendingRequest& request = inflight_.at(id);
-      RequestMsg probe;
-      probe.id = request.id;
-      probe.segment =
-          static_cast<std::uint32_t>(timeline_.segment_at(request.id));
-      probe.rng_state = request.rng.state();
-      probe.x = request.x;
-      msg.probes.push_back(std::move(probe));
+    {
+      const obs::ScopedSpan encode_span(obs::TraceName::kEncode, target,
+                                        batch_ids.size());
+      BatchRequestMsg msg;
+      msg.probes.reserve(batch_ids.size());
+      for (const std::uint64_t id : batch_ids) {
+        const PendingRequest& request = inflight_.at(id);
+        RequestMsg probe;
+        probe.id = request.id;
+        probe.segment =
+            static_cast<std::uint32_t>(timeline_.segment_at(request.id));
+        probe.rng_state = request.rng.state();
+        probe.x = request.x;
+        msg.probes.push_back(std::move(probe));
+      }
+      const auto frame = Codec::encode(MessageType::kBatchRequest,
+                                       Codec::encode_batch_request(msg));
+      WorkerState& worker = workers_[target];
+      worker.outbox.insert(worker.outbox.end(), frame.begin(), frame.end());
+      worker.inflight.insert(worker.inflight.end(), batch_ids.begin(),
+                             batch_ids.end());
     }
-    const auto frame = Codec::encode(MessageType::kBatchRequest,
-                                     Codec::encode_batch_request(msg));
-    WorkerState& worker = workers_[target];
-    worker.outbox.insert(worker.outbox.end(), frame.begin(), frame.end());
-    worker.inflight.insert(worker.inflight.end(), batch_ids.begin(),
-                           batch_ids.end());
-    ++batch_frames_;
-    if (batch_probes_min_ == 0 || batch_ids.size() < batch_probes_min_) {
-      batch_probes_min_ = batch_ids.size();
+    batch_frames_count_->increment();
+    batch_probes_hist_->observe(static_cast<double>(batch_ids.size()));
+    if (obs::enabled()) {
+      // One wire span per probe, spanning frame-out to result harvested
+      // (or to worker death, where worker_died ends it early).
+      for (const std::uint64_t id : batch_ids) {
+        obs::async_begin(obs::TraceName::kWire, trace_tag_ + id, target);
+      }
+      obs::counter(obs::TraceName::kInflightFrames,
+                   workers_[target].inflight.size());
     }
-    batch_probes_max_ = std::max(batch_probes_max_, batch_ids.size());
   }
 }
 
@@ -542,6 +637,7 @@ void WorkerHost::service_worker(std::size_t w, bool readable, bool writable) {
     if (request == inflight_.end()) return false;
     worker.inflight.erase(inflight);
     inflight_.erase(request);
+    obs::async_end(obs::TraceName::kWire, trace_tag_ + entry.id);
     completions_.push({entry.id, entry.output, entry.completion_time,
                        static_cast<std::size_t>(entry.resets_sent)});
     deaths_without_progress_ = 0;  // the fleet is serving; healing works
@@ -559,6 +655,21 @@ void WorkerHost::service_worker(std::size_t w, bool readable, bool writable) {
         break;
       }
       worker.hello_seen = true;
+      // The worker stamped its steady clock into the greeting; the offset
+      // maps its telemetry timestamps onto the host timeline. The socket
+      // hop inflates it by the frame's flight time — fine for tracing.
+      worker.clock_offset_ns = static_cast<std::int64_t>(obs::trace_clock_ns()) -
+                               static_cast<std::int64_t>(hello->clock_ns);
+      continue;
+    }
+    if (frame.type == MessageType::kTelemetry && worker.hello_seen) {
+      // Workers flush their trace rings at deployment boundaries (before a
+      // rebind applies, on shutdown); the frames interleave freely with
+      // coalesced results.
+      if (!ingest_telemetry(worker, frame)) {
+        dead = true;
+        break;
+      }
       continue;
     }
     if (frame.type != MessageType::kBatchResult || !worker.hello_seen) {
@@ -574,7 +685,8 @@ void WorkerHost::service_worker(std::size_t w, bool readable, bool writable) {
       dead = true;
       break;
     }
-    ++result_frames_;
+    result_frames_count_->increment();
+    obs::instant(obs::TraceName::kHarvest, w, batch_result->results.size());
     for (const BatchResultEntry& entry : batch_result->results) {
       if (!harvest(entry)) {
         dead = true;
@@ -583,7 +695,10 @@ void WorkerHost::service_worker(std::size_t w, bool readable, bool writable) {
     }
     if (dead) break;
   }
-  if (status == ParseStatus::kMalformed) dead = true;
+  if (status == ParseStatus::kMalformed ||
+      status == ParseStatus::kWrongVersion) {
+    dead = true;
+  }
   if (dead) worker_died(w, /*expected=*/false);
 }
 
@@ -638,8 +753,13 @@ void WorkerHost::pump(bool block) {
 }
 
 void WorkerHost::delivered(const serve::RequestResult& result) {
-  completion_times_.push_back(result.completion_time);
-  resets_total_ += result.resets_sent;
+  completion_.add(result.completion_time);
+  resets_count_->add(static_cast<std::int64_t>(result.resets_sent));
+  if (obs::enabled()) {
+    completion_hist_->observe(result.completion_time);
+    obs::async_end(obs::TraceName::kRequest, trace_tag_ + result.id);
+    obs::counter(obs::TraceName::kQueueDepth, outstanding_ - 1);
+  }
   WNF_ASSERT(outstanding_ > 0);
   if (--outstanding_ == 0) {
     // The pipeline just went idle: close the busy interval that opened at
@@ -684,31 +804,28 @@ std::vector<serve::RequestResult> WorkerHost::drain() {
 
 serve::ServeReport WorkerHost::report() const {
   serve::ServeReport report;
-  report.completed = completion_times_.size();
-  report.rejected = shed_;  // parity with ReplicaPool consumers
-  report.shed = shed_;
+  const std::size_t shed = static_cast<std::size_t>(counter_value(shed_count_));
+  report.rejected = shed;  // parity with ReplicaPool consumers
+  report.shed = shed;
   report.replicas = workers_.size();
-  report.wall_seconds = wall_seconds_;
-  report.throughput_rps =
-      wall_seconds_ > 0.0
-          ? static_cast<double>(report.completed) / wall_seconds_
-          : 0.0;
-  report.completion = summarize(completion_times_);
-  if (!completion_times_.empty()) {
-    std::vector<double> sorted = completion_times_;
-    std::sort(sorted.begin(), sorted.end());
-    report.p50 = percentile_sorted(sorted, 0.50);
-    report.p95 = percentile_sorted(sorted, 0.95);
-    report.p99 = percentile_sorted(sorted, 0.99);
-    report.p999 = percentile_sorted(sorted, 0.999);
-  }
-  report.resets_sent = resets_total_;
-  report.resubmitted = resubmitted_;
-  report.worker_restarts = restarts_;
-  report.batch_frames = batch_frames_;
-  report.result_frames = result_frames_;
-  report.batch_probes_min = batch_probes_min_;
-  report.batch_probes_max = batch_probes_max_;
+  serve::finalize_completion_stats(report, completion_, wall_seconds_);
+  report.resets_sent = static_cast<std::size_t>(counter_value(resets_count_));
+  report.resubmitted =
+      static_cast<std::size_t>(counter_value(resubmitted_count_));
+  report.worker_restarts =
+      static_cast<std::size_t>(counter_value(restarts_count_));
+  report.batch_frames =
+      static_cast<std::size_t>(counter_value(batch_frames_count_));
+  report.result_frames =
+      static_cast<std::size_t>(counter_value(result_frames_count_));
+  report.batch_probes_min =
+      batch_probes_hist_ == nullptr
+          ? 0
+          : static_cast<std::size_t>(batch_probes_hist_->min());
+  report.batch_probes_max =
+      batch_probes_hist_ == nullptr
+          ? 0
+          : static_cast<std::size_t>(batch_probes_hist_->max());
   report.rebinds = rebinds_;
   return report;
 }

@@ -32,11 +32,13 @@
 #include "dist/latency.hpp"
 #include "dist/sim.hpp"
 #include "nn/network.hpp"
+#include "obs/metrics.hpp"
 #include "transport/codec.hpp"
 #include "serve/completion.hpp"
 #include "serve/report.hpp"
 #include "serve/timeline.hpp"
 #include "util/contract.hpp"
+#include "util/histogram.hpp"
 #include "util/rng.hpp"
 
 namespace wnf::transport {
@@ -199,8 +201,10 @@ class WorkerHost {
 
   std::size_t worker_count() const { return workers_.size(); }
   std::size_t alive_workers() const;
-  std::size_t restarts() const { return restarts_; }
-  std::size_t resubmitted() const { return resubmitted_; }
+  std::size_t restarts() const { return counter_value(restarts_count_); }
+  std::size_t resubmitted() const {
+    return counter_value(resubmitted_count_);
+  }
   /// Worker processes forked over the fleet's lifetime (initial spawns +
   /// every respawn, across rebinds). The fork-at-most-once guarantee for
   /// repeated campaigns is `total_spawns() == worker_count()` plus however
@@ -209,10 +213,17 @@ class WorkerHost {
   /// Times this fleet was rebound (lifetime).
   std::size_t rebinds() const { return rebinds_; }
   /// BatchRequest frames sent since construction / the last rebind().
-  std::size_t batch_frames() const { return batch_frames_; }
+  std::size_t batch_frames() const {
+    return counter_value(batch_frames_count_);
+  }
   /// BatchResult frames received since construction / the last rebind();
   /// fewer result than batch frames means workers coalesced.
-  std::size_t result_frames() const { return result_frames_; }
+  std::size_t result_frames() const {
+    return counter_value(result_frames_count_);
+  }
+  /// This deployment's metric registry (counters and latency histograms
+  /// the report derives from) — live, for the metrics JSON exporter.
+  const obs::MetricsRegistry& metrics() const { return metrics_; }
   std::uint64_t next_request_id() const { return next_id_; }
   const nn::FeedForwardNetwork& network() const {
     WNF_EXPECTS(net_ != nullptr);
@@ -243,6 +254,9 @@ class WorkerHost {
     std::vector<std::uint8_t> outbox;  ///< bytes queued, not yet written
     std::vector<std::uint64_t> inflight;  ///< request ids awaiting results
     std::size_t ramp = 0;  ///< adaptive-batch size of the last frame sent
+    /// host_clock - worker_clock at Hello receipt: shifts this worker's
+    /// Telemetry events onto the host trace timebase.
+    std::int64_t clock_offset_ns = 0;
   };
 
   struct ScriptWindow {
@@ -274,6 +288,14 @@ class WorkerHost {
   /// Reads and frames everything `w`'s socket has, harvesting results.
   void service_worker(std::size_t w, bool readable, bool writable);
   void delivered(const serve::RequestResult& result);
+  /// Ingests one worker Telemetry frame (protocol v4) into the process
+  /// TraceLog, clock-shifted by the worker's Hello offset. False when the
+  /// payload does not decode (protocol violation).
+  bool ingest_telemetry(const WorkerState& worker, const Frame& frame);
+  /// Destructor-only: after the Shutdown frame, reads `worker`'s socket
+  /// until EOF (bounded wait) so the worker's final telemetry flush is
+  /// harvested instead of lost with the close.
+  void drain_final_telemetry(WorkerState& worker);
 
   const nn::FeedForwardNetwork* net_ = nullptr;  ///< null until first bind
   TransportConfig config_;
@@ -298,21 +320,35 @@ class WorkerHost {
   /// loudly, not livelock in a fork-respawn storm.
   std::size_t deaths_without_progress_ = 0;
 
+  static std::size_t counter_value(const obs::Counter* counter) {
+    return counter ? static_cast<std::size_t>(counter->value()) : 0;
+  }
+
   // Aggregates over every delivery since construction / the last rebind()
-  // (id order, so deterministic). rebinds_ and total_spawns_ are lifetime.
+  // (id order, so deterministic). The fault/frame counters live in the
+  // metrics registry (report() derives from it; rebind() resets it);
+  // completion times keep exact samples for the pinned report quantiles.
+  // rebinds_ and total_spawns_ are lifetime, like the fleet itself.
   std::chrono::steady_clock::time_point busy_start_{};
-  std::vector<double> completion_times_;
-  std::size_t shed_ = 0;
-  std::size_t resets_total_ = 0;
-  std::size_t resubmitted_ = 0;
-  std::size_t restarts_ = 0;
-  std::size_t batch_frames_ = 0;
-  std::size_t result_frames_ = 0;
-  std::size_t batch_probes_min_ = 0;
-  std::size_t batch_probes_max_ = 0;
+  SampleHistogram completion_;
+  obs::MetricsRegistry metrics_;
+  obs::Counter* shed_count_ = nullptr;
+  obs::Counter* resets_count_ = nullptr;
+  obs::Counter* resubmitted_count_ = nullptr;
+  obs::Counter* restarts_count_ = nullptr;
+  obs::Counter* batch_frames_count_ = nullptr;
+  obs::Counter* result_frames_count_ = nullptr;
+  obs::LogHistogram* completion_hist_ = nullptr;
+  obs::LogHistogram* queue_depth_hist_ = nullptr;
+  /// Probes per BatchRequest frame; its exact min/max are the report's
+  /// batch_probes_min/max.
+  obs::LogHistogram* batch_probes_hist_ = nullptr;
   std::size_t rebinds_ = 0;
   std::size_t total_spawns_ = 0;
   double wall_seconds_ = 0.0;
+  /// Disambiguates async trace ids across deployments: every rebind gets
+  /// a fresh tag, and a request's async span id is tag + request id.
+  std::uint64_t trace_tag_ = 0;
 };
 
 }  // namespace wnf::transport

@@ -13,6 +13,7 @@
 
 #include "dist/sim.hpp"
 #include "nn/serialize.hpp"
+#include "obs/trace.hpp"
 #include "transport/codec.hpp"
 #include "util/contract.hpp"
 #include "util/rng.hpp"
@@ -162,10 +163,16 @@ bool handle_request(const Frame& frame, Replica& replica, int fd) {
 /// evaluate (protocol violation; the worker exits).
 bool handle_batch_request(const Frame& frame, Replica& replica,
                           BatchResultMsg& pending) {
-  const auto msg = Codec::decode_batch_request(frame.payload);
+  std::optional<BatchRequestMsg> msg;
+  {
+    const obs::ScopedSpan decode(obs::TraceName::kWorkerDecode, 0,
+                                 frame.payload.size());
+    msg = Codec::decode_batch_request(frame.payload);
+  }
   if (!msg) return false;
   pending.results.reserve(pending.results.size() + msg->probes.size());
   for (const RequestMsg& probe : msg->probes) {
+    const obs::ScopedSpan span(obs::TraceName::kWorkerExecute, probe.id);
     ResultMsg result;
     if (!evaluate_probe(probe, replica, result)) return false;
     pending.results.push_back({result.id, ProbeStatus::kOk, result.output,
@@ -177,11 +184,28 @@ bool handle_batch_request(const Frame& frame, Replica& replica,
 /// Ships every coalesced result accumulated so far, if any.
 bool flush_pending(int fd, BatchResultMsg& pending) {
   if (pending.results.empty()) return true;
+  obs::instant(obs::TraceName::kWorkerFlush, 0, pending.results.size());
   const bool sent =
       send_all(fd, Codec::encode(MessageType::kBatchResult,
                                  Codec::encode_batch_result(pending)));
   pending.results.clear();
   return sent;
+}
+
+/// Ships the worker's trace ring as one protocol v4 Telemetry frame and
+/// clears it. A no-op when tracing recorded nothing (disabled or compiled
+/// out), so a quiet worker costs the wire nothing. Called at the
+/// deployment boundaries — Shutdown and just before a Rebind applies — so
+/// a SIGKILL loses exactly the events since the last boundary.
+bool flush_telemetry(int fd) {
+  auto [events, dropped] = obs::TraceLog::instance().drain_thread_ring();
+  if (events.empty() && dropped == 0) return true;
+  TelemetryMsg msg;
+  msg.tid = 0;
+  msg.dropped = dropped;
+  msg.events = std::move(events);
+  return send_all(fd, Codec::encode(MessageType::kTelemetry,
+                                    Codec::encode_telemetry(msg)));
 }
 
 }  // namespace
@@ -193,9 +217,14 @@ int worker_main(int fd, std::uint32_t worker_index) {
   const int one = 1;
   ::setsockopt(fd, SOL_SOCKET, SO_NOSIGPIPE, &one, sizeof(one));
 #endif
+  // Fork hygiene: this process inherited the host's trace rings (and its
+  // thread-local ring pointer) across fork(). Drop them — this worker's
+  // events belong in rings of its own, shipped back as Telemetry frames.
+  obs::TraceLog::instance().reset();
   HelloMsg hello;
   hello.worker_index = worker_index;
   hello.pid = static_cast<std::uint32_t>(::getpid());
+  hello.clock_ns = obs::trace_clock_ns();
   if (!send_all(fd, Codec::encode(MessageType::kHello,
                                   Codec::encode_hello(hello)))) {
     return 1;
@@ -233,16 +262,24 @@ int worker_main(int fd, std::uint32_t worker_index) {
           if (!handle_batch_request(frame, replica, pending)) return 1;
           break;
         case MessageType::kRebind:
+          // The old deployment's telemetry ships before the swap applies,
+          // so the host attributes every event to the deployment that
+          // produced it.
           if (!flush_pending(fd, pending)) return 1;
+          if (!flush_telemetry(fd)) return 1;
           if (!handle_rebind(frame, replica)) return 1;
           break;
         case MessageType::kShutdown:
-          return flush_pending(fd, pending) ? 0 : 1;
+          if (!flush_pending(fd, pending)) return 1;
+          return flush_telemetry(fd) ? 0 : 1;
         default:
           return 1;  // kHello/kResult/kBatchResult never flow host -> worker
       }
     }
-    if (status == ParseStatus::kMalformed) return 1;
+    if (status == ParseStatus::kMalformed ||
+        status == ParseStatus::kWrongVersion) {
+      return 1;
+    }
 
     // Coalescing turn-around: with results pending, peek for more request
     // frames the host already pipelined — if any bytes are queued, keep

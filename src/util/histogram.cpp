@@ -1,0 +1,26 @@
+#include "util/histogram.hpp"
+
+#include <algorithm>
+
+#include "util/contract.hpp"
+
+namespace wnf {
+
+Quantiles SampleHistogram::quantiles() const {
+  Quantiles q;
+  if (samples_.empty()) return q;
+  std::vector<double> sorted = samples_;
+  std::sort(sorted.begin(), sorted.end());
+  q.p50 = percentile_sorted(sorted, 0.50);
+  q.p95 = percentile_sorted(sorted, 0.95);
+  q.p99 = percentile_sorted(sorted, 0.99);
+  q.p999 = percentile_sorted(sorted, 0.999);
+  return q;
+}
+
+double SampleHistogram::quantile(double p) const {
+  WNF_EXPECTS(!samples_.empty());
+  return percentile(samples_, p);
+}
+
+}  // namespace wnf

@@ -1,0 +1,55 @@
+// The one home for sample-based quantile math. ReplicaPool, WorkerHost,
+// and load::replay each used to sort their own vector and call
+// percentile_sorted four times; SampleHistogram keeps the exact samples
+// and reads the canonical quantile set off one sorted pass, so every
+// report in the repo computes percentiles the same way (and a change to
+// the interpolation rule lands everywhere at once).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "util/stats.hpp"
+
+namespace wnf {
+
+/// The percentile set every report in the repo publishes.
+struct Quantiles {
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+  double p999 = 0.0;  ///< the overload tail — open-loop replays live and
+                      ///< die by p99.9, not the mean
+};
+
+/// Exact-sample histogram: stores every observation and answers summary
+/// moments and interpolated percentiles over the full sample. Exact by
+/// design — deployment reports are pinned bit-identical across runtimes,
+/// so their quantiles cannot come from a bucketed estimate (that is what
+/// obs::LogHistogram is for).
+class SampleHistogram {
+ public:
+  void reserve(std::size_t n) { samples_.reserve(n); }
+  void add(double x) { samples_.push_back(x); }
+
+  std::size_t count() const { return samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+  const std::vector<double>& samples() const { return samples_; }
+
+  /// Welford moments plus min/max over the sample.
+  Summary summary() const { return summarize(samples_); }
+
+  /// The canonical p50/p95/p99/p999 set by linear interpolation (the
+  /// percentile_sorted rule), one sort for all four. All-zero when empty.
+  Quantiles quantiles() const;
+
+  /// One arbitrary percentile (p in [0,1]). Requires a non-empty sample.
+  double quantile(double p) const;
+
+  void clear() { samples_.clear(); }
+
+ private:
+  std::vector<double> samples_;
+};
+
+}  // namespace wnf

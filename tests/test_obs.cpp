@@ -1,0 +1,588 @@
+// Observability tests: the tracing core (per-thread rings, balanced
+// spans, unique ids, ring-wrap accounting, the pinned zero-event disabled
+// path), the metrics registry (sharded counters under contention, the
+// log-bucketed histogram, snapshot/reset semantics), SampleHistogram
+// equivalence with the one-off percentile math it replaced, the JSON
+// exporters round-tripping the strict lint, and the end-to-end story:
+// tracing on/off is invisible to the bit-pinned serving outputs, and a
+// SIGKILLed worker loses only its unflushed ring while the host-side
+// fault instants survive.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <set>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "nn/builder.hpp"
+#include "obs/export.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "serve/pool.hpp"
+#include "transport/host.hpp"
+#include "transport/worker.hpp"
+#include "util/histogram.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace wnf::obs {
+namespace {
+
+/// In a WNF_OBS_TRACING=OFF build record() compiles out: tests that
+/// assert on recorded events skip themselves (the disabled-path and
+/// registry/exporter/bit-identity tests still run — those surfaces exist
+/// in every build).
+#define SKIP_WITHOUT_RECORDING()                                     \
+  if (!WNF_OBS_ENABLED) {                                            \
+    GTEST_SKIP() << "tracing compiled out (WNF_OBS_TRACING=OFF)";    \
+  }
+
+/// Every trace test runs inside one of these: fresh rings on entry, and
+/// tracing switched off + rings dropped again on exit so no test leaks
+/// events (or an enabled flag) into the next.
+struct TraceSandbox {
+  explicit TraceSandbox(bool enable = true) {
+    set_enabled(false);
+    TraceLog::instance().reset();
+    set_enabled(enable);
+  }
+  ~TraceSandbox() {
+    set_enabled(false);
+    TraceLog::instance().reset();
+  }
+};
+
+nn::FeedForwardNetwork obs_net(std::uint64_t seed = 3) {
+  Rng rng(seed);
+  return nn::NetworkBuilder(3)
+      .activation(nn::ActivationKind::kSigmoid, 1.0)
+      .hidden(7)
+      .hidden(5)
+      .init(nn::InitKind::kUniform, 0.5)
+      .build(rng);
+}
+
+std::vector<std::vector<double>> obs_workload(std::size_t count,
+                                              std::uint64_t seed = 7) {
+  Rng rng(seed);
+  std::vector<std::vector<double>> workload(count);
+  for (auto& x : workload) {
+    x = {rng.uniform(), rng.uniform(), rng.uniform()};
+  }
+  return workload;
+}
+
+/// Max span-nesting-stack imbalance over one thread's events; 0 means
+/// every begin met its end in LIFO order.
+bool spans_balance(const std::vector<TraceEvent>& events) {
+  int depth = 0;
+  for (const TraceEvent& event : events) {
+    if (event.kind == EventKind::kSpanBegin) ++depth;
+    if (event.kind == EventKind::kSpanEnd) {
+      if (depth == 0) return false;  // end without a begin
+      --depth;
+    }
+  }
+  return depth == 0;
+}
+
+// ------------------------------------------------------------ trace core
+
+TEST(Trace, SpansBalancePerThreadAcrossThreads) {
+  SKIP_WITHOUT_RECORDING();
+  TraceSandbox sandbox;
+  constexpr int kThreads = 4;
+  constexpr int kSpansPerThread = 50;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([] {
+      for (int i = 0; i < kSpansPerThread; ++i) {
+        const ScopedSpan outer(TraceName::kExecute, std::uint64_t(i));
+        const ScopedSpan inner(TraceName::kWorkerDecode);
+        instant(TraceName::kDeliver, std::uint64_t(i));
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+
+  const auto collected = TraceLog::instance().collect();
+  std::size_t ring_count = 0;
+  for (const ThreadEvents& ring : collected) {
+    if (ring.events.empty()) continue;
+    ++ring_count;
+    EXPECT_TRUE(spans_balance(ring.events)) << "ring " << ring.tid;
+    EXPECT_EQ(ring.dropped, 0u);
+    std::size_t begins = 0;
+    std::size_t ends = 0;
+    for (const TraceEvent& event : ring.events) {
+      if (event.kind == EventKind::kSpanBegin) ++begins;
+      if (event.kind == EventKind::kSpanEnd) ++ends;
+      EXPECT_GT(event.ts_ns, 0u);
+    }
+    EXPECT_EQ(begins, std::size_t{2 * kSpansPerThread});
+    EXPECT_EQ(ends, begins);
+  }
+  EXPECT_EQ(ring_count, std::size_t{kThreads});
+}
+
+TEST(Trace, TimestampsAreMonotonicPerThread) {
+  SKIP_WITHOUT_RECORDING();
+  TraceSandbox sandbox;
+  for (int i = 0; i < 200; ++i) instant(TraceName::kDeliver, std::uint64_t(i));
+  const auto collected = TraceLog::instance().collect();
+  ASSERT_FALSE(collected.empty());
+  for (const ThreadEvents& ring : collected) {
+    for (std::size_t i = 1; i < ring.events.size(); ++i) {
+      EXPECT_GE(ring.events[i].ts_ns, ring.events[i - 1].ts_ns);
+    }
+  }
+}
+
+TEST(Trace, SpanIdsAreUniqueAcrossThreads) {
+  constexpr int kThreads = 4;
+  constexpr int kIdsPerThread = 2000;
+  std::vector<std::vector<std::uint64_t>> per_thread(kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t, &per_thread] {
+      per_thread[t].reserve(kIdsPerThread);
+      for (int i = 0; i < kIdsPerThread; ++i) {
+        per_thread[t].push_back(next_span_id());
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+
+  std::set<std::uint64_t> seen;
+  for (const auto& ids : per_thread) {
+    for (const std::uint64_t id : ids) {
+      EXPECT_NE(id, 0u);
+      EXPECT_TRUE(seen.insert(id).second) << "duplicate id " << id;
+    }
+  }
+  EXPECT_EQ(seen.size(), std::size_t{kThreads * kIdsPerThread});
+}
+
+TEST(Trace, DisabledPathRecordsExactlyNothing) {
+  TraceSandbox sandbox(/*enable=*/false);
+  ASSERT_FALSE(enabled());
+  for (int i = 0; i < 100; ++i) {
+    span_begin(TraceName::kExecute, std::uint64_t(i));
+    span_end(TraceName::kExecute, std::uint64_t(i));
+    async_begin(TraceName::kRequest, std::uint64_t(i));
+    async_end(TraceName::kRequest, std::uint64_t(i));
+    instant(TraceName::kSigkill, std::uint64_t(i));
+    counter(TraceName::kQueueDepth, std::uint64_t(i));
+    const ScopedSpan span(TraceName::kEncode);
+  }
+  EXPECT_EQ(TraceLog::instance().total_events(), 0u);
+  EXPECT_TRUE(TraceLog::instance().collect().empty());
+}
+
+TEST(Trace, ScopedSpanArmsOnConstruction) {
+  SKIP_WITHOUT_RECORDING();
+  TraceSandbox sandbox;
+  {
+    const ScopedSpan span(TraceName::kExecute, 9);
+    // Switched off mid-span: the armed destructor still writes the end,
+    // so the ring never holds a dangling begin.
+    set_enabled(false);
+  }
+  set_enabled(true);
+  const auto collected = TraceLog::instance().collect();
+  std::size_t begins = 0;
+  std::size_t ends = 0;
+  for (const ThreadEvents& ring : collected) {
+    for (const TraceEvent& event : ring.events) {
+      if (event.kind == EventKind::kSpanBegin) ++begins;
+      if (event.kind == EventKind::kSpanEnd) ++ends;
+    }
+  }
+  EXPECT_EQ(begins, 1u);
+  EXPECT_EQ(ends, 1u);
+}
+
+TEST(Trace, RingWrapKeepsNewestEventsAndCountsDropped) {
+  SKIP_WITHOUT_RECORDING();
+  TraceSandbox sandbox;
+  TraceLog::instance().set_ring_capacity(64);
+  TraceLog::instance().reset();  // rebuild this thread's ring at 64 slots
+  constexpr std::uint64_t kEvents = 200;
+  for (std::uint64_t i = 0; i < kEvents; ++i) {
+    instant(TraceName::kDeliver, i);
+  }
+  const auto collected = TraceLog::instance().collect();
+  ASSERT_EQ(collected.size(), 1u);
+  const ThreadEvents& ring = collected[0];
+  EXPECT_EQ(ring.events.size(), 64u);
+  EXPECT_EQ(ring.dropped, kEvents - 64);
+  // Oldest-first, and the survivors are exactly the newest events.
+  for (std::size_t i = 0; i < ring.events.size(); ++i) {
+    EXPECT_EQ(ring.events[i].id, kEvents - 64 + i);
+  }
+  TraceLog::instance().set_ring_capacity(std::size_t{1} << 15);
+}
+
+TEST(Trace, DrainThreadRingEmptiesOnlyTheCaller) {
+  SKIP_WITHOUT_RECORDING();
+  TraceSandbox sandbox;
+  instant(TraceName::kDeliver, 1);
+  instant(TraceName::kDeliver, 2);
+  auto [events, dropped] = TraceLog::instance().drain_thread_ring();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].id, 1u);
+  EXPECT_EQ(events[1].id, 2u);
+  EXPECT_EQ(dropped, 0u);
+  EXPECT_EQ(TraceLog::instance().total_events(), 0u);
+  instant(TraceName::kDeliver, 3);  // the drained ring keeps recording
+  EXPECT_EQ(TraceLog::instance().total_events(), 1u);
+}
+
+TEST(Trace, IngestedRemoteEventsCountTowardTotals) {
+  TraceSandbox sandbox;
+  std::vector<TraceEvent> events(3);
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    events[i] = {1000 + i, i, 0, TraceName::kWorkerExecute,
+                 EventKind::kInstant};
+  }
+  TraceLog::instance().ingest_remote(4242, 0, -500, events, 7);
+  const auto remote = TraceLog::instance().remote();
+  ASSERT_EQ(remote.size(), 1u);
+  EXPECT_EQ(remote[0].pid, 4242u);
+  EXPECT_EQ(remote[0].clock_offset_ns, -500);
+  EXPECT_EQ(remote[0].dropped, 7u);
+  EXPECT_EQ(remote[0].events.size(), 3u);
+  EXPECT_EQ(TraceLog::instance().total_events(), 3u);
+  TraceLog::instance().reset();
+  EXPECT_TRUE(TraceLog::instance().remote().empty());
+}
+
+// -------------------------------------------------------------- metrics
+
+TEST(Metrics, CounterIsExactUnderContention) {
+  Counter counter;
+  constexpr int kThreads = 8;
+  constexpr int kAddsPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&counter] {
+      for (int i = 0; i < kAddsPerThread; ++i) counter.increment();
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(counter.value(), std::int64_t{kThreads} * kAddsPerThread);
+  counter.add(-5);
+  EXPECT_EQ(counter.value(), std::int64_t{kThreads} * kAddsPerThread - 5);
+  counter.reset();
+  EXPECT_EQ(counter.value(), 0);
+}
+
+TEST(Metrics, LogHistogramBucketsWithinOneOctave) {
+  LogHistogram hist;
+  Rng rng(11);
+  double min_seen = 1e300;
+  double max_seen = 0.0;
+  double sum = 0.0;
+  for (int i = 0; i < 5000; ++i) {
+    const double x = rng.uniform(1e-6, 1e-2);
+    hist.observe(x);
+    min_seen = std::min(min_seen, x);
+    max_seen = std::max(max_seen, x);
+    sum += x;
+  }
+  EXPECT_EQ(hist.count(), 5000u);
+  EXPECT_DOUBLE_EQ(hist.min(), min_seen);
+  EXPECT_DOUBLE_EQ(hist.max(), max_seen);
+  EXPECT_NEAR(hist.sum(), sum, 1e-9 * sum);
+  // quantile() answers from bucket upper bounds: within one power of two
+  // of the exact value.
+  std::vector<double> xs;
+  xs.reserve(5000);
+  Rng replay_rng(11);
+  for (int i = 0; i < 5000; ++i) xs.push_back(replay_rng.uniform(1e-6, 1e-2));
+  const double exact = percentile(xs, 0.5);
+  const double est = hist.quantile(0.5);
+  EXPECT_GE(est, exact);
+  EXPECT_LE(est, exact * 2.0);
+}
+
+TEST(Metrics, RegistrySnapshotIsSortedAndResetKeepsPointers) {
+  MetricsRegistry registry;
+  Counter* b = &registry.counter("b.second");
+  Counter* a = &registry.counter("a.first");
+  LogHistogram* h = &registry.histogram("z.latency");
+  a->add(3);
+  b->add(5);
+  h->observe(0.25);
+  EXPECT_EQ(&registry.counter("a.first"), a);  // lookup is idempotent
+
+  const MetricsSnapshot snapshot = registry.snapshot();
+  ASSERT_EQ(snapshot.counters.size(), 2u);
+  EXPECT_EQ(snapshot.counters[0].name, "a.first");
+  EXPECT_EQ(snapshot.counters[0].value, 3);
+  EXPECT_EQ(snapshot.counters[1].name, "b.second");
+  ASSERT_EQ(snapshot.histograms.size(), 1u);
+  EXPECT_EQ(snapshot.histograms[0].count, 1u);
+
+  registry.reset();
+  EXPECT_EQ(a->value(), 0);
+  EXPECT_EQ(h->count(), 0u);
+  a->add(1);  // cached pointers stay valid across reset (the rebind path)
+  EXPECT_EQ(registry.snapshot().counters[0].value, 1);
+}
+
+TEST(Metrics, SampleHistogramMatchesPercentileMath) {
+  SampleHistogram hist;
+  Rng rng(23);
+  std::vector<double> xs;
+  for (int i = 0; i < 1777; ++i) {
+    const double x = rng.uniform(0.0, 10.0);
+    hist.add(x);
+    xs.push_back(x);
+  }
+  const Quantiles q = hist.quantiles();
+  EXPECT_DOUBLE_EQ(q.p50, percentile(xs, 0.50));
+  EXPECT_DOUBLE_EQ(q.p95, percentile(xs, 0.95));
+  EXPECT_DOUBLE_EQ(q.p99, percentile(xs, 0.99));
+  EXPECT_DOUBLE_EQ(q.p999, percentile(xs, 0.999));
+  EXPECT_DOUBLE_EQ(hist.quantile(0.25), percentile(xs, 0.25));
+  const Summary summary = hist.summary();
+  const Summary expected = summarize(xs);
+  EXPECT_DOUBLE_EQ(summary.mean, expected.mean);
+  EXPECT_DOUBLE_EQ(summary.max, expected.max);
+
+  const SampleHistogram empty;
+  const Quantiles zeros = empty.quantiles();
+  EXPECT_EQ(zeros.p50, 0.0);
+  EXPECT_EQ(zeros.p999, 0.0);
+}
+
+// ------------------------------------------------------------- exporters
+
+TEST(Export, ChromeTraceRoundTripsStrictJsonLint) {
+  SKIP_WITHOUT_RECORDING();
+  TraceSandbox sandbox;
+  {
+    const ScopedSpan span(TraceName::kDispatch, 1, 2);
+    async_begin(TraceName::kWire, 42, 0);
+    instant(TraceName::kSigkill, 0, 9999);
+    instant(TraceName::kRespawn, 0, 10000);
+    instant(TraceName::kRebindEvent, 1);
+    counter(TraceName::kQueueDepth, 5);
+    async_end(TraceName::kWire, 42);
+  }
+  // A fake worker flush: one span pair plus an instant, in the worker's
+  // own clock domain with a large offset the exporter must apply.
+  std::vector<TraceEvent> worker_events = {
+      {100, 7, 3, TraceName::kWorkerExecute, EventKind::kSpanBegin},
+      {200, 7, 0, TraceName::kWorkerExecute, EventKind::kSpanEnd},
+      {300, 0, 1, TraceName::kWorkerFlush, EventKind::kInstant},
+  };
+  TraceLog::instance().ingest_remote(31337, 0, 1'000'000'000, worker_events,
+                                     2);
+
+  std::ostringstream out;
+  const ChromeTraceSummary summary = write_chrome_trace(out);
+  EXPECT_EQ(summary.events, 11u);
+  EXPECT_EQ(summary.host_threads, 1u);
+  EXPECT_EQ(summary.worker_processes, 1u);
+  EXPECT_EQ(summary.worker_span_processes, 1u);
+  EXPECT_EQ(summary.sigkill_instants, 1u);
+  EXPECT_EQ(summary.respawn_instants, 1u);
+  EXPECT_EQ(summary.rebind_instants, 1u);
+  EXPECT_EQ(summary.dropped, 2u);
+
+  const std::string text = out.str();
+  const JsonLintResult lint = json_lint(text);
+  EXPECT_TRUE(lint.ok) << lint.error << " at offset " << lint.error_offset;
+  // The catalogue names appear as strings, not enum ordinals.
+  EXPECT_NE(text.find(trace_name_string(TraceName::kWorkerExecute)),
+            std::string::npos);
+  EXPECT_NE(text.find(trace_name_string(TraceName::kSigkill)),
+            std::string::npos);
+}
+
+TEST(Export, EmptyTraceIsStillValidJson) {
+  TraceSandbox sandbox(/*enable=*/false);
+  std::ostringstream out;
+  const ChromeTraceSummary summary = write_chrome_trace(out);
+  EXPECT_EQ(summary.events, 0u);
+  const JsonLintResult lint = json_lint(out.str());
+  EXPECT_TRUE(lint.ok) << lint.error;
+}
+
+TEST(Export, MetricsJsonRoundTripsStrictJsonLint) {
+  MetricsRegistry registry;
+  registry.counter("transport.shed").add(12);
+  registry.histogram("transport.completion_time").observe(0.125);
+  registry.histogram("transport.completion_time").observe(3.5);
+  std::vector<NamedSnapshot> registries;
+  registries.push_back({"fleet0", registry.snapshot()});
+  const std::vector<TimeSeriesSample> series = {
+      {0.5, 0, 100.0, 97.5, 2.5},
+      {1.0, 1, 50.0, 50.0, 0.0},
+  };
+  std::ostringstream out;
+  write_metrics_json(out, registries, series);
+  const std::string text = out.str();
+  const JsonLintResult lint = json_lint(text);
+  EXPECT_TRUE(lint.ok) << lint.error << " at offset " << lint.error_offset;
+  EXPECT_NE(text.find("transport.shed"), std::string::npos);
+  EXPECT_NE(text.find("completed_rps"), std::string::npos);
+}
+
+TEST(Export, JsonLintRejectsNearMisses) {
+  EXPECT_TRUE(json_lint("{\"a\": [1, 2.5e-3, null, true]}").ok);
+  EXPECT_FALSE(json_lint("{\"a\": 1,}").ok);     // trailing comma
+  EXPECT_FALSE(json_lint("{\"a\": 01}").ok);     // leading zero
+  EXPECT_FALSE(json_lint("[1] []").ok);          // trailing garbage
+  EXPECT_FALSE(json_lint("{\"a\": .5}").ok);     // bare fraction
+  EXPECT_FALSE(json_lint("\"\\ud800\"").ok);     // lone surrogate
+  EXPECT_FALSE(json_lint("").ok);                // no value at all
+  const JsonLintResult bad = json_lint("{\"a\": nul}");
+  EXPECT_FALSE(bad.ok);
+  EXPECT_FALSE(bad.error.empty());
+}
+
+// ------------------------------------------------- serving integration
+
+TEST(ObsIntegration, PoolOutputsBitIdenticalWithTracingOnAndOff) {
+  const auto net = obs_net();
+  const auto workload = obs_workload(40);
+  serve::ServeConfig config;
+  config.replicas = 2;
+  config.latency = {dist::LatencyKind::kHeavyTail, 1.0, 50.0, 0.3};
+  config.seed = 77;
+
+  std::vector<serve::RequestResult> quiet;
+  {
+    TraceSandbox sandbox(/*enable=*/false);
+    serve::ReplicaPool pool(net, config);
+    EXPECT_EQ(pool.submit_batch(workload), workload.size());
+    quiet = pool.drain();
+    EXPECT_EQ(TraceLog::instance().total_events(), 0u);
+  }
+
+  TraceSandbox sandbox;
+  serve::ReplicaPool pool(net, config);
+  EXPECT_EQ(pool.submit_batch(workload), workload.size());
+  const auto traced = pool.drain();
+
+  ASSERT_EQ(traced.size(), quiet.size());
+  for (std::size_t i = 0; i < traced.size(); ++i) {
+    EXPECT_EQ(traced[i].id, quiet[i].id);
+    EXPECT_DOUBLE_EQ(traced[i].output, quiet[i].output);
+    EXPECT_DOUBLE_EQ(traced[i].completion_time, quiet[i].completion_time);
+    EXPECT_EQ(traced[i].resets_sent, quiet[i].resets_sent);
+  }
+
+  // Bit-identity holds in every build; the event assertions below need a
+  // build that can record.
+  if (!WNF_OBS_ENABLED) return;
+
+  // Every accepted request opened and closed its kRequest async pair, and
+  // the replica-thread execute spans balance.
+  std::size_t request_begins = 0;
+  std::size_t request_ends = 0;
+  const auto collected = TraceLog::instance().collect();
+  for (const ThreadEvents& ring : collected) {
+    EXPECT_TRUE(spans_balance(ring.events)) << "ring " << ring.tid;
+    for (const TraceEvent& event : ring.events) {
+      if (event.name != TraceName::kRequest) continue;
+      if (event.kind == EventKind::kAsyncBegin) ++request_begins;
+      if (event.kind == EventKind::kAsyncEnd) ++request_ends;
+    }
+  }
+  EXPECT_EQ(request_begins, workload.size());
+  EXPECT_EQ(request_ends, workload.size());
+
+  const MetricsSnapshot snapshot = pool.metrics().snapshot();
+  bool saw_completion = false;
+  for (const auto& row : snapshot.histograms) {
+    if (row.name == "serve.completion_time") {
+      saw_completion = true;
+      EXPECT_EQ(row.count, workload.size());
+    }
+  }
+  EXPECT_TRUE(saw_completion);
+}
+
+TEST(ObsIntegration, WorkerRingFlushSurvivesSigkill) {
+  if (!transport::transport_available()) {
+    GTEST_SKIP() << "no POSIX fork/socketpair on this platform";
+  }
+  const auto net = obs_net(13);
+  const auto workload = obs_workload(48, 21);
+  transport::TransportConfig config;
+  config.workers = 2;
+  config.latency = {dist::LatencyKind::kHeavyTail, 1.0, 50.0, 0.3};
+  config.seed = 4242;
+
+  std::vector<serve::RequestResult> quiet;
+  {
+    TraceSandbox sandbox(/*enable=*/false);
+    transport::WorkerHost reference(net, config);
+    reference.set_crash_script({{0, 12, 30}});
+    EXPECT_EQ(reference.submit_batch(workload), workload.size());
+    quiet = reference.drain();
+  }
+
+  TraceSandbox sandbox;
+  serve::ServeReport report;
+  {
+    transport::WorkerHost host(net, config);
+    host.set_crash_script({{0, 12, 30}});
+    EXPECT_EQ(host.submit_batch(workload), workload.size());
+    const auto traced = host.drain();
+    report = host.report();
+    EXPECT_EQ(report.worker_restarts, 1u);
+
+    ASSERT_EQ(traced.size(), quiet.size());
+    for (std::size_t i = 0; i < traced.size(); ++i) {
+      EXPECT_EQ(traced[i].id, quiet[i].id);
+      EXPECT_DOUBLE_EQ(traced[i].output, quiet[i].output);
+    }
+    // Host destructor: workers get Shutdown, flush their rings as
+    // Telemetry frames, and the host ingests them before closing.
+  }
+
+  if (!WNF_OBS_ENABLED) return;  // below: recorded-event assertions
+
+  std::size_t sigkills = 0;
+  std::size_t respawns = 0;
+  std::size_t resubmits = 0;
+  for (const ThreadEvents& ring : TraceLog::instance().collect()) {
+    for (const TraceEvent& event : ring.events) {
+      if (event.kind != EventKind::kInstant) continue;
+      if (event.name == TraceName::kSigkill) ++sigkills;
+      if (event.name == TraceName::kRespawn) ++respawns;
+      if (event.name == TraceName::kResubmit) ++resubmits;
+    }
+  }
+  // The kill and the recovery are host-side instants: they survive no
+  // matter what the victim's ring held.
+  EXPECT_EQ(sigkills, 1u);
+  EXPECT_EQ(respawns, 1u);
+  EXPECT_EQ(resubmits, report.resubmitted);
+
+  // The survivor and the respawned worker flushed at shutdown; the
+  // victim's unflushed events died with it (by design). Each flushing pid
+  // shipped real execute spans.
+  const auto remote = TraceLog::instance().remote();
+  std::set<std::uint32_t> pids;
+  for (const RemoteEvents& batch : remote) {
+    bool executed = false;
+    for (const TraceEvent& event : batch.events) {
+      if (event.name == TraceName::kWorkerExecute) executed = true;
+    }
+    if (executed) pids.insert(batch.pid);
+  }
+  EXPECT_GE(pids.size(), 2u);
+}
+
+}  // namespace
+}  // namespace wnf::obs

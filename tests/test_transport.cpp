@@ -198,9 +198,10 @@ TEST(Codec, MalformedFramesAreRejectedNotInterpreted) {
     EXPECT_EQ(partial.size(), keep);  // kNeedMore must not consume
   }
 
-  // Corrupted magic, version, type, and payload bytes: malformed.
+  // Corrupted magic, type, and payload bytes: malformed. (A corrupted
+  // version byte is the one corruption with its own status — see
+  // CrossVersionFramesAreRejectedDistinctly.)
   for (const std::size_t flip : {std::size_t{0},   // magic
-                                 std::size_t{4},   // version
                                  std::size_t{6},   // type (-> 0, invalid)
                                  kFrameHeaderSize,  // payload vs checksum
                                  good.size() - 1}) {
@@ -243,6 +244,83 @@ TEST(Codec, MalformedFramesAreRejectedNotInterpreted) {
   EXPECT_FALSE(Codec::decode_bind({0x01}).has_value());
   EXPECT_FALSE(Codec::decode_hello({}).has_value());
   EXPECT_FALSE(Codec::decode_result({1, 2, 3}).has_value());
+}
+
+TEST(Codec, CrossVersionFramesAreRejectedDistinctly) {
+  // A structurally sound frame from another protocol version — older (a
+  // v3 peer's frame reaching this v4 parser) or newer (a v5 frame from
+  // some future peer) — is a version mismatch, not corruption. The
+  // distinct status is the whole point: "incompatible peer" and "garbage
+  // stream" demand different operator responses.
+  ASSERT_EQ(kProtocolVersion, 4u);
+  const auto good =
+      Codec::encode(MessageType::kHello, Codec::encode_hello({1, 2}));
+  for (const std::uint16_t version : {std::uint16_t{3}, std::uint16_t{5}}) {
+    auto foreign = good;
+    foreign[4] = static_cast<std::uint8_t>(version);  // LE u16 low byte
+    foreign[5] = 0;
+    Frame frame;
+    EXPECT_EQ(Codec::try_parse(foreign, frame), ParseStatus::kWrongVersion)
+        << "version " << version;
+    EXPECT_EQ(foreign.size(), good.size());  // rejected, not consumed
+  }
+  // Corrupting the version *and* the magic is still just garbage.
+  auto garbage = good;
+  garbage[0] ^= 0x5a;
+  garbage[4] = 3;
+  Frame frame;
+  EXPECT_EQ(Codec::try_parse(garbage, frame), ParseStatus::kMalformed);
+}
+
+TEST(Codec, TelemetryFramesRoundTrip) {
+  TelemetryMsg msg;
+  msg.tid = 7;
+  msg.dropped = 42;
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    obs::TraceEvent event;
+    event.ts_ns = 1000 * (i + 1);
+    event.id = 0x1234560 + i;
+    event.value = i;
+    event.name = static_cast<obs::TraceName>(i + 1);
+    event.kind = static_cast<obs::EventKind>(i % 6);
+    msg.events.push_back(event);
+  }
+  auto bytes = Codec::encode(MessageType::kTelemetry,
+                             Codec::encode_telemetry(msg));
+  Frame frame;
+  ASSERT_EQ(Codec::try_parse(bytes, frame), ParseStatus::kFrame);
+  ASSERT_EQ(frame.type, MessageType::kTelemetry);
+  const auto out = Codec::decode_telemetry(frame.payload);
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(out->tid, msg.tid);
+  EXPECT_EQ(out->dropped, msg.dropped);
+  ASSERT_EQ(out->events.size(), msg.events.size());
+  for (std::size_t i = 0; i < msg.events.size(); ++i) {
+    EXPECT_EQ(out->events[i].ts_ns, msg.events[i].ts_ns);
+    EXPECT_EQ(out->events[i].id, msg.events[i].id);
+    EXPECT_EQ(out->events[i].value, msg.events[i].value);
+    EXPECT_EQ(out->events[i].name, msg.events[i].name);
+    EXPECT_EQ(out->events[i].kind, msg.events[i].kind);
+  }
+
+  // Defensive decoding: truncation, trailing garbage, a lying event
+  // count, and out-of-range name/kind enums must all reject.
+  auto payload = Codec::encode_telemetry(msg);
+  auto truncated = payload;
+  truncated.pop_back();
+  EXPECT_FALSE(Codec::decode_telemetry(truncated).has_value());
+  auto overlong = payload;
+  overlong.push_back(0);
+  EXPECT_FALSE(Codec::decode_telemetry(overlong).has_value());
+  auto lying_count = payload;
+  lying_count[4 + 8] = 0xff;  // event-count low byte
+  EXPECT_FALSE(Codec::decode_telemetry(lying_count).has_value());
+  auto bad_name = payload;
+  bad_name[4 + 8 + 4 + 8 + 8 + 8] = 0xff;  // first event's name low byte
+  EXPECT_FALSE(Codec::decode_telemetry(bad_name).has_value());
+  auto bad_kind = payload;
+  bad_kind[4 + 8 + 4 + 8 + 8 + 8 + 2] = 0x7f;  // first event's kind byte
+  EXPECT_FALSE(Codec::decode_telemetry(bad_kind).has_value());
 }
 
 TEST(Codec, BatchFramesRoundTrip) {
