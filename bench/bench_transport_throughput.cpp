@@ -4,7 +4,11 @@
 // transport::WorkerHost (worker processes behind the framed wire protocol)
 // at 1/2/8 workers — same seed, so both runtimes and every worker count
 // compute bit-identical outputs, and the table isolates pure transport
-// overhead (frame encode/decode, socket hops, poll scheduling).
+// overhead (frame encode/decode, socket hops, poll scheduling). The
+// transport serves each worker count twice: over the framed socket path
+// (use_rings=false) and over the shared-memory SPSC rings, whose rows
+// show zero data frames — probes ride mmap'd slots, the socket carries
+// only doorbells.
 //
 // A batch-size sweep (1/8/64 probes per BatchRequest frame) isolates the
 // syscall amortisation the batched wire frames buy; a SIGKILL row prices
@@ -97,7 +101,8 @@ int main(int argc, char** argv) {
     WNF_ASSERT(checksum == reference_checksum);
   }
 
-  const auto make_config = [&](std::size_t workers, std::size_t batch_size) {
+  const auto make_config = [&](std::size_t workers, std::size_t batch_size,
+                               bool use_rings) {
     transport::TransportConfig config;
     config.workers = workers;
     config.queue_capacity = requests;
@@ -105,36 +110,62 @@ int main(int argc, char** argv) {
     config.pipeline_depth = pipeline;
     config.latency = latency;
     config.seed = seed + 7;
+    config.use_rings = use_rings;
     return config;
   };
 
+  // Framed socket path first (use_rings=false pins it), then the
+  // shared-memory ring hot path: same workload, same checksums, zero data
+  // frames — the socket carries only doorbells and control.
   for (std::size_t workers = 1; workers <= max_workers; workers *= 2) {
-    transport::WorkerHost host(net, make_config(workers, batch));
+    transport::WorkerHost host(net, make_config(workers, batch, false));
     host.submit_batch(workload);
     double checksum = 0.0;
     for (const auto& result : host.drain()) checksum += result.output;
-    add_row("transport (procs)", workers, batch, host.report(), checksum);
+    add_row("transport (socket)", workers, batch, host.report(), checksum);
+    WNF_ASSERT(checksum == reference_checksum);
+  }
+  for (std::size_t workers = 1; workers <= max_workers; workers *= 2) {
+    transport::WorkerHost host(net, make_config(workers, batch, true));
+    host.submit_batch(workload);
+    double checksum = 0.0;
+    for (const auto& result : host.drain()) checksum += result.output;
+    add_row("transport (rings)", workers, batch, host.report(), checksum);
     WNF_ASSERT(checksum == reference_checksum);
   }
 
   // Batch-size sweep: same deployment, 1/8/64 probes per frame. The
   // checksum never moves; only the frame count (and the syscall bill) does.
+  // The ring sweep serves the identical sweep slot-by-slot — its "batch"
+  // is the submission burst, not a frame size, and its frame count is 0.
   const std::size_t sweep_workers = std::max<std::size_t>(2, max_workers / 2);
   for (const std::size_t batch_size : {std::size_t{1}, std::size_t{8},
                                        std::size_t{64}}) {
-    transport::WorkerHost host(net, make_config(sweep_workers, batch_size));
+    transport::WorkerHost host(net,
+                               make_config(sweep_workers, batch_size, false));
     host.submit_batch(workload);
     double checksum = 0.0;
     for (const auto& result : host.drain()) checksum += result.output;
-    add_row("transport sweep", sweep_workers, batch_size, host.report(),
+    add_row("socket sweep", sweep_workers, batch_size, host.report(),
             checksum);
     WNF_ASSERT(checksum == reference_checksum);
   }
+  for (const std::size_t batch_size : {std::size_t{1}, std::size_t{8},
+                                       std::size_t{64}}) {
+    transport::WorkerHost host(net,
+                               make_config(sweep_workers, batch_size, true));
+    host.submit_batch(workload);
+    double checksum = 0.0;
+    for (const auto& result : host.drain()) checksum += result.output;
+    add_row("ring sweep", sweep_workers, batch_size, host.report(), checksum);
+    WNF_ASSERT(checksum == reference_checksum);
+  }
 
-  // Crash recovery priced: one worker is SIGKILLed a quarter of the way
-  // in and respawned halfway through; outputs still match bit for bit.
+  // Crash recovery priced on the default (ring) path: one worker is
+  // SIGKILLed a quarter of the way in and respawned halfway through;
+  // outputs still match bit for bit.
   {
-    transport::WorkerHost host(net, make_config(sweep_workers, batch));
+    transport::WorkerHost host(net, make_config(sweep_workers, batch, true));
     host.set_crash_script({{0, requests / 4, requests / 2}});
     host.submit_batch(workload);
     double checksum = 0.0;
@@ -166,7 +197,7 @@ int main(int argc, char** argv) {
   // campaign, untimed — after it the fleet simply exists, which is the
   // amortisation claim), then every further campaign costs rebind + serve.
   // The fork path pays fork + bind + serve every single time.
-  transport::WorkerHost fleet(net, make_config(sweep_workers, batch));
+  transport::WorkerHost fleet(net, make_config(sweep_workers, batch, true));
   const double persistent_checksum = campaign_checksum(fleet);
   const auto t0 = std::chrono::steady_clock::now();
   for (std::size_t c = 0; c < campaigns; ++c) {
@@ -176,7 +207,8 @@ int main(int argc, char** argv) {
   const auto t1 = std::chrono::steady_clock::now();
   WNF_ASSERT(fleet.total_spawns() == sweep_workers);
   for (std::size_t c = 0; c < campaigns; ++c) {
-    transport::WorkerHost fresh(net, make_config(sweep_workers, batch));
+    transport::WorkerHost fresh(net,
+                                make_config(sweep_workers, batch, true));
     WNF_ASSERT(campaign_checksum(fresh) == persistent_checksum);
   }
   const auto t2 = std::chrono::steady_clock::now();

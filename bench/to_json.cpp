@@ -346,13 +346,14 @@ BenchFile measure() {
   }
 
   if (file.transport_available) {
-    const auto transport_config = [&](std::size_t batch) {
+    const auto transport_config = [&](std::size_t batch, bool use_rings) {
       transport::TransportConfig config;
       config.workers = 2;
       config.queue_capacity = workload.size();
       config.batch = batch;
       config.latency = latency;
       config.seed = serve_seed;
+      config.use_rings = use_rings;
       return config;
     };
     const auto serve_all = [&](transport::WorkerHost& host) {
@@ -363,9 +364,13 @@ BenchFile measure() {
     };
 
     // Batch sweep: construction (fork + bind) outside the timed region —
-    // these rows track the steady wire cost per request.
+    // these rows track the steady wire cost per request. The socket rows
+    // pin use_rings=false so they keep pricing the framed path; the
+    // ring_batch rows serve the identical sweep over the shared-memory
+    // SPSC rings (zero data frames; the socket carries only doorbells)
+    // and must land the same checksums.
     for (const std::size_t batch : {1u, 8u, 64u}) {
-      transport::WorkerHost host(net, transport_config(batch));
+      transport::WorkerHost host(net, transport_config(batch, false));
       host.set_timeline(bench_timeline());
       double checksum = 0.0;
       char name[64];
@@ -378,6 +383,29 @@ BenchFile measure() {
       });
       WNF_ASSERT(checksum == reference_checksum &&
                  "transport must serve the pool's exact outputs");
+      entry.checksum = checksum;
+      file.benches.push_back(std::move(entry));
+    }
+    // The ring rows mirror serve_throughput/pool_w2's structure — one
+    // persistent host, ids advancing across repetitions — so the pair
+    // prices exactly the transport seam: pool_w2's timed window and
+    // ring_batchN's timed window serve the same id ranges of the same
+    // stream. (The socket rows above rebind per repetition instead; their
+    // timed windows replay ids 0..N with the fault segments live, so they
+    // are not directly comparable to pool_w2 — the ring rows are.) The
+    // untimed first window (ids 0..N, faults firing) pins bit-identity
+    // against the pool reference.
+    for (const std::size_t batch : {1u, 8u, 64u}) {
+      transport::WorkerHost host(net, transport_config(batch, true));
+      host.set_timeline(bench_timeline());
+      WNF_ASSERT(serve_all(host) == reference_checksum &&
+                 "rings must serve the pool's exact outputs");
+      double checksum = 0.0;
+      char name[64];
+      std::snprintf(name, sizeof(name), "transport_throughput/ring_batch%zu",
+                    batch);
+      BenchEntry entry = time_scenario(name, workload.size(),
+                                       [&] { checksum = serve_all(host); });
       entry.checksum = checksum;
       file.benches.push_back(std::move(entry));
     }
@@ -395,7 +423,7 @@ BenchFile measure() {
     };
     double persistent_checksum = 0.0;
     {
-      transport::WorkerHost fleet(net, transport_config(8));
+      transport::WorkerHost fleet(net, transport_config(8, true));
       persistent_checksum = serve_campaign(fleet);  // warm-up: the one fork
       BenchEntry entry =
           time_scenario("transport_throughput/persistent_rebind",
@@ -415,8 +443,8 @@ BenchFile measure() {
           time_scenario("transport_throughput/fork_per_campaign",
                         campaigns * campaign_requests, [&] {
                           for (std::size_t c = 0; c < campaigns; ++c) {
-                            transport::WorkerHost fresh(net,
-                                                        transport_config(8));
+                            transport::WorkerHost fresh(
+                                net, transport_config(8, true));
                             checksum = serve_campaign(fresh);
                           }
                         });

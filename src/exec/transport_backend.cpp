@@ -19,6 +19,7 @@ transport::TransportConfig host_config(const TransportBackendOptions& options,
   config.latency = options.latency;
   config.straggler_cut = options.straggler_cut;
   config.seed = options.seed;
+  config.use_rings = options.use_rings;
   return config;
 }
 

@@ -28,6 +28,9 @@ struct TransportBackendOptions {
   /// Optional Corollary-2 straggler cut, size L (empty = full waits).
   std::vector<std::size_t> straggler_cut;
   std::uint64_t seed = 0x5eed;  ///< root of the per-request Rng::split tree
+  /// Shared-memory ring hot path (TransportConfig::use_rings); false pins
+  /// every probe to the framed socket path. Bit-identical either way.
+  bool use_rings = true;
   /// Worker-process deaths to execute during run_trials, timed in request
   /// ids (trial-major probe order: trial t's probes occupy ids
   /// [t*probes, (t+1)*probes)). Deaths move requests between processes,

@@ -114,11 +114,28 @@ WorkerHost::WorkerHost(TransportConfig config)
   restarts_count_ = &metrics_.counter("transport.worker_restarts");
   batch_frames_count_ = &metrics_.counter("transport.batch_frames");
   result_frames_count_ = &metrics_.counter("transport.result_frames");
+  ring_slots_count_ = &metrics_.counter("transport.ring_slots_written");
+  ring_doorbells_count_ = &metrics_.counter("transport.ring_doorbells");
+  ring_torn_count_ = &metrics_.counter("transport.ring_torn_recovered");
+  ring_spin_count_ = &metrics_.counter("transport.ring_spin_wakeups");
+  ring_sleep_count_ = &metrics_.counter("transport.ring_sleep_wakeups");
   completion_hist_ = &metrics_.histogram("transport.completion_time");
   queue_depth_hist_ = &metrics_.histogram("transport.queue_depth");
   batch_probes_hist_ = &metrics_.histogram("transport.batch_probes");
   trace_tag_ = obs::next_span_id() << 32;
   workers_.resize(config_.workers);
+  if (config_.use_rings && rings_available()) {
+    WNF_EXPECTS(config_.ring_capacity > 0);
+    // The mappings must exist before the first fork so every child
+    // inherits them; a failed mmap falls back to the framed socket path.
+    for (auto& worker : workers_) {
+      worker.rings = WorkerRings::create(config_.ring_capacity);
+      if (!worker.rings) {
+        for (auto& other : workers_) other.rings.reset();
+        break;
+      }
+    }
+  }
   for (std::size_t w = 0; w < workers_.size(); ++w) spawn(w);
 }
 
@@ -132,10 +149,13 @@ WorkerHost::WorkerHost(const nn::FeedForwardNetwork& net,
   }
   // The workers forked unbound (spawn() ships nothing without a network);
   // bind them now that there is one.
+  refresh_control_frames();
   for (auto& worker : workers_) {
     enqueue_bind(worker);
     enqueue_segments(worker);
   }
+  rings_active_ = workers_.front().rings != nullptr &&
+                  net_->input_dim() <= kRingSlotDoubles;
 }
 
 void WorkerHost::rebind(const nn::FeedForwardNetwork& net,
@@ -165,28 +185,32 @@ void WorkerHost::rebind(const nn::FeedForwardNetwork& net,
   next_id_ = 0;
   completions_.reset(0);
   deaths_without_progress_ = 0;
-  // Live workers swap state atomically via one kRebind frame — encoded
-  // once, appended per worker (the network serializes once per rebind,
-  // not once per worker); workers a previous crash script left dead
+  // Live workers swap state atomically via one kRebind frame, built from
+  // the cached control payloads (the network serializes once per content
+  // change, not once per worker per rebind). A worker whose applied
+  // deployment already matches skips the send entirely — a repeated
+  // campaign on identical state ships zero rebind bytes — except when
+  // tracing is on, because the kRebind frame is also the worker's
+  // telemetry flush boundary. Workers a previous crash script left dead
   // rejoin the fleet (spawn() binds them to the new network directly).
-  std::vector<std::uint8_t> rebind_frame;
+  refresh_control_frames();
   for (std::size_t w = 0; w < workers_.size(); ++w) {
-    if (workers_[w].alive) {
-      if (rebind_frame.empty()) {
-        RebindMsg msg;
-        msg.bind = make_bind();
-        msg.segments = make_segments(timeline_);
-        rebind_frame =
-            Codec::encode(MessageType::kRebind, Codec::encode_rebind(msg));
+    WorkerState& worker = workers_[w];
+    if (worker.alive) {
+      if (worker.control_gen != control_gen_ || obs::enabled()) {
+        worker.outbox.insert(worker.outbox.end(), rebind_frame_.begin(),
+                             rebind_frame_.end());
+        ++worker.epoch;
+        worker.control_gen = control_gen_;
       }
-      workers_[w].outbox.insert(workers_[w].outbox.end(),
-                                rebind_frame.begin(), rebind_frame.end());
-      workers_[w].ramp = 0;
+      worker.ramp = 0;
     } else {
-      workers_[w].blocked_until = 0;
+      worker.blocked_until = 0;
       spawn(w);
     }
   }
+  rings_active_ = workers_.front().rings != nullptr &&
+                  net_->input_dim() <= kRingSlotDoubles;
   // The report starts over with the deployment (rebinds_ is lifetime):
   // every per-deployment metric zeroes in place, cached pointers intact.
   completion_.clear();
@@ -256,8 +280,10 @@ void WorkerHost::drain_final_telemetry(WorkerState& worker) {
     if (n == 0) break;  // EOF: the worker flushed and exited
     worker.inbox.insert(worker.inbox.end(), chunk, chunk + n);
     ParseStatus status;
-    while ((status = Codec::try_parse(worker.inbox, frame)) ==
-           ParseStatus::kFrame) {
+    while (true) {
+      (void)strip_doorbells(worker.inbox);  // late ring doorbells
+      status = Codec::try_parse(worker.inbox, frame);
+      if (status != ParseStatus::kFrame) break;
       // Only telemetry is expected this late; anything else (a last
       // coalesced result frame racing the shutdown) is simply dropped —
       // the deployment's results were all delivered before destruction.
@@ -275,6 +301,11 @@ void WorkerHost::drain_final_telemetry(WorkerState& worker) {
 void WorkerHost::spawn(std::size_t w) {
   int fds[2];
   WNF_ASSERT(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds) == 0);
+  // The ring mapping outlives worker processes: re-initialise it (cursors,
+  // sequence words, park flags) before the fork so the child inherits a
+  // quiescent pair. The previous occupant — if any — is already reaped, so
+  // nobody else is touching the memory.
+  if (workers_[w].rings) workers_[w].rings->reset();
   const pid_t pid = ::fork();
   WNF_ASSERT(pid >= 0);
   if (pid == 0) {
@@ -285,7 +316,8 @@ void WorkerHost::spawn(std::size_t w) {
     for (const auto& other : workers_) {
       if (other.fd >= 0) ::close(other.fd);
     }
-    ::_exit(worker_main(fds[1], static_cast<std::uint32_t>(w)));
+    ::_exit(worker_main(fds[1], static_cast<std::uint32_t>(w),
+                        workers_[w].rings.get()));
   }
   ::close(fds[1]);
   set_nonblocking(fds[0]);
@@ -300,6 +332,8 @@ void WorkerHost::spawn(std::size_t w) {
   worker.outbox.clear();
   WNF_ASSERT(worker.inflight.empty());
   worker.ramp = 0;
+  worker.epoch = 0;
+  worker.control_gen = 0;
   ++total_spawns_;
   // An unbound fleet forks and greets but ships nothing; the first
   // rebind() supplies the network.
@@ -320,16 +354,66 @@ BindMsg WorkerHost::make_bind() const {
   return bind;
 }
 
+void WorkerHost::refresh_control_frames(bool refresh_bind) {
+  WNF_ASSERT(net_ != nullptr);
+  bool changed = false;
+  // Serializing the network (make_bind) dominates this refresh, so
+  // timeline-only changes (set_timeline) skip it: the bind payload depends
+  // only on the bound network and the construction-time config, neither of
+  // which a timeline swap can touch.
+  if (refresh_bind) {
+    auto payload = Codec::encode_bind(make_bind());
+    if (payload != bind_payload_) {
+      bind_frame_ = Codec::encode(MessageType::kBind, payload);
+      bind_payload_ = std::move(payload);
+      changed = true;
+    }
+  }
+  {
+    auto payload = Codec::encode_segments(make_segments(timeline_));
+    if (payload != segments_payload_) {
+      segments_frame_ = Codec::encode(MessageType::kSegments, payload);
+      segments_payload_ = std::move(payload);
+      changed = true;
+    }
+  }
+  if (changed) {
+    // The rebind payload is its two constituents, each length-prefixed
+    // (codec.cpp encode_rebind); rebuild it from the cached payload bytes
+    // so an unchanged network never re-serializes.
+    std::vector<std::uint8_t> payload;
+    payload.reserve(8 + bind_payload_.size() + segments_payload_.size());
+    const auto put_u32 = [&payload](std::uint32_t v) {
+      payload.push_back(static_cast<std::uint8_t>(v));
+      payload.push_back(static_cast<std::uint8_t>(v >> 8));
+      payload.push_back(static_cast<std::uint8_t>(v >> 16));
+      payload.push_back(static_cast<std::uint8_t>(v >> 24));
+    };
+    put_u32(static_cast<std::uint32_t>(bind_payload_.size()));
+    payload.insert(payload.end(), bind_payload_.begin(), bind_payload_.end());
+    put_u32(static_cast<std::uint32_t>(segments_payload_.size()));
+    payload.insert(payload.end(), segments_payload_.begin(),
+                   segments_payload_.end());
+    rebind_frame_ = Codec::encode(MessageType::kRebind, std::move(payload));
+    ++control_gen_;
+  }
+}
+
 void WorkerHost::enqueue_bind(WorkerState& worker) {
-  const auto frame =
-      Codec::encode(MessageType::kBind, Codec::encode_bind(make_bind()));
-  worker.outbox.insert(worker.outbox.end(), frame.begin(), frame.end());
+  WNF_ASSERT(!bind_frame_.empty());
+  worker.outbox.insert(worker.outbox.end(), bind_frame_.begin(),
+                       bind_frame_.end());
+  ++worker.epoch;
 }
 
 void WorkerHost::enqueue_segments(WorkerState& worker) {
-  const auto frame = Codec::encode(
-      MessageType::kSegments, Codec::encode_segments(make_segments(timeline_)));
-  worker.outbox.insert(worker.outbox.end(), frame.begin(), frame.end());
+  WNF_ASSERT(!segments_frame_.empty());
+  worker.outbox.insert(worker.outbox.end(), segments_frame_.begin(),
+                       segments_frame_.end());
+  ++worker.epoch;
+  // Segments always ship last in a bind/segments pair, so receiving them
+  // means the worker's applied state matches the current generation.
+  worker.control_gen = control_gen_;
 }
 
 void WorkerHost::set_timeline(serve::FaultTimeline timeline) {
@@ -339,8 +423,13 @@ void WorkerHost::set_timeline(serve::FaultTimeline timeline) {
   WNF_EXPECTS(outstanding_ == 0);
   timeline_ = std::move(timeline);
   timeline_.finalize(*net_);
+  refresh_control_frames(/*refresh_bind=*/false);
   for (auto& worker : workers_) {
-    if (worker.alive) enqueue_segments(worker);
+    // A timeline identical to what the worker already applied (common in
+    // repeated campaigns) ships nothing.
+    if (worker.alive && worker.control_gen != control_gen_) {
+      enqueue_segments(worker);
+    }
   }
 }
 
@@ -418,6 +507,16 @@ void WorkerHost::worker_died(std::size_t w, bool expected) {
   worker.pid = -1;
   worker.inbox.clear();
   worker.outbox.clear();
+  // With rings, everything the worker *committed* before dying is a valid
+  // answer — harvest it (nobody races us; the process is reaped) so only
+  // genuinely unanswered probes resubmit. A started-but-uncommitted write
+  // at the head is the torn slot: counted here, recovered below by the
+  // same resubmission path as any unacknowledged probe.
+  if (worker.rings) {
+    std::size_t harvested = 0;
+    (void)harvest_result_ring(w, harvested);
+    if (worker.rings->result_head_torn()) ring_torn_count_->increment();
+  }
   // The dead worker's outstanding requests go back to the dispatcher; the
   // per-request Rng state makes the re-run bit-identical wherever it lands.
   resubmitted_count_->add(static_cast<std::int64_t>(worker.inflight.size()));
@@ -508,7 +607,91 @@ bool WorkerHost::flush_outbox(std::size_t w) {
   return worker.alive;
 }
 
+void WorkerHost::ring_doorbell(std::size_t w) {
+  workers_[w].outbox.push_back(kDoorbellByte);
+  ring_doorbells_count_->increment();
+}
+
+void WorkerHost::dispatch_rings() {
+  // The ring analogue of the framed dispatch below: one probe at a time
+  // into the least-loaded live worker's request ring, resubmissions first,
+  // same pipeline window. No frame, no checksum, no syscall — the slot is
+  // written in place and published by its commit word; a doorbell byte
+  // rides the demoted socket only when the worker had parked.
+  const std::size_t window = config_.pipeline_depth * config_.batch;
+  while (!resubmit_.empty() || !queue_.empty()) {
+    std::size_t target = workers_.size();
+    for (std::size_t w = 0; w < workers_.size(); ++w) {
+      const WorkerState& worker = workers_[w];
+      if (!worker.alive) continue;
+      if (worker.inflight.size() >= window) continue;
+      if (!worker.rings->request_free()) continue;
+      if (target == workers_.size() ||
+          worker.inflight.size() < workers_[target].inflight.size()) {
+        target = w;
+      }
+    }
+    if (target == workers_.size()) break;  // every pipeline or ring full
+
+    std::uint64_t id = 0;
+    const PendingRequest* request = nullptr;
+    if (!resubmit_.empty()) {
+      id = resubmit_.front();
+      resubmit_.erase(resubmit_.begin());
+      request = &inflight_.at(id);
+    } else {
+      // A fresh request advances the frontier: fire any script window it
+      // crosses before the probe leaves the host (possibly killing the
+      // picked target, in which case re-target).
+      run_crash_script(queue_.front().id);
+      if (!workers_[target].alive) continue;
+      PendingRequest pending = std::move(queue_.front());
+      queue_.pop_front();
+      id = pending.id;
+      request = &inflight_.emplace(id, std::move(pending)).first->second;
+    }
+
+    WorkerState& worker = workers_[target];
+    RequestSlot* slot = worker.rings->try_begin_request();
+    WNF_ASSERT(slot != nullptr);  // request_free() held above
+    slot->id = id;
+    slot->epoch = worker.epoch;
+    slot->segment = static_cast<std::uint32_t>(timeline_.segment_at(id));
+    slot->x_count = static_cast<std::uint32_t>(request->x.size());
+    slot->flags = 0;
+    if (id == config_.debug_tear_result_at && !tear_fired_) {
+      slot->flags = kSlotFlagTearForTest;
+      tear_fired_ = true;  // the resubmitted probe must ship clean
+    }
+    slot->rng_state = request->rng.state();
+    std::copy(request->x.begin(), request->x.end(), slot->x);
+    worker.rings->commit_request();
+    worker.inflight.push_back(id);
+    worker.ring_dispatched = true;
+    ring_slots_count_->increment();
+    if (obs::enabled()) {
+      obs::async_begin(obs::TraceName::kWire, trace_tag_ + id, target);
+      obs::counter(obs::TraceName::kInflightFrames, worker.inflight.size());
+    }
+  }
+  // One doorbell check per worker per dispatch call, not per slot: the
+  // waiting-flag exchange is a seq_cst hit on a line the worker also
+  // touches, and a parked worker needs exactly one byte no matter how
+  // many slots this call committed (the tail publishes are all visible by
+  // the time it wakes).
+  for (std::size_t w = 0; w < workers_.size(); ++w) {
+    WorkerState& worker = workers_[w];
+    if (!worker.ring_dispatched) continue;
+    worker.ring_dispatched = false;
+    if (worker.rings->take_request_doorbell()) ring_doorbell(w);
+  }
+}
+
 void WorkerHost::dispatch() {
+  if (rings_active_) {
+    dispatch_rings();
+    return;
+  }
   // Build one BatchRequest frame at a time for the least-loaded live
   // worker with pipeline room — resubmitted requests first (they carry
   // the oldest ids), then fresh ones. Assignment affects only where a
@@ -646,8 +829,18 @@ void WorkerHost::service_worker(std::size_t w, bool readable, bool writable) {
 
   Frame frame;
   ParseStatus status;
-  while ((status = Codec::try_parse(worker.inbox, frame)) ==
-         ParseStatus::kFrame) {
+  while (true) {
+    // Doorbell bytes (ring wakeups) interleave with control frames on the
+    // demoted socket, always at frame boundaries; their arrival is the
+    // wakeup — the data they announce is harvested from the rings.
+    const std::size_t bells = strip_doorbells(worker.inbox);
+    if (bells > 0) {
+      ring_doorbells_count_->add(static_cast<std::int64_t>(bells));
+    }
+    if ((status = Codec::try_parse(worker.inbox, frame)) !=
+        ParseStatus::kFrame) {
+      break;
+    }
     if (frame.type == MessageType::kHello) {
       const auto hello = Codec::decode_hello(frame.payload);
       if (!hello || hello->worker_index != w || worker.hello_seen) {
@@ -702,6 +895,71 @@ void WorkerHost::service_worker(std::size_t w, bool readable, bool writable) {
   if (dead) worker_died(w, /*expected=*/false);
 }
 
+bool WorkerHost::harvest_result_ring(std::size_t w, std::size_t& harvested) {
+  WorkerState& worker = workers_[w];
+  ResultSlot* slot = nullptr;
+  while ((slot = worker.rings->peek_result()) != nullptr) {
+    // Same acceptance contract as the framed harvest: an answer the host
+    // never asked this worker for, or a probe the worker says it failed,
+    // means the stream cannot be trusted.
+    if (static_cast<ProbeStatus>(slot->status) != ProbeStatus::kOk) {
+      return false;
+    }
+    const std::uint64_t id = slot->id;
+    const auto request = inflight_.find(id);
+    if (request == inflight_.end()) return false;
+    // Workers serve slots in order, so the answered id is almost always
+    // the oldest one dispatched; the scan only runs after a resubmission
+    // shuffled the pipeline.
+    if (!worker.inflight.empty() && worker.inflight.front() == id) {
+      worker.inflight.pop_front();
+    } else {
+      const auto inflight =
+          std::find(worker.inflight.begin(), worker.inflight.end(), id);
+      if (inflight == worker.inflight.end()) return false;
+      worker.inflight.erase(inflight);
+    }
+    inflight_.erase(request);
+    obs::async_end(obs::TraceName::kWire, trace_tag_ + id);
+    completions_.push({id, slot->output, slot->completion_time,
+                       static_cast<std::size_t>(slot->resets_sent)});
+    worker.rings->pop_result();
+    deaths_without_progress_ = 0;
+    ++harvested;
+  }
+  return true;
+}
+
+std::size_t WorkerHost::harvest_rings() {
+  if (!rings_active_) return 0;
+  std::size_t harvested = 0;
+  for (std::size_t w = 0; w < workers_.size(); ++w) {
+    WorkerState& worker = workers_[w];
+    if (!worker.alive) continue;
+    if (!harvest_result_ring(w, harvested)) {
+      worker_died(w, /*expected=*/false);
+      continue;
+    }
+    // Freed result slots may unblock a worker parked on a full result
+    // ring; it owes exactly one doorbell per park.
+    if (worker.rings->take_result_space_doorbell()) {
+      ring_doorbell(w);
+      flush_outbox(w);
+    }
+  }
+  return harvested;
+}
+
+bool WorkerHost::spin_for_results() {
+  SpinBackoff backoff;
+  do {
+    for (const auto& worker : workers_) {
+      if (worker.alive && worker.rings->result_ready()) return true;
+    }
+  } while (backoff.spin());
+  return false;
+}
+
 void WorkerHost::pump(bool block) {
   const std::uint64_t frontier =
       queue_.empty() ? next_id_ : queue_.front().id;
@@ -727,8 +985,11 @@ void WorkerHost::pump(bool block) {
   for (std::size_t w = 0; w < workers_.size(); ++w) {
     if (workers_[w].alive) flush_outbox(w);
   }
+  const std::size_t harvested = harvest_rings();
 
-  // Poll the live workers; a death surfaces as EOF/HUP on its socket.
+  // Poll the live workers; a death surfaces as EOF/HUP on its socket. The
+  // socket is polled every pump even on the ring path — deaths, Hello,
+  // and telemetry frames still live there.
   std::vector<pollfd> fds;
   std::vector<std::size_t> owners;
   for (std::size_t w = 0; w < workers_.size(); ++w) {
@@ -741,7 +1002,47 @@ void WorkerHost::pump(bool block) {
     owners.push_back(w);
   }
   if (fds.empty()) return;  // the caller's loop reruns the revival path
-  const int ready = ::poll(fds.data(), fds.size(), block ? kPollTimeoutMs : 0);
+
+  // Ring waits are spin-then-sleep: a bounded spin across the result
+  // rings first (results usually land within a probe's service time);
+  // only when that runs dry does the host publish its waiting flags and
+  // park in poll() for a worker's doorbell byte. The flag/recheck
+  // handshake (seq_cst on both sides) makes the park race-free: either
+  // the recheck sees the committed result, or the worker sees the flag
+  // and rings.
+  int timeout = 0;
+  bool parked = false;
+  if (block && harvested == 0) {
+    if (rings_active_) {
+      if (spin_for_results()) {
+        ring_spin_count_->increment();
+      } else {
+        bool raced = false;
+        for (auto& worker : workers_) {
+          if (!worker.alive) continue;
+          worker.rings->publish_result_waiting();
+          if (worker.rings->result_published()) raced = true;
+        }
+        if (raced) {
+          for (auto& worker : workers_) {
+            if (worker.alive) worker.rings->clear_result_waiting();
+          }
+        } else {
+          timeout = kPollTimeoutMs;
+          parked = true;
+        }
+      }
+    } else {
+      timeout = kPollTimeoutMs;
+    }
+  }
+  const int ready = ::poll(fds.data(), fds.size(), timeout);
+  if (parked) {
+    for (auto& worker : workers_) {
+      if (worker.alive) worker.rings->clear_result_waiting();
+    }
+    ring_sleep_count_->increment();
+  }
   if (ready < 0) {
     WNF_ASSERT(errno == EINTR);
     return;
@@ -750,6 +1051,7 @@ void WorkerHost::pump(bool block) {
     service_worker(owners[i], (fds[i].revents & (POLLIN | POLLHUP | POLLERR)) != 0,
                    (fds[i].revents & POLLOUT) != 0);
   }
+  harvest_rings();
 }
 
 void WorkerHost::delivered(const serve::RequestResult& result) {

@@ -34,6 +34,7 @@
 #include "nn/network.hpp"
 #include "obs/metrics.hpp"
 #include "transport/codec.hpp"
+#include "transport/ring.hpp"
 #include "serve/completion.hpp"
 #include "serve/report.hpp"
 #include "serve/timeline.hpp"
@@ -68,6 +69,25 @@ struct TransportConfig {
   /// Optional Corollary-2 straggler cut, size L (empty = full waits).
   std::vector<std::size_t> straggler_cut;
   std::uint64_t seed = 0x5eed;  ///< root of the per-request Rng::split tree
+  /// Shared-memory SPSC rings for the probe hot path (zero-copy slots, no
+  /// syscall per probe; the socketpair demotes to doorbell + control
+  /// channel). Default on where mmap exists; the framed socket path is
+  /// the fully supported fallback, and deployments whose input dimension
+  /// exceeds kRingSlotDoubles fall back automatically. Results are
+  /// bit-identical on either path.
+  bool use_rings = true;
+  /// Slots per direction per worker. Sized to comfortably hold the
+  /// pipeline window (batch * pipeline_depth, 32 by default) while keeping
+  /// the per-worker mapping small enough that fork-per-campaign churn
+  /// stays cheap — a request slot is ~640 bytes, so 256 slots is ~180 KiB
+  /// per worker. A window wider than the ring just caps in-flight slots at
+  /// the ring (dispatch checks space); correctness never depends on this.
+  std::size_t ring_capacity = 256;
+  /// Test-only: when a dispatched request id matches, its worker tears the
+  /// result slot — begin_seq plus a partial payload, then SIGKILL — so the
+  /// torn-slot detection and resubmission path can be exercised
+  /// deterministically. Fires at most once per host; ~0 disarms.
+  std::uint64_t debug_tear_result_at = ~std::uint64_t{0};
 };
 
 /// What changes when a live fleet is rebound (WorkerHost::rebind). Unset
@@ -221,6 +241,31 @@ class WorkerHost {
   std::size_t result_frames() const {
     return counter_value(result_frames_count_);
   }
+  /// True when this deployment serves probes over the shared-memory rings
+  /// (rings on, mapping succeeded, and the bound network's input fits a
+  /// slot). False means every probe rides v4 frames.
+  bool rings_active() const { return rings_active_; }
+  /// Probe slots written into request rings since construction / rebind.
+  std::size_t ring_slots_written() const {
+    return counter_value(ring_slots_count_);
+  }
+  /// Doorbell bytes exchanged (both directions) on the demoted socket.
+  std::size_t ring_doorbells() const {
+    return counter_value(ring_doorbells_count_);
+  }
+  /// Torn result slots (worker died mid-write) detected and recovered by
+  /// resubmission.
+  std::size_t ring_torn_recovered() const {
+    return counter_value(ring_torn_count_);
+  }
+  /// Host waits resolved by the bounded spin (no park).
+  std::size_t ring_spin_wakeups() const {
+    return counter_value(ring_spin_count_);
+  }
+  /// Host waits that parked on the socket for a doorbell.
+  std::size_t ring_sleep_wakeups() const {
+    return counter_value(ring_sleep_count_);
+  }
   /// This deployment's metric registry (counters and latency histograms
   /// the report derives from) — live, for the metrics JSON exporter.
   const obs::MetricsRegistry& metrics() const { return metrics_; }
@@ -252,11 +297,29 @@ class WorkerHost {
     std::uint64_t blocked_until = 0;   ///< scripted respawn boundary
     std::vector<std::uint8_t> inbox;   ///< bytes read, not yet framed
     std::vector<std::uint8_t> outbox;  ///< bytes queued, not yet written
-    std::vector<std::uint64_t> inflight;  ///< request ids awaiting results
+    /// Request ids awaiting results, in dispatch order. A deque: workers
+    /// answer in order, so the ring harvest pops the front once per probe
+    /// — O(1) where a vector would memmove the whole pipeline window.
+    std::deque<std::uint64_t> inflight;
+    /// Transient dispatch_rings marker: this worker received slots in the
+    /// current call and owes one doorbell check at the end of it.
+    bool ring_dispatched = false;
     std::size_t ramp = 0;  ///< adaptive-batch size of the last frame sent
     /// host_clock - worker_clock at Hello receipt: shifts this worker's
     /// Telemetry events onto the host trace timebase.
     std::int64_t clock_offset_ns = 0;
+    /// Shared-memory ring pair, mapped before the first fork and reused
+    /// (reset, never remapped) across respawns. Null when rings are off
+    /// or unavailable.
+    std::shared_ptr<WorkerRings> rings;
+    /// Control-plane frames enqueued to this worker process (bind,
+    /// segments, rebind). Stamped into each request slot so the worker
+    /// can defer ring probes that would overtake an in-flight control
+    /// frame.
+    std::uint64_t epoch = 0;
+    /// The host control_gen_ this worker's applied deployment state
+    /// matches; lets rebind() skip re-sending an identical deployment.
+    std::uint64_t control_gen = 0;
   };
 
   struct ScriptWindow {
@@ -285,6 +348,31 @@ class WorkerHost {
   /// a harvest of every readable result into the completion queue.
   void pump(bool block);
   void dispatch();
+  /// Ring fast path of dispatch(): writes queued/resubmitted probes
+  /// directly into request-ring slots (least-loaded placement, same
+  /// pipeline window as the frame path), ringing the doorbell of any
+  /// parked worker.
+  void dispatch_rings();
+  /// Drains every live worker's committed result slots into the
+  /// completion queue (plus a space doorbell for workers parked on a full
+  /// result ring). Returns how many results it harvested.
+  std::size_t harvest_rings();
+  /// Drains one worker's committed result slots. False on a protocol
+  /// violation (unknown id, bad status) — the caller declares the worker
+  /// dead, exactly like a malformed frame.
+  bool harvest_result_ring(std::size_t w, std::size_t& harvested);
+  /// Bounded spin across the live result rings (the spin half of the
+  /// host's spin-then-sleep wait). True when a result showed up.
+  bool spin_for_results();
+  /// Queues one doorbell byte to `w` (flushed with the normal outbox).
+  void ring_doorbell(std::size_t w);
+  /// Re-encodes the bind/segments control payloads iff their content
+  /// changed, rebuilding the cached frames and bumping control_gen_.
+  /// Every control-plane send path reuses the caches — one encode per
+  /// deployment change instead of one per worker per spawn/rebind.
+  /// refresh_bind=false skips re-serializing the network (timeline-only
+  /// changes cannot move the bind payload).
+  void refresh_control_frames(bool refresh_bind = true);
   /// Reads and frames everything `w`'s socket has, harvesting results.
   void service_worker(std::size_t w, bool readable, bool writable);
   void delivered(const serve::RequestResult& result);
@@ -338,6 +426,11 @@ class WorkerHost {
   obs::Counter* restarts_count_ = nullptr;
   obs::Counter* batch_frames_count_ = nullptr;
   obs::Counter* result_frames_count_ = nullptr;
+  obs::Counter* ring_slots_count_ = nullptr;
+  obs::Counter* ring_doorbells_count_ = nullptr;
+  obs::Counter* ring_torn_count_ = nullptr;
+  obs::Counter* ring_spin_count_ = nullptr;
+  obs::Counter* ring_sleep_count_ = nullptr;
   obs::LogHistogram* completion_hist_ = nullptr;
   obs::LogHistogram* queue_depth_hist_ = nullptr;
   /// Probes per BatchRequest frame; its exact min/max are the report's
@@ -345,6 +438,23 @@ class WorkerHost {
   obs::LogHistogram* batch_probes_hist_ = nullptr;
   std::size_t rebinds_ = 0;
   std::size_t total_spawns_ = 0;
+  /// True when the current deployment serves probes over the rings (see
+  /// rings_active()); recomputed at every bind/rebind.
+  bool rings_active_ = false;
+  /// The debug_tear_result_at hook has fired (it tears exactly one slot:
+  /// the resubmitted probe must ship clean or the fleet would relive the
+  /// crash forever).
+  bool tear_fired_ = false;
+  // Cached control-plane encodings (satellite: one encode per deployment
+  // change, not one per worker per spawn/rebind; identical rebinds skip
+  // the send entirely). control_gen_ counts content changes; workers
+  // record the generation they were last synced to.
+  std::vector<std::uint8_t> bind_payload_;
+  std::vector<std::uint8_t> segments_payload_;
+  std::vector<std::uint8_t> bind_frame_;
+  std::vector<std::uint8_t> segments_frame_;
+  std::vector<std::uint8_t> rebind_frame_;
+  std::uint64_t control_gen_ = 0;
   double wall_seconds_ = 0.0;
   /// Disambiguates async trace ids across deployments: every rebind gets
   /// a fresh tag, and a request's async span id is tag + request id.

@@ -2,6 +2,7 @@
 
 #if defined(__unix__) || defined(__APPLE__)
 #define WNF_TRANSPORT_POSIX 1
+#include <signal.h>
 #include <sys/socket.h>
 #include <unistd.h>
 #endif
@@ -9,12 +10,14 @@
 #include <cerrno>
 #include <memory>
 #include <optional>
+#include <span>
 #include <sstream>
 
 #include "dist/sim.hpp"
 #include "nn/serialize.hpp"
 #include "obs/trace.hpp"
 #include "transport/codec.hpp"
+#include "transport/ring.hpp"
 #include "util/contract.hpp"
 #include "util/rng.hpp"
 
@@ -24,7 +27,7 @@ namespace wnf::transport {
 
 bool transport_available() { return false; }
 
-int worker_main(int, std::uint32_t) {
+int worker_main(int, std::uint32_t, WorkerRings*) {
   WNF_EXPECTS(false && "transport workers need POSIX fork/socketpair");
   return 1;
 }
@@ -103,45 +106,54 @@ bool handle_rebind(const Frame& frame, Replica& replica) {
   return true;
 }
 
-/// Evaluates one probe on the replica. False when the probe is
-/// structurally invalid for the current binding (the host never sends
-/// such a probe, so this is a protocol violation and the worker exits).
-bool evaluate_probe(const RequestMsg& msg, Replica& replica,
-                    ResultMsg& result) {
+/// Evaluates one probe on the replica, reading the input wherever it
+/// lives (a decoded frame's vector or a ring slot, in place). False when
+/// the probe is structurally invalid for the current binding (the host
+/// never sends such a probe, so this is a protocol violation and the
+/// worker exits).
+bool evaluate_probe_core(std::uint64_t id, std::uint32_t segment,
+                         const std::array<std::uint64_t, 4>& rng_state,
+                         std::span<const double> x, Replica& replica,
+                         ResultMsg& result) {
   if (!replica.sim) return false;
-  if (msg.x.size() != replica.net.input_dim()) return false;
-  if (msg.segment >= replica.segments.size() &&
-      !(msg.segment == 0 && replica.segments.empty())) {
+  if (x.size() != replica.net.input_dim()) return false;
+  if (segment >= replica.segments.size() &&
+      !(segment == 0 && replica.segments.empty())) {
     return false;
   }
   // Same install-on-segment-change discipline as ReplicaPool::process: a
   // run of requests in one segment pays one plan install.
-  if (msg.segment != replica.installed) {
-    const fault::FaultPlan* plan = replica.segments.empty()
-                                       ? nullptr
-                                       : &replica.segments[msg.segment];
+  if (segment != replica.installed) {
+    const fault::FaultPlan* plan =
+        replica.segments.empty() ? nullptr : &replica.segments[segment];
     if (plan == nullptr || plan->empty()) {
       replica.sim->clear_faults();
     } else {
       replica.sim->apply_faults(*plan);
     }
-    replica.installed = msg.segment;
+    replica.installed = segment;
   }
   // The request's RNG stream is the host's split child, bit for bit.
   Rng request_rng;
-  request_rng.set_state(msg.rng_state);
+  request_rng.set_state(rng_state);
   replica.sim->sample_latencies(replica.latency, request_rng);
   const dist::SimResult sim_result =
       replica.wait_counts.empty()
-          ? replica.sim->evaluate(msg.x)
+          ? replica.sim->evaluate(x)
           : replica.sim->evaluate_boosted(
-                msg.x,
+                x,
                 {replica.wait_counts.data(), replica.wait_counts.size()});
-  result.id = msg.id;
+  result.id = id;
   result.output = sim_result.output;
   result.completion_time = sim_result.completion_time;
   result.resets_sent = sim_result.resets_sent;
   return true;
+}
+
+bool evaluate_probe(const RequestMsg& msg, Replica& replica,
+                    ResultMsg& result) {
+  return evaluate_probe_core(msg.id, msg.segment, msg.rng_state,
+                             {msg.x.data(), msg.x.size()}, replica, result);
 }
 
 bool handle_request(const Frame& frame, Replica& replica, int fd) {
@@ -208,9 +220,66 @@ bool flush_telemetry(int fd) {
                                     Codec::encode_telemetry(msg)));
 }
 
+/// Outcome of one ring burst.
+struct RingServe {
+  std::size_t served = 0;
+  bool violation = false;  ///< structurally invalid probe: exit 1
+  bool host_gone = false;  ///< doorbell hit a closed socket: exit 0
+};
+
+/// Serves every committed request slot the ring holds (stopping when the
+/// result ring has no space): evaluate straight out of the request slot,
+/// write the outcome straight into a result slot, publish it with the
+/// commit word. A probe whose epoch is ahead of the control frames applied
+/// so far is deferred — the bind/segments frame it waits for is already in
+/// flight on the socket, and serving it early would race the swap. One
+/// doorbell byte goes out at the end of the burst, and only when the host
+/// had published itself parked: waking the host per slot would hand the
+/// CPU back and forth once per probe, while a parked host loses nothing
+/// by sleeping until the whole burst is committed (the flag handshake is
+/// seq_cst, so a host parking mid-burst either sees the new tail in its
+/// recheck or is caught by this exchange).
+RingServe serve_ring(WorkerRings& rings, Replica& replica,
+                     std::uint64_t applied_epoch, int fd) {
+  RingServe out;
+  while (rings.result_free()) {
+    RequestSlot* req = rings.peek_request();
+    if (req == nullptr) break;
+    if (req->epoch > applied_epoch) break;
+    const obs::ScopedSpan span(obs::TraceName::kWorkerExecute, req->id);
+    ResultMsg result;
+    if (!evaluate_probe_core(req->id, req->segment, req->rng_state,
+                             {req->x, req->x_count}, replica, result)) {
+      out.violation = true;
+      return out;
+    }
+    ResultSlot* res = rings.try_begin_result();
+    WNF_ASSERT(res != nullptr);  // result_free() held above
+    if ((req->flags & kSlotFlagTearForTest) != 0) {
+      // Crash-recovery test hook: die with the slot's begin_seq published
+      // and a partial payload written but the commit word untouched — the
+      // canonical torn slot the host must detect and resubmit around.
+      res->id = result.id;
+      ::kill(::getpid(), SIGKILL);
+    }
+    res->id = result.id;
+    res->output = result.output;
+    res->completion_time = result.completion_time;
+    res->resets_sent = result.resets_sent;
+    res->status = static_cast<std::uint8_t>(ProbeStatus::kOk);
+    rings.commit_result();
+    rings.pop_request();
+    ++out.served;
+  }
+  if (out.served > 0 && rings.take_result_doorbell()) {
+    if (!send_all(fd, {kDoorbellByte})) out.host_gone = true;
+  }
+  return out;
+}
+
 }  // namespace
 
-int worker_main(int fd, std::uint32_t worker_index) {
+int worker_main(int fd, std::uint32_t worker_index, WorkerRings* rings) {
 #if defined(SO_NOSIGPIPE)
   // Platforms without MSG_NOSIGNAL (macOS): a result sent to a dead host
   // must fail with EPIPE (clean exit 1), not SIGPIPE.
@@ -233,18 +302,29 @@ int worker_main(int fd, std::uint32_t worker_index) {
   Replica replica;
   std::vector<std::uint8_t> buffer;
   BatchResultMsg pending;  ///< finished probes not yet shipped (coalescing)
+  // Control-plane frames applied so far; gates which ring probes may run
+  // (a slot stamped with a later epoch waits for its control frame).
+  std::uint64_t applied_epoch = 0;
+  SpinBackoff backoff;
   std::uint8_t chunk[4096];
   while (true) {
     // Drain every complete frame before reading more bytes. Batch-request
     // probes accumulate in `pending`; control frames flush first so the
     // host never sees results reordered across a bind/rebind boundary.
+    // Doorbell bytes (ring wakeups) sit between frames; the wakeup already
+    // happened, so they just strip.
     Frame frame;
     ParseStatus status;
-    while ((status = Codec::try_parse(buffer, frame)) == ParseStatus::kFrame) {
+    while (true) {
+      (void)strip_doorbells(buffer);
+      if ((status = Codec::try_parse(buffer, frame)) != ParseStatus::kFrame) {
+        break;
+      }
       switch (frame.type) {
         case MessageType::kBind:
           if (!flush_pending(fd, pending)) return 1;
           if (!handle_bind(frame, replica)) return 1;
+          ++applied_epoch;
           break;
         case MessageType::kSegments: {
           if (!flush_pending(fd, pending)) return 1;
@@ -252,6 +332,7 @@ int worker_main(int fd, std::uint32_t worker_index) {
           if (!msg) return 1;
           replica.segments = std::move(msg->plans);
           replica.installed = ~std::size_t{0};
+          ++applied_epoch;
           break;
         }
         case MessageType::kRequest:
@@ -268,6 +349,7 @@ int worker_main(int fd, std::uint32_t worker_index) {
           if (!flush_pending(fd, pending)) return 1;
           if (!flush_telemetry(fd)) return 1;
           if (!handle_rebind(frame, replica)) return 1;
+          ++applied_epoch;
           break;
         case MessageType::kShutdown:
           if (!flush_pending(fd, pending)) return 1;
@@ -279,6 +361,28 @@ int worker_main(int fd, std::uint32_t worker_index) {
     if (status == ParseStatus::kMalformed ||
         status == ParseStatus::kWrongVersion) {
       return 1;
+    }
+
+    // Ring fast path: serve everything committed (and not epoch-gated),
+    // then peek the socket once so a control frame pipelined behind ring
+    // traffic cannot starve.
+    if (rings != nullptr) {
+      const RingServe burst = serve_ring(*rings, replica, applied_epoch, fd);
+      if (burst.violation) return 1;
+      if (burst.host_gone) return 0;
+      if (burst.served > 0) {
+        backoff.reset();
+        const ssize_t n = ::recv(fd, chunk, sizeof(chunk), MSG_DONTWAIT);
+        if (n > 0) {
+          buffer.insert(buffer.end(), chunk, chunk + n);
+        } else if (n == 0) {
+          return 0;  // host closed: treat like a shutdown
+        } else if (errno != EAGAIN && errno != EWOULDBLOCK &&
+                   errno != EINTR) {
+          return 1;
+        }
+        continue;
+      }
     }
 
     // Coalescing turn-around: with results pending, peek for more request
@@ -297,7 +401,40 @@ int worker_main(int fd, std::uint32_t worker_index) {
       continue;  // back to a blocking read with an empty pending batch
     }
 
+    // Idle with rings: spin-then-sleep. Spin a bounded budget re-checking
+    // the rings (the outer loop re-runs serve_ring each round); once dry,
+    // publish the waiting flag matching what we are starved of and park on
+    // the socket — the host doorbells the transition. The publish/recheck
+    // handshake is seq_cst against the peer's cursor publish, so the park
+    // cannot miss a wakeup.
+    if (rings != nullptr) {
+      if (backoff.spin()) continue;
+      backoff.reset();
+      if (rings->request_ready() && !rings->result_free()) {
+        // Probes are waiting but the result ring is full: ask the host to
+        // ring back once it harvests.
+        rings->publish_result_space_waiting();
+        if (rings->result_space_published()) {
+          rings->clear_result_space_waiting();
+          continue;
+        }
+      } else if (!rings->request_ready()) {
+        rings->publish_request_waiting();
+        if (rings->request_published()) {
+          rings->clear_request_waiting();
+          continue;
+        }
+      }
+      // else: the head probe is epoch-gated — its control frame is
+      // already in flight on the socket, so the blocking read below is
+      // exactly the right wait (no ring flag needed).
+    }
+
     const ssize_t n = ::read(fd, chunk, sizeof(chunk));
+    if (rings != nullptr) {
+      rings->clear_request_waiting();
+      rings->clear_result_space_waiting();
+    }
     if (n < 0) {
       if (errno == EINTR) continue;
       return 1;

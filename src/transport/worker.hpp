@@ -17,6 +17,8 @@ namespace wnf::transport {
 /// (tests, benches, examples) should skip gracefully.
 bool transport_available();
 
+class WorkerRings;
+
 /// Runs the worker protocol loop on `fd` (the worker end of the pair)
 /// until a shutdown frame, EOF (host closed or died), or a protocol
 /// violation. Sends a Hello first, then serves kBind/kSegments/kRequest/
@@ -25,6 +27,15 @@ bool transport_available();
 /// host reuse one forked fleet across many run_trials cycles. Returns the
 /// process exit code: 0 for a clean shutdown or host EOF, 1 for malformed
 /// input or an I/O error. Never returns on unsupported platforms (aborts).
-int worker_main(int fd, std::uint32_t worker_index);
+///
+/// With `rings` non-null (the host's pre-fork shared mapping for this
+/// worker), probes additionally arrive through the request ring and
+/// results leave through the result ring — the zero-copy hot path — while
+/// the socket carries only control frames and doorbell bytes. Ring probes
+/// whose epoch is ahead of the control frames applied so far are deferred
+/// until the in-flight bind/segments lands, so the ring can never overtake
+/// the control channel.
+int worker_main(int fd, std::uint32_t worker_index,
+                WorkerRings* rings = nullptr);
 
 }  // namespace wnf::transport

@@ -793,6 +793,8 @@ TEST(WorkerHost, WorkersCoalesceBatchResultFramesUnderPipelinePressure) {
   config.pipeline_depth = 8;
   config.latency = heavy_tail();
   config.seed = 31;
+  // Frame-coalescing is a socket-path behaviour; rings carry no frames.
+  config.use_rings = false;
   WorkerHost host(net, config);
   ASSERT_EQ(host.submit_batch(workload), workload.size());
   const auto served = host.drain();
@@ -826,6 +828,8 @@ TEST(WorkerHost, AdaptiveBatchRampsFrameSizesAndStaysBitIdentical) {
   config.pipeline_depth = 4;
   config.latency = heavy_tail();
   config.seed = 77;
+  // The ramp is observed through frame counters — pin the socket path.
+  config.use_rings = false;
 
   config.adaptive_batch = false;
   std::vector<serve::RequestResult> expected;
@@ -893,6 +897,9 @@ TEST(WorkerHost, BatchSizeSweepIsBitIdenticalToReplicaPool) {
     config.latency = heavy_tail();
     config.straggler_cut = {2, 1};
     config.seed = 123;
+    // The sweep asserts frame-amortisation counters — pin the socket path
+    // (RingPathBitIdentity covers the same sweep over the rings).
+    config.use_rings = false;
     WorkerHost host(net, config);
     host.set_timeline(timeline);
     ASSERT_EQ(host.submit_batch(workload), workload.size());
@@ -1111,6 +1118,291 @@ TEST(WorkerHostDeathTest, ServingAnUnboundFleetIsAContractViolation) {
   EXPECT_DEATH((void)fleet.submit({0.1, 0.2, 0.3}), "precondition");
 }
 
+// ------------------------------------------------- shared-memory rings
+
+// Serves `workload` through a WorkerHost built from `config` and returns
+// the drained results (plus the host's report through `report`).
+std::vector<serve::RequestResult> serve_through(
+    const nn::FeedForwardNetwork& net, const TransportConfig& config,
+    const std::vector<std::vector<double>>& workload,
+    const serve::FaultTimeline* timeline = nullptr) {
+  WorkerHost host(net, config);
+  if (timeline != nullptr) host.set_timeline(*timeline);
+  EXPECT_EQ(host.submit_batch(workload), workload.size());
+  return host.drain();
+}
+
+void expect_bit_identical(const std::vector<serve::RequestResult>& got,
+                          const std::vector<serve::RequestResult>& want,
+                          const char* label) {
+  ASSERT_EQ(got.size(), want.size()) << label;
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].id, want[i].id) << label << " request " << i;
+    EXPECT_DOUBLE_EQ(got[i].output, want[i].output)
+        << label << " request " << i;
+    EXPECT_DOUBLE_EQ(got[i].completion_time, want[i].completion_time)
+        << label << " request " << i;
+    EXPECT_EQ(got[i].resets_sent, want[i].resets_sent)
+        << label << " request " << i;
+  }
+}
+
+TEST(WorkerHostRings, RingPathBitIdenticalToSocketPathAcrossWorkerCounts) {
+  SKIP_WITHOUT_TRANSPORT();
+  // The tentpole contract: the zero-copy ring hot path serves outputs,
+  // completion times, and reset counts bit-identical to the framed socket
+  // path — and to the in-process pool — at 1, 2, and 8 workers, under a
+  // mid-stream fault timeline and a straggler cut.
+  const auto net = transport_net(13);
+  const auto workload = transport_workload(96, 43);
+
+  serve::FaultTimeline timeline;
+  fault::FaultPlan crash;
+  crash.neurons = {{1, 1, fault::NeuronFaultKind::kCrash, 0.0}};
+  timeline.add(20, 70, crash);
+
+  serve::ServeConfig pool_config;
+  pool_config.replicas = 2;
+  pool_config.latency = heavy_tail();
+  pool_config.straggler_cut = {2, 1};
+  pool_config.seed = 123;
+  serve::ReplicaPool pool(net, pool_config);
+  pool.set_timeline(timeline);
+  ASSERT_EQ(pool.submit_batch(workload), workload.size());
+  const auto expected = pool.drain();
+
+  for (const std::size_t workers : {1u, 2u, 8u}) {
+    TransportConfig config;
+    config.workers = workers;
+    config.latency = heavy_tail();
+    config.straggler_cut = {2, 1};
+    config.seed = 123;
+
+    config.use_rings = true;
+    WorkerHost ring_host(net, config);
+    if (!ring_host.rings_active()) {
+      GTEST_SKIP() << "shared-memory rings unavailable on this platform";
+    }
+    ring_host.set_timeline(timeline);
+    ASSERT_EQ(ring_host.submit_batch(workload), workload.size());
+    const auto over_rings = ring_host.drain();
+    expect_bit_identical(over_rings, expected, "rings vs pool");
+    // Every probe rode a ring slot; the socket carried no data frames.
+    EXPECT_EQ(ring_host.ring_slots_written(), workload.size())
+        << "workers " << workers;
+    EXPECT_EQ(ring_host.batch_frames(), 0u);
+    EXPECT_EQ(ring_host.report().completed, workload.size());
+
+    config.use_rings = false;
+    const auto over_socket = serve_through(net, config, workload, &timeline);
+    expect_bit_identical(over_socket, expected, "socket vs pool");
+  }
+}
+
+TEST(WorkerHostRings, SigkillMidSlotLeavesTornSlotThatIsRecovered) {
+  SKIP_WITHOUT_TRANSPORT();
+  // Crash-consistency of the seqlock commit protocol: a worker SIGKILLed
+  // between begin_seq and commit_seq leaves a detectably torn slot. The
+  // host counts the tear (transport.ring_torn_recovered), resubmits the
+  // probe like any unacknowledged one, and the delivered stream stays
+  // bit-identical to the in-process pool — zero divergence.
+  const auto net = transport_net(13);
+  const auto workload = transport_workload(64, 21);
+
+  serve::ServeConfig pool_config;
+  pool_config.replicas = 2;
+  pool_config.latency = heavy_tail();
+  pool_config.seed = 7;
+  serve::ReplicaPool pool(net, pool_config);
+  ASSERT_EQ(pool.submit_batch(workload), workload.size());
+  const auto expected = pool.drain();
+
+  TransportConfig config;
+  config.workers = 2;
+  config.latency = heavy_tail();
+  config.seed = 7;
+  config.debug_tear_result_at = 10;  // tear mid-stream
+  WorkerHost host(net, config);
+  if (!host.rings_active()) {
+    GTEST_SKIP() << "shared-memory rings unavailable on this platform";
+  }
+  ASSERT_EQ(host.submit_batch(workload), workload.size());
+  const auto served = host.drain();
+
+  expect_bit_identical(served, expected, "torn-slot recovery");
+  EXPECT_GE(host.ring_torn_recovered(), 1u);
+  EXPECT_GE(host.resubmitted(), 1u);  // the torn probe re-ran elsewhere
+  EXPECT_GE(host.restarts(), 1u);     // the dead worker rejoined
+  EXPECT_EQ(host.report().completed, workload.size());
+}
+
+TEST(WorkerHostRings, RebindOnRingsServesRepeatedCampaignsBitIdentically) {
+  SKIP_WITHOUT_TRANSPORT();
+  // The persistent-fleet contract holds on the ring path: each rebind
+  // resets the rings' logical stream, and every campaign on the warm
+  // fleet is bit-identical to a fresh host — with zero extra forks.
+  const auto net = transport_net(11);
+  const auto workload = transport_workload(48, 17);
+
+  TransportConfig config;
+  config.workers = 2;
+  config.latency = heavy_tail();
+  config.seed = 29;
+  WorkerHost host(net, config);
+  if (!host.rings_active()) {
+    GTEST_SKIP() << "shared-memory rings unavailable on this platform";
+  }
+  const auto expected = serve_through(net, config, workload);
+
+  for (int campaign = 0; campaign < 3; ++campaign) {
+    host.rebind(net);
+    ASSERT_TRUE(host.rings_active());
+    ASSERT_EQ(host.submit_batch(workload), workload.size());
+    const auto served = host.drain();
+    expect_bit_identical(served, expected, "rebound campaign");
+    EXPECT_EQ(host.ring_slots_written(), workload.size());
+  }
+  EXPECT_EQ(host.total_spawns(), config.workers);  // rebinds never re-fork
+}
+
+TEST(WorkerHostRings, TinyRingCapacitiesWrapAroundBitIdentically) {
+  SKIP_WITHOUT_TRANSPORT();
+  // Wraparound torture: at 2–4 slots per ring the cursors lap dozens of
+  // times and both sides hit the full/empty park paths constantly; the
+  // seqlock commit words must keep every lap unambiguous.
+  const auto net = transport_net(13);
+  const auto workload = transport_workload(96, 43);
+
+  TransportConfig reference_config;
+  reference_config.workers = 2;
+  reference_config.latency = heavy_tail();
+  reference_config.seed = 123;
+  reference_config.use_rings = false;
+  const auto expected = serve_through(net, reference_config, workload);
+
+  for (const std::size_t capacity : {2u, 3u, 4u}) {
+    for (const std::size_t workers : {1u, 2u}) {
+      TransportConfig config;
+      config.workers = workers;
+      config.latency = heavy_tail();
+      config.seed = 123;
+      config.ring_capacity = capacity;
+      WorkerHost host(net, config);
+      if (!host.rings_active()) {
+        GTEST_SKIP() << "shared-memory rings unavailable on this platform";
+      }
+      ASSERT_EQ(host.submit_batch(workload), workload.size());
+      const auto served = host.drain();
+      expect_bit_identical(served, expected, "tiny-capacity rings");
+      EXPECT_EQ(host.ring_slots_written(), workload.size())
+          << "capacity " << capacity << " workers " << workers;
+    }
+  }
+}
+
+TEST(WorkerHostRings, FallbackPathsSelectFramesAndStayBitIdentical) {
+  SKIP_WITHOUT_TRANSPORT();
+  // Both fallbacks: use_rings=false pins the framed socket path outright,
+  // and a network whose input dimension exceeds a ring slot falls back
+  // automatically even with rings requested. Either way the deployment
+  // serves frames (batch_frames > 0, zero ring slots) and results match
+  // the in-process pool bit for bit.
+  {
+    const auto net = transport_net(13);
+    const auto workload = transport_workload(48, 21);
+    TransportConfig config;
+    config.workers = 2;
+    config.latency = heavy_tail();
+    config.seed = 9;
+    config.use_rings = false;
+    WorkerHost host(net, config);
+    EXPECT_FALSE(host.rings_active());
+    ASSERT_EQ(host.submit_batch(workload), workload.size());
+    const auto served = host.drain();
+    EXPECT_EQ(host.ring_slots_written(), 0u);
+    EXPECT_GT(host.batch_frames(), 0u);
+
+    serve::ServeConfig pool_config;
+    pool_config.replicas = 2;
+    pool_config.latency = heavy_tail();
+    pool_config.seed = 9;
+    serve::ReplicaPool pool(net, pool_config);
+    ASSERT_EQ(pool.submit_batch(workload), workload.size());
+    expect_bit_identical(served, pool.drain(), "use_rings=false");
+  }
+  {
+    // kRingSlotDoubles + 1 inputs cannot ride a slot.
+    Rng rng(5);
+    const auto wide = nn::NetworkBuilder(kRingSlotDoubles + 1)
+                          .activation(nn::ActivationKind::kSigmoid, 1.0)
+                          .hidden(4)
+                          .init(nn::InitKind::kUniform, 0.5)
+                          .build(rng);
+    Rng workload_rng(6);
+    std::vector<std::vector<double>> workload(24);
+    for (auto& x : workload) {
+      x.resize(wide.input_dim());
+      for (auto& v : x) v = workload_rng.uniform();
+    }
+    TransportConfig config;
+    config.workers = 2;
+    config.latency = heavy_tail();
+    config.seed = 9;
+    config.use_rings = true;  // requested, but the input cannot fit
+    WorkerHost host(wide, config);
+    EXPECT_FALSE(host.rings_active());
+    ASSERT_EQ(host.submit_batch(workload), workload.size());
+    const auto served = host.drain();
+    EXPECT_EQ(host.ring_slots_written(), 0u);
+    EXPECT_GT(host.batch_frames(), 0u);
+
+    serve::ServeConfig pool_config;
+    pool_config.replicas = 2;
+    pool_config.latency = heavy_tail();
+    pool_config.seed = 9;
+    serve::ReplicaPool pool(wide, pool_config);
+    ASSERT_EQ(pool.submit_batch(workload), workload.size());
+    expect_bit_identical(served, pool.drain(), "wide-input fallback");
+  }
+}
+
+TEST(WorkerHostRings, ScriptedSigkillOnRingsMatchesSocketPath) {
+  SKIP_WITHOUT_TRANSPORT();
+  // The scripted crash machinery rides unchanged on top of the rings:
+  // a SIGKILL window mid-replay moves requests between processes on both
+  // paths and neither result stream diverges from the other.
+  const auto net = transport_net(9);
+  const auto workload = transport_workload(96, 31);
+
+  TransportConfig config;
+  config.workers = 2;
+  config.latency = heavy_tail();
+  config.seed = 41;
+
+  config.use_rings = false;
+  std::vector<serve::RequestResult> expected;
+  {
+    WorkerHost host(net, config);
+    host.set_crash_script({{0, 24, 72}});
+    ASSERT_EQ(host.submit_batch(workload), workload.size());
+    expected = host.drain();
+    EXPECT_GE(host.restarts(), 1u);
+  }
+
+  config.use_rings = true;
+  WorkerHost host(net, config);
+  if (!host.rings_active()) {
+    GTEST_SKIP() << "shared-memory rings unavailable on this platform";
+  }
+  host.set_crash_script({{0, 24, 72}});
+  ASSERT_EQ(host.submit_batch(workload), workload.size());
+  const auto served = host.drain();
+  expect_bit_identical(served, expected, "scripted kill rings vs socket");
+  EXPECT_GE(host.restarts(), 1u);
+  EXPECT_GE(host.resubmitted(), 0u);
+  EXPECT_EQ(host.report().completed, workload.size());
+}
+
 // ------------------------------------------------------- TransportBackend
 
 TEST(TransportBackend, SerialPathMatchesServeBackend) {
@@ -1283,6 +1575,10 @@ TEST(TransportBackend, CrossCheckHoldsAtEveryBatchSizeWithSigkillMidBatch) {
     options.workers = 2;
     options.batch = batch;
     options.pipeline_depth = 2;
+    // The batch_frames round-trip below is socket-path-specific (rings
+    // ship slots, not frames); RingSigkillMidStream covers the kill over
+    // the rings.
+    options.use_rings = false;
     // The kill lands at request id 20 — inside a dispatched batch for
     // every batch size — and recovers at 64.
     options.crash_script = {{0, 20, 64}};
