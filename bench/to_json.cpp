@@ -40,6 +40,7 @@
 #include "fault/campaign.hpp"
 #include "load/replay.hpp"
 #include "load/trace.hpp"
+#include "obs/snapshot.hpp"
 #include "obs/trace.hpp"
 #include "serve/pool.hpp"
 #include "transport/host.hpp"
@@ -260,6 +261,34 @@ BenchFile measure() {
     obs::TraceLog::instance().reset();
     WNF_ASSERT(on_checksum == off_checksum &&
                "tracing must not perturb the served bytes");
+
+    // Continuous monitoring: the same serve with tracing off but a live
+    // Snapshotter sampling the pool's registry at its production cadence
+    // (100 ms). The sampler thread only ever reads relaxed atomics, so
+    // this row vs tracing_off is the monitoring tax — the acceptance
+    // bound is <= 5%, tracked by ratio like the tracing pair.
+    double monitored_checksum = 0.0;
+    {
+      serve::ReplicaPool pool(net, config);
+      pool.set_timeline(bench_timeline());
+      obs::SnapshotterConfig snap_config;
+      snap_config.path = "bench_monitoring_snapshots.jsonl";
+      snap_config.interval_seconds = 0.1;
+      snap_config.label = "bench_to_json";
+      obs::Snapshotter snapshotter(snap_config);
+      snapshotter.add_source("pool", &pool.metrics());
+      WNF_ASSERT(snapshotter.start());
+      BenchEntry entry = time_scenario(
+          "telemetry_overhead/monitoring_on", workload.size(),
+          [&] { monitored_checksum = serve_all(pool); });
+      snapshotter.stop();
+      entry.checksum = monitored_checksum;
+      entry.gated = false;
+      file.benches.push_back(std::move(entry));
+      std::remove("bench_monitoring_snapshots.jsonl");
+    }
+    WNF_ASSERT(monitored_checksum == off_checksum &&
+               "monitoring must not perturb the served bytes");
   }
 
   // The open-loop replay path (load/replay over the async pool pipeline):

@@ -17,13 +17,23 @@
 //
 // Run: ./recurring_failures [trials=120] [probes=8] [replicas=4] [seed=11]
 //                           [backend=serve] [batch=8]
+//                           [trace=out.json] [metrics=out.json]
+//                           [snapshot=out.jsonl]
 // (batch= sets the transport backend's probes-per-frame; bit-identical at
-// any batch size.)
+// any batch size. trace= exports a strict-JSON Chrome trace of the run,
+// metrics= the end-of-run registry snapshots, snapshot= attaches an
+// obs::Snapshotter streaming fixed-interval windows DURING the campaign —
+// on the transport backend the stream's sources include the fleet
+// registry, whose campaign rebind registers as a "reset":true window
+// whenever a window boundary lands between deployments. All
+// three exports are re-read and strict-linted before exit.)
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <fstream>
 #include <iostream>
 #include <memory>
+#include <sstream>
 #include <thread>
 
 #include "core/fep.hpp"
@@ -33,9 +43,68 @@
 #include "exec/transport_backend.hpp"
 #include "fault/campaign.hpp"
 #include "nn/builder.hpp"
+#include "obs/export.hpp"
+#include "obs/json.hpp"
+#include "obs/snapshot.hpp"
+#include "obs/trace.hpp"
 #include "transport/worker.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
+
+namespace {
+
+/// Strict-lints an exported JSON file; false (with a message) on any
+/// deviation from RFC 8259.
+bool lint_json_file(const std::string& path, const char* what) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "%s: cannot reopen %s\n", what, path.c_str());
+    return false;
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+  const wnf::obs::JsonLintResult lint = wnf::obs::json_lint(text.str());
+  if (!lint.ok) {
+    std::fprintf(stderr, "%s: %s is not strict JSON at offset %zu: %s\n",
+                 what, path.c_str(), lint.error_offset, lint.error.c_str());
+    return false;
+  }
+  return true;
+}
+
+/// Strict-lints a line-delimited snapshot stream (every line must lint
+/// independently); returns the window-line count, or -1 on any violation.
+long lint_snapshot_stream(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "snapshot export: cannot reopen %s\n", path.c_str());
+    return -1;
+  }
+  std::string line;
+  long windows = 0;
+  bool first = true;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    const wnf::obs::JsonLintResult lint = wnf::obs::json_lint(line);
+    if (!lint.ok) {
+      std::fprintf(stderr, "snapshot export: %s line %ld invalid: %s\n",
+                   path.c_str(), windows, lint.error.c_str());
+      return -1;
+    }
+    if (first) {
+      first = false;
+      if (line.find("\"kind\":\"header\"") == std::string::npos) {
+        std::fprintf(stderr, "snapshot export: missing header line\n");
+        return -1;
+      }
+    } else {
+      ++windows;
+    }
+  }
+  return windows;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace wnf;
@@ -47,7 +116,11 @@ int main(int argc, char** argv) {
   const auto batch = static_cast<std::size_t>(args.get_int("batch", 8));
   const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 11));
   const std::string backend = args.get_string("backend", "serve");
+  const std::string trace_path = args.get_string("trace", "");
+  const std::string metrics_path = args.get_string("metrics", "");
+  const std::string snapshot_path = args.get_string("snapshot", "");
   args.reject_unknown();
+  if (!trace_path.empty()) obs::set_enabled(true);
   if (backend != "serve" && backend != "transport" && backend != "sim" &&
       backend != "injector") {
     std::fprintf(stderr,
@@ -109,6 +182,7 @@ int main(int argc, char** argv) {
   // The same scenario on the simulator reference and the chosen backend.
   exec::SimulatorBackend simulator(net);
   std::unique_ptr<exec::EvalBackend> other;
+  exec::TransportBackend* transport_backend = nullptr;
   if (backend == "serve") {
     exec::ServeBackendOptions serve_options;
     serve_options.replicas = replicas;
@@ -129,16 +203,52 @@ int main(int argc, char** argv) {
           {static_cast<std::size_t>(k % victims), k * period * probes,
            (k * period + burst) * probes});
     }
-    other = std::make_unique<exec::TransportBackend>(net, transport_options);
+    auto transport_owner =
+        std::make_unique<exec::TransportBackend>(net, transport_options);
+    transport_backend = transport_owner.get();
+    other = std::move(transport_owner);
   } else if (backend == "sim") {
     other = std::make_unique<exec::SimulatorBackend>(net);
   } else {
     other = std::make_unique<exec::InjectorBackend>(net);
   }
+  // snapshot=: continuous windows over the campaign. Sources must exist
+  // before start(); the transport backend forks its campaign fleet lazily
+  // on the first run, so a one-trial warmup campaign creates it here —
+  // harmless for bit-identity because every campaign rebinds (restarting
+  // request ids on the same seed). The real campaign's rebind then resets
+  // the fleet registry mid-stream, which the Snapshotter detects (counters
+  // going backwards) and reports as "reset":true whenever a window
+  // boundary straddles it — per-deployment deltas, detected not configured.
+  std::unique_ptr<obs::Snapshotter> snapshotter;
+  if (!snapshot_path.empty()) {
+    if (transport_backend != nullptr) {
+      fault::TimelineCampaignConfig warmup = config;
+      warmup.trials = 1;
+      warmup.probes_per_trial = 1;
+      fault::run_timeline_campaign(net, serve::FaultTimeline{}, warmup,
+                                   *other);
+    }
+    obs::SnapshotterConfig snap_config;
+    snap_config.path = snapshot_path;
+    snap_config.interval_seconds = 0.025;
+    snap_config.label = "recurring_failures";
+    snapshotter = std::make_unique<obs::Snapshotter>(snap_config);
+    if (transport_backend != nullptr) {
+      snapshotter->add_source("fleet", &transport_backend->fleet()->metrics());
+    }
+    if (!snapshotter->start()) {
+      std::fprintf(stderr, "snapshot export: cannot open %s\n",
+                   snapshot_path.c_str());
+      return 1;
+    }
+  }
+
   const auto on_simulator =
       fault::run_timeline_campaign(net, timeline, config, simulator);
   const auto on_other =
       fault::run_timeline_campaign(net, timeline, config, *other);
+  if (snapshotter) snapshotter->stop();
   for (std::size_t t = 0; t < trials; ++t) {
     WNF_ASSERT(on_simulator.per_trial_error[t] == on_other.per_trial_error[t] &&
                "every backend must replay the scenario identically");
@@ -191,5 +301,51 @@ int main(int argc, char** argv) {
       backend == "transport"
           ? " — through three real SIGKILLed worker processes"
           : "");
+
+  // --- observability exports (trace= / metrics= / snapshot=), all
+  // re-read and strict-linted before a clean exit ---
+  if (!snapshot_path.empty()) {
+    const long windows = lint_snapshot_stream(snapshot_path);
+    if (windows < 1) {
+      std::fprintf(stderr, "snapshot export: stream has no valid window\n");
+      return 1;
+    }
+    std::printf("snapshot: %ld windows (every line strict-lints) -> %s\n",
+                windows, snapshot_path.c_str());
+  }
+  if (!metrics_path.empty()) {
+    std::vector<obs::NamedSnapshot> registries;
+    if (transport_backend != nullptr && transport_backend->fleet() != nullptr) {
+      // The fleet registry holds the LAST deployment's deltas: each
+      // campaign rebind resets it (per-deployment counters by design).
+      registries.push_back(
+          {"fleet", transport_backend->fleet()->metrics().snapshot()});
+    }
+    if (snapshotter) {
+      registries.push_back({"snapshot", snapshotter->metrics().snapshot()});
+    }
+    if (!obs::write_metrics_json_file(metrics_path, registries)) {
+      std::fprintf(stderr, "metrics export: cannot write %s\n",
+                   metrics_path.c_str());
+      return 1;
+    }
+    if (!lint_json_file(metrics_path, "metrics export")) return 1;
+    std::printf("metrics: %zu registries -> %s\n", registries.size(),
+                metrics_path.c_str());
+  }
+  if (!trace_path.empty()) {
+    const obs::ChromeTraceSummary summary =
+        obs::write_chrome_trace_file(trace_path, {});
+    if (!lint_json_file(trace_path, "trace export")) return 1;
+    // The serial sim/injector backends are uninstrumented: their trace is
+    // legitimately empty. The deployments must have recorded something.
+    const bool instrumented = backend == "serve" || backend == "transport";
+    if (instrumented && summary.events == 0) {
+      std::fprintf(stderr, "trace export: no events recorded\n");
+      return 1;
+    }
+    std::printf("trace: %zu events -> %s\n", summary.events,
+                trace_path.c_str());
+  }
   return 0;
 }

@@ -87,6 +87,22 @@ LoadReport replay(const ArrivalTrace& trace,
                                static_cast<double>(off) / window,
                                static_cast<double>(done) / window,
                                static_cast<double>(shed) / window});
+      if (config.snapshotter != nullptr) {
+        // The same window, rethreaded into the continuous snapshot
+        // stream: SLO attainment is completed over completed+shed (an
+        // idle window attains trivially).
+        obs::TenantSample sample;
+        sample.t_s = t;
+        sample.tenant = "tenant" + std::to_string(tenant);
+        sample.offered_rps = static_cast<double>(off) / window;
+        sample.completed_rps = static_cast<double>(done) / window;
+        sample.shed_rps = static_cast<double>(shed) / window;
+        sample.slo_attainment =
+            (done + shed) == 0
+                ? 1.0
+                : static_cast<double>(done) / static_cast<double>(done + shed);
+        config.snapshotter->add_tenant_sample(sample);
+      }
     }
   };
   auto maybe_sample = [&] {

@@ -27,6 +27,7 @@
 
 #include "load/trace.hpp"
 #include "obs/export.hpp"
+#include "obs/snapshot.hpp"
 #include "serve/pool.hpp"
 #include "serve/report.hpp"
 #include "transport/host.hpp"
@@ -118,6 +119,13 @@ struct OpenLoopConfig {
   /// feed for the metrics JSON exporter. 0 disables sampling; rates are
   /// wall-clock observations, so the series is diagnostic, not pinned.
   double sample_seconds = 0.0;
+  /// Optional continuous-monitoring hook: every banked time-series sample
+  /// is also handed to this Snapshotter (per-tenant offered/completed/
+  /// shed plus SLO attainment land in its current window), so a replay's
+  /// report can be reconstructed for any sub-interval of the snapshot
+  /// stream. Requires sample_seconds > 0 to have any effect; the
+  /// Snapshotter must outlive the replay call. Not owned.
+  obs::Snapshotter* snapshotter = nullptr;
 };
 
 /// Per-tenant slice of a replay (tenants index this vector).

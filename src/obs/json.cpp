@@ -1,5 +1,8 @@
 #include "obs/json.hpp"
 
+#include <cmath>
+#include <cstdio>
+
 namespace wnf::obs {
 
 namespace {
@@ -251,5 +254,34 @@ class Lint {
 }  // namespace
 
 JsonLintResult json_lint(std::string_view text) { return Lint(text).run(); }
+
+void json_append_string(std::string& out, std::string_view text) {
+  out.push_back('"');
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+void json_append_double(std::string& out, double v) {
+  if (!std::isfinite(v)) v = 0.0;
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  out += buf;
+}
 
 }  // namespace wnf::obs

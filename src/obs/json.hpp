@@ -25,4 +25,14 @@ struct JsonLintResult {
 /// malicious/corrupt file must not overflow the validator's stack).
 JsonLintResult json_lint(std::string_view text);
 
+/// Appends `text` to `out` as one quoted JSON string, escaping quotes,
+/// backslashes, and control bytes (the writer-side dual of the lint's
+/// escape grammar). Shared by every hand-written JSON emitter.
+void json_append_string(std::string& out, std::string_view text);
+
+/// Appends `v` to `out` with enough digits to round-trip a double.
+/// Non-finite values become 0.0 — JSON has no NaN/Inf and a lint failure
+/// in an exporter is worse than a clamped sample.
+void json_append_double(std::string& out, double v);
+
 }  // namespace wnf::obs

@@ -59,9 +59,18 @@ class Counter {
 /// A log2-bucketed histogram over positive doubles: bucket i covers
 /// (2^(i-1+kMinExp), 2^(i+kMinExp)], plus an underflow bucket for values
 /// <= 2^kMinExp and an overflow bucket at the top. Constant memory,
-/// lock-free observe; quantile() answers from bucket upper bounds (an
-/// estimate within one octave — report-pinned quantiles use
-/// util::SampleHistogram instead).
+/// lock-free observe; quantile() answers from bucket upper bounds.
+///
+/// Error bound: a quantile estimate is the inclusive upper edge of the
+/// bucket the cumulative count crosses in, so for any in-range value v
+/// the estimate q satisfies v <= q < 2*v — it never under-reports and
+/// over-reports by strictly less than one octave (a factor of 2, i.e.
+/// relative error < 100% one-sided). The bound is tight only when
+/// observations hug a bucket's lower edge; identical streams land in
+/// identical buckets, so the estimate itself is deterministic.
+/// test_obs.cpp pins p50/p99 against exact util::SampleHistogram on the
+/// same streams. Report-pinned quantiles (ServeReport/LoadReport) use
+/// SampleHistogram; LogHistogram is the constant-memory monitoring view.
 class LogHistogram {
  public:
   /// Bucket span: 2^-30 (~1ns in seconds) .. 2^32. 64 buckets total.

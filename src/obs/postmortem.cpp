@@ -1,0 +1,108 @@
+#include "obs/postmortem.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <utility>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/stat.h>
+#include <sys/types.h>
+#endif
+
+#include "obs/json.hpp"
+
+namespace wnf::obs {
+
+std::vector<PostmortemCounterDelta> postmortem_counter_deltas(
+    const MetricsSnapshot& now, const MetricsSnapshot& base) {
+  std::vector<PostmortemCounterDelta> deltas;
+  for (const auto& row : now.counters) {
+    const auto it = std::lower_bound(
+        base.counters.begin(), base.counters.end(), row.name,
+        [](const MetricsSnapshot::CounterRow& r, const std::string& n) {
+          return r.name < n;
+        });
+    const std::int64_t before =
+        (it != base.counters.end() && it->name == row.name) ? it->value : 0;
+    if (row.value == before) continue;
+    deltas.push_back({row.name, row.value - before});
+  }
+  return deltas;
+}
+
+PostmortemWriter::PostmortemWriter(PostmortemConfig config)
+    : config_(std::move(config)) {
+#if defined(__unix__) || defined(__APPLE__)
+  if (!config_.dir.empty()) ::mkdir(config_.dir.c_str(), 0755);  // EEXIST ok
+#endif
+}
+
+std::string PostmortemWriter::write(const PostmortemRecord& record) {
+  std::string body = "{\"kind\":\"postmortem\",\"seq\":";
+  body += std::to_string(seq_);
+  body += ",\"worker\":";
+  body += std::to_string(record.worker);
+  body += ",\"pid\":";
+  body += std::to_string(record.pid);
+  body += record.expected ? ",\"expected\":true" : ",\"expected\":false";
+  body += ",\"deployment\":";
+  body += std::to_string(record.deployment);
+  body += ",\"torn_slots\":";
+  body += std::to_string(record.torn_slots);
+
+  body += ",\"inflight_ids\":[";
+  for (std::size_t i = 0; i < record.inflight_ids.size(); ++i) {
+    if (i != 0) body += ",";
+    body += std::to_string(record.inflight_ids[i]);
+  }
+  body += "]";
+
+  body += ",\"recent_events\":[";
+  for (std::size_t i = 0; i < record.recent.size(); ++i) {
+    const TraceEvent& event = record.recent[i];
+    if (i != 0) body += ",";
+    body += "{\"ts_ns\":";
+    body += std::to_string(event.ts_ns);
+    body += ",\"name\":";
+    json_append_string(body, trace_name_string(event.name));
+    body += ",\"id\":";
+    body += std::to_string(event.id);
+    body += ",\"value\":";
+    body += std::to_string(event.value);
+    body += "}";
+  }
+  body += "]";
+
+  body += ",\"counter_deltas_since_flush\":[";
+  for (std::size_t i = 0; i < record.counter_deltas.size(); ++i) {
+    if (i != 0) body += ",";
+    body += "{\"name\":";
+    json_append_string(body, record.counter_deltas[i].name);
+    body += ",\"delta\":";
+    body += std::to_string(record.counter_deltas[i].delta);
+    body += "}";
+  }
+  body += "]}";
+
+  std::string path = config_.dir;
+  if (!path.empty() && path.back() != '/') path += '/';
+  path += "postmortem-" + std::to_string(seq_) + "-w" +
+          std::to_string(record.worker) + ".json";
+  ++seq_;
+
+  std::ofstream out(path, std::ios::trunc);
+  if (!out.is_open()) {
+    ++write_errors_;
+    return "";
+  }
+  out << body << '\n' << std::flush;
+  if (!out.good()) {
+    ++write_errors_;
+    return "";
+  }
+  ++written_;
+  instant(TraceName::kPostmortem, record.worker, seq_ - 1);
+  return path;
+}
+
+}  // namespace wnf::obs

@@ -1,0 +1,72 @@
+// Crash postmortems: when a worker process dies (detected EOF or
+// scripted SIGKILL), the host dumps a bounded forensic record — the
+// host-side last-N trace events it noted for that worker, the request
+// ids that were in flight, registry deltas since the worker's last
+// Telemetry flush, and the torn-slot count — as one self-contained JSON
+// artifact on disk. The artifact answers "what did worker 3 look like in
+// the seconds before it died?" without needing the (possibly truncated)
+// full trace of a long soak.
+//
+// The writer is deliberately dumb: the host hands it a fully materialized
+// record (built from driver-owned state only, so there is no race with
+// worker threads or the watchdog), and it serializes + writes. A write
+// failure is counted, never fatal — forensics must not kill the host.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace wnf::obs {
+
+struct PostmortemConfig {
+  std::string dir;  ///< artifacts land here (created if missing) as
+                    ///< postmortem-<seq>-w<worker>.json
+};
+
+/// One named counter delta since the worker's last Telemetry flush.
+struct PostmortemCounterDelta {
+  std::string name;
+  std::int64_t delta = 0;
+};
+
+/// Everything the host knows about one worker death, already bounded.
+struct PostmortemRecord {
+  std::size_t worker = 0;
+  std::int64_t pid = 0;
+  bool expected = false;   ///< scripted kill vs surprise EOF
+  std::uint64_t torn_slots = 0;  ///< seqlock-torn ring slots at death
+  std::uint64_t deployment = 0;  ///< rebind generation at death
+  std::vector<std::uint64_t> inflight_ids;
+  std::vector<TraceEvent> recent;  ///< host-side last-N events, oldest first
+  std::vector<PostmortemCounterDelta> counter_deltas;
+};
+
+/// Computes name-matched nonzero counter deltas `now - base` (metrics
+/// missing from `base` delta from zero).
+std::vector<PostmortemCounterDelta> postmortem_counter_deltas(
+    const MetricsSnapshot& now, const MetricsSnapshot& base);
+
+class PostmortemWriter {
+ public:
+  explicit PostmortemWriter(PostmortemConfig config);
+
+  /// Serializes `record` to the next artifact file. Returns the path, or
+  /// "" on failure (counted in written_errors(), never thrown).
+  std::string write(const PostmortemRecord& record);
+
+  std::uint64_t written() const { return written_; }
+  std::uint64_t write_errors() const { return write_errors_; }
+  const std::string& dir() const { return config_.dir; }
+
+ private:
+  PostmortemConfig config_;
+  std::uint64_t seq_ = 0;
+  std::uint64_t written_ = 0;
+  std::uint64_t write_errors_ = 0;
+};
+
+}  // namespace wnf::obs

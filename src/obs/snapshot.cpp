@@ -1,0 +1,264 @@
+#include "obs/snapshot.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+#include <utility>
+
+#include "obs/json.hpp"
+#include "obs/trace.hpp"
+
+namespace wnf::obs {
+
+namespace {
+
+/// Finds `name` in a name-sorted snapshot row vector; nullptr if absent.
+template <typename Row>
+const Row* find_row(const std::vector<Row>& rows, const std::string& name) {
+  const auto it = std::lower_bound(
+      rows.begin(), rows.end(), name,
+      [](const Row& row, const std::string& n) { return row.name < n; });
+  if (it == rows.end() || it->name != name) return nullptr;
+  return &*it;
+}
+
+/// True when any metric in `cur` went backwards vs `prev` — the registry
+/// was reset (rebind) between samples, so the window's baseline is zero.
+bool went_backwards(const MetricsSnapshot& cur, const MetricsSnapshot& prev) {
+  for (const auto& row : cur.counters) {
+    const auto* base = find_row(prev.counters, row.name);
+    if (base != nullptr && row.value < base->value) return true;
+  }
+  for (const auto& row : cur.histograms) {
+    const auto* base = find_row(prev.histograms, row.name);
+    if (base != nullptr && row.count < base->count) return true;
+  }
+  return false;
+}
+
+/// Window-local quantile over histogram bucket deltas, mirroring
+/// LogHistogram::quantile (bucket upper bound at the cumulative cross).
+double delta_quantile(
+    const std::vector<std::pair<double, std::uint64_t>>& deltas,
+    std::uint64_t total, double p) {
+  if (total == 0) return 0.0;
+  const double target = p * static_cast<double>(total);
+  std::uint64_t cumulative = 0;
+  double last_upper = 0.0;
+  for (const auto& [upper, count] : deltas) {
+    cumulative += count;
+    last_upper = upper;
+    if (static_cast<double>(cumulative) >= target && cumulative > 0) {
+      return upper;
+    }
+  }
+  return last_upper;
+}
+
+}  // namespace
+
+Snapshotter::Snapshotter(SnapshotterConfig config)
+    : config_(std::move(config)) {
+  windows_counter_ = &meta_.counter("obs.snapshot.windows");
+  tenant_samples_counter_ = &meta_.counter("obs.snapshot.tenant_samples");
+  resets_counter_ = &meta_.counter("obs.snapshot.source_resets");
+  write_errors_counter_ = &meta_.counter("obs.snapshot.write_errors");
+  add_source("obs", &meta_);
+}
+
+Snapshotter::~Snapshotter() { stop(); }
+
+void Snapshotter::add_source(std::string name,
+                             const MetricsRegistry* registry) {
+  Source source;
+  source.name = std::move(name);
+  source.registry = registry;
+  sources_.push_back(std::move(source));
+}
+
+void Snapshotter::add_tenant_sample(const TenantSample& sample) {
+  {
+    const std::lock_guard<std::mutex> lock(tenant_mutex_);
+    pending_tenants_.push_back(sample);
+  }
+  tenant_samples_counter_->add(1);
+}
+
+bool Snapshotter::start() {
+  if (running_) return true;
+  out_.open(config_.path, std::ios::trunc);
+  if (!out_.is_open()) return false;
+
+  std::string line = "{\"kind\":\"header\",\"stream\":";
+  json_append_string(line, config_.label);
+  line += ",\"interval_s\":";
+  json_append_double(line, config_.interval_seconds);
+  line += ",\"sources\":[";
+  for (std::size_t i = 0; i < sources_.size(); ++i) {
+    if (i != 0) line += ",";
+    json_append_string(line, sources_[i].name);
+  }
+  line += "]}";
+  out_ << line << '\n' << std::flush;
+
+  // Baseline every source now so window 0 holds only post-start deltas.
+  for (Source& source : sources_) source.prev = source.registry->snapshot();
+  seq_ = 0;
+  epoch_ = std::chrono::steady_clock::now();
+  stop_requested_ = false;
+  running_ = true;
+  thread_ = std::thread([this] { run(); });
+  return true;
+}
+
+void Snapshotter::stop() {
+  if (!running_) return;
+  {
+    const std::lock_guard<std::mutex> lock(wake_mutex_);
+    stop_requested_ = true;
+  }
+  wake_.notify_all();
+  thread_.join();
+  running_ = false;
+  out_.close();
+}
+
+std::uint64_t Snapshotter::windows() const {
+  return static_cast<std::uint64_t>(windows_counter_->value());
+}
+
+void Snapshotter::run() {
+  const auto interval = std::chrono::duration<double>(config_.interval_seconds);
+  double t0 = 0.0;
+  std::unique_lock<std::mutex> lock(wake_mutex_);
+  for (;;) {
+    const auto deadline =
+        epoch_ + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                     interval * static_cast<double>(seq_ + 1));
+    const bool stopping = wake_.wait_until(
+        lock, deadline, [this] { return stop_requested_; });
+    const double t1 =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - epoch_)
+            .count();
+    lock.unlock();
+    flush_window(t0, t1);  // on stop this is the final partial window
+    t0 = t1;
+    lock.lock();
+    if (stopping || stop_requested_) break;
+  }
+}
+
+void Snapshotter::flush_window(double t0_s, double t1_s) {
+  std::string line = "{\"kind\":\"window\",\"seq\":";
+  line += std::to_string(seq_);
+  line += ",\"t0_s\":";
+  json_append_double(line, t0_s);
+  line += ",\"t1_s\":";
+  json_append_double(line, t1_s);
+  line += ",\"sources\":[";
+
+  for (std::size_t s = 0; s < sources_.size(); ++s) {
+    Source& source = sources_[s];
+    MetricsSnapshot cur = source.registry->snapshot();
+    const bool reset = went_backwards(cur, source.prev);
+    if (reset) resets_counter_->add(1);
+    const MetricsSnapshot empty;
+    const MetricsSnapshot& base = reset ? empty : source.prev;
+
+    if (s != 0) line += ",";
+    line += "{\"name\":";
+    json_append_string(line, source.name);
+    line += reset ? ",\"reset\":true" : ",\"reset\":false";
+
+    line += ",\"counters\":[";
+    bool first = true;
+    for (const auto& row : cur.counters) {
+      const auto* prev_row = find_row(base.counters, row.name);
+      const std::int64_t delta =
+          row.value - (prev_row != nullptr ? prev_row->value : 0);
+      if (delta == 0) continue;
+      if (!first) line += ",";
+      first = false;
+      line += "{\"name\":";
+      json_append_string(line, row.name);
+      line += ",\"delta\":";
+      line += std::to_string(delta);
+      line += "}";
+    }
+    line += "]";
+
+    line += ",\"histograms\":[";
+    first = true;
+    for (const auto& row : cur.histograms) {
+      const auto* prev_row = find_row(base.histograms, row.name);
+      std::unordered_map<double, std::uint64_t> prev_buckets;
+      if (prev_row != nullptr) {
+        for (const auto& bucket : prev_row->buckets) {
+          prev_buckets[bucket.upper] = bucket.count;
+        }
+      }
+      std::vector<std::pair<double, std::uint64_t>> deltas;
+      std::uint64_t total = 0;
+      for (const auto& bucket : row.buckets) {
+        const auto it = prev_buckets.find(bucket.upper);
+        const std::uint64_t prev_count =
+            it != prev_buckets.end() ? it->second : 0;
+        if (bucket.count <= prev_count) continue;
+        const std::uint64_t d = bucket.count - prev_count;
+        deltas.emplace_back(bucket.upper, d);
+        total += d;
+      }
+      if (total == 0) continue;
+      const double prev_sum = prev_row != nullptr ? prev_row->sum : 0.0;
+      if (!first) line += ",";
+      first = false;
+      line += "{\"name\":";
+      json_append_string(line, row.name);
+      line += ",\"count\":";
+      line += std::to_string(total);
+      line += ",\"sum\":";
+      json_append_double(line, row.sum - prev_sum);
+      line += ",\"p50\":";
+      json_append_double(line, delta_quantile(deltas, total, 0.50));
+      line += ",\"p99\":";
+      json_append_double(line, delta_quantile(deltas, total, 0.99));
+      line += "}";
+    }
+    line += "]}";
+
+    source.prev = std::move(cur);
+  }
+  line += "],\"tenants\":[";
+
+  std::vector<TenantSample> tenants;
+  {
+    const std::lock_guard<std::mutex> lock(tenant_mutex_);
+    tenants.swap(pending_tenants_);
+  }
+  for (std::size_t i = 0; i < tenants.size(); ++i) {
+    const TenantSample& sample = tenants[i];
+    if (i != 0) line += ",";
+    line += "{\"tenant\":";
+    json_append_string(line, sample.tenant);
+    line += ",\"t_s\":";
+    json_append_double(line, sample.t_s);
+    line += ",\"offered_rps\":";
+    json_append_double(line, sample.offered_rps);
+    line += ",\"completed_rps\":";
+    json_append_double(line, sample.completed_rps);
+    line += ",\"shed_rps\":";
+    json_append_double(line, sample.shed_rps);
+    line += ",\"slo\":";
+    json_append_double(line, sample.slo_attainment);
+    line += "}";
+  }
+  line += "]}";
+
+  out_ << line << '\n' << std::flush;
+  if (!out_.good()) write_errors_counter_->add(1);
+  windows_counter_->add(1);
+  instant(TraceName::kSnapshotWindow, seq_,
+          static_cast<std::uint64_t>(line.size()) + 1);
+  ++seq_;
+}
+
+}  // namespace wnf::obs

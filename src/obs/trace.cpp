@@ -171,6 +171,11 @@ const char* trace_name_string(TraceName name) {
     case TraceName::kReplay: return "replay";
     case TraceName::kQueueDepth: return "queue_depth";
     case TraceName::kInflightFrames: return "inflight_frames";
+    case TraceName::kWatchdogStall: return "watchdog_stall";
+    case TraceName::kWatchdogRecover: return "watchdog_recover";
+    case TraceName::kWatchdogRespawn: return "watchdog_respawn";
+    case TraceName::kSnapshotWindow: return "snapshot_window";
+    case TraceName::kPostmortem: return "postmortem";
     case TraceName::kNameCount: break;
   }
   return "unknown";

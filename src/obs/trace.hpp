@@ -78,6 +78,15 @@ enum class TraceName : std::uint16_t {
   // Counter tracks.
   kQueueDepth = 20,      ///< counter: accepted - delivered
   kInflightFrames = 21,  ///< counter: un-answered BatchRequest frames
+  // Continuous monitoring (watchdog thread + snapshot sampler).
+  kWatchdogStall = 22,    ///< instant: channel stalled (id=channel,
+                          ///< value=ms without progress)
+  kWatchdogRecover = 23,  ///< instant: stalled channel progressed again
+  kWatchdogRespawn = 24,  ///< instant: watchdog forced a respawn
+  kSnapshotWindow = 25,   ///< instant: one snapshot window flushed
+                          ///< (id=window seq, value=bytes written)
+  kPostmortem = 26,       ///< instant: postmortem artifact written
+                          ///< (id=worker, value=artifact seq)
   kNameCount  // keep last
 };
 

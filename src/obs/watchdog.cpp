@@ -1,0 +1,147 @@
+#include "obs/watchdog.hpp"
+
+#include <utility>
+
+#include "obs/trace.hpp"
+
+namespace wnf::obs {
+
+Watchdog::Watchdog(WatchdogConfig config) : config_(config) {
+  if (config_.degrade_seconds <= 0.0) {
+    config_.degrade_seconds = 2.0 * config_.stall_seconds;
+  }
+  polls_ = &registry_.counter("obs.watchdog.polls");
+  stalls_ = &registry_.counter("obs.watchdog.stalls");
+  degraded_ = &registry_.counter("obs.watchdog.degraded");
+  respawns_ = &registry_.counter("obs.watchdog.forced_respawns");
+  recoveries_ = &registry_.counter("obs.watchdog.recoveries");
+}
+
+Watchdog::~Watchdog() { stop(); }
+
+std::size_t Watchdog::add_channel(std::string name, ProgressFn progress,
+                                  ActiveFn active) {
+  Channel& channel = channels_.emplace_back();
+  channel.name = std::move(name);
+  channel.progress = std::move(progress);
+  channel.active = std::move(active);
+  // Baseline now so tick() on a never-started watchdog measures stalls
+  // from registration, not from the clock's epoch (start() re-baselines).
+  channel.last_progress = channel.progress();
+  channel.last_change = std::chrono::steady_clock::now();
+  return channels_.size() - 1;
+}
+
+void Watchdog::set_stall_callback(StallCallback callback) {
+  stall_callback_ = std::move(callback);
+}
+
+void Watchdog::set_respawn(RespawnFn respawn) {
+  respawn_ = std::move(respawn);
+}
+
+void Watchdog::start() {
+  if (running_) return;
+  const auto now = std::chrono::steady_clock::now();
+  for (Channel& channel : channels_) {
+    channel.last_progress = channel.progress();
+    channel.last_change = now;
+    channel.stage = 0;
+    channel.health.store(0, std::memory_order_relaxed);
+  }
+  stop_requested_ = false;
+  running_ = true;
+  thread_ = std::thread([this] { run(); });
+}
+
+void Watchdog::stop() {
+  if (!running_) return;
+  {
+    const std::lock_guard<std::mutex> lock(wake_mutex_);
+    stop_requested_ = true;
+  }
+  wake_.notify_all();
+  thread_.join();
+  running_ = false;
+}
+
+void Watchdog::tick() {
+  poll_channels(std::chrono::steady_clock::now());
+}
+
+ChannelHealth Watchdog::health(std::size_t channel) const {
+  return static_cast<ChannelHealth>(
+      channels_[channel].health.load(std::memory_order_relaxed));
+}
+
+void Watchdog::run() {
+  const auto period = std::chrono::duration_cast<
+      std::chrono::steady_clock::duration>(
+      std::chrono::duration<double>(config_.poll_seconds));
+  std::unique_lock<std::mutex> lock(wake_mutex_);
+  while (!stop_requested_) {
+    const bool stopping =
+        wake_.wait_for(lock, period, [this] { return stop_requested_; });
+    if (stopping) break;
+    lock.unlock();
+    poll_channels(std::chrono::steady_clock::now());
+    lock.lock();
+  }
+}
+
+void Watchdog::poll_channels(std::chrono::steady_clock::time_point now) {
+  polls_->add(1);
+  for (std::size_t i = 0; i < channels_.size(); ++i) {
+    Channel& channel = channels_[i];
+    const std::uint64_t progress = channel.progress();
+    const bool active = channel.active();
+
+    if (progress != channel.last_progress || !active) {
+      // Any change closes an episode; inactivity disarms the deadline.
+      channel.last_progress = progress;
+      channel.last_change = now;
+      if (channel.stage != 0) {
+        channel.stage = 0;
+        channel.health.store(static_cast<int>(ChannelHealth::kHealthy),
+                             std::memory_order_relaxed);
+        recoveries_->add(1);
+        instant(TraceName::kWatchdogRecover, i, progress);
+      }
+      continue;
+    }
+
+    const double age =
+        std::chrono::duration<double>(now - channel.last_change).count();
+    if (channel.stage == 0 && age >= config_.stall_seconds) {
+      channel.stage = 1;
+      channel.health.store(static_cast<int>(ChannelHealth::kStalled),
+                           std::memory_order_relaxed);
+      stalls_->add(1);
+      instant(TraceName::kWatchdogStall, i,
+              static_cast<std::uint64_t>(age * 1e3));
+      if (stall_callback_) {
+        StallEvent event;
+        event.channel = i;
+        event.name = channel.name;
+        event.stalled_seconds = age;
+        event.progress = progress;
+        stall_callback_(event);
+      }
+    }
+    if (channel.stage == 1 && age >= config_.degrade_seconds) {
+      channel.stage = 2;
+      channel.health.store(static_cast<int>(ChannelHealth::kDegraded),
+                           std::memory_order_relaxed);
+      degraded_->add(1);
+    }
+    if (channel.stage == 2 && respawn_ && config_.respawn_seconds > 0.0 &&
+        age >= config_.respawn_seconds) {
+      channel.stage = 3;  // fired; episode stays open until progress moves
+      respawns_->add(1);
+      instant(TraceName::kWatchdogRespawn, i, progress);
+      respawn_(i);
+    }
+  }
+}
+
+}  // namespace wnf::obs

@@ -51,6 +51,16 @@ std::vector<serve::RequestResult> WorkerHost::drain() { return {}; }
 serve::ServeReport WorkerHost::report() const { return {}; }
 std::size_t WorkerHost::alive_workers() const { return 0; }
 int WorkerHost::worker_pid(std::size_t) const { return -1; }
+std::uint64_t WorkerHost::health_progress(std::size_t) const { return 0; }
+bool WorkerHost::health_active(std::size_t) const { return false; }
+int WorkerHost::health_pid(std::size_t) const { return -1; }
+std::uint64_t WorkerHost::health_delivered() const { return 0; }
+std::uint64_t WorkerHost::health_outstanding() const { return 0; }
+void WorkerHost::force_kill_worker(std::size_t) {}
+void WorkerHost::publish_health() {}
+void WorkerHost::note_worker_event(std::size_t, obs::TraceName,
+                                   std::uint64_t, std::uint64_t) {}
+void WorkerHost::write_postmortem(std::size_t, bool, std::uint64_t, int) {}
 
 #else
 
@@ -124,6 +134,12 @@ WorkerHost::WorkerHost(TransportConfig config)
   batch_probes_hist_ = &metrics_.histogram("transport.batch_probes");
   trace_tag_ = obs::next_span_id() << 32;
   workers_.resize(config_.workers);
+  health_ = std::make_unique<WorkerHealth[]>(workers_.size());
+  if (!config_.postmortem_dir.empty()) {
+    WNF_EXPECTS(config_.postmortem_events > 0);
+    postmortem_ = std::make_unique<obs::PostmortemWriter>(
+        obs::PostmortemConfig{config_.postmortem_dir});
+  }
   if (config_.use_rings && rings_available()) {
     WNF_EXPECTS(config_.ring_capacity > 0);
     // The mappings must exist before the first fork so every child
@@ -137,6 +153,7 @@ WorkerHost::WorkerHost(TransportConfig config)
     }
   }
   for (std::size_t w = 0; w < workers_.size(); ++w) spawn(w);
+  publish_health();
 }
 
 WorkerHost::WorkerHost(const nn::FeedForwardNetwork& net,
@@ -219,6 +236,12 @@ void WorkerHost::rebind(const nn::FeedForwardNetwork& net,
   ++rebinds_;
   trace_tag_ = obs::next_span_id() << 32;
   obs::instant(obs::TraceName::kRebindEvent, rebinds_);
+  if (postmortem_) {
+    // The registry just reset; stale flush baselines would make every
+    // postmortem delta negative for the rest of the deployment.
+    for (auto& worker : workers_) worker.flush_base = metrics_.snapshot();
+  }
+  publish_health();
 }
 
 WorkerHost::~WorkerHost() {
@@ -240,8 +263,26 @@ WorkerHost::~WorkerHost() {
     // returns on its EOF immediately.
     if (obs::enabled()) drain_final_telemetry(worker);
     ::close(worker.fd);
+    // Bounded reap: a wedged worker (e.g. SIGSTOPped by an operator or a
+    // watchdog test) never sees the EOF, so a plain blocking waitpid would
+    // hang the destructor forever. Give it a grace window, then make the
+    // death real.
     int status = 0;
-    ::waitpid(worker.pid, &status, 0);
+    const auto reap_deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(2);
+    bool reaped = false;
+    while (std::chrono::steady_clock::now() < reap_deadline) {
+      const pid_t done = ::waitpid(worker.pid, &status, WNOHANG);
+      if (done == worker.pid || (done < 0 && errno != EINTR)) {
+        reaped = true;
+        break;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    if (!reaped) {
+      ::kill(worker.pid, SIGKILL);
+      ::waitpid(worker.pid, &status, 0);
+    }
   }
 }
 
@@ -334,7 +375,14 @@ void WorkerHost::spawn(std::size_t w) {
   worker.ramp = 0;
   worker.epoch = 0;
   worker.control_gen = 0;
+  ++worker.spawns;
   ++total_spawns_;
+  if (postmortem_) {
+    // A fresh process starts a fresh flush window for its postmortem.
+    worker.flush_base = metrics_.snapshot();
+    note_worker_event(w, obs::TraceName::kRespawn, w,
+                      static_cast<std::uint64_t>(pid));
+  }
   // An unbound fleet forks and greets but ships nothing; the first
   // rebind() supplies the network.
   if (net_ != nullptr) {
@@ -493,9 +541,92 @@ int WorkerHost::worker_pid(std::size_t worker) const {
   return workers_[worker].alive ? workers_[worker].pid : -1;
 }
 
+void WorkerHost::publish_health() {
+  for (std::size_t w = 0; w < workers_.size(); ++w) {
+    const WorkerState& worker = workers_[w];
+    health_[w].progress.store(worker.harvested_total + worker.spawns,
+                              std::memory_order_relaxed);
+    health_[w].inflight.store(worker.inflight.size(),
+                              std::memory_order_relaxed);
+    health_[w].pid.store(worker.alive ? worker.pid : -1,
+                         std::memory_order_relaxed);
+    health_[w].alive.store(worker.alive, std::memory_order_relaxed);
+  }
+  health_delivered_.store(delivered_total_, std::memory_order_relaxed);
+  health_outstanding_.store(outstanding_, std::memory_order_relaxed);
+}
+
+std::uint64_t WorkerHost::health_progress(std::size_t w) const {
+  WNF_EXPECTS(w < config_.workers);
+  return health_[w].progress.load(std::memory_order_relaxed);
+}
+
+bool WorkerHost::health_active(std::size_t w) const {
+  WNF_EXPECTS(w < config_.workers);
+  return health_[w].alive.load(std::memory_order_relaxed) &&
+         health_[w].inflight.load(std::memory_order_relaxed) > 0;
+}
+
+int WorkerHost::health_pid(std::size_t w) const {
+  WNF_EXPECTS(w < config_.workers);
+  return health_[w].pid.load(std::memory_order_relaxed);
+}
+
+std::uint64_t WorkerHost::health_delivered() const {
+  return health_delivered_.load(std::memory_order_relaxed);
+}
+
+std::uint64_t WorkerHost::health_outstanding() const {
+  return health_outstanding_.load(std::memory_order_relaxed);
+}
+
+void WorkerHost::force_kill_worker(std::size_t w) {
+  WNF_EXPECTS(w < config_.workers);
+  // The mirror pid, not workers_[w].pid: this runs on the watchdog
+  // thread. A stale pid is harmless — the process is already reaped, the
+  // kill hits nothing (pids are not recycled fast enough to matter within
+  // a poll period), and the driver's own recovery already ran.
+  const int pid = health_[w].pid.load(std::memory_order_relaxed);
+  if (pid > 0) ::kill(pid, SIGKILL);
+}
+
+void WorkerHost::note_worker_event(std::size_t w, obs::TraceName name,
+                                   std::uint64_t id, std::uint64_t value) {
+  if (!postmortem_) return;
+  WorkerState& worker = workers_[w];
+  obs::TraceEvent event;
+  event.ts_ns = obs::trace_clock_ns();
+  event.id = id;
+  event.value = value;
+  event.name = name;
+  event.kind = obs::EventKind::kInstant;
+  worker.recent.push_back(event);
+  while (worker.recent.size() > config_.postmortem_events) {
+    worker.recent.pop_front();
+  }
+}
+
+void WorkerHost::write_postmortem(std::size_t w, bool expected,
+                                  std::uint64_t torn, int pid) {
+  if (!postmortem_) return;
+  const WorkerState& worker = workers_[w];
+  obs::PostmortemRecord record;
+  record.worker = w;
+  record.pid = pid;
+  record.expected = expected;
+  record.torn_slots = torn;
+  record.deployment = rebinds_;
+  record.inflight_ids.assign(worker.inflight.begin(), worker.inflight.end());
+  record.recent.assign(worker.recent.begin(), worker.recent.end());
+  record.counter_deltas =
+      obs::postmortem_counter_deltas(metrics_.snapshot(), worker.flush_base);
+  (void)postmortem_->write(record);
+}
+
 void WorkerHost::worker_died(std::size_t w, bool expected) {
   WorkerState& worker = workers_[w];
   if (!worker.alive) return;
+  const int dead_pid = worker.pid;
   worker.alive = false;
   ::close(worker.fd);
   worker.fd = -1;
@@ -512,11 +643,18 @@ void WorkerHost::worker_died(std::size_t w, bool expected) {
   // genuinely unanswered probes resubmit. A started-but-uncommitted write
   // at the head is the torn slot: counted here, recovered below by the
   // same resubmission path as any unacknowledged probe.
+  std::uint64_t torn = 0;
   if (worker.rings) {
     std::size_t harvested = 0;
     (void)harvest_result_ring(w, harvested);
-    if (worker.rings->result_head_torn()) ring_torn_count_->increment();
+    if (worker.rings->result_head_torn()) {
+      torn = 1;
+      ring_torn_count_->increment();
+    }
   }
+  // Forensics first: the record wants the in-flight ids this death is
+  // about to hand back to the dispatcher.
+  write_postmortem(w, expected, torn, dead_pid);
   // The dead worker's outstanding requests go back to the dispatcher; the
   // per-request Rng state makes the re-run bit-identical wherever it lands.
   resubmitted_count_->add(static_cast<std::int64_t>(worker.inflight.size()));
@@ -547,6 +685,8 @@ void WorkerHost::kill_worker(std::size_t w, std::uint64_t recover_at) {
   if (worker.alive) {
     obs::instant(obs::TraceName::kSigkill, w,
                  static_cast<std::uint64_t>(worker.pid));
+    note_worker_event(w, obs::TraceName::kSigkill, w,
+                      static_cast<std::uint64_t>(worker.pid));
     ::kill(worker.pid, SIGKILL);
     worker_died(w, /*expected=*/true);
   }
@@ -683,6 +823,9 @@ void WorkerHost::dispatch_rings() {
     WorkerState& worker = workers_[w];
     if (!worker.ring_dispatched) continue;
     worker.ring_dispatched = false;
+    note_worker_event(w, obs::TraceName::kDispatch,
+                      worker.inflight.empty() ? 0 : worker.inflight.back(),
+                      worker.inflight.size());
     if (worker.rings->take_request_doorbell()) ring_doorbell(w);
   }
 }
@@ -774,6 +917,8 @@ void WorkerHost::dispatch() {
     }
     batch_frames_count_->increment();
     batch_probes_hist_->observe(static_cast<double>(batch_ids.size()));
+    note_worker_event(target, obs::TraceName::kEncode, batch_ids.front(),
+                      batch_ids.size());
     if (obs::enabled()) {
       // One wire span per probe, spanning frame-out to result harvested
       // (or to worker death, where worker_died ends it early).
@@ -823,6 +968,7 @@ void WorkerHost::service_worker(std::size_t w, bool readable, bool writable) {
     obs::async_end(obs::TraceName::kWire, trace_tag_ + entry.id);
     completions_.push({entry.id, entry.output, entry.completion_time,
                        static_cast<std::size_t>(entry.resets_sent)});
+    ++worker.harvested_total;
     deaths_without_progress_ = 0;  // the fleet is serving; healing works
     return true;
   };
@@ -863,6 +1009,12 @@ void WorkerHost::service_worker(std::size_t w, bool readable, bool writable) {
         dead = true;
         break;
       }
+      if (postmortem_) {
+        // A flush resets the "deltas since last flush" postmortem window.
+        worker.flush_base = metrics_.snapshot();
+        note_worker_event(w, obs::TraceName::kWorkerFlush, 0,
+                          frame.payload.size());
+      }
       continue;
     }
     if (frame.type != MessageType::kBatchResult || !worker.hello_seen) {
@@ -880,6 +1032,8 @@ void WorkerHost::service_worker(std::size_t w, bool readable, bool writable) {
     }
     result_frames_count_->increment();
     obs::instant(obs::TraceName::kHarvest, w, batch_result->results.size());
+    note_worker_event(w, obs::TraceName::kHarvest, worker.inflight.size(),
+                      batch_result->results.size());
     for (const BatchResultEntry& entry : batch_result->results) {
       if (!harvest(entry)) {
         dead = true;
@@ -897,6 +1051,7 @@ void WorkerHost::service_worker(std::size_t w, bool readable, bool writable) {
 
 bool WorkerHost::harvest_result_ring(std::size_t w, std::size_t& harvested) {
   WorkerState& worker = workers_[w];
+  const std::size_t before = harvested;
   ResultSlot* slot = nullptr;
   while ((slot = worker.rings->peek_result()) != nullptr) {
     // Same acceptance contract as the framed harvest: an answer the host
@@ -925,7 +1080,12 @@ bool WorkerHost::harvest_result_ring(std::size_t w, std::size_t& harvested) {
                        static_cast<std::size_t>(slot->resets_sent)});
     worker.rings->pop_result();
     deaths_without_progress_ = 0;
+    ++worker.harvested_total;
     ++harvested;
+  }
+  if (harvested > before) {
+    note_worker_event(w, obs::TraceName::kHarvest, worker.inflight.size(),
+                      harvested - before);
   }
   return true;
 }
@@ -986,6 +1146,9 @@ void WorkerHost::pump(bool block) {
     if (workers_[w].alive) flush_outbox(w);
   }
   const std::size_t harvested = harvest_rings();
+  // Fresh health before any park below: a watchdog sampling while the
+  // driver sleeps in poll() must see post-dispatch, post-harvest state.
+  publish_health();
 
   // Poll the live workers; a death surfaces as EOF/HUP on its socket. The
   // socket is polled every pump even on the ring path — deaths, Hello,
@@ -1052,6 +1215,7 @@ void WorkerHost::pump(bool block) {
                    (fds[i].revents & POLLOUT) != 0);
   }
   harvest_rings();
+  publish_health();
 }
 
 void WorkerHost::delivered(const serve::RequestResult& result) {
@@ -1063,12 +1227,16 @@ void WorkerHost::delivered(const serve::RequestResult& result) {
     obs::counter(obs::TraceName::kQueueDepth, outstanding_ - 1);
   }
   WNF_ASSERT(outstanding_ > 0);
+  ++delivered_total_;
   if (--outstanding_ == 0) {
     // The pipeline just went idle: close the busy interval that opened at
     // the first submit into an idle pipeline.
     wall_seconds_ += std::chrono::duration<double>(
                          std::chrono::steady_clock::now() - busy_start_)
                          .count();
+    // And disarm the watchdog: an idle fleet has no stall deadline, and
+    // the driver may not pump again for a long time.
+    publish_health();
   }
 }
 

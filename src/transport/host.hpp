@@ -21,9 +21,11 @@
 // *where* a request is computed, never *what* it computes.
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <deque>
+#include <memory>
 #include <optional>
 #include <span>
 #include <unordered_map>
@@ -33,6 +35,7 @@
 #include "dist/sim.hpp"
 #include "nn/network.hpp"
 #include "obs/metrics.hpp"
+#include "obs/postmortem.hpp"
 #include "transport/codec.hpp"
 #include "transport/ring.hpp"
 #include "serve/completion.hpp"
@@ -88,6 +91,15 @@ struct TransportConfig {
   /// torn-slot detection and resubmission path can be exercised
   /// deterministically. Fires at most once per host; ~0 disarms.
   std::uint64_t debug_tear_result_at = ~std::uint64_t{0};
+  /// When non-empty, every worker death (scripted SIGKILL or surprise
+  /// EOF) dumps a bounded forensic JSON artifact into this directory
+  /// (created if missing) — see obs::PostmortemWriter for the schema.
+  std::string postmortem_dir;
+  /// Host-side flight-recorder window per worker: the last N events the
+  /// driver noted about that worker (dispatches, harvests, kills,
+  /// telemetry flushes) that a postmortem replays. Only kept when
+  /// postmortem_dir is set; never touched on the probe hot path.
+  std::size_t postmortem_events = 48;
 };
 
 /// What changes when a live fleet is rebound (WorkerHost::rebind). Unset
@@ -279,6 +291,39 @@ class WorkerHost {
   /// worker externally), or -1 when the worker is currently dead.
   int worker_pid(std::size_t worker) const;
 
+  // --- Continuous-monitoring health mirror --------------------------------
+  // Relaxed-atomic per-worker health the driver publishes at pump
+  // boundaries (never per probe — no new atomics in request flow), for an
+  // obs::Watchdog sampling from its own thread. See
+  // transport::attach_fleet_watchdog (monitor.hpp) for the canonical
+  // wiring.
+
+  /// Opaque progress odometer for worker `w`: results harvested from it
+  /// plus times it (re)spawned. Any change between samples means the
+  /// worker moved; frozen while health_active() means it is wedged.
+  std::uint64_t health_progress(std::size_t w) const;
+  /// True when worker `w` is alive and owes results (a stall deadline
+  /// should be armed).
+  bool health_active(std::size_t w) const;
+  /// The worker's pid as last published, -1 when dead.
+  int health_pid(std::size_t w) const;
+  /// Lifetime results delivered through poll()/wait() — the fleet-level
+  /// progress odometer (paired with health_outstanding() as its gate).
+  std::uint64_t health_delivered() const;
+  std::uint64_t health_outstanding() const;
+
+  /// SIGKILLs worker `w`'s process. Safe from any thread (the watchdog's
+  /// forced-respawn hook): the driver sees the EOF on its next pump and
+  /// the existing recovery machinery (resubmit to survivors + respawn)
+  /// takes over — results are bit-identical by construction, because
+  /// killing a worker at any moment never changes what gets computed.
+  void force_kill_worker(std::size_t w);
+
+  /// The postmortem writer, or nullptr when postmortem_dir was empty.
+  const obs::PostmortemWriter* postmortems() const {
+    return postmortem_.get();
+  }
+
  private:
   static constexpr std::size_t kNoSegment = ~std::size_t{0};
 
@@ -320,6 +365,20 @@ class WorkerHost {
     /// The host control_gen_ this worker's applied deployment state
     /// matches; lets rebind() skip re-sending an identical deployment.
     std::uint64_t control_gen = 0;
+    /// Results harvested from this worker (frames + rings), lifetime —
+    /// half of the health-mirror progress odometer. Plain field: only the
+    /// driver touches it; publish_health() copies it into the atomics.
+    std::uint64_t harvested_total = 0;
+    /// Times this slot forked a process, lifetime (the other half).
+    std::uint64_t spawns = 0;
+    /// Host-side flight recorder for postmortems: the last few events the
+    /// driver noted about this worker, bounded at
+    /// TransportConfig::postmortem_events. Empty when postmortems are off.
+    std::deque<obs::TraceEvent> recent;
+    /// Registry snapshot at this worker's last Telemetry flush (or its
+    /// spawn) — postmortems report counter deltas against it. Only
+    /// maintained when postmortems are on.
+    obs::MetricsSnapshot flush_base;
   };
 
   struct ScriptWindow {
@@ -384,6 +443,19 @@ class WorkerHost {
   /// until EOF (bounded wait) so the worker's final telemetry flush is
   /// harvested instead of lost with the close.
   void drain_final_telemetry(WorkerState& worker);
+  /// Copies driver-owned health (per-worker progress/inflight/pid, fleet
+  /// delivered/outstanding) into the relaxed-atomic mirror. Called at
+  /// pump boundaries and when the pipeline goes idle — pump granularity,
+  /// never per probe.
+  void publish_health();
+  /// Appends one event to `w`'s bounded flight-recorder window. No-op
+  /// unless postmortems are on.
+  void note_worker_event(std::size_t w, obs::TraceName name,
+                         std::uint64_t id, std::uint64_t value);
+  /// Builds and writes the forensic artifact for `w`'s death (worker_died
+  /// calls this before it clears the in-flight list).
+  void write_postmortem(std::size_t w, bool expected, std::uint64_t torn,
+                        int pid);
 
   const nn::FeedForwardNetwork* net_ = nullptr;  ///< null until first bind
   TransportConfig config_;
@@ -459,6 +531,24 @@ class WorkerHost {
   /// Disambiguates async trace ids across deployments: every rebind gets
   /// a fresh tag, and a request's async span id is tag + request id.
   std::uint64_t trace_tag_ = 0;
+
+  /// One cache line per worker of relaxed atomics — the only state the
+  /// watchdog thread reads. Fixed-size array allocated at construction,
+  /// so readers never race a reallocation.
+  struct alignas(64) WorkerHealth {
+    std::atomic<std::uint64_t> progress{0};
+    std::atomic<std::uint64_t> inflight{0};
+    std::atomic<int> pid{-1};
+    std::atomic<bool> alive{false};
+  };
+  std::unique_ptr<WorkerHealth[]> health_;
+  std::atomic<std::uint64_t> health_delivered_{0};
+  std::atomic<std::uint64_t> health_outstanding_{0};
+  /// Lifetime deliveries (plain: driver-only; mirrored into
+  /// health_delivered_ by publish_health()).
+  std::uint64_t delivered_total_ = 0;
+  /// Non-null when TransportConfig::postmortem_dir was set.
+  std::unique_ptr<obs::PostmortemWriter> postmortem_;
 };
 
 }  // namespace wnf::transport

@@ -1,0 +1,35 @@
+#include "transport/monitor.hpp"
+
+#include <string>
+
+namespace wnf::transport {
+
+FleetChannels attach_fleet_watchdog(WorkerHost& host,
+                                    obs::Watchdog& watchdog) {
+  WNF_EXPECTS(!watchdog.running());
+  FleetChannels channels;
+  channels.workers = host.worker_count();
+  for (std::size_t w = 0; w < host.worker_count(); ++w) {
+    const std::size_t index = watchdog.add_channel(
+        "worker" + std::to_string(w),
+        [&host, w] { return host.health_progress(w); },
+        [&host, w] { return host.health_active(w); });
+    if (w == 0) channels.first_worker = index;
+  }
+  channels.fleet = watchdog.add_channel(
+      "fleet", [&host] { return host.health_delivered(); },
+      [&host] { return host.health_outstanding() > 0; });
+  const std::size_t first = channels.first_worker;
+  const std::size_t count = channels.workers;
+  watchdog.set_respawn([&host, first, count](std::size_t channel) {
+    // Only worker channels map to a process to kill; a fleet-level stall
+    // has no single culprit (and usually means the driver stopped
+    // pumping, which no kill can fix).
+    if (channel >= first && channel < first + count) {
+      host.force_kill_worker(channel - first);
+    }
+  });
+  return channels;
+}
+
+}  // namespace wnf::transport

@@ -1,0 +1,31 @@
+// Canonical wiring of an obs::Watchdog onto a WorkerHost's health mirror:
+// one channel per worker (harvest/respawn odometer, armed while the
+// worker is alive with probes in flight) plus one fleet channel
+// (deliveries, armed while requests are outstanding). With
+// WatchdogConfig::respawn_seconds > 0 the watchdog's forced-recovery hook
+// SIGKILLs the wedged worker; the host's normal EOF recovery (resubmit +
+// respawn) finishes the job, so results stay bit-identical.
+#pragma once
+
+#include <cstddef>
+
+#include "obs/watchdog.hpp"
+#include "transport/host.hpp"
+
+namespace wnf::transport {
+
+/// Channel indices attach_fleet_watchdog created, for callers that want
+/// to query health() per worker.
+struct FleetChannels {
+  std::size_t first_worker = 0;  ///< worker w is channel first_worker + w
+  std::size_t workers = 0;
+  std::size_t fleet = 0;  ///< the fleet-wide delivery channel
+};
+
+/// Registers the host's health channels on `watchdog` (which must not be
+/// running yet) and installs the forced-respawn hook. The host must
+/// outlive the watchdog's monitoring of it (stop the watchdog before
+/// destroying the host).
+FleetChannels attach_fleet_watchdog(WorkerHost& host, obs::Watchdog& watchdog);
+
+}  // namespace wnf::transport

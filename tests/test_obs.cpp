@@ -11,7 +11,11 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
+#include <cmath>
 #include <cstdint>
+#include <cstdio>
+#include <fstream>
 #include <set>
 #include <sstream>
 #include <thread>
@@ -21,7 +25,10 @@
 #include "obs/export.hpp"
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
+#include "obs/postmortem.hpp"
+#include "obs/snapshot.hpp"
 #include "obs/trace.hpp"
+#include "obs/watchdog.hpp"
 #include "serve/pool.hpp"
 #include "transport/host.hpp"
 #include "transport/worker.hpp"
@@ -582,6 +589,356 @@ TEST(ObsIntegration, WorkerRingFlushSurvivesSigkill) {
     if (executed) pids.insert(batch.pid);
   }
   EXPECT_GE(pids.size(), 2u);
+}
+
+// --------------------------------------------------- histogram error bound
+
+// Satellite pin for the documented LogHistogram error bound: quantile()
+// answers from bucket upper bounds, so against the EXACT answer from a
+// util::SampleHistogram fed the identical values, the estimate q for a
+// true quantile v must satisfy v <= q < 2v (one-sided, under one octave)
+// — at p50 and at the p99 the latency reports lean on, across several
+// distributions and magnitudes.
+TEST(Metrics, LogHistogramQuantilesPinnedAgainstExactHistogram) {
+  const auto pin_one = [](std::uint64_t seed, double lo, double hi,
+                          bool exponentiate) {
+    LogHistogram log_hist;
+    SampleHistogram exact_hist;
+    Rng rng(seed);
+    for (int i = 0; i < 4000; ++i) {
+      double x = rng.uniform(lo, hi);
+      if (exponentiate) x = std::exp(x);  // a heavy right tail
+      log_hist.observe(x);
+      exact_hist.add(x);
+    }
+    for (const double p : {0.50, 0.99}) {
+      const double exact = exact_hist.quantile(p);
+      const double estimate = log_hist.quantile(p);
+      EXPECT_GE(estimate, exact)
+          << "under-report at p=" << p << " seed=" << seed;
+      EXPECT_LT(estimate, exact * 2.0)
+          << "over an octave at p=" << p << " seed=" << seed;
+    }
+  };
+  pin_one(11, 1e-6, 1e-2, false);   // microseconds-to-10ms latencies
+  pin_one(12, 0.5, 400.0, false);   // O(1)..O(100) values
+  pin_one(13, -6.0, 4.0, true);     // log-uniform across ten octaves
+}
+
+// ------------------------------------------------------------ snapshotter
+
+/// Lints a snapshot stream file line by line; returns the lines (header
+/// included) and requires the header to come first.
+std::vector<std::string> read_and_lint_stream(const std::string& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in.is_open()) << path;
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    const JsonLintResult lint = json_lint(line);
+    EXPECT_TRUE(lint.ok) << path << " line " << lines.size() << ": "
+                         << lint.error;
+    lines.push_back(line);
+  }
+  EXPECT_FALSE(lines.empty()) << path;
+  if (!lines.empty()) {
+    EXPECT_NE(lines[0].find("\"kind\":\"header\""), std::string::npos);
+  }
+  return lines;
+}
+
+TEST(Snapshot, StreamLintsWindowsAreContiguousAndDeltasWindowLocal) {
+  MetricsRegistry registry;
+  Counter& requests = registry.counter("t.requests");
+  LogHistogram& latency = registry.histogram("t.latency");
+  const std::string path = "test_obs_snapshot_stream.jsonl";
+
+  SnapshotterConfig config;
+  config.path = path;
+  config.interval_seconds = 0.01;
+  config.label = "test_stream";
+  Snapshotter snapshotter(config);
+  snapshotter.add_source("app", &registry);
+  ASSERT_TRUE(snapshotter.start());
+  EXPECT_TRUE(snapshotter.running());
+
+  requests.add(5);
+  latency.observe(0.002);
+  while (snapshotter.windows() < 1) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  requests.add(7);
+  latency.observe(0.004);
+  snapshotter.stop();
+  EXPECT_FALSE(snapshotter.running());
+  const std::uint64_t windows = snapshotter.windows();
+  EXPECT_GE(windows, 2u);  // at least one periodic + the final partial
+
+  const auto lines = read_and_lint_stream(path);
+  ASSERT_EQ(lines.size(), windows + 1);
+  // Window seqs are contiguous from 0, and the per-window deltas of
+  // t.requests sum to everything that was ever added — windows partition
+  // the counter's history, they never double-count or drop.
+  std::int64_t total_delta = 0;
+  for (std::size_t i = 1; i < lines.size(); ++i) {
+    long seq = -1;
+    const std::size_t at = lines[i].find("\"seq\":");
+    ASSERT_NE(at, std::string::npos);
+    ASSERT_EQ(std::sscanf(lines[i].c_str() + at, "\"seq\":%ld", &seq), 1);
+    EXPECT_EQ(seq, static_cast<long>(i - 1));
+    const std::size_t row = lines[i].find("\"name\":\"t.requests\",\"delta\":");
+    if (row != std::string::npos) {
+      long long delta = 0;
+      ASSERT_EQ(std::sscanf(lines[i].c_str() + row,
+                            "\"name\":\"t.requests\",\"delta\":%lld", &delta),
+                1);
+      total_delta += delta;
+    }
+  }
+  EXPECT_EQ(total_delta, 12);
+  std::remove(path.c_str());
+}
+
+TEST(Snapshot, RegistryResetIsDetectedAndReportedPerWindow) {
+  MetricsRegistry registry;
+  Counter& requests = registry.counter("t.requests");
+  requests.add(100);  // nonzero BEFORE start: the baseline is 100
+  const std::string path = "test_obs_snapshot_reset.jsonl";
+
+  SnapshotterConfig config;
+  config.path = path;
+  config.interval_seconds = 0.01;
+  Snapshotter snapshotter(config);
+  snapshotter.add_source("app", &registry);
+  ASSERT_TRUE(snapshotter.start());
+
+  // The rebind pattern: the deployment resets its registry (counters go
+  // BACKWARDS vs the sampler's baseline) and keeps counting from zero.
+  registry.reset();
+  requests.add(1);
+  snapshotter.stop();
+
+  bool saw_reset = false;
+  for (const auto& line : read_and_lint_stream(path)) {
+    if (line.find("\"reset\":true") != std::string::npos) saw_reset = true;
+  }
+  EXPECT_TRUE(saw_reset);
+  // The meta registry saw it too (obs.snapshot.source_resets).
+  bool counted = false;
+  for (const auto& row : snapshotter.metrics().snapshot().counters) {
+    if (row.name == "obs.snapshot.source_resets") counted = row.value >= 1;
+  }
+  EXPECT_TRUE(counted);
+  std::remove(path.c_str());
+}
+
+TEST(Snapshot, TenantSamplesLandInTheCurrentWindow) {
+  const std::string path = "test_obs_snapshot_tenants.jsonl";
+  SnapshotterConfig config;
+  config.path = path;
+  config.interval_seconds = 60.0;  // only the final flush-on-stop window
+  Snapshotter snapshotter(config);
+  ASSERT_TRUE(snapshotter.start());
+  TenantSample sample;
+  sample.t_s = 0.5;
+  sample.tenant = "acme";
+  sample.offered_rps = 100.0;
+  sample.completed_rps = 90.0;
+  sample.shed_rps = 10.0;
+  sample.slo_attainment = 0.9;
+  snapshotter.add_tenant_sample(sample);
+  snapshotter.stop();
+  EXPECT_EQ(snapshotter.windows(), 1u);
+
+  const auto lines = read_and_lint_stream(path);
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_NE(lines[1].find("\"tenant\":\"acme\""), std::string::npos);
+  EXPECT_NE(lines[1].find("\"slo\":0.9"), std::string::npos);
+}
+
+// --------------------------------------------------------------- watchdog
+
+/// Reads one obs.watchdog.* counter from a watchdog's registry.
+std::int64_t watchdog_counter(const Watchdog& watchdog, const char* name) {
+  for (const auto& row : watchdog.metrics().snapshot().counters) {
+    if (row.name == name) return row.value;
+  }
+  ADD_FAILURE() << "no counter " << name;
+  return -1;
+}
+
+TEST(Watchdog, EscalationLadderFiresExactlyOncePerEpisode) {
+  // Deterministic ladder walk through the synchronous tick() seam: a
+  // synthetic channel whose odometer the test freezes and advances.
+  WatchdogConfig config;
+  config.stall_seconds = 0.03;
+  config.degrade_seconds = 0.06;
+  config.respawn_seconds = 0.09;
+  Watchdog watchdog(config);
+  std::atomic<std::uint64_t> odometer{0};
+  std::atomic<bool> active{true};
+  const std::size_t channel = watchdog.add_channel(
+      "synthetic", [&] { return odometer.load(); },
+      [&] { return active.load(); });
+
+  std::vector<StallEvent> stalls;
+  watchdog.set_stall_callback(
+      [&stalls](const StallEvent& event) { stalls.push_back(event); });
+  std::vector<std::size_t> respawned;
+  watchdog.set_respawn(
+      [&respawned](std::size_t which) { respawned.push_back(which); });
+
+  watchdog.tick();  // fresh channel: within deadline
+  EXPECT_EQ(watchdog.health(channel), ChannelHealth::kHealthy);
+  EXPECT_TRUE(stalls.empty());
+
+  // Freeze past every deadline, ticking repeatedly: each ladder stage and
+  // its side effects must fire exactly once for this single episode.
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  for (int i = 0; i < 5; ++i) watchdog.tick();
+  EXPECT_EQ(stalls.size(), 1u);
+  EXPECT_EQ(stalls[0].channel, channel);
+  EXPECT_EQ(stalls[0].name, "synthetic");
+  EXPECT_GE(stalls[0].stalled_seconds, config.stall_seconds);
+  ASSERT_EQ(respawned.size(), 1u);
+  EXPECT_EQ(respawned[0], channel);
+  EXPECT_EQ(watchdog.health(channel), ChannelHealth::kDegraded);
+  EXPECT_EQ(watchdog_counter(watchdog, "obs.watchdog.stalls"), 1);
+  EXPECT_EQ(watchdog_counter(watchdog, "obs.watchdog.degraded"), 1);
+  EXPECT_EQ(watchdog_counter(watchdog, "obs.watchdog.forced_respawns"), 1);
+  EXPECT_EQ(watchdog_counter(watchdog, "obs.watchdog.recoveries"), 0);
+
+  // ANY odometer change closes the episode.
+  odometer.fetch_add(1);
+  watchdog.tick();
+  EXPECT_EQ(watchdog.health(channel), ChannelHealth::kHealthy);
+  EXPECT_EQ(watchdog_counter(watchdog, "obs.watchdog.recoveries"), 1);
+
+  // A second wedge is a NEW episode: the callback fires again.
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  for (int i = 0; i < 3; ++i) watchdog.tick();
+  EXPECT_EQ(stalls.size(), 2u);
+  EXPECT_EQ(respawned.size(), 2u);
+}
+
+TEST(Watchdog, InactiveChannelNeverStallsAndRecoveryIsSilent) {
+  WatchdogConfig config;
+  config.stall_seconds = 0.02;
+  Watchdog watchdog(config);
+  std::atomic<bool> active{false};
+  const std::size_t channel = watchdog.add_channel(
+      "idle", [] { return std::uint64_t{7}; },
+      [&] { return active.load(); });
+  int stall_calls = 0;
+  watchdog.set_stall_callback([&stall_calls](const StallEvent&) {
+    ++stall_calls;
+  });
+
+  // No outstanding work: frozen progress is not a stall, however long.
+  std::this_thread::sleep_for(std::chrono::milliseconds(60));
+  watchdog.tick();
+  EXPECT_EQ(watchdog.health(channel), ChannelHealth::kHealthy);
+  EXPECT_EQ(stall_calls, 0);
+  EXPECT_EQ(watchdog_counter(watchdog, "obs.watchdog.stalls"), 0);
+  // Going inactive also disarms an armed deadline: activate, wedge, then
+  // deactivate before the deadline — still no stall.
+  active.store(true);
+  watchdog.tick();
+  active.store(false);
+  std::this_thread::sleep_for(std::chrono::milliseconds(60));
+  watchdog.tick();
+  EXPECT_EQ(stall_calls, 0);
+  // A healthy channel closing an episode that never opened counts no
+  // recovery.
+  EXPECT_EQ(watchdog_counter(watchdog, "obs.watchdog.recoveries"), 0);
+}
+
+TEST(Watchdog, MonitorThreadDetectsAStallWithinTheDeadline) {
+  // The threaded path end to end: a wedged channel must be detected
+  // within a few poll periods of the stall deadline.
+  WatchdogConfig config;
+  config.poll_seconds = 0.005;
+  config.stall_seconds = 0.05;
+  config.degrade_seconds = 60.0;  // never within this test's lifetime
+  Watchdog watchdog(config);
+  std::atomic<std::uint64_t> odometer{0};
+  const std::size_t channel = watchdog.add_channel(
+      "wedged", [&] { return odometer.load(); }, [] { return true; });
+  std::atomic<int> stall_calls{0};
+  watchdog.set_stall_callback([&stall_calls](const StallEvent&) {
+    stall_calls.fetch_add(1);
+  });
+  watchdog.start();
+  EXPECT_TRUE(watchdog.running());
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (stall_calls.load() == 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  watchdog.stop();
+  EXPECT_EQ(stall_calls.load(), 1);
+  EXPECT_EQ(watchdog.health(channel), ChannelHealth::kStalled);
+}
+
+// ------------------------------------------------------------- postmortem
+
+TEST(Postmortem, CounterDeltasAreNameMatchedAndNonzeroOnly) {
+  MetricsRegistry registry;
+  Counter& frames = registry.counter("t.frames");
+  Counter& idle = registry.counter("t.idle");
+  frames.add(10);
+  idle.add(3);
+  const MetricsSnapshot base = registry.snapshot();
+  frames.add(5);
+  registry.counter("t.born_later").add(2);
+  const auto deltas = postmortem_counter_deltas(registry.snapshot(), base);
+  ASSERT_EQ(deltas.size(), 2u);  // idle didn't move: not reported
+  EXPECT_EQ(deltas[0].name, "t.born_later");
+  EXPECT_EQ(deltas[0].delta, 2);
+  EXPECT_EQ(deltas[1].name, "t.frames");
+  EXPECT_EQ(deltas[1].delta, 5);
+}
+
+TEST(Postmortem, ArtifactRoundTripsStrictLintWithEveryField) {
+  PostmortemWriter writer(PostmortemConfig{"test_obs_postmortems"});
+  PostmortemRecord record;
+  record.worker = 3;
+  record.pid = 4242;
+  record.expected = true;
+  record.torn_slots = 1;
+  record.deployment = 2;
+  record.inflight_ids = {17, 18, 21};
+  record.recent = {
+      {100, 9, 4, TraceName::kDispatch, EventKind::kInstant},
+      {200, 10, 0, TraceName::kSigkill, EventKind::kInstant},
+  };
+  record.counter_deltas = {{"transport.batch_frames", 12}};
+
+  const std::string path = writer.write(record);
+  ASSERT_FALSE(path.empty());
+  EXPECT_EQ(writer.written(), 1u);
+  EXPECT_EQ(writer.write_errors(), 0u);
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.is_open()) << path;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string text = buffer.str();
+  const JsonLintResult lint = json_lint(text);
+  EXPECT_TRUE(lint.ok) << lint.error;
+  EXPECT_NE(text.find("\"kind\":\"postmortem\""), std::string::npos);
+  EXPECT_NE(text.find("\"worker\":3"), std::string::npos);
+  EXPECT_NE(text.find("\"pid\":4242"), std::string::npos);
+  EXPECT_NE(text.find("\"expected\":true"), std::string::npos);
+  EXPECT_NE(text.find("\"torn_slots\":1"), std::string::npos);
+  EXPECT_NE(text.find("\"deployment\":2"), std::string::npos);
+  EXPECT_NE(text.find("\"inflight_ids\":[17,18,21]"), std::string::npos);
+  EXPECT_NE(text.find("\"name\":\"sigkill\""), std::string::npos);
+  EXPECT_NE(text.find("\"name\":\"transport.batch_frames\",\"delta\":12"),
+            std::string::npos);
+  std::remove(path.c_str());
 }
 
 }  // namespace

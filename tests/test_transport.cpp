@@ -7,9 +7,13 @@
 #include <gtest/gtest.h>
 
 #include <bit>
+#include <chrono>
 #include <cmath>
 #include <csignal>
+#include <cstdio>
+#include <fstream>
 #include <sstream>
+#include <thread>
 
 #include "exec/serve_backend.hpp"
 #include "exec/simulator_backend.hpp"
@@ -17,9 +21,13 @@
 #include "fault/campaign.hpp"
 #include "nn/builder.hpp"
 #include "nn/serialize.hpp"
+#include "obs/json.hpp"
+#include "obs/snapshot.hpp"
+#include "obs/watchdog.hpp"
 #include "serve/pool.hpp"
 #include "transport/codec.hpp"
 #include "transport/host.hpp"
+#include "transport/monitor.hpp"
 #include "transport/worker.hpp"
 
 namespace wnf::transport {
@@ -1649,6 +1657,257 @@ TEST(TransportBackend, TimelineCampaignWithRealKillsMatchesSimulator) {
     EXPECT_EQ(transport.last_report().completed,
               config.trials * config.probes_per_trial);
   }
+}
+
+// ------------------------------------------------ continuous monitoring
+
+TEST(Monitoring, RebindResetsTheRegistryForPerDeploymentDeltas) {
+  SKIP_WITHOUT_TRANSPORT();
+  // The metric contract across deployments on one fleet: rebind() resets
+  // every counter to zero (per-deployment deltas) while the registry
+  // OBJECT survives — so a Snapshotter source pointer registered before
+  // the rebind stays valid and simply reports the reset.
+  const auto net_a = transport_net(13);
+  const auto net_b = transport_net(14);
+  const auto workload = transport_workload(24, 21);
+
+  TransportConfig config;
+  config.workers = 2;
+  config.seed = 99;
+  WorkerHost host(net_a, config);
+  const obs::MetricsRegistry* registry = &host.metrics();
+
+  ASSERT_EQ(host.submit_batch(workload), workload.size());
+  const auto first = host.drain();
+  std::int64_t busiest_before = 0;
+  for (const auto& row : registry->snapshot().counters) {
+    busiest_before = std::max(busiest_before, row.value);
+  }
+  EXPECT_GT(busiest_before, 0);  // deployment A left real counts
+
+  host.rebind(net_b);
+  EXPECT_EQ(registry, &host.metrics());  // same registry object
+  for (const auto& row : registry->snapshot().counters) {
+    EXPECT_EQ(row.value, 0) << row.name << " survived the rebind";
+  }
+  for (const auto& row : registry->snapshot().histograms) {
+    EXPECT_EQ(row.count, 0u) << row.name << " survived the rebind";
+  }
+
+  // Deployment B re-registers the same names and counts from zero.
+  ASSERT_EQ(host.submit_batch(workload), workload.size());
+  const auto second = host.drain();
+  EXPECT_EQ(second.size(), workload.size());
+  std::int64_t busiest_after = 0;
+  for (const auto& row : registry->snapshot().counters) {
+    busiest_after = std::max(busiest_after, row.value);
+  }
+  EXPECT_GT(busiest_after, 0);
+}
+
+TEST(Monitoring, FleetBitIdenticalAcrossWorkerCountsWithMonitoringAttached) {
+  SKIP_WITHOUT_TRANSPORT();
+  // The acceptance pin: snapshotter + watchdog + postmortems attached must
+  // not perturb a single output bit at 1, 2, or 8 workers — monitoring
+  // reads mirrors and registries, never an Rng.
+  const auto net = transport_net(13);
+  const auto workload = transport_workload(48, 21);
+  serve::FaultTimeline timeline;
+  fault::FaultPlan crash;
+  crash.neurons = {{1, 3, fault::NeuronFaultKind::kCrash, 0.0}};
+  timeline.add(12, 30, crash);
+
+  TransportConfig config;
+  config.workers = 2;
+  config.latency = heavy_tail();
+  config.straggler_cut = {2, 1};
+  config.seed = 4242;
+  std::vector<serve::RequestResult> reference;
+  {
+    WorkerHost host(net, config);
+    host.set_timeline(timeline);
+    ASSERT_EQ(host.submit_batch(workload), workload.size());
+    reference = host.drain();
+  }
+
+  for (const std::size_t workers : {1u, 2u, 8u}) {
+    TransportConfig monitored = config;
+    monitored.workers = workers;
+    monitored.postmortem_dir = "test_transport_monitored_postmortems";
+    WorkerHost host(net, monitored);
+    host.set_timeline(timeline);
+    host.set_crash_script({{0, 12, 30}});  // a real SIGKILL mid-window too
+
+    obs::WatchdogConfig watch_config;
+    watch_config.poll_seconds = 0.002;
+    watch_config.stall_seconds = 30.0;  // healthy run: never fires
+    obs::Watchdog watchdog(watch_config);
+    const auto channels = attach_fleet_watchdog(host, watchdog);
+    EXPECT_EQ(channels.workers, workers);
+
+    obs::SnapshotterConfig snap_config;
+    snap_config.path = "test_transport_monitored_stream.jsonl";
+    snap_config.interval_seconds = 0.005;
+    obs::Snapshotter snapshotter(snap_config);
+    snapshotter.add_source("host", &host.metrics());
+    snapshotter.add_source("watchdog", &watchdog.metrics());
+    ASSERT_TRUE(snapshotter.start());
+    watchdog.start();
+
+    ASSERT_EQ(host.submit_batch(workload), workload.size());
+    const auto served = host.drain();
+    watchdog.stop();
+    snapshotter.stop();
+
+    ASSERT_EQ(served.size(), reference.size()) << workers << " workers";
+    for (std::size_t i = 0; i < served.size(); ++i) {
+      EXPECT_EQ(served[i].id, reference[i].id);
+      EXPECT_DOUBLE_EQ(served[i].output, reference[i].output)
+          << "request " << i << " on " << workers << " workers";
+      EXPECT_DOUBLE_EQ(served[i].completion_time,
+                       reference[i].completion_time);
+      EXPECT_EQ(served[i].resets_sent, reference[i].resets_sent);
+    }
+    EXPECT_GE(snapshotter.windows(), 1u);
+    ASSERT_NE(host.postmortems(), nullptr);
+    EXPECT_GE(host.postmortems()->written(), 1u);  // the scripted kill
+    std::remove(snap_config.path.c_str());
+  }
+}
+
+TEST(Monitoring, WatchdogForceRespawnsAWedgedWorkerBitIdentically) {
+  SKIP_WITHOUT_TRANSPORT();
+  // The full escalation ladder against a real wedge: SIGSTOP freezes a
+  // worker that owes results, the watchdog's respawn stage SIGKILLs it,
+  // and the host's normal EOF recovery resubmits + respawns — with the
+  // drain's outputs bit-identical to an undisturbed run (the pin that
+  // makes forced respawn safe to automate).
+  const auto net = transport_net(13);
+  const auto workload = transport_workload(64, 33);
+
+  TransportConfig config;
+  config.workers = 2;
+  config.seed = 7;
+  std::vector<serve::RequestResult> expected;
+  {
+    WorkerHost host(net, config);
+    ASSERT_EQ(host.submit_batch(workload), workload.size());
+    expected = host.drain();
+  }
+
+  WorkerHost host(net, config);
+  obs::WatchdogConfig watch_config;
+  watch_config.poll_seconds = 0.005;
+  watch_config.stall_seconds = 0.10;
+  watch_config.respawn_seconds = 0.30;
+  obs::Watchdog watchdog(watch_config);
+  const auto channels = attach_fleet_watchdog(host, watchdog);
+  watchdog.start();
+
+  // Wedge worker 0 BEFORE any traffic: small workloads compute into the
+  // rings faster than any detector can race them, but a stopped worker
+  // can never serve what the host is about to dispatch to it — its
+  // host-side inflight goes nonzero (the channel reads active) while its
+  // harvest odometer stays frozen, the shape only the watchdog resolves.
+  const std::size_t wedged = 0;
+  const int victim = host.worker_pid(wedged);
+  ASSERT_GT(victim, 0);
+  ASSERT_EQ(::kill(victim, SIGSTOP), 0);
+
+  ASSERT_EQ(host.submit_batch(workload), workload.size());
+  std::vector<serve::RequestResult> served;
+  serve::RequestResult result;
+  const auto forced_respawns = [&watchdog] {
+    for (const auto& row : watchdog.metrics().snapshot().counters) {
+      if (row.name == "obs.watchdog.forced_respawns") return row.value;
+    }
+    return std::int64_t{0};
+  };
+  // Keep pumping: the watchdog must walk the ladder and force the
+  // respawn within its deadline (generous wall bound for loaded CI).
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  while (forced_respawns() == 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    if (host.poll(result)) served.push_back(std::move(result));
+  }
+  ASSERT_GE(forced_respawns(), 1) << "watchdog never fired";
+
+  const auto drain_deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  while (served.size() < workload.size() &&
+         std::chrono::steady_clock::now() < drain_deadline) {
+    if (host.poll(result)) served.push_back(std::move(result));
+  }
+  // The episode closes on the first poll that sees the post-respawn
+  // odometer move; give the monitor thread a chance to observe it.
+  const auto heal_deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (watchdog.health(channels.first_worker + wedged) !=
+             obs::ChannelHealth::kHealthy &&
+         std::chrono::steady_clock::now() < heal_deadline) {
+    if (host.poll(result)) served.push_back(std::move(result));
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  watchdog.stop();
+  EXPECT_GE(host.restarts(), 1u);  // the forced SIGKILL healed normally
+
+  ASSERT_EQ(served.size(), expected.size());
+  for (std::size_t i = 0; i < served.size(); ++i) {
+    EXPECT_EQ(served[i].id, expected[i].id);
+    EXPECT_DOUBLE_EQ(served[i].output, expected[i].output) << "request " << i;
+  }
+  EXPECT_EQ(watchdog.health(channels.first_worker + wedged),
+            obs::ChannelHealth::kHealthy);  // episode closed by recovery
+  std::int64_t respawns = 0;
+  for (const auto& row : watchdog.metrics().snapshot().counters) {
+    if (row.name == "obs.watchdog.forced_respawns") respawns = row.value;
+  }
+  EXPECT_GE(respawns, 1);
+}
+
+TEST(Monitoring, WorkerDeathLeavesALintableBoundedPostmortem) {
+  SKIP_WITHOUT_TRANSPORT();
+  // Every worker death — scripted or surprise — must leave a bounded
+  // forensic artifact that strict-lints and carries the schema.
+  const auto net = transport_net(13);
+  const auto workload = transport_workload(40, 21);
+
+  TransportConfig config;
+  config.workers = 2;
+  config.seed = 31;
+  config.postmortem_dir = "test_transport_postmortems";
+  config.postmortem_events = 16;
+  WorkerHost host(net, config);
+  host.set_crash_script({{1, 10, 20}});
+  ASSERT_EQ(host.submit_batch(workload), workload.size());
+  const auto served = host.drain();
+  EXPECT_EQ(served.size(), workload.size());
+
+  ASSERT_NE(host.postmortems(), nullptr);
+  ASSERT_GE(host.postmortems()->written(), 1u);
+  EXPECT_EQ(host.postmortems()->write_errors(), 0u);
+
+  std::ifstream in("test_transport_postmortems/postmortem-0-w1.json");
+  ASSERT_TRUE(in.is_open());
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string text = buffer.str();
+  const obs::JsonLintResult lint = obs::json_lint(text);
+  EXPECT_TRUE(lint.ok) << lint.error;
+  EXPECT_NE(text.find("\"kind\":\"postmortem\""), std::string::npos);
+  EXPECT_NE(text.find("\"worker\":1"), std::string::npos);
+  EXPECT_NE(text.find("\"expected\":true"), std::string::npos);
+  EXPECT_NE(text.find("\"inflight_ids\""), std::string::npos);
+  EXPECT_NE(text.find("\"recent_events\""), std::string::npos);
+  EXPECT_NE(text.find("\"counter_deltas_since_flush\""), std::string::npos);
+  // Bounded: the host notes at most postmortem_events recent events.
+  std::size_t events = 0;
+  for (std::size_t at = text.find("\"ts_ns\":"); at != std::string::npos;
+       at = text.find("\"ts_ns\":", at + 1)) {
+    ++events;
+  }
+  EXPECT_LE(events, config.postmortem_events);
 }
 
 }  // namespace
