@@ -66,7 +66,7 @@ int main(int argc, char** argv) {
   print_banner(std::cout, "bound comparison at increasing fault loads");
   Rng rng(seed);
   const auto net = conv_network(16, 3, 1.0, rng);
-  const auto prof_dense = theory::profile(net, dense_formula);
+  const auto prof_dense = theory::profile_of(net, dense_formula);
   Table table({"f_1 (conv layer faults)", "dense-formula bound",
                "conv-aware bound", "sharpening", "measured worst",
                "sound (conv)"});

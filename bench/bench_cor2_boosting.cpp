@@ -34,7 +34,7 @@ int main(int argc, char** argv) {
   theory::FepOptions gate;
   gate.mode = theory::FailureMode::kCrash;
   gate.weight_convention = nn::WeightMaxConvention::kExcludeBias;
-  const auto prof = theory::profile(net, gate);
+  const auto prof = theory::profile_of(net, gate);
   const std::vector<std::size_t> one{1, 0};
   const double one_cut_fep =
       theory::forward_error_propagation(prof, one, gate);

@@ -60,7 +60,7 @@ int main(int argc, char** argv) {
     spec.weight_decay = variant.weight_decay;
     spec.fep_lambda = variant.fep_lambda;
     const auto trained = bench::train_network(spec, target, seed);
-    const auto prof = theory::profile(trained.net, options);
+    const auto prof = theory::profile_of(trained.net, options);
     const std::vector<std::size_t> unit_load(trained.net.layer_count(), 1);
     const double fep_unit =
         theory::forward_error_propagation(prof, unit_load, options);
@@ -91,7 +91,7 @@ int main(int argc, char** argv) {
     spec.fep_lambda = 0.03;
     spec.fep_p = p;
     const auto trained = bench::train_network(spec, target, seed + 1);
-    const auto prof = theory::profile(trained.net, options);
+    const auto prof = theory::profile_of(trained.net, options);
     double wmax = 0.0;
     for (double w : prof.weight_max) wmax = std::max(wmax, w);
     const std::vector<std::size_t> unit_load(trained.net.layer_count(), 1);

@@ -53,7 +53,7 @@ int main(int argc, char** argv) {
              std::vector<std::size_t>(net.layer_count(), 2),
              std::vector<std::size_t>(net.layer_count(), 4)}) {
       const double fep = theory::forward_error_propagation(
-          theory::profile(net, options), counts, options);
+          theory::profile_of(net, options), counts, options);
       std::vector<double> intervals;
       double measured_max = 0.0;
       std::size_t violations = 0;

@@ -76,7 +76,7 @@ int main(int argc, char** argv) {
   theory::FepOptions options;
   options.mode = theory::FailureMode::kByzantine;
   options.weight_convention = nn::WeightMaxConvention::kExcludeBias;
-  const auto prof = theory::profile(net, options);
+  const auto prof = theory::profile_of(net, options);
   const theory::ErrorBudget budget{trained.epsilon_prime + 0.5,
                                    trained.epsilon_prime};
   Table capacity_table({"capacity C", "greedy tolerated total",

@@ -43,7 +43,7 @@ int main(int argc, char** argv) {
   // Slack sized from the base network's cheapest single fault, the way an
   // operator would pick epsilon: enough budget that the base tolerates a
   // couple of faults, so the replication scaling is visible.
-  const auto base_prof = theory::profile(net, options);
+  const auto base_prof = theory::profile_of(net, options);
   double cheapest = std::numeric_limits<double>::infinity();
   for (std::size_t l = 1; l <= base_prof.depth; ++l) {
     std::vector<std::size_t> one(base_prof.depth, 0);

@@ -40,7 +40,7 @@ void BM_FepEvaluation(benchmark::State& state) {
   const auto net = make_net(static_cast<std::size_t>(state.range(0)), 3);
   theory::FepOptions options;
   options.mode = theory::FailureMode::kCrash;
-  const auto prof = theory::profile(net, options);
+  const auto prof = theory::profile_of(net, options);
   const std::vector<std::size_t> faults(3, 2);
   for (auto _ : state) {
     benchmark::DoNotOptimize(
@@ -114,7 +114,7 @@ void BM_GreedyCertificate(benchmark::State& state) {
   theory::FepOptions options;
   options.mode = theory::FailureMode::kCrash;
   options.weight_convention = nn::WeightMaxConvention::kExcludeBias;
-  const auto prof = theory::profile(net, options);
+  const auto prof = theory::profile_of(net, options);
   const theory::ErrorBudget budget{1.0, 1e-6};
   for (auto _ : state) {
     benchmark::DoNotOptimize(

@@ -35,7 +35,7 @@ int main(int argc, char** argv) {
   theory::FepOptions options;
   options.mode = theory::FailureMode::kCrash;
   options.weight_convention = nn::WeightMaxConvention::kExcludeBias;
-  const auto base_prof = theory::profile(net, options);
+  const auto base_prof = theory::profile_of(net, options);
   std::vector<std::size_t> one(base_prof.depth, 0);
   one[base_prof.depth - 1] = 1;
   const double cheapest =
@@ -58,7 +58,7 @@ int main(int argc, char** argv) {
   print_banner(std::cout,
                "panel 1 — allocation objective (4x replica, p = 1%)");
   const auto panel1_net = theory::replicate_neurons(net, 4);
-  const auto panel1_prof = theory::profile(panel1_net, options);
+  const auto panel1_prof = theory::profile_of(panel1_net, options);
   Table alloc({"objective", "(f_l)", "total", "P(viol) @ p=1%",
                "MC check @ p=1%"});
   Rng mc_rng(seed + 5);

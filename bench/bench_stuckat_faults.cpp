@@ -32,7 +32,7 @@ int main(int argc, char** argv) {
   theory::FepOptions options;
   options.mode = theory::FailureMode::kCrash;  // C = sup phi = 1
   options.weight_convention = nn::WeightMaxConvention::kExcludeBias;
-  const auto prof = theory::profile(net, options);
+  const auto prof = theory::profile_of(net, options);
 
   Rng rng(seed + 1);
   fault::Injector injector(net);

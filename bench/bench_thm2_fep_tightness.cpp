@@ -62,7 +62,7 @@ int main(int argc, char** argv) {
       {"[12]", {12}}, {"[10,8]", {10, 8}}, {"[8,8,8]", {8, 8, 8}}};
   for (const auto& spec : specs) {
     const auto trained = bench::train_network(spec, target, seed);
-    const auto prof = theory::profile(trained.net, options);
+    const auto prof = theory::profile_of(trained.net, options);
     Rng rng(seed + 17);
     fault::Injector injector(trained.net);
     for (auto attack : {fault::AttackKind::kRandomByzantine,
@@ -114,7 +114,7 @@ int main(int argc, char** argv) {
       chain_options.mode = theory::FailureMode::kByzantine;
       chain_options.capacity = c;
       chain_options.weight_convention = nn::WeightMaxConvention::kExcludeBias;
-      const auto prof = theory::profile(chain, chain_options);
+      const auto prof = theory::profile_of(chain, chain_options);
       std::vector<std::size_t> counts(depth, 0);
       counts[0] = 1;
       const double bound =
@@ -144,9 +144,9 @@ int main(int argc, char** argv) {
     incl.weight_convention = nn::WeightMaxConvention::kIncludeBias;
     theory::FepOptions excl = options;
     const double bound_incl = theory::forward_error_propagation(
-        theory::profile(trained.net, incl), counts, incl);
+        theory::profile_of(trained.net, incl), counts, incl);
     const double bound_excl = theory::forward_error_propagation(
-        theory::profile(trained.net, excl), counts, excl);
+        theory::profile_of(trained.net, excl), counts, excl);
     ablation.add_row({spec.name, Table::sci(bound_incl, 3),
                       Table::sci(bound_excl, 3),
                       Table::num(bound_incl / bound_excl, 3) + "x"});

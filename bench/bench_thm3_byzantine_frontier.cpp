@@ -37,7 +37,7 @@ int main(int argc, char** argv) {
   options.mode = theory::FailureMode::kByzantine;
   options.capacity = 0.25;
   options.weight_convention = nn::WeightMaxConvention::kExcludeBias;
-  const auto prof = theory::profile(net, options);
+  const auto prof = theory::profile_of(net, options);
 
   // Budget sized so the frontier is non-trivial in both layers.
   std::vector<std::size_t> one{1, 0};
@@ -87,7 +87,7 @@ int main(int argc, char** argv) {
   for (double k : {0.25, 0.5, 1.0, 2.0, 4.0}) {
     deep_spec.k = k;
     const auto deep = bench::train_network(deep_spec, target, seed + 5);
-    const auto deep_prof = theory::profile(deep.net, options);
+    const auto deep_prof = theory::profile_of(deep.net, options);
     std::vector<double> costs;
     for (std::size_t l = 1; l <= 3; ++l) {
       std::vector<std::size_t> counts(3, 0);

@@ -36,7 +36,7 @@ int main(int argc, char** argv) {
   options.mode = theory::FailureMode::kByzantine;
   options.capacity = 0.5;
   options.weight_convention = nn::WeightMaxConvention::kExcludeBias;
-  const auto prof = theory::profile(net, options);
+  const auto prof = theory::profile_of(net, options);
 
   // Panel 1: Lemma 2 measured at the receiving neuron's output.
   print_banner(std::cout, "panel 1 — Lemma 2 at the receiving neuron");

@@ -66,7 +66,7 @@ int main(int argc, char** argv) {
     for (std::size_t l = 1; l <= 2; ++l) {
       wmax = std::max(wmax, net.weight_max(l, options.weight_convention));
     }
-    const auto prof = theory::profile(net, options);
+    const auto prof = theory::profile_of(net, options);
     double cheapest = 1e300;
     for (std::size_t l = 1; l <= prof.depth; ++l) {
       std::vector<std::size_t> one(prof.depth, 0);
@@ -107,7 +107,7 @@ int main(int argc, char** argv) {
                    .build(rng);
     for (double k : {0.125, 0.25, 0.5, 1.0, 2.0, 4.0}) {
       net.set_activation(net.activation().with_k(k));
-      const auto prof = theory::profile(net, options);
+      const auto prof = theory::profile_of(net, options);
       const std::vector<std::size_t> deep{1, 0};
       const std::vector<std::size_t> top{0, 1};
       const auto greedy = theory::greedy_max_distribution(

@@ -162,6 +162,52 @@ BenchFile measure() {
     file.benches.push_back(std::move(entry));
   }
 
+  // Matched-parameter dense-vs-sparse forward: ONE random-sparse net
+  // (density 0.2) evaluated two ways — through the dense gemv kernel on a
+  // topology-stripped twin (the masked zero weights still multiplied) and
+  // through the CSR path. The parameter count is identical by construction
+  // and the kernels are bit-identical (gemv accumulates left to right;
+  // skipping exact-zero terms cannot change the sum), so the equal
+  // checksums pin the pair and the sparse row prices exactly the skipped
+  // multiply-accumulates.
+  {
+    Rng sparse_rng(2);
+    nn::NetworkBuilder builder(8);
+    builder.activation(nn::ActivationKind::kSigmoid, 1.0);
+    builder.topology(nn::Topology::random_sparse(0.2));
+    builder.hidden(48).hidden(48);
+    const auto sparse_net =
+        builder.init(nn::InitKind::kScaledUniform, 0.8).build(sparse_rng);
+    auto dense_twin = sparse_net;
+    for (std::size_t l = 1; l <= dense_twin.layer_count(); ++l) {
+      dense_twin.layer(l).clear_topology();
+    }
+    double dense_checksum = 0.0;
+    BenchEntry dense_entry = time_scenario(
+        "forward/dense_vs_sparse_matched_params/dense", workload.size(), [&] {
+          dense_checksum = 0.0;
+          for (const auto& x : workload) {
+            dense_checksum += dense_twin.evaluate(x);
+          }
+        });
+    dense_entry.checksum = dense_checksum;
+    double sparse_checksum = 0.0;
+    BenchEntry sparse_entry = time_scenario(
+        "forward/dense_vs_sparse_matched_params/sparse", workload.size(), [&] {
+          sparse_checksum = 0.0;
+          for (const auto& x : workload) {
+            sparse_checksum += sparse_net.evaluate(x);
+          }
+        });
+    sparse_entry.checksum = sparse_checksum;
+    WNF_ASSERT(sparse_checksum == dense_checksum &&
+               "CSR and dense kernels must agree bit for bit");
+    WNF_ASSERT(sparse_entry.ns_per_op < dense_entry.ns_per_op &&
+               "the CSR path must beat the dense kernel at density 0.2");
+    file.benches.push_back(std::move(dense_entry));
+    file.benches.push_back(std::move(sparse_entry));
+  }
+
   // One message-level simulator, request by request (bench_perf_micro's
   // round path at smoke size).
   {

@@ -87,7 +87,7 @@ int main(int argc, char** argv) {
   }
   if (epsilon <= epsilon_prime) {
     // Default: budget sized from the model's own cheapest single fault.
-    const auto prof = theory::profile(*loaded, options);
+    const auto prof = theory::profile_of(*loaded, options);
     double cheapest = 1e300;
     for (std::size_t l = 1; l <= prof.depth; ++l) {
       std::vector<std::size_t> one(prof.depth, 0);

@@ -256,7 +256,7 @@ int main(int argc, char** argv) {
 
   theory::FepOptions options;
   options.mode = theory::FailureMode::kCrash;
-  const auto prof = theory::profile(net, options);
+  const auto prof = theory::profile_of(net, options);
   const auto phase_worst = [&](std::uint64_t start, std::uint64_t end) {
     double worst = 0.0;
     for (std::uint64_t t = start; t < std::min<std::uint64_t>(end, trials);

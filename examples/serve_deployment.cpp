@@ -156,7 +156,7 @@ int main(int argc, char** argv) {
   theory::FepOptions options;
   options.mode = theory::FailureMode::kCrash;
   options.weight_convention = nn::WeightMaxConvention::kExcludeBias;
-  const auto prof = theory::profile(net, options);
+  const auto prof = theory::profile_of(net, options);
   const std::vector<std::size_t> crash_counts{2, 0};
   const double cut_bound =
       theory::forward_error_propagation(prof, straggler_cut, options);

@@ -12,7 +12,7 @@ RobustnessCertificate certify(const nn::FeedForwardNetwork& net,
   RobustnessCertificate cert;
   cert.budget = budget;
   cert.options = options;
-  cert.network = profile(net, options);
+  cert.network = profile_of(net, options);
   cert.per_layer_max.reserve(cert.network.depth);
   for (std::size_t l = 1; l <= cert.network.depth; ++l) {
     cert.per_layer_max.push_back(

@@ -20,19 +20,51 @@ double NetworkProfile::wmax(std::size_t l) const {
 
 std::size_t NetworkProfile::receptive(std::size_t l) const {
   WNF_EXPECTS(l >= 1 && l <= depth);
-  return fan_in[l - 1];
+  const auto& degrees = fan_in[l - 1];
+  WNF_EXPECTS(!degrees.empty());
+  return *std::max_element(degrees.begin(), degrees.end());
 }
 
-NetworkProfile profile(const nn::FeedForwardNetwork& net,
-                       const FepOptions& options) {
+std::size_t NetworkProfile::fan_in_of(std::size_t l, std::size_t j) const {
+  WNF_EXPECTS(l >= 1 && l <= depth);
+  WNF_EXPECTS(j < fan_in[l - 1].size());
+  return fan_in[l - 1][j];
+}
+
+bool NetworkProfile::layer_sparse(std::size_t l) const {
+  WNF_EXPECTS(l >= 1 && l <= depth);
+  return l <= sparse.size() && sparse[l - 1] != 0;
+}
+
+void NetworkProfile::set_uniform_fan_in(std::size_t l, std::size_t r) {
+  WNF_EXPECTS(l >= 1 && l <= depth);
+  WNF_EXPECTS(r >= 1);
+  if (fan_in.size() < depth) fan_in.resize(depth);
+  fan_in[l - 1].assign(widths[l - 1], r);
+}
+
+NetworkProfile profile_of(const nn::FeedForwardNetwork& net,
+                          const FepOptions& options) {
   NetworkProfile p;
   p.input_dim = net.input_dim();
   p.depth = net.layer_count();
   p.widths = net.layer_widths();
   p.weight_max = net.weight_maxima(options.weight_convention);
   p.fan_in.reserve(p.depth);
+  p.sparse.reserve(p.depth);
   for (std::size_t l = 1; l <= p.depth; ++l) {
-    p.fan_in.push_back(net.layer(l).receptive_field());
+    const auto& layer = net.layer(l);
+    if (const nn::LayerTopology* topo = layer.topology()) {
+      std::vector<std::size_t> degrees(layer.out_size());
+      for (std::size_t j = 0; j < degrees.size(); ++j) {
+        degrees[j] = topo->in_degree(j);
+      }
+      p.fan_in.push_back(std::move(degrees));
+      p.sparse.push_back(1);
+    } else {
+      p.fan_in.emplace_back(layer.out_size(), layer.receptive_field());
+      p.sparse.push_back(0);
+    }
   }
   p.lipschitz = net.activation().lipschitz();
   p.activation_sup = net.activation().sup_value();
@@ -62,9 +94,12 @@ namespace {
 /// Product over the propagation chain from a carrier set at layer `l`
 /// (carrying `initial_carriers` erroneous signals) to the output:
 /// for each hop into layer m = l+1..L+1, multiply by w^(m)_m and the
-/// number of erroneous sources a neuron of layer m can hear (capped by
-/// R(m) when the conv-aware option is on), and by K for each hidden
-/// activation traversed.
+/// number of erroneous sources a neuron of layer m can hear, and by K for
+/// each hidden activation traversed. The hearer count is capped by the
+/// layer's max fan-in R(m) when the conv-aware option is on, and always
+/// for sparse layers: a neuron with in-degree d hears at most d erroneous
+/// sources no matter how many exist, which is exactly why the Theorem-1/
+/// FEP bounds tighten on sparse graphs.
 double propagation_product(const NetworkProfile& net, std::size_t l,
                            double initial_carriers,
                            std::span<const std::size_t> faults,
@@ -73,7 +108,8 @@ double propagation_product(const NetworkProfile& net, std::size_t l,
   double carriers = initial_carriers;
   for (std::size_t m = l + 1; m <= net.depth + 1; ++m) {
     double count = carriers;
-    if (options.use_receptive_field && m <= net.depth) {
+    if (m <= net.depth &&
+        (options.use_receptive_field || net.layer_sparse(m))) {
       count = std::min(count, static_cast<double>(net.receptive(m)));
     }
     product *= count * net.wmax(m);
@@ -119,7 +155,7 @@ double forward_error_propagation(const NetworkProfile& net,
 double forward_error_propagation(const nn::FeedForwardNetwork& net,
                                  std::span<const std::size_t> faults,
                                  const FepOptions& options) {
-  return forward_error_propagation(profile(net, options), faults, options);
+  return forward_error_propagation(profile_of(net, options), faults, options);
 }
 
 double precision_error_bound(const NetworkProfile& net,
@@ -136,11 +172,10 @@ double precision_error_bound(const NetworkProfile& net,
     double term = lambda[l - 1];
     for (std::size_t lp = l; lp <= net.depth; ++lp) {
       double count = static_cast<double>(net.width(lp));
-      if (options.use_receptive_field) {
-        const std::size_t next = lp + 1;
-        if (next <= net.depth) {
-          count = std::min(count, static_cast<double>(net.receptive(next)));
-        }
+      const std::size_t next = lp + 1;
+      if (next <= net.depth &&
+          (options.use_receptive_field || net.layer_sparse(next))) {
+        count = std::min(count, static_cast<double>(net.receptive(next)));
       }
       term *= count * net.wmax(lp + 1);
     }

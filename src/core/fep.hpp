@@ -54,18 +54,33 @@ struct NetworkProfile {
   std::size_t depth = 0;                  ///< L
   std::vector<std::size_t> widths;        ///< N_1..N_L (size L)
   std::vector<double> weight_max;         ///< w^(1)_m..w^(L+1)_m (size L+1)
-  std::vector<std::size_t> fan_in;        ///< R(1)..R(L) (size L)
+  /// Per-neuron fan-in: fan_in[l-1][j] is the number of distinct senders
+  /// neuron j of layer l listens to (size L, inner size N_l). Dense and
+  /// conv layers replicate R(l); sparse layers record actual in-degrees.
+  std::vector<std::vector<std::size_t>> fan_in;
+  /// sparse[l-1] marks layer l as carrying real sparse adjacency: its
+  /// fan-in then caps error-carrier counts unconditionally, not only under
+  /// FepOptions::use_receptive_field (which stays the conv-only switch).
+  std::vector<char> sparse;
   double lipschitz = 0.0;                 ///< K
   double activation_sup = 1.0;            ///< sup phi (crash capacity)
 
   std::size_t width(std::size_t l) const;      ///< N_l, l in 1..L
   double wmax(std::size_t l) const;            ///< w^(l)_m, l in 1..L+1
-  std::size_t receptive(std::size_t l) const;  ///< R(l), l in 1..L
+  std::size_t receptive(std::size_t l) const;  ///< max_j fan_in, l in 1..L
+  std::size_t fan_in_of(std::size_t l, std::size_t j) const;
+  bool layer_sparse(std::size_t l) const;      ///< l in 1..L
+
+  /// Sets layer l's fan-in to `r` for every neuron (the dense/conv shape);
+  /// the hand-built-profile helper for tests and synthetic studies.
+  void set_uniform_fan_in(std::size_t l, std::size_t r);
 };
 
-/// Extracts the profile of `net` under `options`' weight convention.
-NetworkProfile profile(const nn::FeedForwardNetwork& net,
-                       const FepOptions& options);
+/// Extracts the profile of `net` under `options`' weight convention,
+/// deriving per-neuron fan-in (and the sparse flags) from each layer's
+/// topology. The single canonical way to turn a network into bound inputs.
+NetworkProfile profile_of(const nn::FeedForwardNetwork& net,
+                          const FepOptions& options = FepOptions{});
 
 /// The per-failing-unit error magnitude a bound must assume:
 /// crash -> sup phi; Byzantine perturbation -> C; transmitted -> C + sup phi.

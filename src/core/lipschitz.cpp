@@ -26,7 +26,17 @@ double network_lipschitz_bound(const NetworkProfile& net) {
                  net.wmax(net.depth + 1);
   std::size_t prev = net.input_dim;
   for (std::size_t l = 1; l <= net.depth; ++l) {
-    bound *= net.lipschitz * static_cast<double>(prev) * net.wmax(l);
+    // Each neuron of layer l sums over its in-edges only, so on a sparse
+    // layer the sender count is capped by the max in-degree rather than
+    // the full previous width — the per-layer gain that makes the global
+    // Lipschitz product tighten on sparse graphs. Dense and conv layers
+    // keep the historical full-width factor (conv's receptive field only
+    // enters the bounds under FepOptions::use_receptive_field).
+    double senders = static_cast<double>(prev);
+    if (net.layer_sparse(l)) {
+      senders = std::min(senders, static_cast<double>(net.receptive(l)));
+    }
+    bound *= net.lipschitz * senders * net.wmax(l);
     prev = net.width(l);
   }
   return bound;

@@ -95,7 +95,7 @@ std::size_t min_replication_for_tolerance(const nn::FeedForwardNetwork& net,
                                           std::size_t r_max) {
   for (std::size_t r = 1; r <= r_max; ++r) {
     const auto replicated = replicate_neurons(net, r);
-    const auto prof = profile(replicated, options);
+    const auto prof = profile_of(replicated, options);
     const auto greedy = greedy_max_distribution(prof, budget, options);
     if (total_faults(greedy) >= target_total) return r;
   }

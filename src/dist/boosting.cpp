@@ -37,7 +37,7 @@ BoostingReport run_boosting(const nn::FeedForwardNetwork& net,
   theory::FepOptions options;
   options.mode = theory::FailureMode::kCrash;
   options.weight_convention = nn::WeightMaxConvention::kExcludeBias;
-  const auto prof = theory::profile(net, options);
+  const auto prof = theory::profile_of(net, options);
 
   BoostingReport report;
   report.crash_fep_bound =

@@ -147,16 +147,47 @@ SimResult NetworkSimulator::run(std::span<const double> x,
         cut_stragglers(wait_counts[l - 1], width, hist, policy, result,
                        &inputs);
 
-    // Pre-activations via the same affine kernel as the matrix path, then
-    // synapse faults exactly as Injector's pre_activation hook applies them.
+    // Pre-activations via the same affine kernel as the matrix path (sparse
+    // layers take the CSR route inside affine, so messages only travel along
+    // existing edges), then synapse faults exactly as Injector's
+    // pre_activation hook applies them. A topology carrying per-edge
+    // capacities switches to an explicit CSR loop that clamps what each edge
+    // delivers (receiver side, on top of the sender-side global C); with
+    // uniform non-binding capacities the loop accumulates term-for-term like
+    // gemv_csr, so the two paths are bit-identical.
     preact_.resize(width);
-    layer.affine(*inputs, preact_);
+    const nn::LayerTopology* topo = layer.topology();
+    const bool edge_caps = topo != nullptr && topo->has_edge_capacities();
+    if (edge_caps) {
+      const auto row_ptr = topo->row_ptr();
+      const auto cols = topo->cols();
+      const auto caps = topo->edge_capacities();
+      const auto bias = layer.bias();
+      for (std::size_t j = 0; j < width; ++j) {
+        double sum = 0.0;
+        for (std::size_t e = row_ptr[j]; e < row_ptr[j + 1]; ++e) {
+          sum += layer.weights()(j, cols[e]) *
+                 channel((*inputs)[cols[e]], caps[e]);
+        }
+        preact_[j] = sum;
+        preact_[j] += bias[j];
+      }
+    } else {
+      layer.affine(*inputs, preact_);
+    }
     for (const auto& fault : plan_.synapses) {
       if (fault.layer != l) continue;
       const double weight = layer.weights()(fault.to, fault.from);
       if (fault.kind == fault::SynapseFaultKind::kCrash) {
-        // edge delivers nothing
-        preact_[fault.to] -= weight * (*inputs)[fault.from];
+        // edge delivers nothing: subtract what it actually delivered
+        double delivered = (*inputs)[fault.from];
+        if (edge_caps) {
+          const std::size_t e = topo->edge_offset(fault.to, fault.from);
+          if (e != nn::LayerTopology::npos) {
+            delivered = channel(delivered, topo->edge_capacity(e));
+          }
+        }
+        preact_[fault.to] -= weight * delivered;
       } else {
         preact_[fault.to] += weight * fault.value;  // edge sends w*(y + value)
       }

@@ -147,16 +147,26 @@ FaultPlan random_synapse_byzantine_plan(const nn::FeedForwardNetwork& net,
   WNF_EXPECTS(capacity > 0.0);
   FaultPlan plan;
   for (std::size_t l = 1; l <= net.layer_count() + 1; ++l) {
-    const std::size_t receivers =
-        l <= net.layer_count() ? net.layer_width(l) : 1;
+    // Sparse layers expose only their realised edges to the adversary: the
+    // flat sample ranges over CSR offsets instead of the dense receiver x
+    // sender cross product (a fault on an absent edge would be rejected by
+    // validate_plan). Dense layers keep the historical draw verbatim.
+    const nn::LayerTopology* topo =
+        l <= net.layer_count() ? net.layer(l).topology() : nullptr;
     const std::size_t senders = l <= net.layer_count()
                                     ? net.layer(l).in_size()
                                     : net.output_weights().size();
-    const std::size_t total = receivers * senders;
+    const std::size_t total =
+        topo != nullptr
+            ? topo->edge_count()
+            : (l <= net.layer_count() ? net.layer_width(l) : 1) * senders;
     WNF_EXPECTS(counts[l - 1] <= total);
     for (std::size_t flat : rng.sample_indices(total, counts[l - 1])) {
-      plan.synapses.push_back({l, flat / senders, flat % senders,
-                               SynapseFaultKind::kByzantine,
+      const std::size_t to =
+          topo != nullptr ? topo->edge_row(flat) : flat / senders;
+      const std::size_t from =
+          topo != nullptr ? topo->cols()[flat] : flat % senders;
+      plan.synapses.push_back({l, to, from, SynapseFaultKind::kByzantine,
                                capacity * rng.sign()});
     }
   }

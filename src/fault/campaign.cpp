@@ -49,7 +49,7 @@ double campaign_bound(const nn::FeedForwardNetwork& net,
                       std::span<const std::size_t> counts,
                       const CampaignConfig& config,
                       const theory::FepOptions& fep_options) {
-  const auto prof = theory::profile(net, fep_options);
+  const auto prof = theory::profile_of(net, fep_options);
   return config.attack == AttackKind::kRandomSynapseByzantine
              ? theory::synapse_error_bound(prof, counts, fep_options)
              : theory::forward_error_propagation(prof, counts, fep_options);

@@ -47,8 +47,14 @@ void validate_plan(const FaultPlan& plan, const nn::FeedForwardNetwork& net) {
   for (const auto& fault : plan.synapses) {
     WNF_EXPECTS(fault.layer >= 1 && fault.layer <= net.layer_count() + 1);
     if (fault.layer <= net.layer_count()) {
+      const auto& layer = net.layer(fault.layer);
       WNF_EXPECTS(fault.to < net.layer_width(fault.layer));
-      WNF_EXPECTS(fault.from < net.layer(fault.layer).in_size());
+      WNF_EXPECTS(fault.from < layer.in_size());
+      // A sparse layer has no synapse where it has no edge.
+      if (const nn::LayerTopology* topo = layer.topology()) {
+        WNF_EXPECTS(topo->has_edge(fault.to, fault.from) &&
+                    "synapse fault on absent edge");
+      }
     } else {
       WNF_EXPECTS(fault.to == 0);
       WNF_EXPECTS(fault.from < net.output_weights().size());

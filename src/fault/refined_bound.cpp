@@ -12,7 +12,7 @@ double interval_error_bound(const nn::FeedForwardNetwork& net,
                             const theory::FepOptions& options) {
   WNF_EXPECTS(plan.synapses.empty());
   validate_plan(plan, net);
-  const auto prof = theory::profile(net, options);
+  const auto prof = theory::profile_of(net, options);
   const double capacity = theory::effective_capacity(prof, options);
 
   // Victim mask per layer.
@@ -55,7 +55,7 @@ double interval_error_bound(const nn::FeedForwardNetwork& net,
 double fep_for_plan(const nn::FeedForwardNetwork& net,
                     const FaultPlan& plan, const theory::FepOptions& options) {
   const auto counts = plan.neuron_counts(net.layer_count());
-  return theory::forward_error_propagation(theory::profile(net, options), counts, options);
+  return theory::forward_error_propagation(theory::profile_of(net, options), counts, options);
 }
 
 }  // namespace wnf::fault

@@ -11,12 +11,31 @@ NetworkBuilder::NetworkBuilder(std::size_t input_dim) : input_dim_(input_dim) {
 NetworkBuilder& NetworkBuilder::hidden(std::size_t width) {
   WNF_EXPECTS(width > 0);
   widths_.push_back(width);
+  layer_topologies_.emplace_back();
+  return *this;
+}
+
+NetworkBuilder& NetworkBuilder::hidden(std::size_t width,
+                                       const Topology& topology) {
+  hidden(width);
+  layer_topologies_.back() = topology;
   return *this;
 }
 
 NetworkBuilder& NetworkBuilder::hidden_layers(
     const std::vector<std::size_t>& widths) {
   for (std::size_t width : widths) hidden(width);
+  return *this;
+}
+
+NetworkBuilder& NetworkBuilder::hidden_layers(
+    const std::vector<std::size_t>& widths, const Topology& topology) {
+  for (std::size_t width : widths) hidden(width, topology);
+  return *this;
+}
+
+NetworkBuilder& NetworkBuilder::topology(const Topology& topology) {
+  default_topology_ = topology;
   return *this;
 }
 
@@ -36,9 +55,23 @@ FeedForwardNetwork NetworkBuilder::build(Rng& rng) const {
   std::vector<DenseLayer> hidden;
   hidden.reserve(widths_.size());
   std::size_t prev = input_dim_;
-  for (std::size_t width : widths_) {
+  for (std::size_t l = 0; l < widths_.size(); ++l) {
+    const std::size_t width = widths_[l];
+    const Topology& spec =
+        layer_topologies_[l] ? *layer_topologies_[l] : default_topology_;
     DenseLayer layer(width, prev);
-    initialize(layer, init_kind_, init_scale_, rng);
+    if (spec.is_dense()) {
+      // Historical path, untouched: dense builds reproduce bit for bit.
+      initialize(layer, init_kind_, init_scale_, rng);
+    } else {
+      // Adjacency comes from a split child so the parent stream (and hence
+      // the weight draws below) is the same for every sparse spec.
+      Rng topo_rng = rng.split();
+      LayerTopology adjacency =
+          LayerTopology::from_spec(spec, width, prev, topo_rng);
+      initialize(layer, init_kind_, init_scale_, rng);
+      layer.set_topology(std::move(adjacency));
+    }
     hidden.push_back(std::move(layer));
     prev = width;
   }

@@ -5,13 +5,25 @@
 //                  .hidden(16).hidden(16)
 //                  .init(InitKind::kScaledUniform, 1.0)
 //                  .build(rng);
+//
+// Connectivity is a `Topology` spec. Dense is the default, so existing call
+// sites build the exact networks they always did (bit for bit); sparse nets
+// opt in network-wide or per layer:
+//
+//   auto sw = NetworkBuilder(8)
+//                 .topology(Topology::small_world(/*k=*/6, /*beta=*/0.2))
+//                 .hidden(32)
+//                 .hidden(32, Topology::random_sparse(0.25))  // override
+//                 .build(rng);
 #pragma once
 
+#include <optional>
 #include <vector>
 
 #include "nn/activation.hpp"
 #include "nn/init.hpp"
 #include "nn/network.hpp"
+#include "nn/topology.hpp"
 #include "util/rng.hpp"
 
 namespace wnf::nn {
@@ -20,11 +32,22 @@ class NetworkBuilder {
  public:
   explicit NetworkBuilder(std::size_t input_dim);
 
-  /// Appends a hidden layer of `width` neurons.
+  /// Appends a hidden layer of `width` neurons (default topology).
   NetworkBuilder& hidden(std::size_t width);
 
-  /// Appends several hidden layers at once.
+  /// Appends a hidden layer with its own connectivity spec.
+  NetworkBuilder& hidden(std::size_t width, const Topology& topology);
+
+  /// Appends several hidden layers at once (default topology).
   NetworkBuilder& hidden_layers(const std::vector<std::size_t>& widths);
+
+  /// Appends several hidden layers sharing one connectivity spec.
+  NetworkBuilder& hidden_layers(const std::vector<std::size_t>& widths,
+                                const Topology& topology);
+
+  /// Network-wide default connectivity, resolved at build() time for every
+  /// layer without a per-layer override (default: dense).
+  NetworkBuilder& topology(const Topology& topology);
 
   /// Shared activation for all hidden layers (default: sigmoid, K = 1/4).
   NetworkBuilder& activation(ActivationKind kind, double k);
@@ -32,12 +55,17 @@ class NetworkBuilder {
   /// Weight initialisation scheme (default: kScaledUniform, scale 1).
   NetworkBuilder& init(InitKind kind, double scale);
 
-  /// Builds the network, drawing weights from `rng`.
+  /// Builds the network, drawing weights from `rng`. Dense layers consume
+  /// the stream exactly as before this API existed; a sparse layer first
+  /// draws its adjacency from one `rng.split()` child, so the weight
+  /// stream is the same for every sparse spec at a given architecture.
   FeedForwardNetwork build(Rng& rng) const;
 
  private:
   std::size_t input_dim_;
   std::vector<std::size_t> widths_;
+  std::vector<std::optional<Topology>> layer_topologies_;  // parallel to widths_
+  Topology default_topology_ = Topology::dense();
   Activation activation_{ActivationKind::kSigmoid, 0.25};
   InitKind init_kind_ = InitKind::kScaledUniform;
   double init_scale_ = 1.0;

@@ -48,7 +48,7 @@ std::size_t FeedForwardNetwork::neuron_count() const {
 std::size_t FeedForwardNetwork::synapse_count() const {
   std::size_t total = output_weights_.size() + 1;  // + output bias
   for (const auto& layer : hidden_) {
-    total += layer.weights().size() + layer.out_size();
+    total += layer.edge_count() + layer.out_size();  // realised edges + bias
   }
   return total;
 }
@@ -182,6 +182,10 @@ bool FeedForwardNetwork::approx_equal(const FeedForwardNetwork& other,
     if (hidden_[i].receptive_field() != other.hidden_[i].receptive_field()) {
       return false;
     }
+    const LayerTopology* mine = hidden_[i].topology();
+    const LayerTopology* theirs = other.hidden_[i].topology();
+    if ((mine == nullptr) != (theirs == nullptr)) return false;
+    if (mine != nullptr && !(*mine == *theirs)) return false;
   }
   for (std::size_t i = 0; i < output_weights_.size(); ++i) {
     if (std::fabs(output_weights_[i] - other.output_weights_[i]) > tol) {

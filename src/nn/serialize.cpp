@@ -1,5 +1,6 @@
 #include "nn/serialize.hpp"
 
+#include <cmath>
 #include <fstream>
 #include <iomanip>
 #include <istream>
@@ -9,8 +10,16 @@
 namespace wnf::nn {
 
 void save_network(const FeedForwardNetwork& net, std::ostream& os) {
+  // Dense networks keep emitting the original v1 format byte for byte; the
+  // v2 header (and its per-layer adjacency sections) appears only when some
+  // layer carries a sparse topology, so old readers never see surprises on
+  // files they could have produced.
+  bool any_sparse = false;
+  for (std::size_t l = 1; l <= net.layer_count(); ++l) {
+    if (net.layer(l).is_sparse()) any_sparse = true;
+  }
   os << std::setprecision(17);
-  os << "wnf-network v1\n";
+  os << "wnf-network " << (any_sparse ? "v2" : "v1") << '\n';
   os << "activation " << net.activation().kind_name() << ' '
      << net.activation().lipschitz() << '\n';
   os << "input_dim " << net.input_dim() << '\n';
@@ -19,6 +28,22 @@ void save_network(const FeedForwardNetwork& net, std::ostream& os) {
     const auto& layer = net.layer(l);
     os << "layer " << layer.out_size() << ' ' << layer.in_size() << ' '
        << layer.receptive_field() << '\n';
+    if (any_sparse) {
+      if (const LayerTopology* topo = layer.topology()) {
+        os << "adjacency sparse " << topo->edge_count() << '\n';
+        os << "rowptr";
+        for (std::size_t p : topo->row_ptr()) os << ' ' << p;
+        os << '\n';
+        os << "cols";
+        for (std::size_t c : topo->cols()) os << ' ' << c;
+        os << '\n';
+        os << "edgecaps " << topo->edge_capacities().size();
+        for (double cap : topo->edge_capacities()) os << ' ' << cap;
+        os << '\n';
+      } else {
+        os << "adjacency dense\n";
+      }
+    }
     for (std::size_t j = 0; j < layer.out_size(); ++j) {
       for (std::size_t i = 0; i < layer.in_size(); ++i) {
         os << layer.weights()(j, i) << (i + 1 < layer.in_size() ? ' ' : '\n');
@@ -37,12 +62,68 @@ void save_network(const FeedForwardNetwork& net, std::ostream& os) {
   os << "end\n";
 }
 
+namespace {
+
+/// Parses one v2 `adjacency` section (the header token has already been
+/// matched) and returns the layer's topology: nullopt on malformed input,
+/// an empty optional-of-optional distinction is avoided by returning an
+/// extra bool. A `dense` marker yields no topology.
+bool load_adjacency(std::istream& is, std::size_t out_size,
+                    std::size_t in_size,
+                    std::optional<LayerTopology>& topology) {
+  std::string token;
+  std::string shape;
+  if (!(is >> token >> shape) || token != "adjacency") return false;
+  if (shape == "dense") {
+    topology.reset();
+    return true;
+  }
+  if (shape != "sparse") return false;
+  std::size_t nnz = 0;
+  if (!(is >> nnz) || nnz == 0 || nnz > out_size * in_size) return false;
+  std::vector<std::size_t> row_ptr(out_size + 1);
+  if (!(is >> token) || token != "rowptr") return false;
+  for (std::size_t& p : row_ptr) {
+    if (!(is >> p)) return false;
+  }
+  if (row_ptr.front() != 0 || row_ptr.back() != nnz) return false;
+  std::vector<std::size_t> cols(nnz);
+  if (!(is >> token) || token != "cols") return false;
+  for (std::size_t& c : cols) {
+    if (!(is >> c)) return false;
+  }
+  // Full structural validation before LayerTopology's aborting contracts
+  // can see the data: monotone rows with in-degree >= 1, sorted unique
+  // in-range columns.
+  for (std::size_t j = 0; j < out_size; ++j) {
+    if (row_ptr[j] >= row_ptr[j + 1]) return false;
+    for (std::size_t e = row_ptr[j]; e < row_ptr[j + 1]; ++e) {
+      if (cols[e] >= in_size) return false;
+      if (e > row_ptr[j] && cols[e - 1] >= cols[e]) return false;
+    }
+  }
+  std::size_t cap_count = 0;
+  if (!(is >> token >> cap_count) || token != "edgecaps") return false;
+  if (cap_count != 0 && cap_count != nnz) return false;
+  std::vector<double> caps(cap_count);
+  for (double& cap : caps) {
+    if (!(is >> cap) || !(cap > 0.0) || !std::isfinite(cap)) return false;
+  }
+  topology.emplace(in_size, std::move(row_ptr), std::move(cols));
+  if (!caps.empty()) topology->set_edge_capacities(std::move(caps));
+  return true;
+}
+
+}  // namespace
+
 std::optional<FeedForwardNetwork> load_network(std::istream& is) {
   std::string token;
   std::string version;
-  if (!(is >> token >> version) || token != "wnf-network" || version != "v1") {
+  if (!(is >> token >> version) || token != "wnf-network" ||
+      (version != "v1" && version != "v2")) {
     return std::nullopt;
   }
+  const bool v2 = version == "v2";
   std::string kind_name;
   double k = 0.0;
   if (!(is >> token >> kind_name >> k) || token != "activation" || k <= 0.0) {
@@ -69,6 +150,10 @@ std::optional<FeedForwardNetwork> load_network(std::istream& is) {
         out_size == 0 || in_size != prev || rf == 0 || rf > in_size) {
       return std::nullopt;
     }
+    std::optional<LayerTopology> topology;
+    if (v2 && !load_adjacency(is, out_size, in_size, topology)) {
+      return std::nullopt;
+    }
     DenseLayer layer(out_size, in_size);
     for (double& w : layer.weights().flat()) {
       if (!(is >> w)) return std::nullopt;
@@ -77,6 +162,11 @@ std::optional<FeedForwardNetwork> load_network(std::istream& is) {
       if (!(is >> b)) return std::nullopt;
     }
     layer.set_receptive_field(rf);
+    if (topology) {
+      // set_topology re-masks and re-derives the receptive field, so a
+      // tampered rf or stray non-edge weight cannot survive the load.
+      layer.set_topology(std::move(*topology));
+    }
     hidden.push_back(std::move(layer));
     prev = out_size;
   }

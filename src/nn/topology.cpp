@@ -1,0 +1,202 @@
+#include "nn/topology.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/contract.hpp"
+
+namespace wnf::nn {
+
+Topology Topology::dense() { return Topology{}; }
+
+Topology Topology::random_sparse(double p) {
+  WNF_EXPECTS(p > 0.0 && p <= 1.0);
+  Topology t;
+  t.kind = Kind::kRandomSparse;
+  t.density = p;
+  return t;
+}
+
+Topology Topology::small_world(std::size_t k, double beta) {
+  WNF_EXPECTS(k >= 1);
+  WNF_EXPECTS(beta >= 0.0 && beta <= 1.0);
+  Topology t;
+  t.kind = Kind::kSmallWorld;
+  t.neighbors = k;
+  t.beta = beta;
+  return t;
+}
+
+LayerTopology::LayerTopology(std::size_t in_size,
+                             std::vector<std::size_t> row_ptr,
+                             std::vector<std::size_t> cols)
+    : in_size_(in_size), row_ptr_(std::move(row_ptr)), cols_(std::move(cols)) {
+  validate();
+}
+
+void LayerTopology::validate() const {
+  WNF_EXPECTS(in_size_ > 0);
+  WNF_EXPECTS(row_ptr_.size() >= 2);
+  WNF_EXPECTS(row_ptr_.front() == 0);
+  WNF_EXPECTS(row_ptr_.back() == cols_.size());
+  for (std::size_t j = 0; j + 1 < row_ptr_.size(); ++j) {
+    WNF_EXPECTS(row_ptr_[j] < row_ptr_[j + 1]);  // monotone, degree >= 1
+    for (std::size_t e = row_ptr_[j]; e < row_ptr_[j + 1]; ++e) {
+      WNF_EXPECTS(cols_[e] < in_size_);
+      if (e > row_ptr_[j]) WNF_EXPECTS(cols_[e - 1] < cols_[e]);  // sorted unique
+    }
+  }
+}
+
+LayerTopology LayerTopology::dense(std::size_t out_size, std::size_t in_size) {
+  WNF_EXPECTS(out_size > 0);
+  WNF_EXPECTS(in_size > 0);
+  std::vector<std::size_t> row_ptr(out_size + 1);
+  std::vector<std::size_t> cols(out_size * in_size);
+  for (std::size_t j = 0; j < out_size; ++j) {
+    row_ptr[j] = j * in_size;
+    for (std::size_t i = 0; i < in_size; ++i) cols[j * in_size + i] = i;
+  }
+  row_ptr[out_size] = out_size * in_size;
+  return LayerTopology(in_size, std::move(row_ptr), std::move(cols));
+}
+
+LayerTopology LayerTopology::random_sparse(std::size_t out_size,
+                                           std::size_t in_size, double density,
+                                           Rng& rng) {
+  WNF_EXPECTS(out_size > 0);
+  WNF_EXPECTS(in_size > 0);
+  WNF_EXPECTS(density > 0.0 && density <= 1.0);
+  std::vector<std::size_t> row_ptr(out_size + 1, 0);
+  std::vector<std::size_t> cols;
+  cols.reserve(static_cast<std::size_t>(
+      density * static_cast<double>(out_size * in_size) + out_size));
+  for (std::size_t j = 0; j < out_size; ++j) {
+    const std::size_t row_begin = cols.size();
+    for (std::size_t i = 0; i < in_size; ++i) {
+      if (rng.bernoulli(density)) cols.push_back(i);
+    }
+    if (cols.size() == row_begin) cols.push_back(rng.uniform_index(in_size));
+    row_ptr[j + 1] = cols.size();
+  }
+  return LayerTopology(in_size, std::move(row_ptr), std::move(cols));
+}
+
+LayerTopology LayerTopology::small_world(std::size_t out_size,
+                                         std::size_t in_size,
+                                         std::size_t neighbors, double beta,
+                                         Rng& rng) {
+  WNF_EXPECTS(out_size > 0);
+  WNF_EXPECTS(in_size > 0);
+  WNF_EXPECTS(neighbors >= 1);
+  WNF_EXPECTS(beta >= 0.0 && beta <= 1.0);
+  const std::size_t k = std::min(neighbors, in_size);
+  std::vector<std::size_t> row_ptr(out_size + 1, 0);
+  std::vector<std::size_t> cols;
+  cols.reserve(out_size * k);
+  std::vector<char> in_row(in_size, 0);
+  std::vector<std::size_t> lattice(k);
+  for (std::size_t j = 0; j < out_size; ++j) {
+    // Ring lattice: the k senders nearest to this receiver's anchor.
+    const std::size_t center = j * in_size / out_size;
+    std::fill(in_row.begin(), in_row.end(), 0);
+    for (std::size_t d = 0; d < k; ++d) {
+      const std::size_t s = (center + in_size + d - k / 2) % in_size;
+      lattice[d] = s;
+      in_row[s] = 1;
+    }
+    // Rewire each lattice edge with probability beta to a uniformly chosen
+    // sender outside the current row (the freed slot itself is eligible,
+    // so a rewire can be a no-op with probability 1/(in - k + 1)).
+    if (k < in_size) {
+      std::sort(lattice.begin(), lattice.end());
+      for (std::size_t s : lattice) {
+        if (!rng.bernoulli(beta)) continue;
+        in_row[s] = 0;
+        std::size_t t = rng.uniform_index(in_size - (k - 1));
+        std::size_t pick = 0;
+        for (std::size_t i = 0; i < in_size; ++i) {
+          if (in_row[i]) continue;
+          if (t == 0) {
+            pick = i;
+            break;
+          }
+          --t;
+        }
+        in_row[pick] = 1;
+      }
+    }
+    for (std::size_t i = 0; i < in_size; ++i) {
+      if (in_row[i]) cols.push_back(i);
+    }
+    row_ptr[j + 1] = cols.size();
+  }
+  return LayerTopology(in_size, std::move(row_ptr), std::move(cols));
+}
+
+LayerTopology LayerTopology::from_spec(const Topology& spec,
+                                       std::size_t out_size,
+                                       std::size_t in_size, Rng& rng) {
+  switch (spec.kind) {
+    case Topology::Kind::kDense:
+      return dense(out_size, in_size);
+    case Topology::Kind::kRandomSparse:
+      return random_sparse(out_size, in_size, spec.density, rng);
+    case Topology::Kind::kSmallWorld:
+      return small_world(out_size, in_size, spec.neighbors, spec.beta, rng);
+  }
+  WNF_EXPECTS(false);
+  return LayerTopology();
+}
+
+std::size_t LayerTopology::in_degree(std::size_t to) const {
+  WNF_EXPECTS(to + 1 < row_ptr_.size());
+  return row_ptr_[to + 1] - row_ptr_[to];
+}
+
+std::size_t LayerTopology::max_in_degree() const {
+  std::size_t best = 0;
+  for (std::size_t j = 0; j + 1 < row_ptr_.size(); ++j) {
+    best = std::max(best, row_ptr_[j + 1] - row_ptr_[j]);
+  }
+  return best;
+}
+
+std::span<const std::size_t> LayerTopology::row(std::size_t to) const {
+  WNF_EXPECTS(to + 1 < row_ptr_.size());
+  return {cols_.data() + row_ptr_[to], row_ptr_[to + 1] - row_ptr_[to]};
+}
+
+std::size_t LayerTopology::edge_offset(std::size_t to, std::size_t from) const {
+  WNF_EXPECTS(to + 1 < row_ptr_.size());
+  const auto begin = cols_.begin() + static_cast<std::ptrdiff_t>(row_ptr_[to]);
+  const auto end = cols_.begin() + static_cast<std::ptrdiff_t>(row_ptr_[to + 1]);
+  const auto it = std::lower_bound(begin, end, from);
+  if (it == end || *it != from) return npos;
+  return static_cast<std::size_t>(it - cols_.begin());
+}
+
+std::size_t LayerTopology::edge_row(std::size_t offset) const {
+  WNF_EXPECTS(offset < cols_.size());
+  const auto it = std::upper_bound(row_ptr_.begin(), row_ptr_.end(), offset);
+  WNF_EXPECTS(it != row_ptr_.begin());
+  return static_cast<std::size_t>(it - row_ptr_.begin()) - 1;
+}
+
+double LayerTopology::edge_capacity(std::size_t offset) const {
+  WNF_EXPECTS(offset < edge_capacity_.size());
+  return edge_capacity_[offset];
+}
+
+void LayerTopology::set_edge_capacities(std::vector<double> capacities) {
+  WNF_EXPECTS(capacities.size() == cols_.size());
+  for (double c : capacities) WNF_EXPECTS(c > 0.0 && std::isfinite(c));
+  edge_capacity_ = std::move(capacities);
+}
+
+void LayerTopology::set_uniform_edge_capacity(double capacity) {
+  WNF_EXPECTS(capacity > 0.0 && std::isfinite(capacity));
+  edge_capacity_.assign(cols_.size(), capacity);
+}
+
+}  // namespace wnf::nn

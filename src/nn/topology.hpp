@@ -1,0 +1,146 @@
+// Per-edge connectivity of a synapse block.
+//
+// The paper's analysis assumes fully connected layers; sparse connectivity
+// changes the fault-propagation story qualitatively (a few shortcut edges can
+// let localized damage excite global activity -- Roxin et al., PAPERS.md) and
+// is the raw-speed lever for bigger models. Two types live here:
+//
+//  * `Topology` -- a small value-type *spec* ("dense", "random sparse with
+//    density p", "Watts-Strogatz small-world with k neighbours rewired with
+//    probability beta") consumed by `NetworkBuilder`.
+//  * `LayerTopology` -- the realised CSR adjacency of one layer: row_ptr of
+//    size out+1 and a sorted column list per receiver. It is structure-only:
+//    weight values stay in the layer's dense `Matrix`, and `DenseLayer`
+//    keeps every non-edge weight at exactly 0.0 so the CSR forward path and
+//    the dense kernel produce bit-identical sums (gemv accumulates
+//    left-to-right; skipping exact-zero terms does not change the total).
+//
+// All generators are deterministic under `Rng::split`: equal seeds give
+// equal adjacency on every platform.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace wnf::nn {
+
+/// Generator spec for a layer's connectivity. Plain value type; realised
+/// into a `LayerTopology` by `LayerTopology::from_spec` once the layer
+/// dimensions are known.
+struct Topology {
+  enum class Kind { kDense, kRandomSparse, kSmallWorld };
+
+  Kind kind = Kind::kDense;
+  double density = 1.0;       ///< kRandomSparse: per-edge Bernoulli p.
+  std::size_t neighbors = 0;  ///< kSmallWorld: lattice in-degree k.
+  double beta = 0.0;          ///< kSmallWorld: rewiring probability.
+
+  /// Fully connected (the historical default; carries no CSR structure).
+  static Topology dense();
+
+  /// Each edge present independently with probability `p` in (0, 1]; every
+  /// receiver is guaranteed at least one in-edge.
+  static Topology random_sparse(double p);
+
+  /// Watts-Strogatz: receiver j starts from the k senders nearest to its
+  /// anchor position j*in/out on the sender ring, then each lattice edge is
+  /// rewired with probability `beta` to a uniformly chosen free sender.
+  /// Requires k >= 1 and beta in [0, 1].
+  static Topology small_world(std::size_t k, double beta);
+
+  bool is_dense() const { return kind == Kind::kDense; }
+
+  friend bool operator==(const Topology&, const Topology&) = default;
+};
+
+/// CSR adjacency of one `out_size x in_size` synapse block. Rows are
+/// receivers; `row(j)` lists the senders neuron j listens to, sorted and
+/// unique. Optionally carries one channel capacity per edge (used by
+/// `dist::NetworkSimulator` for per-edge clamping); when absent only the
+/// simulator's global capacity applies.
+class LayerTopology {
+ public:
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+  LayerTopology() = default;
+
+  /// Adopts an explicit CSR structure. `row_ptr` must have out_size+1
+  /// monotone entries ending at cols.size(); each row of `cols` must be
+  /// sorted, unique, in [0, in_size), and non-empty.
+  LayerTopology(std::size_t in_size, std::vector<std::size_t> row_ptr,
+                std::vector<std::size_t> cols);
+
+  /// Every edge present.
+  static LayerTopology dense(std::size_t out_size, std::size_t in_size);
+
+  /// Bernoulli(p) per edge, swept in (receiver, sender) order; a receiver
+  /// ending up isolated gets one uniform in-edge. Requires p in (0, 1].
+  static LayerTopology random_sparse(std::size_t out_size, std::size_t in_size,
+                                     double density, Rng& rng);
+
+  /// Watts-Strogatz ring-lattice-plus-rewiring adapted to the bipartite
+  /// block: receiver j anchors at sender j*in/out and takes the k nearest
+  /// senders (mod in); each lattice edge is then rewired with probability
+  /// beta to the t-th currently-free sender, t uniform. k is clamped to in.
+  static LayerTopology small_world(std::size_t out_size, std::size_t in_size,
+                                   std::size_t neighbors, double beta,
+                                   Rng& rng);
+
+  /// Realises a spec. Dense specs consume no randomness.
+  static LayerTopology from_spec(const Topology& spec, std::size_t out_size,
+                                 std::size_t in_size, Rng& rng);
+
+  std::size_t out_size() const {
+    return row_ptr_.empty() ? 0 : row_ptr_.size() - 1;
+  }
+  std::size_t in_size() const { return in_size_; }
+  std::size_t edge_count() const { return cols_.size(); }
+
+  std::size_t in_degree(std::size_t to) const;
+  std::size_t max_in_degree() const;
+
+  /// True when every possible edge is present.
+  bool is_full() const { return edge_count() == out_size() * in_size(); }
+
+  /// Senders of receiver `to`, sorted ascending.
+  std::span<const std::size_t> row(std::size_t to) const;
+
+  std::span<const std::size_t> row_ptr() const { return row_ptr_; }
+  std::span<const std::size_t> cols() const { return cols_; }
+
+  bool has_edge(std::size_t to, std::size_t from) const {
+    return edge_offset(to, from) != npos;
+  }
+
+  /// Flat CSR offset of edge (to, from), or npos if absent. O(log degree).
+  std::size_t edge_offset(std::size_t to, std::size_t from) const;
+
+  /// Receiver owning the edge at flat offset `offset`. O(log out).
+  std::size_t edge_row(std::size_t offset) const;
+
+  // -- Per-edge channel capacities (aligned with cols(); empty = none). --
+  bool has_edge_capacities() const { return !edge_capacity_.empty(); }
+  std::span<const double> edge_capacities() const { return edge_capacity_; }
+  double edge_capacity(std::size_t offset) const;
+
+  /// Installs per-edge capacities; size must equal edge_count() and every
+  /// value must be positive and finite.
+  void set_edge_capacities(std::vector<double> capacities);
+  void set_uniform_edge_capacity(double capacity);
+  void clear_edge_capacities() { edge_capacity_.clear(); }
+
+  friend bool operator==(const LayerTopology&, const LayerTopology&) = default;
+
+ private:
+  void validate() const;
+
+  std::size_t in_size_ = 0;
+  std::vector<std::size_t> row_ptr_;
+  std::vector<std::size_t> cols_;
+  std::vector<double> edge_capacity_;
+};
+
+}  // namespace wnf::nn

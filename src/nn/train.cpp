@@ -140,6 +140,10 @@ class OptimizerState {
       update_block(weights, grads.layer_w[l - 1].flat(),
                    velocity_.layer_w[l - 1].flat(), adam_m_.layer_w[l - 1].flat(),
                    adam_v_.layer_w[l - 1].flat(), batch_scale);
+      // Weight decay (and numerically non-zero gradients through masked
+      // positions) can nudge non-edge weights off 0; restore the sparse
+      // invariant before anyone reads the block.
+      net.layer(l).mask_to_topology();
       auto bias = net.layer(l).bias();
       update_block(bias, {grads.layer_b[l - 1].data(), bias.size()},
                    {velocity_.layer_b[l - 1].data(), bias.size()},
@@ -233,6 +237,9 @@ TrainResult train(FeedForwardNetwork& net, const data::Dataset& dataset,
       optimizer.step(net, grads, batch_scale);
       if (config.fep_lambda > 0.0) {
         fep_reg.apply_gradient_step(net, config.learning_rate);
+        for (std::size_t l = 1; l <= net.layer_count(); ++l) {
+          net.layer(l).mask_to_topology();
+        }
       }
       if (config.post_step_projection) config.post_step_projection(net);
       cursor = batch_end;

@@ -35,7 +35,7 @@ double quantization_error_bound(const nn::FeedForwardNetwork& net,
                                 const PrecisionScheme& scheme,
                                 const theory::FepOptions& options) {
   WNF_EXPECTS(scheme.bits.size() == net.layer_count());
-  const auto prof = theory::profile(net, options);
+  const auto prof = theory::profile_of(net, options);
   const auto lambdas = scheme.lambdas();
   return theory::precision_error_bound(prof, lambdas, options);
 }

@@ -16,6 +16,24 @@ void gemv(const Matrix& a, std::span<const double> x, std::span<double> y) {
   }
 }
 
+void gemv_csr(const Matrix& a, std::span<const std::size_t> row_ptr,
+              std::span<const std::size_t> cols, std::span<const double> x,
+              std::span<double> y) {
+  WNF_EXPECTS(x.size() == a.cols());
+  WNF_EXPECTS(y.size() == a.rows());
+  WNF_EXPECTS(row_ptr.size() == a.rows() + 1);
+  WNF_EXPECTS(row_ptr.empty() || row_ptr[a.rows()] == cols.size());
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    const auto row = a.row(r);
+    double sum = 0.0;
+    for (std::size_t e = row_ptr[r]; e < row_ptr[r + 1]; ++e) {
+      const std::size_t c = cols[e];
+      sum += row[c] * x[c];
+    }
+    y[r] = sum;
+  }
+}
+
 void gemv_transposed(const Matrix& a, std::span<const double> x,
                      std::span<double> y) {
   WNF_EXPECTS(x.size() == a.rows());

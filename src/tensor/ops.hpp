@@ -14,6 +14,16 @@ namespace wnf {
 /// y = A * x. Requires x.size() == A.cols() and y.size() == A.rows().
 void gemv(const Matrix& a, std::span<const double> x, std::span<double> y);
 
+/// CSR-masked y = A * x: row j accumulates only A(j, cols[e]) * x[cols[e]]
+/// for e in [row_ptr[j], row_ptr[j+1]), left to right. Because `gemv` also
+/// accumulates left to right, this is bit-identical to the dense product
+/// whenever every skipped A(j, i) is exactly 0.0 (the `nn::LayerTopology`
+/// invariant). row_ptr must have y.size()+1 monotone entries; cols must be
+/// sorted per row and index into x.
+void gemv_csr(const Matrix& a, std::span<const std::size_t> row_ptr,
+              std::span<const std::size_t> cols, std::span<const double> x,
+              std::span<double> y);
+
 /// y = A^T * x (used by backprop without materialising the transpose).
 /// Requires x.size() == A.rows() and y.size() == A.cols().
 void gemv_transposed(const Matrix& a, std::span<const double> x,

@@ -22,7 +22,7 @@ NetworkProfile uniform_profile(std::size_t depth, std::size_t width,
   p.fan_in.clear();
   std::size_t prev = dim;
   for (std::size_t l = 0; l < depth; ++l) {
-    p.fan_in.push_back(prev);
+    p.fan_in.emplace_back(width, prev);  // per-neuron fan-in, dense shape
     prev = width;
   }
   p.lipschitz = k;

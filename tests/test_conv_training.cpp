@@ -120,7 +120,7 @@ TEST(ConvTraining, TrainedConvNetKeepsConvAwareBoundSound) {
   dense.mode = theory::FailureMode::kCrash;
   theory::FepOptions conv = dense;
   conv.use_receptive_field = true;
-  const auto prof = theory::profile(net, dense);
+  const auto prof = theory::profile_of(net, dense);
   const std::vector<std::size_t> counts{0, 2};
   const double bound_dense =
       theory::forward_error_propagation(prof, counts, dense);

@@ -122,7 +122,7 @@ TEST(StuckAt, CoveredByCrashModeFep) {
   options.mode = theory::FailureMode::kCrash;  // C = sup phi = 1
   for (int round = 0; round < 20; ++round) {
     const auto net = ext_net(300 + round);
-    const auto prof = theory::profile(net, options);
+    const auto prof = theory::profile_of(net, options);
     fault::Injector injector(net);
     std::vector<std::size_t> counts(net.layer_count());
     for (std::size_t l = 1; l <= net.layer_count(); ++l) {

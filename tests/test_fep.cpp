@@ -23,7 +23,7 @@ NetworkProfile make_profile(std::vector<std::size_t> widths,
   p.fan_in.clear();
   std::size_t prev = input_dim;
   for (std::size_t w : p.widths) {
-    p.fan_in.push_back(prev);
+    p.fan_in.emplace_back(w, prev);  // per-neuron fan-in, dense shape
     prev = w;
   }
   p.lipschitz = k;
@@ -160,7 +160,7 @@ TEST(Fep, ProfileExtractsNetworkStructure) {
                  .hidden(6)
                  .hidden(4)
                  .build(rng);
-  const auto p = profile(net, FepOptions{});
+  const auto p = profile_of(net, FepOptions{});
   EXPECT_EQ(p.depth, 2u);
   EXPECT_EQ(p.input_dim, 3u);
   EXPECT_EQ(p.widths, (std::vector<std::size_t>{6, 4}));
@@ -169,7 +169,13 @@ TEST(Fep, ProfileExtractsNetworkStructure) {
   EXPECT_DOUBLE_EQ(
       p.weight_max[0],
       net.weight_max(1, nn::WeightMaxConvention::kIncludeBias));
-  EXPECT_EQ(p.fan_in, (std::vector<std::size_t>{3, 6}));
+  ASSERT_EQ(p.fan_in.size(), 2u);
+  EXPECT_EQ(p.fan_in[0], std::vector<std::size_t>(6, 3));
+  EXPECT_EQ(p.fan_in[1], std::vector<std::size_t>(4, 6));
+  EXPECT_EQ(p.receptive(1), 3u);
+  EXPECT_EQ(p.receptive(2), 6u);
+  EXPECT_FALSE(p.layer_sparse(1));
+  EXPECT_FALSE(p.layer_sparse(2));
 }
 
 TEST(Fep, ReceptiveFieldCapReducesBound) {
@@ -179,7 +185,8 @@ TEST(Fep, ReceptiveFieldCapReducesBound) {
   FepOptions dense;
   FepOptions conv;
   conv.use_receptive_field = true;
-  p.fan_in = {2, 2};  // R(1) = R(2) = 2
+  p.set_uniform_fan_in(1, 2);  // R(1) = R(2) = 2
+  p.set_uniform_fan_in(2, 2);
   const std::vector<std::size_t> faults{4, 0};
   const double dense_bound = forward_error_propagation(p, faults, dense);
   const double conv_bound = forward_error_propagation(p, faults, conv);

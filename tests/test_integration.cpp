@@ -68,7 +68,7 @@ TEST(Integration, TrainingReachesUsefulAccuracy) {
 /// network's own Fep sensitivities).
 double adaptive_slack(const nn::FeedForwardNetwork& net,
                       const theory::FepOptions& options, double multiple) {
-  const auto prof = theory::profile(net, options);
+  const auto prof = theory::profile_of(net, options);
   double cheapest = std::numeric_limits<double>::infinity();
   for (std::size_t l = 1; l <= prof.depth; ++l) {
     std::vector<std::size_t> one(prof.depth, 0);
@@ -184,7 +184,7 @@ TEST(Integration, SerializedModelCarriesTheSameCertificate) {
 TEST(Integration, EmpiricalNetworkLipschitzRespectsProductBound) {
   const auto& p = pipeline();
   theory::FepOptions options;
-  const auto prof = theory::profile(p.net, options);
+  const auto prof = theory::profile_of(p.net, options);
   const double bound = theory::network_lipschitz_bound(prof);
   Rng rng(99);
   const double empirical =

@@ -61,7 +61,7 @@ TEST(Replication, ToleranceGrowsWithFactor) {
   std::size_t previous_total = 0;
   for (std::size_t r : {1, 2, 4}) {
     const auto replicated = replicate_neurons(net, r);
-    const auto prof = profile(replicated, options);
+    const auto prof = profile_of(replicated, options);
     const auto greedy = greedy_max_distribution(prof, budget, options);
     const std::size_t total = total_faults(greedy);
     EXPECT_GE(total, previous_total);
@@ -109,8 +109,8 @@ TEST(PadLayer, DoesNotImproveTheBound) {
   FepOptions options;
   options.mode = FailureMode::kCrash;
   const ErrorBudget budget{0.5, 0.1};
-  const auto base_prof = profile(net, options);
-  const auto padded_prof = profile(padded, options);
+  const auto base_prof = profile_of(net, options);
+  const auto padded_prof = profile_of(padded, options);
   EXPECT_EQ(max_faults_single_layer(base_prof, 2, budget, options),
             max_faults_single_layer(padded_prof, 2, budget, options));
 }
@@ -120,7 +120,7 @@ TEST(Corollary1, MinReplicationFindsAFactor) {
   FepOptions options;
   options.mode = FailureMode::kCrash;
   const ErrorBudget budget{0.5, 0.1};
-  const auto base_prof = profile(net, options);
+  const auto base_prof = profile_of(net, options);
   const std::size_t base_total =
       total_faults(greedy_max_distribution(base_prof, budget, options));
   const std::size_t target = base_total + 4;
@@ -128,7 +128,7 @@ TEST(Corollary1, MinReplicationFindsAFactor) {
       min_replication_for_tolerance(net, target, budget, options, 16);
   ASSERT_GT(r, 0u) << "no replication factor up to 16 reached the target";
   const auto replicated = replicate_neurons(net, r);
-  const auto prof = profile(replicated, options);
+  const auto prof = profile_of(replicated, options);
   EXPECT_GE(total_faults(greedy_max_distribution(prof, budget, options)),
             target);
 }

@@ -53,7 +53,7 @@ TEST_P(FepSoundness, CrashErrorNeverExceedsFep) {
   options.mode = theory::FailureMode::kCrash;
   for (int round = 0; round < 15; ++round) {
     const auto net = sample_network(rng);
-    const auto prof = theory::profile(net, options);
+    const auto prof = theory::profile_of(net, options);
     fault::Injector injector(net);
     for (int trial = 0; trial < 10; ++trial) {
       const auto counts = sample_counts(net, rng);
@@ -73,7 +73,7 @@ TEST_P(FepSoundness, TopWeightCrashStillWithinFep) {
   options.mode = theory::FailureMode::kCrash;
   for (int round = 0; round < 15; ++round) {
     const auto net = sample_network(rng);
-    const auto prof = theory::profile(net, options);
+    const auto prof = theory::profile_of(net, options);
     fault::Injector injector(net);
     const auto counts = sample_counts(net, rng);
     const double bound =
@@ -94,7 +94,7 @@ TEST_P(FepSoundness, ByzantinePerturbationNeverExceedsFep) {
   options.convention = theory::CapacityConvention::kPerturbationBound;
   for (int round = 0; round < 15; ++round) {
     const auto net = sample_network(rng);
-    const auto prof = theory::profile(net, options);
+    const auto prof = theory::profile_of(net, options);
     fault::Injector injector(net);
     for (int trial = 0; trial < 8; ++trial) {
       const auto counts = sample_counts(net, rng);
@@ -118,7 +118,7 @@ TEST_P(FepSoundness, GradientDirectedAttackNeverExceedsFep) {
   options.capacity = 1.0;
   for (int round = 0; round < 15; ++round) {
     const auto net = sample_network(rng);
-    const auto prof = theory::profile(net, options);
+    const auto prof = theory::profile_of(net, options);
     fault::Injector injector(net);
     const auto counts = sample_counts(net, rng);
     const double bound =
@@ -136,7 +136,7 @@ TEST_P(FepSoundness, SynapseFaultsNeverExceedTheorem4) {
   options.capacity = 1.5;
   for (int round = 0; round < 15; ++round) {
     const auto net = sample_network(rng);
-    const auto prof = theory::profile(net, options);
+    const auto prof = theory::profile_of(net, options);
     fault::Injector injector(net);
     std::vector<std::size_t> counts(net.layer_count() + 1);
     for (std::size_t l = 0; l < counts.size(); ++l) {
@@ -183,7 +183,7 @@ TEST_P(FepSoundness, Theorem3CertifiedDistributionsKeepEpsilon) {
   options.mode = theory::FailureMode::kCrash;
   for (int round = 0; round < 10; ++round) {
     const auto net = sample_network(rng);
-    const auto prof = theory::profile(net, options);
+    const auto prof = theory::profile_of(net, options);
     // Treat F = Fneu (epsilon' ~ 0), so tolerated distributions must keep
     // |Fneu - Ffail| <= eps = slack.
     const theory::ErrorBudget budget{0.25 + rng.uniform(), 1e-9};
@@ -233,7 +233,7 @@ TEST(FepTightness, ChainNetworkApproachesBoundInLinearRegime) {
   options.mode = theory::FailureMode::kByzantine;
   options.capacity = c;
   options.weight_convention = nn::WeightMaxConvention::kExcludeBias;
-  const auto prof = theory::profile(net, options);
+  const auto prof = theory::profile_of(net, options);
   const std::vector<std::size_t> faults{1, 0, 0};
   const double bound =
       theory::forward_error_propagation(prof, faults, options);

@@ -162,7 +162,7 @@ TEST(ConvProperty, ConvAwareBoundSoundOnRandomConvTopologies) {
         2, std::move(layers), std::move(out), 0.0,
         nn::Activation(nn::ActivationKind::kSigmoid, rng.uniform(0.5, 2.0)));
 
-    const auto prof = theory::profile(net, options);
+    const auto prof = theory::profile_of(net, options);
     fault::Injector injector(net);
     std::vector<std::size_t> counts{1 + rng.uniform_index(features - 1), 0};
     const double bound =

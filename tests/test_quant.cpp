@@ -99,7 +99,7 @@ TEST(QuantizedEval, BoundMatchesTheorem5Formula) {
   PrecisionScheme scheme;
   scheme.bits = {6, 9};
   theory::FepOptions options;
-  const auto prof = theory::profile(net, options);
+  const auto prof = theory::profile_of(net, options);
   const double expected = theory::precision_error_bound(
       prof, scheme.lambdas(), options);
   EXPECT_DOUBLE_EQ(quantization_error_bound(net, scheme, options), expected);

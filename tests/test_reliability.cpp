@@ -102,7 +102,7 @@ class CertificateReliability : public testing::Test {
     options.mode = FailureMode::kCrash;
     options.weight_convention = nn::WeightMaxConvention::kExcludeBias;
     // Wide budget so the greedy distribution is non-trivial.
-    const auto prof = profile(net, options);
+    const auto prof = profile_of(net, options);
     std::vector<std::size_t> one{0, 1};
     const double cheapest =
         forward_error_propagation(prof, one, options);

@@ -13,6 +13,7 @@
 #include "nn/layer.hpp"
 #include "nn/network.hpp"
 #include "nn/serialize.hpp"
+#include "nn/topology.hpp"
 #include "util/rng.hpp"
 
 namespace wnf::nn {
@@ -115,7 +116,8 @@ TEST(Serialize, RejectsMalformedText) {
     std::istringstream in(broken);
     return !load_network(in).has_value();
   };
-  EXPECT_TRUE(rejects("wnf-network v2\n"));           // unknown version
+  EXPECT_TRUE(rejects("wnf-network v2\n"));           // truncated document
+  EXPECT_TRUE(rejects("wnf-network v3\n"));           // unknown version
   EXPECT_TRUE(rejects("not-a-network v1\n"));         // wrong magic token
   std::string bad_kind = good;
   bad_kind.replace(bad_kind.find("activation "), 11, "activation bogus__");
@@ -126,6 +128,156 @@ TEST(Serialize, RejectsMalformedText) {
   std::string bad_number = good;
   bad_number.replace(bad_number.find("layers "), 8, "layers x");
   EXPECT_TRUE(rejects(bad_number));
+}
+
+/// random_network with a sparse topology (and sometimes per-edge channel
+/// capacities) attached to a random subset of its layers.
+FeedForwardNetwork random_sparse_network(Rng& rng, bool& any_sparse) {
+  auto net = random_network(rng);
+  any_sparse = false;
+  for (std::size_t l = 1; l <= net.layer_count(); ++l) {
+    auto& layer = net.layer(l);
+    if (!rng.bernoulli(0.7)) continue;
+    auto topo = LayerTopology::random_sparse(layer.out_size(),
+                                             layer.in_size(), 0.5, rng);
+    if (rng.bernoulli(0.5)) {
+      std::vector<double> caps(topo.edge_count());
+      for (double& cap : caps) cap = rng.uniform(0.5, 2.0);
+      topo.set_edge_capacities(std::move(caps));
+    }
+    layer.set_topology(std::move(topo));
+    if (layer.is_sparse()) any_sparse = true;
+  }
+  return net;
+}
+
+TEST(SerializeV2, RoundTripsSparseTopologiesBitForBit) {
+  Rng rng(0x70F0);
+  int sparse_docs = 0;
+  for (int trial = 0; trial < 40; ++trial) {
+    bool any_sparse = false;
+    const auto net = random_sparse_network(rng, any_sparse);
+    std::stringstream text;
+    save_network(net, text);
+    // The v2 header appears exactly when some layer carries real structure;
+    // dense-only nets keep emitting v1 (old readers stay compatible).
+    EXPECT_EQ(text.str().rfind(any_sparse ? "wnf-network v2\n"
+                                          : "wnf-network v1\n", 0), 0u);
+    sparse_docs += any_sparse ? 1 : 0;
+    const auto loaded = load_network(text);
+    ASSERT_TRUE(loaded.has_value()) << "trial " << trial;
+    for (std::size_t l = 1; l <= net.layer_count(); ++l) {
+      const auto& a = net.layer(l);
+      const auto& b = loaded->layer(l);
+      ASSERT_EQ(b.is_sparse(), a.is_sparse()) << "trial " << trial;
+      if (a.is_sparse()) {
+        EXPECT_EQ(*b.topology(), *a.topology());  // structure AND capacities
+      }
+      EXPECT_EQ(b.receptive_field(), a.receptive_field());
+      for (std::size_t j = 0; j < a.out_size(); ++j) {
+        for (std::size_t i = 0; i < a.in_size(); ++i) {
+          EXPECT_EQ(std::bit_cast<std::uint64_t>(b.weights()(j, i)),
+                    std::bit_cast<std::uint64_t>(a.weights()(j, i)));
+        }
+      }
+    }
+    for (int probe = 0; probe < 3; ++probe) {
+      std::vector<double> x(net.input_dim());
+      for (double& v : x) v = rng.uniform(-1.0, 1.0);
+      EXPECT_EQ(std::bit_cast<std::uint64_t>(loaded->evaluate(x)),
+                std::bit_cast<std::uint64_t>(net.evaluate(x)));
+    }
+  }
+  EXPECT_GT(sparse_docs, 10);  // the property test actually exercised v2
+}
+
+TEST(SerializeV2, RejectsMalformedAdjacency) {
+  // A minimal well-formed v2 document, then one surgical corruption per
+  // case. The loader must return nullopt — never abort on a contract.
+  const std::string good =
+      "wnf-network v2\n"
+      "activation sigmoid 1\n"
+      "input_dim 2\n"
+      "layers 1\n"
+      "layer 2 2 2\n"
+      "adjacency sparse 3\n"
+      "rowptr 0 2 3\n"
+      "cols 0 1 1\n"
+      "edgecaps 0\n"
+      "1 0.5\n"
+      "0 0.25\n"
+      "0.125 -1\n"
+      "output 2\n"
+      "2 -0.5\n"
+      "output_bias 0.75\n"
+      "end\n";
+  {
+    std::istringstream in(good);
+    const auto loaded = load_network(in);
+    ASSERT_TRUE(loaded.has_value());
+    ASSERT_TRUE(loaded->layer(1).is_sparse());
+    EXPECT_EQ(loaded->layer(1).edge_count(), 3u);
+    // set_topology re-masks on load: the non-edge weight (1, 0) is zeroed.
+    EXPECT_EQ(loaded->layer(1).weights()(1, 0), 0.0);
+  }
+  const auto rejects = [&](const std::string& from, const std::string& to) {
+    std::string broken = good;
+    const auto at = broken.find(from);
+    ASSERT_NE(at, std::string::npos) << from;
+    broken.replace(at, from.size(), to);
+    std::istringstream in(broken);
+    EXPECT_FALSE(load_network(in).has_value())
+        << "accepted: " << from << " -> " << to;
+  };
+  rejects("adjacency sparse 3", "adjacency sparse 0");   // nnz = 0
+  rejects("adjacency sparse 3", "adjacency sparse 5");   // nnz > out*in
+  rejects("adjacency sparse", "adjacency banana");       // unknown shape
+  rejects("rowptr 0 2 3", "rowptr 1 2 3");               // must start at 0
+  rejects("rowptr 0 2 3", "rowptr 0 2 4");               // must end at nnz
+  rejects("rowptr 0 2 3", "rowptr 0 3 3");               // empty row 1
+  rejects("rowptr 0 2 3", "rowptr 0 0 3");               // empty row 0
+  rejects("cols 0 1 1", "cols 1 0 1");                   // unsorted row 0
+  rejects("cols 0 1 1", "cols 0 0 1");                   // duplicate col
+  rejects("cols 0 1 1", "cols 0 2 1");                   // col out of range
+  rejects("edgecaps 0", "edgecaps 2");                   // count != nnz
+  rejects("edgecaps 0", "edgecaps 3 1 -1 1");            // negative capacity
+  rejects("edgecaps 0", "edgecaps 3 1 0 1");             // zero capacity
+  rejects("edgecaps 0", "edgecaps 3 1 inf 1");           // non-finite capacity
+  // A v1 header cannot carry an adjacency section: the weight parser sees
+  // the token and fails.
+  rejects("wnf-network v2", "wnf-network v1");
+}
+
+TEST(SerializeV1, DenseGoldenTextIsByteIdentical) {
+  // Byte-for-byte pin of the v1 format on a hand-built network whose
+  // parameters all print exactly. Any drift here breaks old readers and
+  // the transport's Bind frames.
+  std::vector<DenseLayer> hidden;
+  DenseLayer layer(2, 2);
+  layer.weights()(0, 0) = 0.5;
+  layer.weights()(0, 1) = -0.25;
+  layer.weights()(1, 0) = 1.0;
+  layer.weights()(1, 1) = 0.0;
+  layer.bias()[0] = 0.125;
+  layer.bias()[1] = -1.0;
+  hidden.push_back(std::move(layer));
+  const FeedForwardNetwork net(2, std::move(hidden), {2.0, -0.5}, 0.75,
+                               Activation(ActivationKind::kSigmoid, 0.25));
+  std::stringstream text;
+  save_network(net, text);
+  EXPECT_EQ(text.str(),
+            "wnf-network v1\n"
+            "activation sigmoid 0.25\n"
+            "input_dim 2\n"
+            "layers 1\n"
+            "layer 2 2 2\n"
+            "0.5 -0.25\n"
+            "1 0\n"
+            "0.125 -1\n"
+            "output 2\n"
+            "2 -0.5\n"
+            "output_bias 0.75\n"
+            "end\n");
 }
 
 }  // namespace
